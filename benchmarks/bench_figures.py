@@ -1,0 +1,98 @@
+"""Regenerate paper Figures 1–5 and benchmark the operations they depict.
+
+Each figure of the paper illustrates one algorithmic step; the matching
+bench here measures that step on a real clip and writes the regenerated
+SVG to ``benchmarks/output/figureN.svg``:
+
+* Figure 1 — RDP simplification + corner point extraction.
+* Figure 2 — corner rounding analysis (numeric L_th derivation).
+* Figure 3 — compatibility graph build + inverse-graph coloring.
+* Figure 4 — degenerate color class placement (min-size + extension).
+* Figure 5 — the MergeShots pass.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import render_figure
+from repro.ebeam.corner import compute_lth
+from repro.fracture.corner_points import extract_corner_points
+from repro.fracture.graph_color import build_compatibility_graph
+from repro.fracture.merge import merge_shots
+from repro.fracture.placement import shot_from_class
+from repro.fracture.state import RefinementState
+from repro.geometry.rdp import rdp_simplify
+from repro.geometry.rect import Rect
+from repro.graphlib.clique_cover import clique_partition
+
+
+def _save(output_dir, number: int) -> None:
+    (output_dir / f"figure{number}.svg").write_text(render_figure(number))
+
+
+def test_fig1_rdp_and_corner_points(benchmark, ilt_shapes, spec, output_dir):
+    shape = ilt_shapes[0]
+
+    def op():
+        simplified = rdp_simplify(shape.polygon, spec.gamma)
+        return extract_corner_points(simplified, spec.lth)
+
+    points = benchmark(op)
+    assert len(points) >= 4
+    _save(output_dir, 1)
+
+
+def test_fig2_lth_derivation(benchmark, spec, output_dir):
+    def op():
+        compute_lth.cache_clear()
+        return compute_lth(spec.sigma, spec.gamma, spec.rho)
+
+    lth = benchmark(op)
+    assert 8.0 < lth < 22.0
+    _save(output_dir, 2)
+
+
+def test_fig3_graph_build_and_coloring(benchmark, ilt_shapes, spec, output_dir):
+    shape = ilt_shapes[0]
+    simplified = rdp_simplify(shape.polygon, spec.gamma)
+    corner_points = extract_corner_points(simplified, spec.lth)
+
+    def op():
+        graph = build_compatibility_graph(corner_points, shape, spec)
+        return clique_partition(graph)
+
+    cliques = benchmark(op)
+    assert cliques
+    _save(output_dir, 3)
+
+
+def test_fig4_placement_extension(benchmark, ilt_shapes, spec, output_dir):
+    shape = ilt_shapes[0]
+    simplified = rdp_simplify(shape.polygon, spec.gamma)
+    corner_points = extract_corner_points(simplified, spec.lth)
+    # A degenerate class: the first corner point alone.
+    single = [corner_points[0]]
+
+    def op():
+        return shot_from_class(single, shape, spec.lmin)
+
+    shot = benchmark(op)
+    assert shot is None or shot.meets_min_size(spec.lmin)
+    _save(output_dir, 4)
+
+
+def test_fig5_merge_pass(benchmark, ilt_shapes, spec, output_dir):
+    shape = ilt_shapes[0]
+    bbox = shape.polygon.bounding_box()
+    # Stacked aligned shots inside the clip's bounding region.
+    shots = [
+        Rect(bbox.xbl, bbox.ybl + i * 12.0, bbox.xtr, bbox.ybl + i * 12.0 + 11.0)
+        for i in range(4)
+    ]
+
+    def op():
+        state = RefinementState(shape, spec, shots)
+        return merge_shots(state)
+
+    merges = benchmark(op)
+    assert merges >= 0
+    _save(output_dir, 5)

@@ -1,0 +1,93 @@
+"""Parameter-sensitivity sweeps around the paper's operating point.
+
+The paper evaluates at a single setting (γ = 2 nm, σ = 6.25 nm,
+L_min = 10 nm).  These sweeps show how shot count responds to each knob
+on a fixed clip — the sanity curves a mask shop would want before
+adopting the flow:
+
+* **γ sweep** — a wider CD tolerance gives the cover more slack; shot
+  count must be non-increasing (within heuristic noise).
+* **L_min sweep** — a larger minimum shot size removes the small patch
+  shots; count tends down but feasibility gets harder.
+* **σ sweep** — more blur rounds corners further, changing L_th and the
+  whole corner-point geometry.
+
+Artifact: ``benchmarks/output/sweeps.txt``.
+"""
+
+from __future__ import annotations
+
+from repro.fracture.pipeline import ModelBasedFracturer, RefineConfig
+from repro.fracture.refine import RefineParams
+from repro.mask.constraints import FractureSpec
+
+_CONFIG = RefineConfig(params=RefineParams(nmax=400, nh=3))
+
+
+def _fracture(shape, spec):
+    result = ModelBasedFracturer(config=_CONFIG).fracture(shape, spec)
+    return result.shot_count, result.report.total_failing
+
+
+def test_gamma_sweep(benchmark, ilt_shapes, output_dir):
+    shape = ilt_shapes[0]
+
+    def sweep():
+        rows = []
+        for gamma in (1.0, 2.0, 3.0, 4.0):
+            spec = FractureSpec(gamma=gamma)
+            shots, failing = _fracture(shape, spec)
+            rows.append((gamma, shots, failing))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["gamma sweep (ILT-1)", "gamma  shots  failing"]
+    lines += [f"{g:5.1f}  {s:5d}  {f:7d}" for g, s, f in rows]
+    _append(output_dir, lines)
+    # Wider tolerance never needs *more* shots (allow 1 for heuristic noise).
+    tightest = rows[0][1]
+    loosest = rows[-1][1]
+    assert loosest <= tightest + 1
+
+
+def test_lmin_sweep(benchmark, ilt_shapes, output_dir):
+    shape = ilt_shapes[0]
+
+    def sweep():
+        rows = []
+        for lmin in (8.0, 10.0, 14.0, 18.0):
+            spec = FractureSpec(lmin=lmin)
+            shots, failing = _fracture(shape, spec)
+            rows.append((lmin, shots, failing))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["lmin sweep (ILT-1)", " lmin  shots  failing"]
+    lines += [f"{l:5.1f}  {s:5d}  {f:7d}" for l, s, f in rows]
+    _append(output_dir, lines)
+    assert all(s >= 1 for _, s, _ in rows)
+
+
+def test_sigma_sweep(benchmark, ilt_shapes, output_dir):
+    shape = ilt_shapes[0]
+
+    def sweep():
+        rows = []
+        for sigma in (4.0, 6.25, 9.0):
+            spec = FractureSpec(sigma=sigma)
+            shots, failing = _fracture(shape, spec)
+            rows.append((sigma, shots, failing, spec.lth))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["sigma sweep (ILT-1)", "sigma  shots  failing    Lth"]
+    lines += [f"{sg:5.2f}  {s:5d}  {f:7d}  {lth:5.1f}" for sg, s, f, lth in rows]
+    _append(output_dir, lines)
+    # L_th grows with sigma — the corner-rounding lever gets stronger.
+    assert rows[0][3] < rows[-1][3]
+
+
+def _append(output_dir, lines: list[str]) -> None:
+    path = output_dir / "sweeps.txt"
+    existing = path.read_text() if path.exists() else ""
+    path.write_text(existing + "\n".join(lines) + "\n\n")

@@ -1,0 +1,102 @@
+"""Regenerate paper Table 2: ten real-ILT-style clips, four methods.
+
+Paper reference (Table 2): per-clip shot count + runtime for GSC, MP,
+PROTO-EDA and the proposed method, LB/UB columns, and the "Sum of
+Normalized Shot Count wrt Upper Bound" summary row.  Expected shape of
+the result (not absolute numbers — the workload is synthetic): the
+proposed method has the lowest normalized sum, PROTO-EDA ~20-25 % more
+shots, MP ~45 % more and the slowest per-shot runtime among the
+model-based heuristics, GSC worst-or-near-worst in shots but fastest.
+
+Each method is one pytest-benchmark case measuring its full-suite wall
+time; the table itself is assembled once and written to
+``benchmarks/output/table2.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    GreedySetCoverFracturer,
+    MatchingPursuitFracturer,
+    ProtoEdaFracturer,
+)
+from repro.bench.bounds import lower_bound_shots
+from repro.bench.runner import run_suite
+from repro.bench.tables import format_table2
+from repro.fracture.pipeline import ModelBasedFracturer
+
+_METHODS = {
+    "GSC": GreedySetCoverFracturer,
+    "MP": MatchingPursuitFracturer,
+    "PROTO-EDA": ProtoEdaFracturer,
+    "OURS": ModelBasedFracturer,
+}
+
+_suite_cache: dict = {}
+
+
+def _run_method(name: str, shapes, spec):
+    fracturer = _METHODS[name]()
+    return run_suite(shapes, [fracturer], spec)
+
+
+@pytest.mark.parametrize("method", list(_METHODS))
+def test_table2_method_runtime(benchmark, method, ilt_shapes, spec):
+    """Wall time of one heuristic over the full ILT-10 suite."""
+    result = benchmark.pedantic(
+        _run_method, args=(method, ilt_shapes, spec), rounds=1, iterations=1
+    )
+    _suite_cache[method] = result
+    assert len(result.clips) == len(ilt_shapes)
+
+
+def test_table2_assemble(benchmark, ilt_shapes, spec, output_dir):
+    """Merge per-method results, add LB/UB, emit the Table 2 artifact."""
+
+    def assemble():
+        from repro.bench.runner import ClipResult, SuiteResult
+        from repro.bench.bounds import upper_bound_shots
+
+        merged = SuiteResult()
+        for index, shape in enumerate(ilt_shapes):
+            results = {}
+            for method in _METHODS:
+                suite = _suite_cache.get(method)
+                if suite is None:  # method bench was deselected
+                    suite = _run_method(method, [shape], spec)
+                    results.update(suite.clips[0].results)
+                else:
+                    results.update(suite.clips[index].results)
+            clip = ClipResult(shape_name=shape.name, results=results)
+            clip.lower_bound = lower_bound_shots(shape, spec)
+            clip.upper_bound = upper_bound_shots(list(results.values()))
+            merged.clips.append(clip)
+        return merged
+
+    merged = benchmark.pedantic(assemble, rounds=1, iterations=1)
+    table = format_table2(merged, methods=list(_METHODS))
+    (output_dir / "table2.txt").write_text(table + "\n")
+    print("\n" + table)
+
+    # The paper's headline orderings must hold on the regenerated table.
+    # Raw totals are not comparable across feasibility levels (an
+    # infeasible solution can be arbitrarily small), so the checks are
+    # on normalized sums and CD-cleanliness.
+    ours = merged.sum_normalized("OURS")
+    assert ours is not None
+    for other in ("PROTO-EDA", "MP", "GSC"):
+        other_sum = merged.sum_normalized(other)
+        assert other_sum is None or ours <= other_sum, (
+            f"proposed method must beat {other}"
+        )
+
+    def feasible_clips(method: str) -> int:
+        return sum(
+            1 for clip in merged.clips if clip.results[method].feasible
+        )
+
+    assert feasible_clips("OURS") == max(
+        feasible_clips(m) for m in _METHODS
+    ), "proposed method must be the most often CD-clean"

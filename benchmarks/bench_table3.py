@@ -1,0 +1,107 @@
+"""Regenerate paper Table 3: known-optimal AGB/RGB shapes, four methods.
+
+Paper reference (Table 3): per-clip shot count + runtime against the
+known optimal shot count (the generator's K), with the "Sum of
+Normalized Shot Count wrt Optimal" summary row.  Expected shape: every
+heuristic is above 1.0x optimal; the proposed method has the lowest
+normalized sum; PROTO-EDA and the proposed method may terminate with a
+small number of failing pixels on the wavy clips (the paper reports the
+same effect — its own method fails on AGB-2/3 and RGB-3).
+
+Artifact: ``benchmarks/output/table3.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    GreedySetCoverFracturer,
+    MatchingPursuitFracturer,
+    ProtoEdaFracturer,
+)
+from repro.bench.runner import run_suite
+from repro.bench.tables import format_table3
+from repro.fracture.pipeline import (
+    DEFAULT_PORTFOLIO,
+    ModelBasedFracturer,
+)
+
+
+def _ours_coloring_only() -> ModelBasedFracturer:
+    """The paper-faithful initializer mix: coloring-seeded entries only.
+
+    The full default portfolio also contains a partition-seeded entry,
+    which recovers the generated shapes' construction exactly (they are
+    ρ-contours of K rectangles — a known weakness of such benchmarks);
+    this variant isolates the published §3+§4 pipeline.
+    """
+    coloring_only = tuple(c for c in DEFAULT_PORTFOLIO if c.init == "coloring")
+    fracturer = ModelBasedFracturer(portfolio=coloring_only)
+    fracturer.name = "OURS-GC"
+    return fracturer
+
+
+_METHODS = {
+    "GSC": GreedySetCoverFracturer,
+    "MP": MatchingPursuitFracturer,
+    "PROTO-EDA": ProtoEdaFracturer,
+    "OURS-GC": _ours_coloring_only,
+    "OURS": ModelBasedFracturer,
+}
+
+_suite_cache: dict = {}
+
+
+def _run_method(name: str, shapes, spec):
+    return run_suite(shapes, [_METHODS[name]()], spec)
+
+
+@pytest.mark.parametrize("method", list(_METHODS))
+def test_table3_method_runtime(benchmark, method, known_optimal_shapes, spec):
+    """Wall time of one heuristic over the ten known-optimal clips."""
+    result = benchmark.pedantic(
+        _run_method, args=(method, known_optimal_shapes, spec),
+        rounds=1, iterations=1,
+    )
+    _suite_cache[method] = result
+    assert len(result.clips) == 10
+
+
+def test_table3_assemble(benchmark, known_optimal_shapes, spec, output_dir):
+    """Merge per-method results and emit the Table 3 artifact."""
+
+    def assemble():
+        from repro.bench.runner import ClipResult, SuiteResult
+
+        merged = SuiteResult()
+        for index, ko in enumerate(known_optimal_shapes):
+            results = {}
+            for method in _METHODS:
+                suite = _suite_cache.get(method)
+                if suite is None:
+                    suite = _run_method(method, [ko], spec)
+                    results.update(suite.clips[0].results)
+                else:
+                    results.update(suite.clips[index].results)
+            merged.clips.append(
+                ClipResult(
+                    shape_name=ko.shape.name,
+                    results=results,
+                    optimal=ko.optimal_shots,
+                )
+            )
+        return merged
+
+    merged = benchmark.pedantic(assemble, rounds=1, iterations=1)
+    table = format_table3(merged, methods=list(_METHODS))
+    (output_dir / "table3.txt").write_text(table + "\n")
+    print("\n" + table)
+
+    ours = merged.sum_normalized("OURS")
+    assert ours is not None
+    assert ours >= 10.0  # can never beat the optimum on aggregate
+    for method in ("GSC", "MP"):
+        other = merged.sum_normalized(method)
+        if other is not None:
+            assert ours <= other + 1e-9, f"proposed method must beat {method}"

@@ -1,0 +1,41 @@
+"""Shared benchmark fixtures: suites, spec, and artifact output dir.
+
+Benchmarks double as the paper-reproduction harness: each table/figure
+bench writes its regenerated artifact (plain-text table or SVG) under
+``benchmarks/output/`` so EXPERIMENTS.md can reference stable files.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.mask.constraints import FractureSpec
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def spec() -> FractureSpec:
+    return FractureSpec()
+
+
+@pytest.fixture(scope="session")
+def output_dir() -> Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def ilt_shapes():
+    from repro.bench.shapes import ilt_suite
+
+    return ilt_suite()
+
+
+@pytest.fixture(scope="session")
+def known_optimal_shapes(spec):
+    from repro.bench.shapes import agb_suite, rgb_suite
+
+    return agb_suite(spec) + rgb_suite(spec)

@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's Figures 1-5 as SVG files.
+
+Each figure is drawn from the live algorithm internals (RDP output,
+corner points, cliques, placement, merge rules), so these double as
+visual debugging aids.
+
+    python examples/render_figures.py            # all five
+    python examples/render_figures.py --fig 2    # just one
+"""
+
+import argparse
+from pathlib import Path
+
+from repro.bench.figures import FIGURES, render_figure
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--fig", type=int, choices=sorted(FIGURES))
+    parser.add_argument("--output", default=str(Path(__file__).parent / "figures"))
+    args = parser.parse_args()
+
+    out = Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    numbers = [args.fig] if args.fig else sorted(FIGURES)
+    for number in numbers:
+        path = out / f"figure{number}.svg"
+        path.write_text(render_figure(number))
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

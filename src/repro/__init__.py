@@ -1,0 +1,45 @@
+"""repro — model-based mask fracturing for mask cost reduction.
+
+A from-scratch Python reproduction of Kagalwalla & Gupta, *Effective
+Model-Based Mask Fracturing for Mask Cost Reduction*, DAC 2015.
+
+Quickstart::
+
+    from repro import FractureSpec, MaskShape, ModelBasedFracturer
+    from repro.bench.shapes import ilt_suite
+
+    spec = FractureSpec()                 # paper defaults: σ=6.25, γ=2, Δp=1
+    shape = ilt_suite()[0]                # a synthetic ILT clip
+    result = ModelBasedFracturer().fracture(shape, spec)
+    print(result.shot_count, result.feasible)
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-vs-measured record.
+"""
+
+from repro.fracture.base import FractureResult, Fracturer
+from repro.fracture.pipeline import ModelBasedFracturer, RefineConfig
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+from repro.mask.constraints import FailureReport, FractureSpec, check_solution
+from repro.mask.cost import MaskCostModel
+from repro.mask.shape import MaskShape
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FailureReport",
+    "FractureResult",
+    "FractureSpec",
+    "Fracturer",
+    "MaskCostModel",
+    "MaskShape",
+    "ModelBasedFracturer",
+    "Point",
+    "Polygon",
+    "Rect",
+    "RefineConfig",
+    "check_solution",
+    "__version__",
+]

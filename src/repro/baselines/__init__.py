@@ -1,0 +1,25 @@
+"""Baseline fracturing heuristics the paper compares against.
+
+* :class:`~repro.baselines.gsc.GreedySetCoverFracturer` — the GSC
+  heuristic of Jiang & Zakhor [14]: model-driven greedy covering of the
+  failing P_on pixels with maximal allowed rectangles.
+* :class:`~repro.baselines.matching_pursuit.MatchingPursuitFracturer` —
+  MP [13]: iteratively adds the dictionary shot best matched to the
+  exposure residual.
+* :class:`~repro.baselines.partition_fracture.PartitionFracturer` — the
+  conventional (non-model-based) geometric partition flow [5–7].
+* :class:`~repro.baselines.proto_eda.ProtoEdaFracturer` — our stand-in
+  for the commercial PROTO-EDA prototype (see DESIGN.md, substitutions).
+"""
+
+from repro.baselines.gsc import GreedySetCoverFracturer
+from repro.baselines.matching_pursuit import MatchingPursuitFracturer
+from repro.baselines.partition_fracture import PartitionFracturer
+from repro.baselines.proto_eda import ProtoEdaFracturer
+
+__all__ = [
+    "GreedySetCoverFracturer",
+    "MatchingPursuitFracturer",
+    "PartitionFracturer",
+    "ProtoEdaFracturer",
+]

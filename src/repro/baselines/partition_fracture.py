@@ -1,0 +1,57 @@
+"""Conventional (non-model-based) mask fracturing [5–7].
+
+The classic flow: treat fracturing as pure geometric partitioning of the
+drawn rectilinear polygon into non-overlapping rectangles, one shot per
+rectangle, no proximity model.  On Manhattan layouts this is optimal and
+fast; on curvy ILT contours the pixel-level staircase explodes the shot
+count — the motivating observation of model-based MDP (paper §1).
+
+Two engines:
+
+* ``engine="optimal"`` — the minimum rectangle partition of the target
+  polygon (:func:`repro.geometry.partition.partition_rectilinear`).
+  Exact, but only practical for polygons with few hundred vertices.
+* ``engine="scanline"`` — sweep-line partition of the pixel mask
+  (:func:`repro.geometry.partition.scanline_partition`), the production
+  approach; handles any contour.
+"""
+
+from __future__ import annotations
+
+from repro.fracture.base import Fracturer
+from repro.geometry.partition import partition_rectilinear, scanline_partition
+from repro.geometry.rect import Rect
+from repro.mask.constraints import FractureSpec
+from repro.mask.shape import MaskShape
+
+_OPTIMAL_VERTEX_LIMIT = 150
+
+
+class PartitionFracturer(Fracturer):
+    """Conventional partition-based fracturing baseline."""
+
+    name = "PARTITION"
+
+    def __init__(self, engine: str = "auto", merge_tolerance: float = 0.0):
+        if engine not in ("auto", "optimal", "scanline"):
+            raise ValueError(f"unknown engine {engine!r}")
+        self.engine = engine
+        self.merge_tolerance = merge_tolerance
+        self._last_extra: dict = {}
+
+    def fracture_shots(self, shape: MaskShape, spec: FractureSpec) -> list[Rect]:
+        engine = self.engine
+        if engine == "auto":
+            small = (
+                shape.polygon.is_rectilinear()
+                and len(shape.polygon) <= _OPTIMAL_VERTEX_LIMIT
+            )
+            engine = "optimal" if small else "scanline"
+        if engine == "optimal":
+            rects = partition_rectilinear(shape.polygon)
+        else:
+            rects = scanline_partition(
+                shape.inside, shape.grid, merge_tolerance=self.merge_tolerance
+            )
+        self._last_extra = {"engine": engine, "rectangles": len(rects)}
+        return rects

@@ -1,0 +1,124 @@
+"""Heuristic shot-count bounds (stand-in for the ILP bounds of [16]).
+
+The benchmarking work computes lower/upper bounds with an ILP that ran
+for 12 hours on eight cores; Table 2 normalizes every heuristic's shot
+count by the upper bound.  We provide cheap heuristic bounds with the
+same role:
+
+* **Lower bound** — a greedy *witness-pixel* (antirectangle) argument: a
+  set of P_on pixels such that no two can be covered by one valid shot.
+  A shot covering a P_off pixel at depth ≥ δ from all four shot edges
+  overdoses it (its intensity is at least ``edge_profile(δ)²`` ≥ ρ for
+  δ ≈ 0.4 σ), so a pair of P_on pixels is *uncoverable* when every
+  placement of a shot containing both traps some P_off pixel that deep.
+  Every fracturing solution needs one distinct shot per witness.
+* **Upper bound** — the best feasible shot count over the provided
+  method results (the paper's UB plays the same aggregator role).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.special import erfinv
+
+from repro.fracture.base import FractureResult
+from repro.geometry.rect import Rect
+from repro.geometry.sat import SummedAreaTable
+from repro.mask.constraints import FractureSpec
+from repro.mask.shape import MaskShape
+
+#: Slide positions probed per axis when testing pair coverability.
+_SLIDES = 5
+
+
+def overdose_depth(spec: FractureSpec) -> float:
+    """Depth inside a shot at which any pixel is provably printed.
+
+    A pixel at depth δ from all four edges of a shot receives at least
+    ``(0.5 (1 + erf(δ/σ)))²``; solving for ρ gives the depth beyond which
+    covering a P_off pixel is always a violation.
+    """
+    target = float(np.sqrt(spec.rho))
+    return spec.sigma * float(erfinv(2.0 * target - 1.0))
+
+
+def lower_bound_shots(
+    shape: MaskShape,
+    spec: FractureSpec,
+    sample_step: int = 4,
+) -> int:
+    """Greedy antirectangle lower bound (see module docstring).
+
+    The greedy witness set depends on the scan order, so several sweep
+    directions are tried and the largest witness set wins — every
+    pairwise-uncoverable set is a valid bound.
+    """
+    pixels = shape.pixels(spec.gamma)
+    ys_all, xs_all = np.nonzero(pixels.on)
+    if len(ys_all) == 0:
+        return 0
+    grid = shape.grid
+    off_sat = SummedAreaTable(pixels.off.astype(np.float64), grid)
+    depth = overdose_depth(spec) + grid.pitch
+    orderings = (
+        np.lexsort((xs_all, ys_all)),
+        np.lexsort((xs_all, ys_all))[::-1],
+        np.lexsort((ys_all, xs_all)),
+        np.lexsort((ys_all, xs_all))[::-1],
+    )
+    best = 1
+    for order in orderings:
+        ys, xs = ys_all[order][::sample_step], xs_all[order][::sample_step]
+        witnesses: list[tuple[float, float]] = []
+        for iy, ix in zip(ys, xs):
+            px = grid.x0 + (ix + 0.5) * grid.pitch
+            py = grid.y0 + (iy + 0.5) * grid.pitch
+            if all(
+                not _pair_coverable(off_sat, spec, depth, (px, py), w)
+                for w in witnesses
+            ):
+                witnesses.append((px, py))
+        best = max(best, len(witnesses))
+    return best
+
+
+def _pair_coverable(
+    off_sat: SummedAreaTable,
+    spec: FractureSpec,
+    depth: float,
+    a: tuple[float, float],
+    b: tuple[float, float],
+) -> bool:
+    """Can one valid shot cover both points?
+
+    Any shot containing both points contains a translate of their
+    minimal bounding box (grown to L_min); the pair is declared
+    uncoverable only when every probed slide position of that box traps
+    a P_off pixel deeper than the overdose depth — which is sound up to
+    the finite slide sampling.
+    """
+    x_lo, x_hi = sorted((a[0], b[0]))
+    y_lo, y_hi = sorted((a[1], b[1]))
+    width = max(x_hi - x_lo, spec.lmin)
+    height = max(y_hi - y_lo, spec.lmin)
+    x_slack = width - (x_hi - x_lo)
+    y_slack = height - (y_hi - y_lo)
+    for fx in np.linspace(0.0, 1.0, _SLIDES):
+        for fy in np.linspace(0.0, 1.0, _SLIDES):
+            x_start = x_hi - width + fx * x_slack if x_slack > 0 else x_lo
+            y_start = y_hi - height + fy * y_slack if y_slack > 0 else y_lo
+            core = Rect(
+                x_start + depth,
+                y_start + depth,
+                max(x_start + width - depth, x_start + depth),
+                max(y_start + height - depth, y_start + depth),
+            )
+            if off_sat.rect_sum(core) == 0.0:
+                return True
+    return False
+
+
+def upper_bound_shots(results: list[FractureResult]) -> int | None:
+    """Best feasible shot count across method results (None if all fail)."""
+    feasible = [r.shot_count for r in results if r.feasible]
+    return min(feasible) if feasible else None

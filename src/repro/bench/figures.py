@@ -1,0 +1,192 @@
+"""Regenerate the paper's illustrative figures from algorithm internals.
+
+Figures 1–5 of the paper are explanatory drawings; each function here
+produces the corresponding SVG from the *actual* data structures of this
+implementation, so the figures double as debugging views:
+
+* Figure 1 — RDP boundary approximation + extracted shot corner points.
+* Figure 2 — corner rounding of a single shot and the L_th definition.
+* Figure 3 — graph-coloring approximate fracturing, step by step.
+* Figure 4 — a degenerate color class: minimum-size shot extended to the
+  opposite target boundary.
+* Figure 5 — mergeable vs non-mergeable aligned shot pairs.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.shapes import ilt_suite
+from repro.ebeam.corner import compute_lth, corner_rounding_contour
+from repro.ebeam.intensity_map import IntensityMap
+from repro.fracture.corner_points import extract_corner_points
+from repro.fracture.graph_color import GraphBuildConfig, build_compatibility_graph
+from repro.fracture.placement import shot_from_class
+from repro.geometry.polygon import Polygon
+from repro.geometry.raster import PixelGrid
+from repro.geometry.rdp import rdp_simplify
+from repro.geometry.rect import Rect
+from repro.graphlib.clique_cover import clique_partition
+from repro.mask.constraints import FractureSpec
+from repro.mask.shape import MaskShape
+from repro.viz.render import PALETTE, canvas_for_shape, draw_target, intensity_contour
+from repro.viz.svg import SvgCanvas
+
+_TYPE_COLORS = {
+    "bl": "#4477aa",
+    "br": "#ee6677",
+    "tl": "#228833",
+    "tr": "#aa3377",
+}
+
+
+def _demo_shape(spec: FractureSpec) -> MaskShape:
+    """A small ILT clip used by the boundary-processing figures."""
+    return ilt_suite()[0]
+
+
+def figure1(spec: FractureSpec = FractureSpec()) -> str:
+    """RDP approximation (dashed) and typed shot corner points."""
+    shape = _demo_shape(spec)
+    simplified = rdp_simplify(shape.polygon, spec.gamma)
+    corner_points = extract_corner_points(simplified, spec.lth)
+    canvas = canvas_for_shape(shape, scale=2.5)
+    draw_target(canvas, shape)
+    pts = [(p.x, p.y) for p in simplified.vertices]
+    canvas.polyline(pts + [pts[0]], stroke="#cc3311", stroke_width=1.5, dash="6,3")
+    for scp in corner_points:
+        canvas.circle(
+            scp.point.x, scp.point.y, radius_px=3.5,
+            fill=_TYPE_COLORS[scp.ctype.value],
+        )
+    bbox = shape.polygon.bounding_box()
+    canvas.text(
+        bbox.xbl, bbox.ytr + 14.0,
+        f"Fig.1: RDP ({len(shape.polygon)}->{len(simplified)} vertices), "
+        f"{len(corner_points)} corner points",
+        size_px=13.0,
+    )
+    return canvas.to_string()
+
+
+def figure2(spec: FractureSpec = FractureSpec()) -> str:
+    """Corner rounding of one shot and the longest 45° chord L_th."""
+    shot = Rect(0.0, 0.0, 60.0, 60.0)
+    grid = PixelGrid(-25.0, -25.0, spec.pitch, 110, 110)
+    imap = IntensityMap(grid, spec.sigma)
+    imap.add(shot)
+    canvas = SvgCanvas(-25.0, -25.0, 85.0, 85.0, scale=5.0)
+    canvas.rect(shot.xbl, shot.ybl, shot.xtr, shot.ytr, stroke="#555555", dash="4,3")
+    for seg in intensity_contour(imap.total, grid, spec.rho):
+        canvas.polyline(seg, stroke="#4477aa", stroke_width=1.6)
+    # The 45° chord the rounded corner writes (anchored at the bottom-left
+    # corner region): offset so the chord is tangent to the ρ-contour.
+    lth = compute_lth(spec.sigma, spec.gamma, spec.rho)
+    contour = corner_rounding_contour(spec.sigma, spec.rho)
+    mid = contour[len(contour) // 2]
+    c = mid[0] + mid[1]
+    half = lth / 2.0
+    x_mid = c / 2.0
+    canvas.line(
+        x_mid - half / math.sqrt(2.0), c - (x_mid - half / math.sqrt(2.0)),
+        x_mid + half / math.sqrt(2.0), c - (x_mid + half / math.sqrt(2.0)),
+        stroke="#cc3311", stroke_width=2.0,
+    )
+    canvas.text(-20.0, 78.0, f"Fig.2: corner rounding, Lth = {lth:.1f} nm", size_px=13.0)
+    return canvas.to_string()
+
+
+def figure3(spec: FractureSpec = FractureSpec()) -> str:
+    """Corner points colored by clique, with the resulting initial shots."""
+    shape = _demo_shape(spec)
+    config = GraphBuildConfig()
+    simplified = rdp_simplify(shape.polygon, spec.gamma)
+    corner_points = extract_corner_points(simplified, spec.lth)
+    graph = build_compatibility_graph(corner_points, shape, spec, config)
+    cliques = clique_partition(graph, strategy=config.coloring_strategy)
+    canvas = canvas_for_shape(shape, scale=2.5)
+    draw_target(canvas, shape)
+    for index, clique in enumerate(cliques):
+        color = PALETTE[index % len(PALETTE)]
+        shot = shot_from_class([corner_points[v] for v in clique], shape, spec.lmin)
+        if shot is not None:
+            canvas.rect(
+                shot.xbl, shot.ybl, shot.xtr, shot.ytr,
+                fill=color, stroke=color, opacity=0.20, stroke_width=1.2,
+            )
+        for v in clique:
+            p = corner_points[v].point
+            canvas.circle(p.x, p.y, radius_px=3.5, fill=color)
+    bbox = shape.polygon.bounding_box()
+    canvas.text(
+        bbox.xbl, bbox.ytr + 14.0,
+        f"Fig.3: {graph.n} corner points, {graph.edge_count()} edges, "
+        f"{len(cliques)} cliques = shots",
+        size_px=13.0,
+    )
+    return canvas.to_string()
+
+
+def figure4(spec: FractureSpec = FractureSpec()) -> str:
+    """Min-size shot from two same-color top corners, extended downward."""
+    polygon = Polygon([(0, 0), (120, 0), (120, 70), (0, 70)])
+    shape = MaskShape.from_polygon(polygon, margin=30.0, name="fig4")
+    from repro.fracture.corner_points import CornerType, ShotCornerPoint
+    from repro.geometry.point import Point
+
+    tl = ShotCornerPoint(Point(40.0, 70.0), CornerType.TOP_LEFT)
+    tr = ShotCornerPoint(Point(80.0, 70.0), CornerType.TOP_RIGHT)
+    minimal = Rect(40.0, 70.0 - spec.lmin, 80.0, 70.0)
+    extended = shot_from_class([tl, tr], shape, spec.lmin)
+    canvas = canvas_for_shape(shape, scale=3.0)
+    draw_target(canvas, shape)
+    canvas.rect(*minimal.as_tuple(), stroke="#cc3311", dash="4,3", stroke_width=1.5)
+    if extended is not None:
+        canvas.rect(
+            *extended.as_tuple(), stroke="#4477aa", stroke_width=1.8,
+            fill="#4477aa", opacity=0.15,
+        )
+    for scp in (tl, tr):
+        canvas.circle(scp.point.x, scp.point.y, radius_px=4.0, fill="#228833")
+    canvas.text(0.0, 82.0, "Fig.4: min-size shot (dashed) extended to the "
+                           "opposite boundary (solid)", size_px=12.0)
+    return canvas.to_string()
+
+
+def figure5(spec: FractureSpec = FractureSpec()) -> str:
+    """Aligned shot pairs: one mergeable, one not (too much P_off)."""
+    # Tall target: vertical extension keeps the merged shot inside.
+    tall = Polygon([(0, 0), (50, 0), (50, 120), (0, 120)])
+    # Notched target: merging the two end shots exposes the waist.
+    waist = Polygon(
+        [(70, 0), (120, 0), (120, 120), (70, 120), (70, 80), (85, 80),
+         (85, 40), (70, 40)]
+    )
+    canvas = SvgCanvas(-10.0, -10.0, 135.0, 150.0, scale=3.0)
+    for polygon in (tall, waist):
+        canvas.polygon(
+            [(p.x, p.y) for p in polygon.vertices],
+            fill="#dddddd", stroke="#555555", opacity=0.9,
+        )
+    mergeable = [Rect(2, 2, 48, 50), Rect(3, 70, 47, 118)]
+    for shot in mergeable:
+        canvas.rect(*shot.as_tuple(), stroke="#4477aa", stroke_width=1.5)
+    merged = mergeable[0].union_bbox(mergeable[1])
+    canvas.rect(*merged.as_tuple(), stroke="#228833", dash="5,3", stroke_width=2.0)
+    blocked = [Rect(88, 2, 118, 50), Rect(89, 70, 118, 118)]
+    for shot in blocked:
+        canvas.rect(*shot.as_tuple(), stroke="#cc3311", stroke_width=1.5)
+    canvas.text(-5.0, 135.0, "Fig.5: left pair merges (>90% inside); right pair "
+                             "would expose the notch", size_px=12.0)
+    return canvas.to_string()
+
+
+FIGURES = {1: figure1, 2: figure2, 3: figure3, 4: figure4, 5: figure5}
+
+
+def render_figure(number: int, spec: FractureSpec = FractureSpec()) -> str:
+    try:
+        fn = FIGURES[number]
+    except KeyError:
+        raise ValueError(f"paper has figures 1-5, not {number}") from None
+    return fn(spec)

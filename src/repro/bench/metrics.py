@@ -1,0 +1,71 @@
+"""Solution quality metrics beyond shot count.
+
+Shot count is the paper's headline metric, but mask shops also track how
+a fracturing solution uses the writer: overlap (overlapping shots expose
+resist twice — fine for dose, relevant for charging), sliver counts, the
+spread of shot sizes, and the projected write time.  These metrics feed
+the `compare_methods` example and the ops benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ebeam.writer import VsbWriterModel
+from repro.geometry.rect import Rect, total_union_area
+from repro.mask.constraints import FractureSpec
+from repro.mask.shape import MaskShape
+
+
+@dataclass(frozen=True, slots=True)
+class SolutionMetrics:
+    """Aggregate statistics of one fracturing solution."""
+
+    shot_count: int
+    total_shot_area: float
+    union_area: float
+    target_area: float
+    min_shot_side: float
+    max_shot_side: float
+    sliver_count: int
+    write_time_s: float
+
+    @property
+    def overlap_ratio(self) -> float:
+        """Σ shot areas / union area — 1.0 means no overlap at all."""
+        if self.union_area == 0.0:
+            return 0.0
+        return self.total_shot_area / self.union_area
+
+    @property
+    def coverage_ratio(self) -> float:
+        """Union of shots / target area (>1: shots overhang the target)."""
+        if self.target_area == 0.0:
+            return 0.0
+        return self.union_area / self.target_area
+
+
+def solution_metrics(
+    shots: list[Rect],
+    shape: MaskShape,
+    spec: FractureSpec,
+    writer: VsbWriterModel = VsbWriterModel(),
+) -> SolutionMetrics:
+    """Compute :class:`SolutionMetrics` for a shot list."""
+    if shots:
+        sides = [side for s in shots for side in (s.width, s.height)]
+        min_side = min(sides)
+        max_side = max(sides)
+    else:
+        min_side = max_side = 0.0
+    slivers = sum(1 for s in shots if not s.meets_min_size(spec.lmin - 1e-9))
+    return SolutionMetrics(
+        shot_count=len(shots),
+        total_shot_area=sum(s.area for s in shots),
+        union_area=total_union_area(shots),
+        target_area=shape.area,
+        min_shot_side=min_side,
+        max_shot_side=max_side,
+        sliver_count=slivers,
+        write_time_s=writer.write_time_seconds(len(shots)),
+    )

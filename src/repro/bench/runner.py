@@ -1,0 +1,105 @@
+"""Run fracturing methods over benchmark suites and collect results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.bench.bounds import lower_bound_shots, upper_bound_shots
+from repro.bench.shapes import KnownOptimalShape
+from repro.fracture.base import FractureResult, Fracturer
+from repro.mask.constraints import FractureSpec
+from repro.mask.shape import MaskShape
+
+
+@dataclass(slots=True)
+class ClipResult:
+    """All method results for one clip, plus its bounds/reference."""
+
+    shape_name: str
+    results: dict[str, FractureResult]
+    lower_bound: int | None = None
+    upper_bound: int | None = None
+    optimal: int | None = None
+
+    def normalized_shot_count(self, method: str) -> float | None:
+        """Shot count divided by the normalization reference.
+
+        Table 2 normalizes by the upper bound, Table 3 by the known
+        optimum; whichever is available is used (optimal wins).
+        """
+        reference = self.optimal if self.optimal is not None else self.upper_bound
+        if reference in (None, 0) or method not in self.results:
+            return None
+        return self.results[method].shot_count / reference
+
+
+@dataclass(slots=True)
+class SuiteResult:
+    """Results of a full suite run."""
+
+    clips: list[ClipResult] = field(default_factory=list)
+
+    def methods(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for clip in self.clips:
+            for name in clip.results:
+                seen.setdefault(name)
+        return list(seen)
+
+    def sum_normalized(self, method: str) -> float | None:
+        """Sum of normalized shot counts (the paper's summary row)."""
+        values = [clip.normalized_shot_count(method) for clip in self.clips]
+        if any(v is None for v in values) or not values:
+            return None
+        return float(sum(values))
+
+    def total_shots(self, method: str) -> int:
+        return sum(
+            clip.results[method].shot_count
+            for clip in self.clips
+            if method in clip.results
+        )
+
+    def total_runtime(self, method: str) -> float:
+        return sum(
+            clip.results[method].runtime_s
+            for clip in self.clips
+            if method in clip.results
+        )
+
+
+def run_suite(
+    shapes: Sequence[MaskShape | KnownOptimalShape],
+    fracturers: Sequence[Fracturer],
+    spec: FractureSpec = FractureSpec(),
+    compute_bounds: bool = False,
+    verbose: bool = False,
+) -> SuiteResult:
+    """Fracture every clip with every method.
+
+    ``shapes`` may mix plain :class:`MaskShape` (ILT clips — bounds come
+    from :mod:`repro.bench.bounds` when ``compute_bounds`` is set) and
+    :class:`KnownOptimalShape` (AGB/RGB clips — the construction K is the
+    normalization reference).
+    """
+    suite = SuiteResult()
+    for item in shapes:
+        if isinstance(item, KnownOptimalShape):
+            shape = item.shape
+            optimal = item.optimal_shots
+        else:
+            shape = item
+            optimal = None
+        clip = ClipResult(shape_name=shape.name, results={}, optimal=optimal)
+        for fracturer in fracturers:
+            result = fracturer.fracture(shape, spec)
+            clip.results[fracturer.name] = result
+            if verbose:
+                print(result.summary())
+        if optimal is None:
+            if compute_bounds:
+                clip.lower_bound = lower_bound_shots(shape, spec)
+            clip.upper_bound = upper_bound_shots(list(clip.results.values()))
+        suite.clips.append(clip)
+    return suite

@@ -1,0 +1,82 @@
+"""Plain-text renderings of the paper's Table 2 and Table 3."""
+
+from __future__ import annotations
+
+from repro.bench.runner import SuiteResult
+
+
+def format_table2(suite: SuiteResult, methods: list[str] | None = None) -> str:
+    """Shot count and runtime per ILT clip, LB/UB, normalized-sum row.
+
+    Mirrors paper Table 2: one row per clip, per-method shot count and
+    runtime, and the closing "Sum of Normalized Shot Count wrt Upper
+    Bound" row.
+    """
+    methods = methods or suite.methods()
+    header = ["Clip-ID", "LB/UB"]
+    for m in methods:
+        header += [f"{m} shots", f"{m} time"]
+    rows = [header]
+    for clip in suite.clips:
+        lb = "-" if clip.lower_bound is None else str(clip.lower_bound)
+        ub = "-" if clip.upper_bound is None else str(clip.upper_bound)
+        row = [clip.shape_name, f"{lb}/{ub}"]
+        for m in methods:
+            result = clip.results.get(m)
+            if result is None:
+                row += ["-", "-"]
+            else:
+                fail = "" if result.feasible else f"*{result.report.total_failing}"
+                row += [f"{result.shot_count}{fail}", f"{result.runtime_s:.1f}"]
+        rows.append(row)
+    summary = ["Sum norm.", ""]
+    for m in methods:
+        total = suite.sum_normalized(m)
+        summary += ["-" if total is None else f"{total:.2f}", ""]
+    rows.append(summary)
+    note = "(*N marks N failing pixels — solution not CD-clean)"
+    return _render(rows) + "\n" + note
+
+
+def format_table3(suite: SuiteResult, methods: list[str] | None = None) -> str:
+    """Shot count and runtime per known-optimal clip (AGB/RGB).
+
+    Mirrors paper Table 3: the reference column is the construction
+    optimum and the summary row normalizes by it.
+    """
+    methods = methods or suite.methods()
+    header = ["Clip-ID", "Optimal"]
+    for m in methods:
+        header += [f"{m} shots", f"{m} time"]
+    rows = [header]
+    for clip in suite.clips:
+        row = [clip.shape_name, str(clip.optimal if clip.optimal else "-")]
+        for m in methods:
+            result = clip.results.get(m)
+            if result is None:
+                row += ["-", "-"]
+            else:
+                fail = "" if result.feasible else f"*{result.report.total_failing}"
+                row += [f"{result.shot_count}{fail}", f"{result.runtime_s:.1f}"]
+        rows.append(row)
+    summary = ["Sum norm.", f"{len(suite.clips):.0f}" if suite.clips else "-"]
+    for m in methods:
+        total = suite.sum_normalized(m)
+        summary += ["-" if total is None else f"{total:.2f}", ""]
+    rows.append(summary)
+    note = "(*N marks N failing pixels — solution not CD-clean)"
+    return _render(rows) + "\n" + note
+
+
+def _render(rows: list[list[str]]) -> str:
+    widths = [
+        max(len(row[col]) for row in rows) for col in range(len(rows[0]))
+    ]
+    lines = []
+    for i, row in enumerate(rows):
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+        if i == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

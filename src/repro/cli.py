@@ -1,0 +1,289 @@
+"""Command-line interface: ``mask-fracture`` / ``python -m repro``.
+
+Sub-commands:
+
+* ``fracture`` — fracture a clip file (or a built-in suite clip) with a
+  chosen method, print the result and optionally write the solution
+  JSON and an SVG rendering.
+* ``bench`` — regenerate the paper's Table 2 or Table 3.
+* ``generate`` — write the benchmark suites to clip files.
+* ``figure`` — render one of the paper's Figures 1–5 as SVG.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.baselines import (
+    GreedySetCoverFracturer,
+    MatchingPursuitFracturer,
+    PartitionFracturer,
+    ProtoEdaFracturer,
+)
+from repro.fracture.base import Fracturer
+from repro.fracture.pipeline import ModelBasedFracturer
+from repro.mask.constraints import FractureSpec
+from repro.mask.io import load_clips, save_clips, save_solution
+from repro.mask.shape import MaskShape
+
+_METHODS = {
+    "ours": ModelBasedFracturer,
+    "gsc": GreedySetCoverFracturer,
+    "mp": MatchingPursuitFracturer,
+    "proto-eda": ProtoEdaFracturer,
+    "partition": PartitionFracturer,
+}
+
+
+def _make_fracturer(name: str) -> Fracturer:
+    try:
+        return _METHODS[name]()
+    except KeyError:
+        raise SystemExit(
+            f"unknown method {name!r}; choose from {sorted(_METHODS)}"
+        ) from None
+
+
+def _spec_from_args(args: argparse.Namespace) -> FractureSpec:
+    return FractureSpec(
+        sigma=args.sigma, gamma=args.gamma, pitch=args.pitch,
+        rho=args.rho, lmin=args.lmin,
+    )
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--sigma", type=float, default=6.25, help="proximity sigma (nm)")
+    parser.add_argument("--gamma", type=float, default=2.0, help="CD tolerance (nm)")
+    parser.add_argument("--pitch", type=float, default=1.0, help="pixel size (nm)")
+    parser.add_argument("--rho", type=float, default=0.5, help="print threshold")
+    parser.add_argument("--lmin", type=float, default=10.0, help="min shot size (nm)")
+
+
+def _cmd_fracture(args: argparse.Namespace) -> int:
+    spec = _spec_from_args(args)
+    fracturer = _make_fracturer(args.method)
+    if args.clip_file:
+        clips = load_clips(args.clip_file)
+        if args.clip and args.clip not in clips:
+            raise SystemExit(f"clip {args.clip!r} not in {args.clip_file}")
+        selected = {args.clip: clips[args.clip]} if args.clip else clips
+        shapes = [
+            MaskShape.from_polygon(poly, pitch=spec.pitch,
+                                   margin=spec.grid_margin, name=name)
+            for name, poly in selected.items()
+        ]
+    else:
+        from repro.bench.shapes import ilt_suite
+
+        shapes = [s for s in ilt_suite(spec.pitch) if not args.clip or s.name == args.clip]
+        if not shapes:
+            raise SystemExit(f"no suite clip named {args.clip!r}")
+    for shape in shapes:
+        result = fracturer.fracture(shape, spec)
+        print(result.summary())
+        if args.output:
+            out = Path(args.output)
+            out.mkdir(parents=True, exist_ok=True)
+            save_solution(
+                result.shots, spec, out / f"{shape.name}.solution.json",
+                clip_name=shape.name,
+                metadata={"method": result.method, "runtime_s": result.runtime_s},
+            )
+        if args.svg:
+            from repro.viz.render import render_fracture
+
+            out = Path(args.svg)
+            out.mkdir(parents=True, exist_ok=True)
+            (out / f"{shape.name}.svg").write_text(
+                render_fracture(shape, result.shots)
+            )
+        if args.gds:
+            from repro.mask.gds import write_solution_gds
+
+            out = Path(args.gds)
+            out.mkdir(parents=True, exist_ok=True)
+            write_solution_gds(
+                shape.polygon, result.shots, out / f"{shape.name}.gds",
+                cell_name=shape.name or "CLIP",
+            )
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Re-check a stored solution against its clip, independently."""
+    from repro.mask.constraints import check_solution
+    from repro.mask.io import load_solution
+
+    shots, spec, metadata = load_solution(args.solution)
+    if args.clip_file:
+        clips = load_clips(args.clip_file)
+        name = args.clip or next(iter(clips))
+        if name not in clips:
+            raise SystemExit(f"clip {name!r} not in {args.clip_file}")
+        shape = MaskShape.from_polygon(
+            clips[name], pitch=spec.pitch, margin=spec.grid_margin, name=name
+        )
+    else:
+        from repro.bench.shapes import ilt_suite
+
+        name = args.clip or metadata.get("clip", "")
+        matches = [s for s in ilt_suite(spec.pitch) if s.name == (args.clip or name)]
+        if not matches:
+            raise SystemExit(
+                f"no suite clip named {args.clip!r}; pass --clip-file for "
+                "custom clips"
+            )
+        shape = matches[0]
+    report = check_solution(shots, shape, spec)
+    status = "CD-clean" if report.feasible else (
+        f"{report.total_failing} failing pixels "
+        f"({report.count_on} under, {report.count_off} over), "
+        f"{report.undersize_shots} undersize shots"
+    )
+    print(f"{shape.name}: {len(shots)} shots — {status}")
+    return 0 if report.feasible else 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.runner import run_suite
+    from repro.bench.shapes import agb_suite, ilt_suite, rgb_suite
+    from repro.bench.tables import format_table2, format_table3
+
+    spec = _spec_from_args(args)
+    methods = [_make_fracturer(name) for name in args.methods.split(",")]
+    if args.table == 2:
+        suite = run_suite(
+            ilt_suite(spec.pitch), methods, spec,
+            compute_bounds=True, verbose=not args.quiet,
+        )
+        print(format_table2(suite))
+    else:
+        shapes = agb_suite(spec, spec.pitch) + rgb_suite(spec, spec.pitch)
+        suite = run_suite(shapes, methods, spec, verbose=not args.quiet)
+        print(format_table3(suite))
+    return 0
+
+
+def _cmd_mdp(args: argparse.Namespace) -> int:
+    """Batch fracture a clip file (optionally in parallel processes)."""
+    from repro.mask.mdp import MdpPipeline
+
+    spec = _spec_from_args(args)
+    fracturer = _make_fracturer(args.method)
+    clips = load_clips(args.clip_file)
+    shapes = [
+        MaskShape.from_polygon(poly, pitch=spec.pitch,
+                               margin=spec.grid_margin, name=name)
+        for name, poly in clips.items()
+    ]
+    pipeline = MdpPipeline(fracturer, spec)
+    report = pipeline.run(
+        shapes, output_dir=args.output, workers=args.workers, verbose=True
+    )
+    print(
+        f"batch: {report.total_shots} shots over {len(report.results)} shapes, "
+        f"{report.feasible_count} feasible"
+    )
+    if args.baseline:
+        baseline = MdpPipeline(_make_fracturer(args.baseline), spec).run(shapes)
+        saving = pipeline.projected_saving(baseline, report)
+        print(
+            f"vs {args.baseline}: {saving['shot_reduction']:.1%} fewer shots "
+            f"≈ {saving['mask_cost_saving_fraction']:.1%} mask cost "
+            f"(${saving['mask_set_saving_usd']:,.0f}/mask set)"
+        )
+    return 0 if report.all_feasible else 1
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.bench.shapes import agb_suite, ilt_suite, rgb_suite
+
+    spec = _spec_from_args(args)
+    out = Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    ilt = {s.name: s.polygon for s in ilt_suite(spec.pitch)}
+    save_clips(ilt, out / "ilt_suite.clips.json")
+    known = {
+        ko.shape.name: ko.shape.polygon
+        for ko in agb_suite(spec, spec.pitch) + rgb_suite(spec, spec.pitch)
+    }
+    save_clips(known, out / "known_optimal.clips.json")
+    print(f"wrote {len(ilt)} ILT clips and {len(known)} known-optimal clips to {out}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    from repro.bench.figures import render_figure
+
+    spec = _spec_from_args(args)
+    svg = render_figure(args.number, spec)
+    out = Path(args.output or f"figure{args.number}.svg")
+    out.write_text(svg)
+    print(f"wrote {out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mask-fracture",
+        description="Model-based mask fracturing (DAC 2015 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fracture = sub.add_parser("fracture", help="fracture clips")
+    p_fracture.add_argument("--method", default="ours", help=str(sorted(_METHODS)))
+    p_fracture.add_argument("--clip-file", help="clip JSON (default: built-in ILT suite)")
+    p_fracture.add_argument("--clip", help="single clip name")
+    p_fracture.add_argument("--output", help="directory for solution JSON files")
+    p_fracture.add_argument("--svg", help="directory for SVG renderings")
+    p_fracture.add_argument("--gds", help="directory for GDSII solution files")
+    _add_spec_arguments(p_fracture)
+    p_fracture.set_defaults(func=_cmd_fracture)
+
+    p_verify = sub.add_parser("verify", help="re-check a stored solution")
+    p_verify.add_argument("solution", help="solution JSON file")
+    p_verify.add_argument("--clip-file", help="clip JSON (default: built-in suite)")
+    p_verify.add_argument("--clip", help="clip name inside the clip file/suite")
+    p_verify.set_defaults(func=_cmd_verify)
+
+    p_bench = sub.add_parser("bench", help="regenerate a paper table")
+    p_bench.add_argument("--table", type=int, choices=(2, 3), required=True)
+    p_bench.add_argument(
+        "--methods", default="gsc,mp,proto-eda,ours",
+        help="comma-separated method list",
+    )
+    p_bench.add_argument("--quiet", action="store_true")
+    _add_spec_arguments(p_bench)
+    p_bench.set_defaults(func=_cmd_bench)
+
+    p_mdp = sub.add_parser("mdp", help="batch fracture a clip file")
+    p_mdp.add_argument("clip_file", help="clip JSON file")
+    p_mdp.add_argument("--method", default="ours")
+    p_mdp.add_argument("--baseline", help="compare economics against this method")
+    p_mdp.add_argument("--workers", type=int, default=1)
+    p_mdp.add_argument("--output", help="directory for solution JSON files")
+    _add_spec_arguments(p_mdp)
+    p_mdp.set_defaults(func=_cmd_mdp)
+
+    p_generate = sub.add_parser("generate", help="write benchmark clip files")
+    p_generate.add_argument("--output", default="clips")
+    _add_spec_arguments(p_generate)
+    p_generate.set_defaults(func=_cmd_generate)
+
+    p_figure = sub.add_parser("figure", help="render a paper figure as SVG")
+    p_figure.add_argument("number", type=int, choices=range(1, 6))
+    p_figure.add_argument("--output")
+    _add_spec_arguments(p_figure)
+    p_figure.set_defaults(func=_cmd_figure)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

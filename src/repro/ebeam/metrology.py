@@ -1,0 +1,169 @@
+"""Contour metrology: CD and edge-placement measurement of solutions.
+
+CD-SEM style verification of a fracturing solution: cast horizontal or
+vertical cutlines across the shape, find where the printed intensity
+crosses the threshold ρ (sub-pixel, by linear interpolation), and
+compare the printed critical dimension (CD) and edge positions against
+the drawn target.  This is the measurement view of the γ tolerance: a
+solution is in spec when every printed edge lies within γ of its drawn
+position (equivalent, up to sampling, to the Eq. 4 pixel constraints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ebeam.intensity_map import IntensityMap
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.mask.constraints import FractureSpec
+from repro.mask.shape import MaskShape
+
+
+@dataclass(frozen=True, slots=True)
+class CutlineMeasurement:
+    """Printed vs drawn segments along one cutline."""
+
+    position: float  # the cutline's fixed coordinate (nm)
+    orientation: str  # "h" (varying x) or "v" (varying y)
+    printed: tuple[tuple[float, float], ...]  # threshold-crossing intervals
+    drawn: tuple[tuple[float, float], ...]  # target mask intervals
+
+    @property
+    def printed_cd(self) -> float:
+        """Width of the widest printed segment (0 if nothing prints)."""
+        return max((hi - lo for lo, hi in self.printed), default=0.0)
+
+    @property
+    def drawn_cd(self) -> float:
+        return max((hi - lo for lo, hi in self.drawn), default=0.0)
+
+    @property
+    def cd_error(self) -> float:
+        return self.printed_cd - self.drawn_cd
+
+    def worst_edge_error(self) -> float:
+        """Largest |printed edge − nearest drawn edge| on this cutline."""
+        drawn_edges = [e for seg in self.drawn for e in seg]
+        printed_edges = [e for seg in self.printed for e in seg]
+        if not drawn_edges or not printed_edges:
+            return float("inf") if drawn_edges != printed_edges else 0.0
+        return max(
+            min(abs(p - d) for d in drawn_edges) for p in printed_edges
+        )
+
+
+def _crossings(values: np.ndarray, coords: np.ndarray, level: float) -> list[tuple[float, float]]:
+    """Sub-pixel intervals where ``values >= level`` along ``coords``."""
+    above = values >= level
+    intervals: list[tuple[float, float]] = []
+    start: float | None = None
+    for i in range(len(values)):
+        if above[i] and start is None:
+            if i == 0:
+                start = float(coords[0])
+            else:
+                t = (level - values[i - 1]) / (values[i] - values[i - 1])
+                start = float(coords[i - 1] + t * (coords[i] - coords[i - 1]))
+        elif not above[i] and start is not None:
+            t = (level - values[i - 1]) / (values[i] - values[i - 1])
+            end = float(coords[i - 1] + t * (coords[i] - coords[i - 1]))
+            intervals.append((start, end))
+            start = None
+    if start is not None:
+        intervals.append((start, float(coords[-1])))
+    return intervals
+
+
+def _mask_intervals(row: np.ndarray, coords: np.ndarray, pitch: float) -> list[tuple[float, float]]:
+    """Drawn intervals from a boolean mask row (cell-edge resolution)."""
+    intervals: list[tuple[float, float]] = []
+    start: float | None = None
+    for i in range(len(row)):
+        if row[i] and start is None:
+            start = float(coords[i] - pitch / 2.0)
+        elif not row[i] and start is not None:
+            intervals.append((start, float(coords[i - 1] + pitch / 2.0)))
+            start = None
+    if start is not None:
+        intervals.append((start, float(coords[-1] + pitch / 2.0)))
+    return intervals
+
+
+def measure_cutline(
+    shots: list[Rect],
+    shape: MaskShape,
+    spec: FractureSpec,
+    position: float,
+    orientation: str = "h",
+    intensity: np.ndarray | None = None,
+) -> CutlineMeasurement:
+    """Measure one cutline (``orientation`` "h": y=position; "v": x=position)."""
+    if orientation not in ("h", "v"):
+        raise ValueError("orientation must be 'h' or 'v'")
+    if intensity is None:
+        imap = IntensityMap(shape.grid, spec.sigma)
+        for shot in shots:
+            imap.add(shot)
+        intensity = imap.total
+    grid = shape.grid
+    if orientation == "h":
+        iy, _ = grid.index_of(Point(grid.x0, position))
+        values = intensity[iy, :]
+        row = shape.inside[iy, :]
+        coords = grid.x_centers()
+    else:
+        _, ix = grid.index_of(Point(position, grid.y0))
+        values = intensity[:, ix]
+        row = shape.inside[:, ix]
+        coords = grid.y_centers()
+    return CutlineMeasurement(
+        position=position,
+        orientation=orientation,
+        printed=tuple(_crossings(values, coords, spec.rho)),
+        drawn=tuple(_mask_intervals(row, coords, grid.pitch)),
+    )
+
+
+def epe_report(
+    shots: list[Rect],
+    shape: MaskShape,
+    spec: FractureSpec,
+    cutlines: int = 9,
+) -> dict[str, float]:
+    """Edge-placement summary over evenly spaced h+v cutlines.
+
+    Returns the worst and mean edge error and CD error across cutlines
+    that intersect the target.  A CD-clean solution (Eq. 4) keeps the
+    worst edge error within ~γ + one pixel of sampling slack.
+    """
+    imap = IntensityMap(shape.grid, spec.sigma)
+    for shot in shots:
+        imap.add(shot)
+    bbox = shape.polygon.bounding_box()
+    edge_errors: list[float] = []
+    cd_errors: list[float] = []
+    for orientation, lo, hi in (
+        ("h", bbox.ybl, bbox.ytr),
+        ("v", bbox.xbl, bbox.xtr),
+    ):
+        for position in np.linspace(lo, hi, cutlines + 2)[1:-1]:
+            cut = measure_cutline(
+                shots, shape, spec, float(position), orientation, imap.total
+            )
+            if not cut.drawn:
+                continue
+            error = cut.worst_edge_error()
+            if np.isfinite(error):
+                edge_errors.append(error)
+                cd_errors.append(abs(cut.cd_error))
+    if not edge_errors:
+        return {"worst_epe": float("inf"), "mean_epe": float("inf"),
+                "worst_cd_error": float("inf")}
+    return {
+        "worst_epe": float(max(edge_errors)),
+        "mean_epe": float(np.mean(edge_errors)),
+        "worst_cd_error": float(max(cd_errors)),
+    }

@@ -1,0 +1,132 @@
+"""Double-Gaussian point spread function (forward + backscatter).
+
+The paper's model (Eq. 2) keeps only the forward-scattering Gaussian —
+appropriate for shot-level fracturing, where the backscattered dose is a
+slowly varying background.  This module provides the standard two-term
+e-beam PSF used by proximity-effect correction,
+
+    PSF(r) = 1/(1+η) · [ g(r; σ_f) + η · g(r; β) ],
+
+with forward range ``σ_f`` (nanometres), backscatter range ``β``
+(micrometres at mask scale) and backscatter ratio ``η``.  Because β is
+orders of magnitude larger than a clip, the backscatter term is computed
+as a Gaussian blur of the exposed-area density rather than per shot —
+the usual PEC approximation.
+
+It answers the question the fixed-σ model cannot: *how much dose margin
+does a fracturing solution keep once pattern-density backscatter shifts
+the effective threshold?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.ndimage import gaussian_filter
+
+from repro.ebeam.intensity_map import IntensityMap
+from repro.geometry.raster import PixelGrid, rasterize_rect
+from repro.geometry.rect import Rect
+from repro.mask.constraints import FractureSpec
+from repro.mask.shape import MaskShape
+
+
+@dataclass(frozen=True, slots=True)
+class DoubleGaussianPsf:
+    """Two-Gaussian PSF parameters.
+
+    Defaults: σ_f = 6.25 nm (the paper's forward range), β = 2 µm and
+    η = 0.5 — representative 50 kV mask-writer values.
+    """
+
+    sigma_forward: float = 6.25
+    beta: float = 2000.0
+    eta: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.sigma_forward <= 0.0 or self.beta <= 0.0:
+            raise ValueError("scattering ranges must be positive")
+        if self.eta < 0.0:
+            raise ValueError("backscatter ratio must be non-negative")
+        if self.beta <= self.sigma_forward:
+            raise ValueError("backscatter range must exceed the forward range")
+
+
+class DoubleGaussianExposure:
+    """Exposure simulation under the two-term PSF."""
+
+    def __init__(self, grid: PixelGrid, psf: DoubleGaussianPsf = DoubleGaussianPsf()):
+        self.grid = grid
+        self.psf = psf
+
+    def forward(self, shots: list[Rect]) -> np.ndarray:
+        imap = IntensityMap(self.grid, self.psf.sigma_forward)
+        for shot in shots:
+            imap.add(shot)
+        return imap.total.copy()
+
+    def coverage(self, shots: list[Rect]) -> np.ndarray:
+        """Exposure multiplicity per pixel (overlaps count double)."""
+        total = np.zeros(self.grid.shape)
+        for shot in shots:
+            total += rasterize_rect(shot, self.grid)
+        return total
+
+    def backscatter(self, shots: list[Rect]) -> np.ndarray:
+        """Slowly varying backscatter dose: blurred exposure density.
+
+        The β-Gaussian blur of the coverage map; for clip-sized windows
+        (≪ β) this is nearly uniform and equals η × (local density)
+        after normalization.
+        """
+        sigma_px = self.psf.beta / (np.sqrt(2.0) * self.grid.pitch)
+        return gaussian_filter(self.coverage(shots), sigma_px, mode="constant")
+
+    def total(self, shots: list[Rect]) -> np.ndarray:
+        """Normalized double-Gaussian exposure (η = 0 → paper's model)."""
+        eta = self.psf.eta
+        combined = self.forward(shots) + eta * self.backscatter(shots)
+        return combined / (1.0 + eta)
+
+
+def dose_margin(
+    shots: list[Rect],
+    shape: MaskShape,
+    spec: FractureSpec,
+    psf: DoubleGaussianPsf = DoubleGaussianPsf(),
+) -> dict[str, float]:
+    """Worst-case dose margins of a solution under the two-term PSF.
+
+    Returns the minimum margin above threshold on P_on and below
+    threshold on P_off, both under the forward-only model and under the
+    full PSF.  Shrinking margins quantify how much headroom pattern
+    density consumes — the motivation for dose correction flows.
+    """
+    exposure = DoubleGaussianExposure(shape.grid, psf)
+    pixels = shape.pixels(spec.gamma)
+    forward = exposure.forward(shots)
+    full = exposure.total(shots)
+    out: dict[str, float] = {}
+    for label, field in (("forward", forward), ("full", full)):
+        on_vals = field[pixels.on]
+        off_vals = field[pixels.off]
+        out[f"{label}_on_margin"] = float(
+            on_vals.min() - spec.rho if len(on_vals) else np.inf
+        )
+        out[f"{label}_off_margin"] = float(
+            spec.rho - off_vals.max() if len(off_vals) else np.inf
+        )
+    return out
+
+
+def effective_threshold_shift(psf: DoubleGaussianPsf, density: float) -> float:
+    """Threshold shift caused by uniform backscatter at a pattern density.
+
+    With a locally uniform density ``d`` the backscatter adds
+    ``η·d/(1+η)`` everywhere, which is equivalent to lowering the print
+    threshold by that amount — the classic PEC rule of thumb.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise ValueError("pattern density must be in [0, 1]")
+    return psf.eta * density / (1.0 + psf.eta)

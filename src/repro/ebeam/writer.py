@@ -1,0 +1,75 @@
+"""Variable-shaped-beam (VSB) mask writer time and throughput model.
+
+The economic argument of the paper (§1) rests on two proportionalities:
+mask write time is proportional to shot count [3, 4], and mask write is
+roughly 20 % of mask manufacturing cost [4], so a 10 % shot-count
+reduction buys ≈ 2 % mask cost.  This module provides the write-time side;
+:mod:`repro.mask.cost` converts write time into cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True, slots=True)
+class VsbWriterModel:
+    """First-order VSB writer throughput model.
+
+    ``shot_cycle_us`` is the per-shot flash + settle time; ``stage_overhead``
+    is a fixed fraction of total time spent on stage moves, subfield
+    stitching and calibration.  Defaults give the "more than two days for
+    critical masks" regime of [2] at ~10^10 shots.
+    """
+
+    shot_cycle_us: float = 15.0
+    stage_overhead: float = 0.25
+    max_shot_size_nm: float = 2000.0
+
+    def __post_init__(self) -> None:
+        if self.shot_cycle_us <= 0.0:
+            raise ValueError("shot cycle time must be positive")
+        if not 0.0 <= self.stage_overhead < 1.0:
+            raise ValueError("stage overhead must be in [0, 1)")
+
+    def write_time_seconds(self, shot_count: int) -> float:
+        """Total write time for ``shot_count`` shots."""
+        if shot_count < 0:
+            raise ValueError("shot count must be non-negative")
+        beam_time = shot_count * self.shot_cycle_us * 1e-6
+        return beam_time / (1.0 - self.stage_overhead)
+
+    def write_time_hours(self, shot_count: int) -> float:
+        return self.write_time_seconds(shot_count) / 3600.0
+
+    def validate_shots(self, shots: Iterable[Rect], lmin: float) -> list[str]:
+        """Machine-constraint check: min and max shot dimensions.
+
+        Returns a list of human-readable violations (empty = writable).
+        """
+        problems = []
+        for i, shot in enumerate(shots):
+            if not shot.meets_min_size(lmin):
+                problems.append(
+                    f"shot {i} is {shot.width:.1f}x{shot.height:.1f} nm, "
+                    f"below Lmin={lmin:.1f} nm"
+                )
+            if shot.width > self.max_shot_size_nm or shot.height > self.max_shot_size_nm:
+                problems.append(
+                    f"shot {i} is {shot.width:.1f}x{shot.height:.1f} nm, "
+                    f"above the {self.max_shot_size_nm:.0f} nm aperture limit"
+                )
+        return problems
+
+    def full_mask_estimate(
+        self, shots_per_shape: float, shape_count: float
+    ) -> float:
+        """Extrapolate clip-level results to a full-field mask (hours).
+
+        A mask contains billions of polygons (paper §2); this scales the
+        average per-shape shot count to a full mask write time.
+        """
+        return self.write_time_hours(int(shots_per_shape * shape_count))

@@ -1,0 +1,89 @@
+"""Shot addition and removal (paper §4.3 / §4.4).
+
+AddShot: merge neighbouring failing P_on pixels into connected
+components, expand each component's bounding box to the minimum shot
+size, and add the box covering the most failing pixels.  One shot per
+refinement iteration.
+
+RemoveShot: pick the shot with the most failing P_off pixels within
+distance σ of it — the shot's own intensity exceeds 0.5 inside that
+band, so removing it likely clears those violations (at the price of new
+P_on violations that later iterations repair).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fracture.state import RefinementState
+from repro.geometry.labeling import bounding_boxes, label_components
+from repro.geometry.rect import Rect
+from repro.mask.constraints import FailureReport
+
+
+def add_shot(state: RefinementState, report: FailureReport) -> Rect | None:
+    """Add one shot over the worst cluster of failing P_on pixels."""
+    fail_on = report.fail_on
+    if not fail_on.any():
+        return None
+    labels, count = label_components(fail_on)
+    boxes = bounding_boxes(labels, count, state.shape.grid)
+    if not boxes:
+        return None
+    lmin = state.spec.lmin
+    best_shot: Rect | None = None
+    best_covered = -1
+    for box, _pixel_count in boxes:
+        shot = _expand_to_min_size(box, lmin)
+        covered = _covered_failing(fail_on, shot, state)
+        if covered > best_covered:
+            best_covered = covered
+            best_shot = shot
+    if best_shot is None:
+        return None
+    state.add_shot(best_shot)
+    return best_shot
+
+
+def remove_shot(state: RefinementState, report: FailureReport) -> Rect | None:
+    """Remove the shot blamed for the most nearby failing P_off pixels."""
+    if not state.shots:
+        return None
+    fail_off = report.fail_off
+    ys, xs = np.nonzero(fail_off)
+    if len(ys) == 0:
+        return None
+    grid = state.shape.grid
+    px = grid.x0 + (xs + 0.5) * grid.pitch
+    py = grid.y0 + (ys + 0.5) * grid.pitch
+    sigma = state.spec.sigma
+    best_index = 0
+    best_count = -1
+    for index, shot in enumerate(state.shots):
+        dx = np.maximum(np.maximum(shot.xbl - px, px - shot.xtr), 0.0)
+        dy = np.maximum(np.maximum(shot.ybl - py, py - shot.ytr), 0.0)
+        count = int(((dx * dx + dy * dy) < sigma * sigma).sum())
+        if count > best_count:
+            best_count = count
+            best_index = index
+    return state.remove_shot(best_index)
+
+
+def _expand_to_min_size(box: Rect, lmin: float) -> Rect:
+    """Grow a bounding box symmetrically to the minimum shot size."""
+    xbl, ybl, xtr, ytr = box.as_tuple()
+    if box.width < lmin:
+        cx = (xbl + xtr) / 2.0
+        xbl, xtr = cx - lmin / 2.0, cx + lmin / 2.0
+    if box.height < lmin:
+        cy = (ybl + ytr) / 2.0
+        ybl, ytr = cy - lmin / 2.0, cy + lmin / 2.0
+    return Rect(xbl, ybl, xtr, ytr)
+
+
+def _covered_failing(
+    fail_on: np.ndarray, shot: Rect, state: RefinementState
+) -> int:
+    """Failing P_on pixels whose centres the candidate shot covers."""
+    window = state.shape.grid.rect_to_slices(shot)
+    return int(fail_on[window].sum())

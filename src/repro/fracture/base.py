@@ -1,0 +1,73 @@
+"""Common interface shared by the proposed method and all baselines."""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.geometry.rect import Rect
+from repro.mask.constraints import FailureReport, FractureSpec, check_solution
+from repro.mask.shape import MaskShape
+
+
+@dataclass(slots=True)
+class FractureResult:
+    """Outcome of fracturing one target shape.
+
+    ``shots`` is the e-beam shot list; ``report`` the authoritative
+    feasibility verdict (recomputed from scratch, not the fracturer's
+    internal incremental state); ``runtime_s`` the wall time the paper's
+    tables report; ``extra`` free-form per-method diagnostics (iteration
+    counts, initial shot counts, …).
+    """
+
+    method: str
+    shape_name: str
+    shots: list[Rect]
+    runtime_s: float
+    report: FailureReport
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def shot_count(self) -> int:
+        return len(self.shots)
+
+    @property
+    def feasible(self) -> bool:
+        return self.report.feasible
+
+    def summary(self) -> str:
+        status = "ok" if self.feasible else f"{self.report.total_failing} failing px"
+        return (
+            f"{self.method:>12s}  {self.shape_name:<10s}  "
+            f"{self.shot_count:3d} shots  {self.runtime_s:7.2f}s  {status}"
+        )
+
+
+class Fracturer(abc.ABC):
+    """A mask fracturing method: target shape + spec → shot list."""
+
+    #: Short name used in benchmark tables.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def fracture_shots(self, shape: MaskShape, spec: FractureSpec) -> list[Rect]:
+        """Produce the shot list for ``shape``.  Implemented by subclasses."""
+
+    def fracture(self, shape: MaskShape, spec: FractureSpec) -> FractureResult:
+        """Run the method, time it, and verify the result independently."""
+        self._last_extra: dict[str, Any] = {}
+        start = time.perf_counter()
+        shots = self.fracture_shots(shape, spec)
+        runtime = time.perf_counter() - start
+        report = check_solution(shots, shape, spec)
+        return FractureResult(
+            method=self.name,
+            shape_name=shape.name,
+            shots=shots,
+            runtime_s=runtime,
+            report=report,
+            extra=dict(getattr(self, "_last_extra", {})),
+        )

@@ -1,0 +1,227 @@
+"""Shot corner point extraction (paper §3, Fig. 1).
+
+After RDP simplification, the boundary of the target is walked segment by
+segment.  Every point where a shot corner must sit is recorded together
+with its *type* — which corner of a rectangular shot it is:
+
+* a horizontal/vertical segment is written by a single shot edge, so its
+  two endpoints become corner points, pushed ``L_th/√2`` outward *along*
+  the segment so corner rounding does not clip the segment ends;
+* a diagonal segment is written by corner rounding, so corner points are
+  strung along it every ``L_th`` and pushed ``L_th/√2`` perpendicular to
+  it, outside the shape;
+* segments shorter than ``L_th`` are skipped — the rounding of the
+  neighbouring segments' corner points covers them.
+
+Finally, same-type corner points closer than ``L_th`` are clustered.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+
+class CornerType(enum.Enum):
+    """Which corner of a rectangular shot a corner point pins down."""
+
+    BOTTOM_LEFT = "bl"
+    BOTTOM_RIGHT = "br"
+    TOP_LEFT = "tl"
+    TOP_RIGHT = "tr"
+
+    @property
+    def is_left(self) -> bool:
+        return self in (CornerType.BOTTOM_LEFT, CornerType.TOP_LEFT)
+
+    @property
+    def is_bottom(self) -> bool:
+        return self in (CornerType.BOTTOM_LEFT, CornerType.BOTTOM_RIGHT)
+
+    @property
+    def diagonal_opposite(self) -> "CornerType":
+        return {
+            CornerType.BOTTOM_LEFT: CornerType.TOP_RIGHT,
+            CornerType.TOP_RIGHT: CornerType.BOTTOM_LEFT,
+            CornerType.BOTTOM_RIGHT: CornerType.TOP_LEFT,
+            CornerType.TOP_LEFT: CornerType.BOTTOM_RIGHT,
+        }[self]
+
+
+def corner_type_from_normal(nx: float, ny: float) -> CornerType:
+    """Corner type whose rounding matches an outward normal direction.
+
+    A boundary segment with outward normal in, say, the (-x, +y) quadrant
+    is created by the rounding of a *top-left* shot corner.
+    """
+    vertical = "top" if ny > 0.0 else "bottom"
+    horizontal = "left" if nx < 0.0 else "right"
+    return {
+        ("bottom", "left"): CornerType.BOTTOM_LEFT,
+        ("bottom", "right"): CornerType.BOTTOM_RIGHT,
+        ("top", "left"): CornerType.TOP_LEFT,
+        ("top", "right"): CornerType.TOP_RIGHT,
+    }[(vertical, horizontal)]
+
+
+@dataclass(frozen=True, slots=True)
+class ShotCornerPoint:
+    """A required shot corner: location + which corner of the shot it is.
+
+    ``segment_index`` records which boundary segment spawned the point
+    (−1 when synthetic): clustering only merges points from *different*
+    segments, so the evenly spaced series along one diagonal segment is
+    never collapsed, while duplicate corners contributed by two segments
+    meeting at a convex corner are.
+    """
+
+    point: Point
+    ctype: CornerType
+    segment_index: int = -1
+
+    def distance_to(self, other: "ShotCornerPoint") -> float:
+        return self.point.distance_to(other.point)
+
+
+_AXIS_TOL = 1e-9
+
+
+def extract_corner_points(polygon: Polygon, lth: float) -> list[ShotCornerPoint]:
+    """Walk the simplified boundary and emit typed shot corner points.
+
+    ``polygon`` must already be RDP-simplified (``V_M^s``); ``lth`` is the
+    corner-rounding threshold from :func:`repro.ebeam.corner.compute_lth`.
+    The polygon is CCW, so the outward normal of a segment with direction
+    ``d`` is ``(d.y, -d.x)``.
+    """
+    if lth <= 0.0:
+        raise ValueError("lth must be positive")
+    shift = lth / math.sqrt(2.0)
+    points: list[ShotCornerPoint] = []
+    for segment_index, (vk, vk1) in enumerate(polygon.edges()):
+        seg = vk1 - vk
+        length = seg.norm()
+        if length < lth:
+            continue  # neighbouring corner points approximately cover it
+        d = seg * (1.0 / length)
+        n = Point(d.y, -d.x)  # outward normal (interior is on the left)
+        if abs(d.x) <= _AXIS_TOL or abs(d.y) <= _AXIS_TOL:
+            new_points = _axis_segment_points(vk, vk1, d, n, shift)
+        else:
+            new_points = _diagonal_segment_points(vk, vk1, d, n, length, lth, shift)
+        points.extend(
+            ShotCornerPoint(p.point, p.ctype, segment_index) for p in new_points
+        )
+    return cluster_corner_points(points, lth)
+
+
+def _axis_segment_points(
+    vk: Point, vk1: Point, d: Point, n: Point, shift: float
+) -> list[ShotCornerPoint]:
+    """Endpoints of an axis-parallel segment, pushed outward along it."""
+    p_start = vk - d * shift
+    p_end = vk1 + d * shift
+    out: list[ShotCornerPoint] = []
+    if abs(d.x) <= _AXIS_TOL:  # vertical segment: left/right from the normal
+        horizontal = "left" if n.x < 0.0 else "right"
+        for p in (p_start, p_end):
+            vertical = "bottom" if p.y == min(p_start.y, p_end.y) else "top"
+            out.append(ShotCornerPoint(p, _type_of(vertical, horizontal)))
+    else:  # horizontal segment: top/bottom from the normal
+        vertical = "bottom" if n.y < 0.0 else "top"
+        for p in (p_start, p_end):
+            horizontal = "left" if p.x == min(p_start.x, p_end.x) else "right"
+            out.append(ShotCornerPoint(p, _type_of(vertical, horizontal)))
+    return out
+
+
+def _diagonal_segment_points(
+    vk: Point,
+    vk1: Point,
+    d: Point,
+    n: Point,
+    length: float,
+    lth: float,
+    shift: float,
+) -> list[ShotCornerPoint]:
+    """Corner points strung along a diagonal segment every ~1.15 L_th.
+
+    The spacing stays safely above the clustering threshold (1.05 L_th)
+    so a series is never collapsed; refinement absorbs the slightly
+    sparser corner coverage."""
+    ctype = corner_type_from_normal(n.x, n.y)
+    count = max(1, int(length // (1.15 * lth)))
+    spacing = length / count
+    out = []
+    for i in range(count):
+        t = (i + 0.5) * spacing
+        p = vk + d * t + n * shift
+        out.append(ShotCornerPoint(p, ctype))
+    return out
+
+
+def _type_of(vertical: str, horizontal: str) -> CornerType:
+    return {
+        ("bottom", "left"): CornerType.BOTTOM_LEFT,
+        ("bottom", "right"): CornerType.BOTTOM_RIGHT,
+        ("top", "left"): CornerType.TOP_LEFT,
+        ("top", "right"): CornerType.TOP_RIGHT,
+    }[(vertical, horizontal)]
+
+
+def cluster_corner_points(
+    points: list[ShotCornerPoint], lth: float
+) -> list[ShotCornerPoint]:
+    """Merge same-type corner points closer than ``L_th`` (paper §3).
+
+    Single-link clustering per corner type; each cluster is replaced by
+    its centroid.  Keeps the corner point set — the graph's vertex set —
+    small and free of near-duplicates.  Points spawned by the *same*
+    boundary segment never merge: the evenly spaced series along one
+    diagonal segment is intentional, not duplication.
+    """
+    by_type: dict[CornerType, list[ShotCornerPoint]] = {}
+    for scp in points:
+        by_type.setdefault(scp.ctype, []).append(scp)
+    merged: list[ShotCornerPoint] = []
+    for ctype, group in by_type.items():
+        n = len(group)
+        parent = list(range(n))
+
+        def find(a: int) -> int:
+            while parent[a] != a:
+                parent[a] = parent[parent[a]]
+                a = parent[a]
+            return a
+
+        # Two same-type points generated at a common convex corner by the
+        # two incident axis segments sit exactly L_th apart (shift·√2), so
+        # the threshold needs a little slack above L_th.
+        threshold = lth * 1.05
+        for i in range(n):
+            for j in range(i + 1, n):
+                same_segment = (
+                    group[i].segment_index >= 0
+                    and group[i].segment_index == group[j].segment_index
+                )
+                if same_segment:
+                    continue
+                if group[i].distance_to(group[j]) <= threshold:
+                    ri, rj = find(i), find(j)
+                    if ri != rj:
+                        parent[max(ri, rj)] = min(ri, rj)
+        clusters: dict[int, list[Point]] = {}
+        for i in range(n):
+            clusters.setdefault(find(i), []).append(group[i].point)
+        for members in clusters.values():
+            centroid = Point(
+                sum(p.x for p in members) / len(members),
+                sum(p.y for p in members) / len(members),
+            )
+            merged.append(ShotCornerPoint(centroid, ctype))
+    merged.sort(key=lambda scp: (scp.point.x, scp.point.y, scp.ctype.value))
+    return merged

@@ -1,0 +1,127 @@
+"""Greedy shot edge adjustment with 2σ blocking (paper §4.1).
+
+The workhorse of refinement: every shot edge is priced at ±Δp, the
+improving moves are sorted best-first, and accepted greedily.  After a
+move is accepted, no other edge within 2σ of the moved edge may move in
+the same iteration — the paper's anti-cycling rule (shot intensity is
+< 1e-6 beyond 2σ outside a shot, so farther edges are independent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fracture.state import RefinementState
+from repro.geometry.rect import EDGES, Rect
+from repro.mask.constraints import FailureReport
+
+_IMPROVEMENT_EPS = 1e-12
+
+
+@dataclass(frozen=True, slots=True)
+class _Move:
+    delta_cost: float
+    index: int
+    edge: str
+    delta: float
+
+
+def edge_segment(shot: Rect, edge: str) -> Rect:
+    """The shot edge as a degenerate rectangle (for distance tests)."""
+    if edge == "left":
+        return Rect(shot.xbl, shot.ybl, shot.xbl, shot.ytr)
+    if edge == "right":
+        return Rect(shot.xtr, shot.ybl, shot.xtr, shot.ytr)
+    if edge == "bottom":
+        return Rect(shot.xbl, shot.ybl, shot.xtr, shot.ybl)
+    if edge == "top":
+        return Rect(shot.xbl, shot.ytr, shot.xtr, shot.ytr)
+    raise ValueError(f"unknown edge {edge!r}")
+
+
+def greedy_shot_edge_adjustment(
+    state: RefinementState, report: FailureReport | None = None
+) -> int:
+    """One §4.1 pass.  Returns the number of accepted edge moves.
+
+    For each of the four edges of every shot, only the two moves ±Δp are
+    considered; the one with the larger cost reduction enters the
+    candidate list.  Candidates are applied best-first subject to the 2σ
+    blocking rule and a one-move-per-edge-per-iteration rule.
+
+    When the current :class:`FailureReport` is supplied, edges whose
+    influence window contains no failing pixel are skipped outright: a
+    move can only *reduce* cost if its window already has failures
+    (new cost ≥ 0, so Δcost < 0 needs old cost > 0).
+    """
+    pitch = state.spec.pitch
+    fail_counts = _failing_integral(report) if report is not None else None
+    cost_integral = state.cost_integral()
+    moves: list[_Move] = []
+    for index in range(len(state.shots)):
+        shot = state.shots[index]
+        for edge in EDGES:
+            if fail_counts is not None and not _window_has_failures(
+                state, shot, edge, pitch, fail_counts
+            ):
+                continue
+            best: _Move | None = None
+            for delta in (pitch, -pitch):
+                dcost = state.edge_move_delta_cost(
+                    index, edge, delta, cost_integral
+                )
+                if dcost is None or dcost >= -_IMPROVEMENT_EPS:
+                    continue
+                if best is None or dcost < best.delta_cost:
+                    best = _Move(dcost, index, edge, delta)
+            if best is not None:
+                moves.append(best)
+    moves.sort(key=lambda m: m.delta_cost)
+
+    blocked_zones: list[Rect] = []
+    block_margin = 2.0 * state.spec.sigma
+    accepted = 0
+    for move in moves:
+        segment = edge_segment(state.shots[move.index], move.edge)
+        if any(zone.intersects(segment) for zone in blocked_zones):
+            continue
+        if not state.apply_edge_move(move.index, move.edge, move.delta):
+            continue
+        accepted += 1
+        moved_segment = edge_segment(state.shots[move.index], move.edge)
+        blocked_zones.append(moved_segment.expanded(block_margin))
+    return accepted
+
+
+def _failing_integral(report: FailureReport) -> np.ndarray:
+    """2-D prefix sums of the failing-pixel mask, for O(1) window counts."""
+    fail = report.fail_on | report.fail_off
+    counts = np.zeros((fail.shape[0] + 1, fail.shape[1] + 1), dtype=np.int64)
+    np.cumsum(fail, axis=0, out=counts[1:, 1:])
+    np.cumsum(counts[1:, 1:], axis=1, out=counts[1:, 1:])
+    return counts
+
+
+def _window_has_failures(
+    state: RefinementState,
+    shot: Rect,
+    edge: str,
+    pitch: float,
+    fail_counts: np.ndarray,
+) -> bool:
+    """True when either ±Δp move of this edge could touch a failing pixel."""
+    try:
+        grown = shot.moved_edge(edge, pitch if edge in ("right", "top") else -pitch)
+    except ValueError:
+        grown = shot
+    window = state.imap.edge_move_window(shot, grown, edge)
+    ys, xs = window
+    total = (
+        fail_counts[ys.stop, xs.stop]
+        - fail_counts[ys.start, xs.stop]
+        - fail_counts[ys.stop, xs.start]
+        + fail_counts[ys.start, xs.start]
+    )
+    return bool(total > 0)

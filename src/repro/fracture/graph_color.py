@@ -1,0 +1,199 @@
+"""Compatibility graph construction and coloring-based fracturing (paper §3).
+
+Two corner points are *compatible* — connected in ``G(V, E)`` — when a
+single shot could realize both corners: they have different corner types,
+the implied test shot meets the minimum size, and most of the test shot
+(≥ 80 %, footnote 2) overlaps the target.  Every clique of ``G`` is then a
+feasible shot, and minimizing shots over the corner points is minimum
+clique partition, solved greedily by coloring the inverse graph.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.fracture.base import Fracturer
+from repro.fracture.corner_points import (
+    CornerType,
+    ShotCornerPoint,
+    extract_corner_points,
+)
+from repro.fracture.placement import shot_from_class
+from repro.geometry.rdp import rdp_simplify
+from repro.geometry.rect import Rect
+from repro.graphlib.clique_cover import clique_partition
+from repro.graphlib.graph import Graph
+from repro.mask.constraints import FractureSpec
+from repro.mask.shape import MaskShape
+
+
+@dataclass(frozen=True, slots=True)
+class GraphBuildConfig:
+    """Tunables of the §3 construction.
+
+    ``min_overlap`` is the paper's 80 % test-shot overlap rule.
+    ``align_tolerance_factor`` scales L_th into the alignment slack used
+    when pairing two same-side corner points (e.g. bottom-left with
+    top-left): their x coordinates must agree within that slack for a
+    single left shot edge to serve both.
+    """
+
+    min_overlap: float = 0.8
+    align_tolerance_factor: float = 0.5
+    coloring_strategy: str = "largest_first"
+
+
+def pair_test_shot(
+    a: ShotCornerPoint,
+    b: ShotCornerPoint,
+    lmin: float,
+    align_tol: float,
+) -> Rect | None:
+    """The unique (diagonal pair) or minimum-size (side pair) test shot.
+
+    Returns ``None`` when the pair cannot be two corners of one valid
+    shot — same type, wrong relative position, or below minimum size.
+    """
+    if a.ctype == b.ctype:
+        return None
+    if b.ctype == a.ctype.diagonal_opposite:
+        lo, hi = (a, b) if a.ctype.is_left else (b, a)
+        # lo is the *-left corner; for a valid shot it must be left of hi
+        # and on the correct side vertically.
+        dx = hi.point.x - lo.point.x
+        if dx < lmin:
+            return None
+        if lo.ctype.is_bottom:
+            dy = hi.point.y - lo.point.y
+            if dy < lmin:
+                return None
+            return Rect(lo.point.x, lo.point.y, hi.point.x, hi.point.y)
+        dy = lo.point.y - hi.point.y
+        if dy < lmin:
+            return None
+        return Rect(lo.point.x, hi.point.y, hi.point.x, lo.point.y)
+    # Side pair: shares the left/right word or the top/bottom word.
+    if a.ctype.is_left == b.ctype.is_left:
+        # Same vertical shot edge (both left or both right corners).
+        if abs(a.point.x - b.point.x) > align_tol:
+            return None
+        bottom, top = (a, b) if a.ctype.is_bottom else (b, a)
+        height = top.point.y - bottom.point.y
+        if height < lmin:
+            return None
+        x_edge = (a.point.x + b.point.x) / 2.0
+        if a.ctype.is_left:
+            return Rect(x_edge, bottom.point.y, x_edge + lmin, top.point.y)
+        return Rect(x_edge - lmin, bottom.point.y, x_edge, top.point.y)
+    # Same horizontal shot edge (both bottom or both top corners).
+    if abs(a.point.y - b.point.y) > align_tol:
+        return None
+    left, right = (a, b) if a.ctype.is_left else (b, a)
+    width = right.point.x - left.point.x
+    if width < lmin:
+        return None
+    y_edge = (a.point.y + b.point.y) / 2.0
+    if a.ctype.is_bottom:
+        return Rect(left.point.x, y_edge, right.point.x, y_edge + lmin)
+    return Rect(left.point.x, y_edge - lmin, right.point.x, y_edge)
+
+
+def build_compatibility_graph(
+    corner_points: list[ShotCornerPoint],
+    shape: MaskShape,
+    spec: FractureSpec,
+    config: GraphBuildConfig = GraphBuildConfig(),
+) -> Graph:
+    """The graph ``G(V, E)`` of paper §3 over the given corner points."""
+    align_tol = config.align_tolerance_factor * spec.lth
+    graph = Graph(len(corner_points))
+    overhang = spec.lth / math.sqrt(2.0)
+    for i in range(len(corner_points)):
+        for j in range(i + 1, len(corner_points)):
+            shot = pair_test_shot(
+                corner_points[i], corner_points[j], spec.lmin, align_tol
+            )
+            if shot is None:
+                continue
+            core = _overlap_core(
+                shot, overhang, (corner_points[i].ctype, corner_points[j].ctype)
+            )
+            if shape.sat.rect_fraction(core) >= config.min_overlap:
+                graph.add_edge(i, j)
+    return graph
+
+
+def _overlap_core(
+    shot: Rect, overhang: float, ctypes: tuple[CornerType, CornerType]
+) -> Rect:
+    """The part of a test shot that must overlap the target.
+
+    Corner points are pushed ``L_th/√2`` outside the boundary, so a test
+    shot legitimately overhangs the target on every side one of the two
+    corner points pins; the 80 % rule is applied to the shot minus those
+    overhangs.  Sides not pinned by either corner point (the min-size
+    filler edges of side pairs) do not overhang and are not inset.
+    """
+    pins_left = any(c.is_left for c in ctypes)
+    pins_right = any(not c.is_left for c in ctypes)
+    pins_bottom = any(c.is_bottom for c in ctypes)
+    pins_top = any(not c.is_bottom for c in ctypes)
+    max_dx = shot.width / 2.0 * 0.999
+    max_dy = shot.height / 2.0 * 0.999
+    return Rect(
+        shot.xbl + (min(overhang, max_dx) if pins_left else 0.0),
+        shot.ybl + (min(overhang, max_dy) if pins_bottom else 0.0),
+        shot.xtr - (min(overhang, max_dx) if pins_right else 0.0),
+        shot.ytr - (min(overhang, max_dy) if pins_top else 0.0),
+    )
+
+
+class GraphColoringFracturer(Fracturer):
+    """Stage 1 alone: the approximate (possibly CD-violating) fracturing.
+
+    Exposed as a :class:`Fracturer` so the benchmark harness can measure
+    how much work refinement does (the ablation in
+    ``benchmarks/bench_ops.py``); the full method is
+    :class:`repro.fracture.pipeline.ModelBasedFracturer`.
+    """
+
+    name = "GC-INIT"
+
+    def __init__(self, config: GraphBuildConfig = GraphBuildConfig()):
+        self.config = config
+        self._last_extra: dict = {}
+
+    def fracture_shots(self, shape: MaskShape, spec: FractureSpec) -> list[Rect]:
+        shots, diagnostics = approximate_fracture(shape, spec, self.config)
+        self._last_extra = diagnostics
+        return shots
+
+
+def approximate_fracture(
+    shape: MaskShape,
+    spec: FractureSpec,
+    config: GraphBuildConfig = GraphBuildConfig(),
+) -> tuple[list[Rect], dict]:
+    """Full §3 pipeline: RDP → corner points → graph → coloring → shots.
+
+    Returns the initial shot list and a diagnostics dict (vertex counts,
+    clique count) that the benchmark tables surface.
+    """
+    simplified = rdp_simplify(shape.polygon, spec.gamma)
+    corner_points = extract_corner_points(simplified, spec.lth)
+    graph = build_compatibility_graph(corner_points, shape, spec, config)
+    cliques = clique_partition(graph, strategy=config.coloring_strategy)
+    shots: list[Rect] = []
+    for clique in cliques:
+        shot = shot_from_class([corner_points[v] for v in clique], shape, spec.lmin)
+        if shot is not None:
+            shots.append(shot)
+    diagnostics = {
+        "simplified_vertices": len(simplified),
+        "corner_points": len(corner_points),
+        "graph_edges": graph.edge_count(),
+        "cliques": len(cliques),
+        "initial_shots": len(shots),
+    }
+    return shots, diagnostics

@@ -1,0 +1,58 @@
+"""Shot merging (paper §4.5) — keeps shot count low during refinement.
+
+Two merge rules, applied to every shot pair until a fixed point:
+
+1. *Aligned extension*: if both x extents (or both y extents) agree
+   within γ, the pair can be replaced by their joint bounding box —
+   but only when > 90 % of the merged shot lies inside the target
+   (Fig. 5's counterexample exposes too many P_off pixels otherwise).
+2. *Containment*: a shot completely covered by another is redundant.
+"""
+
+from __future__ import annotations
+
+from repro.fracture.state import RefinementState
+from repro.geometry.rect import Rect
+
+_INSIDE_FRACTION = 0.90
+
+
+def merge_shots(state: RefinementState) -> int:
+    """Merge shots until no rule applies; returns merges performed."""
+    merges = 0
+    changed = True
+    while changed:
+        changed = False
+        shots = state.shots
+        for i in range(len(shots)):
+            for j in range(i + 1, len(shots)):
+                merged = _try_merge_pair(shots[i], shots[j], state)
+                if merged is None:
+                    continue
+                # Remove j first (higher index) so i stays valid.
+                state.remove_shot(j)
+                state.remove_shot(i)
+                state.add_shot(merged)
+                merges += 1
+                changed = True
+                break
+            if changed:
+                break
+    return merges
+
+
+def _try_merge_pair(a: Rect, b: Rect, state: RefinementState) -> Rect | None:
+    """The merged shot for a pair, or None when no rule applies."""
+    if a.contains_rect(b):
+        return a
+    if b.contains_rect(a):
+        return b
+    gamma = state.spec.gamma
+    x_aligned = abs(a.xbl - b.xbl) <= gamma and abs(a.xtr - b.xtr) <= gamma
+    y_aligned = abs(a.ybl - b.ybl) <= gamma and abs(a.ytr - b.ytr) <= gamma
+    if not (x_aligned or y_aligned):
+        return None
+    merged = a.union_bbox(b)
+    if state.shape.sat.rect_fraction(merged) > _INSIDE_FRACTION:
+        return merged
+    return None

@@ -1,0 +1,121 @@
+"""Turning color classes of corner points into e-beam shots (paper §3, Fig. 4).
+
+A color class that contains a pair of diagonally opposite corner points
+pins the shot completely.  Classes with only one corner point, or only
+two non-diagonal ones, leave one or two shot edges free: those start at
+the minimum shot size and are extended until they touch the opposite
+boundary of the target shape.
+"""
+
+from __future__ import annotations
+
+from repro.fracture.corner_points import ShotCornerPoint
+from repro.geometry.rect import Rect
+from repro.mask.shape import MaskShape
+
+# An extension step keeps going while the swept strip stays mostly inside
+# the target; see _extend_edge.
+_STRIP_INSIDE_FRACTION = 0.5
+
+
+def shot_from_class(
+    corner_points: list[ShotCornerPoint],
+    shape: MaskShape,
+    lmin: float,
+) -> Rect | None:
+    """Construct the shot for one color class.
+
+    Returns ``None`` for classes whose points are geometrically
+    inconsistent (can happen when clustering moved centroids); the caller
+    simply drops them — refinement re-adds dose where needed.
+    """
+    if not corner_points:
+        return None
+    xs_left = [c.point.x for c in corner_points if c.ctype.is_left]
+    xs_right = [c.point.x for c in corner_points if not c.ctype.is_left]
+    ys_bottom = [c.point.y for c in corner_points if c.ctype.is_bottom]
+    ys_top = [c.point.y for c in corner_points if not c.ctype.is_bottom]
+
+    xbl = _mean(xs_left)
+    xtr = _mean(xs_right)
+    ybl = _mean(ys_bottom)
+    ytr = _mean(ys_top)
+
+    # Free edges start at minimum size from the pinned ones (Fig. 4), then
+    # get extended toward the opposite target boundary.
+    free_edges: list[str] = []
+    if xbl is None and xtr is None:
+        return None  # no horizontal information at all
+    if ybl is None and ytr is None:
+        return None
+    if xbl is None:
+        xbl = xtr - lmin
+        free_edges.append("left")
+    if xtr is None:
+        xtr = xbl + lmin
+        free_edges.append("right")
+    if ybl is None:
+        ybl = ytr - lmin
+        free_edges.append("bottom")
+    if ytr is None:
+        ytr = ybl + lmin
+        free_edges.append("top")
+
+    if xtr - xbl < lmin - 1e-9 or ytr - ybl < lmin - 1e-9:
+        # Pinned corners closer than the minimum shot size: widen
+        # symmetrically to Lmin so the writer constraint holds.
+        if xtr - xbl < lmin:
+            cx = (xbl + xtr) / 2.0
+            xbl, xtr = cx - lmin / 2.0, cx + lmin / 2.0
+        if ytr - ybl < lmin:
+            cy = (ybl + ytr) / 2.0
+            ybl, ytr = cy - lmin / 2.0, cy + lmin / 2.0
+
+    shot = Rect(xbl, ybl, xtr, ytr)
+    for edge in free_edges:
+        shot = _extend_edge(shot, edge, shape)
+    return shot
+
+
+def _mean(values: list[float]) -> float | None:
+    if not values:
+        return None
+    return sum(values) / len(values)
+
+
+def _extend_edge(shot: Rect, edge: str, shape: MaskShape) -> Rect:
+    """Push a free shot edge outward until it reaches the target boundary.
+
+    Steps the edge one pixel at a time while the newly swept strip is
+    still mostly inside the shape (Fig. 4: "the bottom edge of the
+    minimum height shot is extended to touch the lower boundary of the
+    target shape").
+    """
+    pitch = shape.grid.pitch
+    sign = -1.0 if edge in ("left", "bottom") else 1.0
+    extent = shape.grid.extent
+    max_steps = int(max(extent.width, extent.height) / pitch)
+    current = shot
+    for _ in range(max_steps):
+        candidate = current.moved_edge(edge, sign * pitch)
+        strip = _swept_strip(current, candidate, edge)
+        if strip is None:
+            break
+        fraction = shape.sat.rect_fraction(strip)
+        if fraction < _STRIP_INSIDE_FRACTION:
+            break
+        current = candidate
+    return current
+
+
+def _swept_strip(old: Rect, new: Rect, edge: str) -> Rect | None:
+    """The one-pixel strip the edge move sweeps over."""
+    if edge == "left":
+        return Rect(new.xbl, new.ybl, old.xbl, old.ytr)
+    if edge == "right":
+        return Rect(old.xtr, old.ybl, new.xtr, old.ytr)
+    if edge == "bottom":
+        return Rect(new.xbl, new.ybl, new.xtr, old.ybl)
+    if edge == "top":
+        return Rect(old.xbl, old.ytr, old.xtr, new.ytr)
+    return None

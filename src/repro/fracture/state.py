@@ -1,0 +1,160 @@
+"""Mutable working state shared by the refinement moves (paper §4).
+
+Holds the shot list, the incrementally maintained intensity map and the
+pixel classification, and provides the *windowed* cost evaluation that
+makes greedy edge adjustment affordable: the cost change of an edge move
+only depends on pixels within the blur reach of the two shot versions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ebeam.intensity_map import IntensityMap
+from repro.geometry.rect import Rect
+from repro.mask.constraints import FailureReport, FractureSpec, failure_report
+from repro.mask.pixels import PixelSets
+from repro.mask.shape import MaskShape
+
+
+class RefinementState:
+    """Shots + intensity + pixel classes for one refinement run."""
+
+    __slots__ = ("shape", "spec", "pixels", "imap", "shots")
+
+    def __init__(
+        self,
+        shape: MaskShape,
+        spec: FractureSpec,
+        shots: list[Rect],
+    ):
+        self.shape = shape
+        self.spec = spec
+        self.pixels: PixelSets = shape.pixels(spec.gamma)
+        self.imap = IntensityMap(shape.grid, spec.sigma)
+        self.shots: list[Rect] = list(shots)
+        for shot in self.shots:
+            self.imap.add(shot)
+
+    # -- cost evaluation --------------------------------------------------
+
+    def report(self) -> FailureReport:
+        """Full-grid Eq. 4 / Eq. 5 evaluation of the current state."""
+        return failure_report(self.imap.total, self.pixels, self.spec.rho)
+
+    def window_cost(
+        self, window: tuple[slice, slice], total_window: np.ndarray
+    ) -> float:
+        """Eq. 5 cost restricted to one index window.
+
+        ``total_window`` is the (hypothetical or current) I_tot values on
+        that window, so candidate moves can be priced without mutating
+        the map.
+        """
+        rho = self.spec.rho
+        on = self.pixels.on[window]
+        off = self.pixels.off[window]
+        fail = (on & (total_window < rho)) | (off & (total_window >= rho))
+        if not fail.any():
+            return 0.0
+        return float(np.abs(total_window[fail] - rho).sum())
+
+    def cost_integral(self) -> np.ndarray:
+        """Prefix sums of the per-pixel Eq. 5 cost field.
+
+        ``integral[y2, x2] - integral[y1, x2] - integral[y2, x1] +
+        integral[y1, x1]`` gives the *current* cost of any index window
+        in O(1) — edge pricing then only has to evaluate the candidate
+        side.  Rebuild after every committed change (one per refinement
+        iteration is enough; GreedyShotEdgeAdjustment does so itself).
+        """
+        rho = self.spec.rho
+        total = self.imap.total
+        fail = (self.pixels.on & (total < rho)) | (
+            self.pixels.off & (total >= rho)
+        )
+        cost_field = np.where(fail, np.abs(total - rho), 0.0)
+        integral = np.zeros(
+            (cost_field.shape[0] + 1, cost_field.shape[1] + 1), dtype=np.float64
+        )
+        np.cumsum(cost_field, axis=0, out=integral[1:, 1:])
+        np.cumsum(integral[1:, 1:], axis=1, out=integral[1:, 1:])
+        return integral
+
+    @staticmethod
+    def window_cost_from_integral(
+        integral: np.ndarray, window: tuple[slice, slice]
+    ) -> float:
+        ys, xs = window
+        return float(
+            integral[ys.stop, xs.stop]
+            - integral[ys.start, xs.stop]
+            - integral[ys.stop, xs.start]
+            + integral[ys.start, xs.start]
+        )
+
+    def edge_move_delta_cost(
+        self,
+        index: int,
+        edge: str,
+        delta: float,
+        cost_integral: np.ndarray | None = None,
+    ) -> float | None:
+        """Cost change of moving one edge of shot ``index`` by ``delta``.
+
+        Returns ``None`` for invalid moves (shot would fall below L_min or
+        invert).  Does not modify the state.  ``cost_integral`` (from
+        :meth:`cost_integral`, current as of the last committed change)
+        makes the old-cost side an O(1) lookup.
+        """
+        shot = self.shots[index]
+        try:
+            candidate = shot.moved_edge(edge, delta)
+        except ValueError:
+            return None
+        if not candidate.meets_min_size(self.spec.lmin):
+            return None
+        window, patch_delta = self.imap.edge_move_delta(shot, candidate, edge)
+        total_window = self.imap.total[window]
+        if cost_integral is not None:
+            old_cost = self.window_cost_from_integral(cost_integral, window)
+        else:
+            old_cost = self.window_cost(window, total_window)
+        new_cost = self.window_cost(window, total_window + patch_delta)
+        return new_cost - old_cost
+
+    # -- mutation -----------------------------------------------------------
+
+    def apply_edge_move(self, index: int, edge: str, delta: float) -> bool:
+        """Commit an edge move; returns False if it became invalid."""
+        shot = self.shots[index]
+        try:
+            candidate = shot.moved_edge(edge, delta)
+        except ValueError:
+            return False
+        if not candidate.meets_min_size(self.spec.lmin):
+            return False
+        self.imap.replace(shot, candidate)
+        self.shots[index] = candidate
+        return True
+
+    def replace_shot(self, index: int, new: Rect) -> None:
+        self.imap.replace(self.shots[index], new)
+        self.shots[index] = new
+
+    def add_shot(self, shot: Rect) -> None:
+        self.imap.add(shot)
+        self.shots.append(shot)
+
+    def remove_shot(self, index: int) -> Rect:
+        shot = self.shots.pop(index)
+        self.imap.remove(shot)
+        return shot
+
+    def snapshot(self) -> list[Rect]:
+        return list(self.shots)
+
+    def restore(self, shots: list[Rect]) -> None:
+        """Reset to a previously snapshotted shot list."""
+        self.shots = list(shots)
+        self.imap.rebuild(self.shots)

@@ -1,0 +1,87 @@
+"""Immutable 2-D points with the small vector algebra the fracturer needs."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A point in the mask plane.
+
+    Coordinates are in nanometres throughout the library; they may be
+    fractional because shot corner points are shifted by ``Lth / sqrt(2)``
+    (paper §3), which is irrational.
+    """
+
+    x: float
+    y: float
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scale: float) -> "Point":
+        return Point(self.x * scale, self.y * scale)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Point":
+        return Point(-self.x, -self.y)
+
+    def dot(self, other: "Point") -> float:
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Point") -> float:
+        """Z component of the 3-D cross product (signed parallelogram area)."""
+        return self.x * other.y - self.y * other.x
+
+    def norm(self) -> float:
+        return math.hypot(self.x, self.y)
+
+    def distance_to(self, other: "Point") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def manhattan_to(self, other: "Point") -> float:
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def normalized(self) -> "Point":
+        n = self.norm()
+        if n == 0.0:
+            raise ValueError("cannot normalize the zero vector")
+        return Point(self.x / n, self.y / n)
+
+    def perpendicular(self) -> "Point":
+        """Counter-clockwise perpendicular vector."""
+        return Point(-self.y, self.x)
+
+    def rounded(self) -> "Point":
+        return Point(round(self.x), round(self.y))
+
+    def as_tuple(self) -> tuple[float, float]:
+        return (self.x, self.y)
+
+
+def segment_point_distance(a: Point, b: Point, p: Point) -> float:
+    """Perpendicular distance from ``p`` to segment ``a``–``b``.
+
+    Falls back to endpoint distance when the projection of ``p`` lies
+    outside the segment.  This is the distance test used by the RDP
+    simplifier.
+    """
+    ab = b - a
+    ab_len2 = ab.dot(ab)
+    if ab_len2 == 0.0:
+        return p.distance_to(a)
+    t = (p - a).dot(ab) / ab_len2
+    t = max(0.0, min(1.0, t))
+    closest = a + ab * t
+    return p.distance_to(closest)
+
+
+def collinear(a: Point, b: Point, c: Point, tol: float = 1e-9) -> bool:
+    """True when the three points lie on a common line (within ``tol``)."""
+    return abs((b - a).cross(c - a)) <= tol

@@ -1,0 +1,198 @@
+"""Simple polygons with the predicates mask fracturing needs.
+
+Target mask shapes arrive as closed vertex loops (``V_M`` in the paper's
+notation).  Real ILT contours traced from a pixel grid have thousands of
+vertices; the RDP simplifier reduces them to the ``V_M^s`` subset used for
+shot-corner extraction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, Sequence
+
+from repro.geometry.point import Point, collinear
+from repro.geometry.rect import Rect
+
+
+class Polygon:
+    """A simple (non-self-intersecting) polygon given as a vertex loop.
+
+    Vertices are stored without a repeated closing vertex.  Orientation is
+    normalized to counter-clockwise on construction so downstream code can
+    rely on "interior on the left" when walking the boundary.
+    """
+
+    __slots__ = ("_vertices",)
+
+    def __init__(self, vertices: Iterable[Point | tuple[float, float]]):
+        pts = [p if isinstance(p, Point) else Point(*p) for p in vertices]
+        if len(pts) >= 2 and pts[0] == pts[-1]:
+            pts = pts[:-1]
+        if len(pts) < 3:
+            raise ValueError(f"polygon needs at least 3 vertices, got {len(pts)}")
+        if _signed_area(pts) < 0.0:
+            pts.reverse()
+        self._vertices = tuple(pts)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def vertices(self) -> tuple[Point, ...]:
+        return self._vertices
+
+    def __len__(self) -> int:
+        return len(self._vertices)
+
+    def __iter__(self) -> Iterator[Point]:
+        return iter(self._vertices)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polygon):
+            return NotImplemented
+        return self._vertices == other._vertices
+
+    def __hash__(self) -> int:
+        return hash(self._vertices)
+
+    def __repr__(self) -> str:
+        return f"Polygon({len(self)} vertices, area={self.area:.1f})"
+
+    # -- measures ----------------------------------------------------------
+
+    @property
+    def area(self) -> float:
+        """Unsigned area (orientation is normalized to CCW)."""
+        return _signed_area(self._vertices)
+
+    @property
+    def perimeter(self) -> float:
+        return sum(a.distance_to(b) for a, b in self.edges())
+
+    def bounding_box(self) -> Rect:
+        xs = [p.x for p in self._vertices]
+        ys = [p.y for p in self._vertices]
+        return Rect(min(xs), min(ys), max(xs), max(ys))
+
+    def centroid(self) -> Point:
+        cx = cy = 0.0
+        a = 0.0
+        for p, q in self.edges():
+            w = p.cross(q)
+            a += w
+            cx += (p.x + q.x) * w
+            cy += (p.y + q.y) * w
+        a *= 0.5
+        if a == 0.0:
+            # Degenerate: fall back to the vertex average.
+            n = len(self._vertices)
+            return Point(
+                sum(p.x for p in self._vertices) / n,
+                sum(p.y for p in self._vertices) / n,
+            )
+        return Point(cx / (6.0 * a), cy / (6.0 * a))
+
+    # -- traversal ---------------------------------------------------------
+
+    def edges(self) -> Iterator[tuple[Point, Point]]:
+        """Consecutive vertex pairs, including the closing edge."""
+        verts = self._vertices
+        for i in range(len(verts)):
+            yield verts[i], verts[(i + 1) % len(verts)]
+
+    # -- predicates ---------------------------------------------------------
+
+    def contains_point(self, p: Point) -> bool:
+        """Even-odd rule point-in-polygon; boundary points count as inside."""
+        inside = False
+        for a, b in self.edges():
+            if _on_segment(a, b, p):
+                return True
+            if (a.y > p.y) != (b.y > p.y):
+                x_cross = a.x + (p.y - a.y) * (b.x - a.x) / (b.y - a.y)
+                if p.x < x_cross:
+                    inside = not inside
+        return inside
+
+    def is_rectilinear(self, tol: float = 1e-9) -> bool:
+        return all(
+            abs(a.x - b.x) <= tol or abs(a.y - b.y) <= tol for a, b in self.edges()
+        )
+
+    def is_convex(self) -> bool:
+        sign = 0
+        verts = self._vertices
+        n = len(verts)
+        for i in range(n):
+            cross = (verts[(i + 1) % n] - verts[i]).cross(
+                verts[(i + 2) % n] - verts[(i + 1) % n]
+            )
+            if cross != 0.0:
+                s = 1 if cross > 0 else -1
+                if sign == 0:
+                    sign = s
+                elif s != sign:
+                    return False
+        return True
+
+    # -- transforms ----------------------------------------------------------
+
+    def translated(self, dx: float, dy: float) -> "Polygon":
+        return Polygon(Point(p.x + dx, p.y + dy) for p in self._vertices)
+
+    def scaled(self, factor: float) -> "Polygon":
+        return Polygon(Point(p.x * factor, p.y * factor) for p in self._vertices)
+
+    def without_collinear_vertices(self, tol: float = 1e-9) -> "Polygon":
+        """Drop vertices that lie on the line through their neighbours.
+
+        Contour tracing emits a vertex per pixel edge; this collapses runs
+        of collinear vertices so ``V_M`` only contains true corners.
+        """
+        verts = list(self._vertices)
+        out: list[Point] = []
+        n = len(verts)
+        for i in range(n):
+            prev = verts[(i - 1) % n]
+            cur = verts[i]
+            nxt = verts[(i + 1) % n]
+            if not collinear(prev, cur, nxt, tol):
+                out.append(cur)
+        if len(out) < 3:
+            return self
+        return Polygon(out)
+
+    # -- convenience constructors -------------------------------------------
+
+    @classmethod
+    def from_rect(cls, rect: Rect) -> "Polygon":
+        return cls(rect.corners())
+
+    @classmethod
+    def regular(cls, center: Point, radius: float, sides: int) -> "Polygon":
+        if sides < 3:
+            raise ValueError("a polygon needs at least 3 sides")
+        return cls(
+            Point(
+                center.x + radius * math.cos(2.0 * math.pi * k / sides),
+                center.y + radius * math.sin(2.0 * math.pi * k / sides),
+            )
+            for k in range(sides)
+        )
+
+
+def _signed_area(vertices: Sequence[Point]) -> float:
+    total = 0.0
+    n = len(vertices)
+    for i in range(n):
+        total += vertices[i].cross(vertices[(i + 1) % n])
+    return total / 2.0
+
+
+def _on_segment(a: Point, b: Point, p: Point, tol: float = 1e-9) -> bool:
+    if abs((b - a).cross(p - a)) > tol:
+        return False
+    return (
+        min(a.x, b.x) - tol <= p.x <= max(a.x, b.x) + tol
+        and min(a.y, b.y) - tol <= p.y <= max(a.y, b.y) + tol
+    )

@@ -1,0 +1,87 @@
+"""Ramer–Douglas–Peucker simplification (paper §3, reference [22]).
+
+The fracturer first approximates the target boundary ``V_M`` by a subset
+``V_M^s`` such that every dropped vertex lies within the CD tolerance γ of
+the simplified boundary.  We provide both the classic open-polyline RDP and
+a closed-loop variant that picks stable anchor vertices so the result does
+not depend on where the vertex list happens to start.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.geometry.point import Point, segment_point_distance
+from repro.geometry.polygon import Polygon
+
+
+def rdp_polyline(points: Sequence[Point], epsilon: float) -> list[Point]:
+    """Simplify an open polyline, keeping both endpoints.
+
+    Guarantees every input point is within ``epsilon`` of the output
+    polyline (the property the paper requires of the approximation).
+    """
+    if epsilon < 0.0:
+        raise ValueError("epsilon must be non-negative")
+    if len(points) < 3:
+        return list(points)
+    keep = [False] * len(points)
+    keep[0] = keep[-1] = True
+    # Iterative stack-based recursion to survive pixel-resolution contours
+    # with tens of thousands of vertices.
+    stack: list[tuple[int, int]] = [(0, len(points) - 1)]
+    while stack:
+        lo, hi = stack.pop()
+        if hi - lo < 2:
+            continue
+        a, b = points[lo], points[hi]
+        worst_d = -1.0
+        worst_i = -1
+        for i in range(lo + 1, hi):
+            d = segment_point_distance(a, b, points[i])
+            if d > worst_d:
+                worst_d = d
+                worst_i = i
+        if worst_d > epsilon:
+            keep[worst_i] = True
+            stack.append((lo, worst_i))
+            stack.append((worst_i, hi))
+    return [p for p, k in zip(points, keep) if k]
+
+
+def rdp_closed(points: Sequence[Point], epsilon: float) -> list[Point]:
+    """Simplify a closed vertex loop.
+
+    Splits the loop at the two mutually farthest extreme vertices (min/max
+    x), runs RDP on each half, and rejoins.  Anchoring at geometric
+    extremes makes the output invariant to the loop's starting index.
+    """
+    if len(points) < 4:
+        return list(points)
+    i_min = min(range(len(points)), key=lambda i: (points[i].x, points[i].y))
+    i_max = max(range(len(points)), key=lambda i: (points[i].x, points[i].y))
+    if i_min == i_max:
+        return list(points)
+    lo, hi = sorted((i_min, i_max))
+    first_half = list(points[lo : hi + 1])
+    second_half = list(points[hi:]) + list(points[: lo + 1])
+    simplified = rdp_polyline(first_half, epsilon)[:-1] + rdp_polyline(
+        second_half, epsilon
+    )[:-1]
+    return simplified
+
+
+def rdp_simplify(polygon: Polygon, epsilon: float) -> Polygon:
+    """Simplify a polygon boundary with RDP at tolerance ``epsilon``.
+
+    This is the first step of graph-coloring-based approximate fracturing;
+    the paper sets ``epsilon`` to the CD tolerance γ.  Falls back to the
+    original polygon when simplification would degenerate it.
+    """
+    simplified = rdp_closed(list(polygon.vertices), epsilon)
+    if len(simplified) < 3:
+        return polygon
+    try:
+        return Polygon(simplified)
+    except ValueError:
+        return polygon

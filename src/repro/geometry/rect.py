@@ -1,0 +1,252 @@
+"""Axis-parallel rectangles — the variable-shaped-beam shot primitive.
+
+A :class:`Rect` mirrors the paper's shot parameterization: bottom-left
+corner ``(xbl, ybl)`` and top-right corner ``(xtr, ytr)`` (Table 1).  All
+shot-level geometry used by the fracturer (edge moves, merging, overlap
+tests, containment) lives here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.geometry.point import Point
+
+# Edge names used by the refinement moves (paper §4.1).
+EDGES = ("left", "right", "bottom", "top")
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """Axis-parallel rectangle with ``xbl <= xtr`` and ``ybl <= ytr``."""
+
+    xbl: float
+    ybl: float
+    xtr: float
+    ytr: float
+
+    def __post_init__(self) -> None:
+        if self.xtr < self.xbl or self.ytr < self.ybl:
+            raise ValueError(
+                f"degenerate rectangle: ({self.xbl},{self.ybl})-({self.xtr},{self.ytr})"
+            )
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_corners(cls, a: Point, b: Point) -> "Rect":
+        """Rectangle spanned by two opposite corners in any order."""
+        return cls(min(a.x, b.x), min(a.y, b.y), max(a.x, b.x), max(a.y, b.y))
+
+    @classmethod
+    def from_center(cls, center: Point, width: float, height: float) -> "Rect":
+        hw, hh = width / 2.0, height / 2.0
+        return cls(center.x - hw, center.y - hh, center.x + hw, center.y + hh)
+
+    # -- basic measures ----------------------------------------------------
+
+    @property
+    def width(self) -> float:
+        return self.xtr - self.xbl
+
+    @property
+    def height(self) -> float:
+        return self.ytr - self.ybl
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.xbl + self.xtr) / 2.0, (self.ybl + self.ytr) / 2.0)
+
+    @property
+    def bottom_left(self) -> Point:
+        return Point(self.xbl, self.ybl)
+
+    @property
+    def bottom_right(self) -> Point:
+        return Point(self.xtr, self.ybl)
+
+    @property
+    def top_left(self) -> Point:
+        return Point(self.xbl, self.ytr)
+
+    @property
+    def top_right(self) -> Point:
+        return Point(self.xtr, self.ytr)
+
+    def corners(self) -> tuple[Point, Point, Point, Point]:
+        """Corners in CCW order starting at the bottom-left."""
+        return (self.bottom_left, self.bottom_right, self.top_right, self.top_left)
+
+    # -- predicates --------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        return self.width == 0.0 or self.height == 0.0
+
+    def contains_point(self, p: Point, *, strict: bool = False) -> bool:
+        if strict:
+            return self.xbl < p.x < self.xtr and self.ybl < p.y < self.ytr
+        return self.xbl <= p.x <= self.xtr and self.ybl <= p.y <= self.ytr
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True when ``other`` lies entirely inside (or on) this rectangle.
+
+        Used by the redundant-shot removal rule of MergeShots (paper §4.5
+        criterion 2).
+        """
+        return (
+            self.xbl <= other.xbl
+            and self.ybl <= other.ybl
+            and self.xtr >= other.xtr
+            and self.ytr >= other.ytr
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        return not (
+            self.xtr < other.xbl
+            or other.xtr < self.xbl
+            or self.ytr < other.ybl
+            or other.ytr < self.ybl
+        )
+
+    def meets_min_size(self, lmin: float) -> bool:
+        """Minimum shot size constraint (problem statement, condition 2)."""
+        return self.width >= lmin and self.height >= lmin
+
+    # -- combination -------------------------------------------------------
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        xbl = max(self.xbl, other.xbl)
+        ybl = max(self.ybl, other.ybl)
+        xtr = min(self.xtr, other.xtr)
+        ytr = min(self.ytr, other.ytr)
+        if xtr < xbl or ytr < ybl:
+            return None
+        return Rect(xbl, ybl, xtr, ytr)
+
+    def intersection_area(self, other: "Rect") -> float:
+        overlap = self.intersection(other)
+        return 0.0 if overlap is None else overlap.area
+
+    def union_bbox(self, other: "Rect") -> "Rect":
+        return Rect(
+            min(self.xbl, other.xbl),
+            min(self.ybl, other.ybl),
+            max(self.xtr, other.xtr),
+            max(self.ytr, other.ytr),
+        )
+
+    def expanded(self, margin: float) -> "Rect":
+        """Rectangle grown by ``margin`` on all four sides."""
+        return Rect(
+            self.xbl - margin, self.ybl - margin, self.xtr + margin, self.ytr + margin
+        )
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        return Rect(self.xbl + dx, self.ybl + dy, self.xtr + dx, self.ytr + dy)
+
+    # -- edge moves (refinement primitives, paper §4.1/§4.2) ---------------
+
+    def moved_edge(self, edge: str, delta: float) -> "Rect":
+        """Rectangle with one edge displaced by ``delta``.
+
+        Positive ``delta`` always moves the edge in the +x/+y direction;
+        the caller decides whether that grows or shrinks the shot.  Raises
+        :class:`ValueError` if the move would invert the rectangle.
+        """
+        if edge == "left":
+            return Rect(self.xbl + delta, self.ybl, self.xtr, self.ytr)
+        if edge == "right":
+            return Rect(self.xbl, self.ybl, self.xtr + delta, self.ytr)
+        if edge == "bottom":
+            return Rect(self.xbl, self.ybl + delta, self.xtr, self.ytr)
+        if edge == "top":
+            return Rect(self.xbl, self.ybl, self.xtr, self.ytr + delta)
+        raise ValueError(f"unknown edge {edge!r}")
+
+    def edge_coordinate(self, edge: str) -> float:
+        if edge == "left":
+            return self.xbl
+        if edge == "right":
+            return self.xtr
+        if edge == "bottom":
+            return self.ybl
+        if edge == "top":
+            return self.ytr
+        raise ValueError(f"unknown edge {edge!r}")
+
+    def shrunk(self, amount: float, lmin: float) -> "Rect":
+        """Shrink every edge by ``amount`` but never below ``lmin`` per axis.
+
+        Implements the per-shot clamp of BiasAllShots (paper §4.2,
+        footnote 3: edges whose move would violate Lmin are not shrunk).
+        """
+        xbl, xtr = self.xbl, self.xtr
+        ybl, ytr = self.ybl, self.ytr
+        if (xtr - amount) - (xbl + amount) >= lmin:
+            xbl += amount
+            xtr -= amount
+        if (ytr - amount) - (ybl + amount) >= lmin:
+            ybl += amount
+            ytr -= amount
+        return Rect(xbl, ybl, xtr, ytr)
+
+    def snapped(self, grid: float = 1.0) -> "Rect":
+        """Rectangle with all coordinates rounded to the writer grid."""
+        return Rect(
+            round(self.xbl / grid) * grid,
+            round(self.ybl / grid) * grid,
+            round(self.xtr / grid) * grid,
+            round(self.ytr / grid) * grid,
+        )
+
+    def iter_edges(self) -> Iterator[tuple[str, float]]:
+        for edge in EDGES:
+            yield edge, self.edge_coordinate(edge)
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        return (self.xbl, self.ybl, self.xtr, self.ytr)
+
+
+def bounding_box(rects: "list[Rect]") -> Rect:
+    """Tight bounding box of a non-empty rectangle collection."""
+    if not rects:
+        raise ValueError("bounding_box of an empty collection")
+    return Rect(
+        min(r.xbl for r in rects),
+        min(r.ybl for r in rects),
+        max(r.xtr for r in rects),
+        max(r.ytr for r in rects),
+    )
+
+
+def total_union_area(rects: "list[Rect]") -> float:
+    """Exact area of the union of axis-parallel rectangles.
+
+    Coordinate-compression sweep; O(n^2) in the number of rectangles, which
+    is ample for shot solutions (tens of shots).  Used by shot-overlap
+    statistics in the benchmark metrics.
+    """
+    if not rects:
+        return 0.0
+    xs = sorted({r.xbl for r in rects} | {r.xtr for r in rects})
+    ys = sorted({r.ybl for r in rects} | {r.ytr for r in rects})
+    area = 0.0
+    for i in range(len(xs) - 1):
+        x_mid = (xs[i] + xs[i + 1]) / 2.0
+        dx = xs[i + 1] - xs[i]
+        if dx == 0.0:
+            continue
+        covering = [r for r in rects if r.xbl <= x_mid <= r.xtr]
+        for j in range(len(ys) - 1):
+            y_mid = (ys[j] + ys[j + 1]) / 2.0
+            dy = ys[j + 1] - ys[j]
+            if dy == 0.0:
+                continue
+            if any(r.ybl <= y_mid <= r.ytr for r in covering):
+                area += dx * dy
+    return area

@@ -1,0 +1,124 @@
+"""Boundary tracing: boolean pixel mask → rectilinear boundary polygon.
+
+The known-optimal benchmark generator (and the toy ILT flow) produce
+targets as ρ-contours of a simulated intensity map, i.e. boolean masks.
+Tracing converts those masks into the closed vertex loops (``V_M``) the
+fracturer consumes.  Boundaries follow pixel-cell edges, so the result is
+rectilinear at the pixel pitch — exactly the "pixel-resolution curvy
+contour" character of real ILT mask shapes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.raster import PixelGrid
+
+# Oriented boundary edge directions, chosen so the interior is on the left
+# of the walking direction: loops around filled regions come out CCW.
+_RIGHT = (1, 0)
+_LEFT = (-1, 0)
+_UP = (0, 1)
+_DOWN = (0, -1)
+
+
+def _boundary_edges(mask: np.ndarray) -> dict[tuple[int, int], list[tuple[int, int]]]:
+    """Collect oriented cell-boundary edges keyed by their start corner."""
+    ny, nx = mask.shape
+    padded = np.zeros((ny + 2, nx + 2), dtype=bool)
+    padded[1:-1, 1:-1] = mask
+    inside = padded[1:-1, 1:-1]
+    edges: dict[tuple[int, int], list[tuple[int, int]]] = defaultdict(list)
+
+    # Neighbour-outside tests, vectorized per side.
+    top_open = inside & ~padded[2:, 1:-1]
+    bottom_open = inside & ~padded[:-2, 1:-1]
+    left_open = inside & ~padded[1:-1, :-2]
+    right_open = inside & ~padded[1:-1, 2:]
+
+    for iy, ix in zip(*np.nonzero(bottom_open)):
+        edges[(int(ix), int(iy))].append(_RIGHT)  # bottom edge, walk +x
+    for iy, ix in zip(*np.nonzero(top_open)):
+        edges[(int(ix) + 1, int(iy) + 1)].append(_LEFT)  # top edge, walk -x
+    for iy, ix in zip(*np.nonzero(left_open)):
+        edges[(int(ix), int(iy) + 1)].append(_DOWN)  # left edge, walk -y
+    for iy, ix in zip(*np.nonzero(right_open)):
+        edges[(int(ix) + 1, int(iy))].append(_UP)  # right edge, walk +y
+    return edges
+
+
+def _pick_direction(
+    options: list[tuple[int, int]], incoming: tuple[int, int] | None
+) -> tuple[int, int]:
+    """Resolve corners where two boundary edges start (diagonal pinch).
+
+    Preferring the left turn keeps diagonally-touching regions as separate
+    loops instead of welding them into a self-touching polygon.
+    """
+    if len(options) == 1 or incoming is None:
+        return options[0]
+    left_turn = (-incoming[1], incoming[0])
+    if left_turn in options:
+        return left_turn
+    if incoming in options:
+        return incoming
+    return options[0]
+
+
+def trace_all_boundaries(mask: np.ndarray, grid: PixelGrid) -> list[Polygon]:
+    """Trace every boundary loop of ``mask``.
+
+    Returns one polygon per loop in mask-plane (nm) coordinates.  Outer
+    boundaries of filled regions are traced CCW; hole boundaries come out
+    CW in the raw walk but :class:`Polygon` normalizes orientation, so
+    callers that need hole semantics should use :func:`trace_boundary` on
+    hole-free masks (all masks produced by the benchmark generators are
+    hole-free by construction — see ``repro.bench.shapes``).
+    """
+    if mask.shape != grid.shape:
+        raise ValueError(f"mask shape {mask.shape} != grid shape {grid.shape}")
+    edges = _boundary_edges(mask)
+    unused = {corner: list(dirs) for corner, dirs in edges.items()}
+    loops: list[list[tuple[int, int]]] = []
+    for start in sorted(unused):
+        while unused.get(start):
+            loop: list[tuple[int, int]] = [start]
+            corner = start
+            incoming: tuple[int, int] | None = None
+            while True:
+                options = unused.get(corner)
+                if not options:
+                    break  # open chain: malformed mask edge bookkeeping
+                direction = _pick_direction(options, incoming)
+                options.remove(direction)
+                corner = (corner[0] + direction[0], corner[1] + direction[1])
+                incoming = direction
+                if corner == start:
+                    break
+                loop.append(corner)
+            if len(loop) >= 4:
+                loops.append(loop)
+    polygons = []
+    for loop in loops:
+        pts = [
+            Point(grid.x0 + cx * grid.pitch, grid.y0 + cy * grid.pitch)
+            for cx, cy in loop
+        ]
+        polygons.append(Polygon(pts).without_collinear_vertices())
+    return polygons
+
+
+def trace_boundary(mask: np.ndarray, grid: PixelGrid) -> Polygon:
+    """Trace the single largest boundary loop of ``mask``.
+
+    Convenience for single-shape clips: picks the loop enclosing the most
+    area, which is the outer boundary for a connected, hole-free mask.
+    """
+    polygons = trace_all_boundaries(mask, grid)
+    if not polygons:
+        raise ValueError("mask contains no filled pixels")
+    return max(polygons, key=lambda p: p.area)

@@ -1,0 +1,28 @@
+"""Lightweight graph algorithms (Boost Graph Library substitute).
+
+Provides exactly what the fracturer and the partition baseline need:
+
+* :class:`~repro.graphlib.graph.Graph` — undirected graph on integer
+  vertices with adjacency sets.
+* :func:`~repro.graphlib.coloring.greedy_color` — sequential greedy
+  coloring with selectable vertex orderings (paper §3, reference [25]).
+* :func:`~repro.graphlib.clique_cover.clique_partition` — minimum clique
+  partition via coloring of the inverse graph (references [23], [24]).
+* :func:`~repro.graphlib.matching.hopcroft_karp` /
+  :func:`~repro.graphlib.matching.min_vertex_cover` — bipartite matching
+  and König vertex cover, used by the optimal rectilinear partition.
+"""
+
+from repro.graphlib.clique_cover import clique_partition
+from repro.graphlib.coloring import greedy_color
+from repro.graphlib.graph import Graph
+from repro.graphlib.matching import hopcroft_karp, maximum_independent_set, min_vertex_cover
+
+__all__ = [
+    "Graph",
+    "clique_partition",
+    "greedy_color",
+    "hopcroft_karp",
+    "maximum_independent_set",
+    "min_vertex_cover",
+]

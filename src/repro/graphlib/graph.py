@@ -1,0 +1,85 @@
+"""Undirected graphs on integer vertex ids ``0..n-1``."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class Graph:
+    """Simple undirected graph backed by adjacency sets.
+
+    Vertices are the integers ``0..n-1``; self-loops are rejected because
+    neither the shot-compatibility graph nor its inverse can contain them.
+    """
+
+    __slots__ = ("_adjacency",)
+
+    def __init__(self, n: int, edges: Iterable[tuple[int, int]] = ()):
+        if n < 0:
+            raise ValueError("vertex count must be non-negative")
+        self._adjacency: list[set[int]] = [set() for _ in range(n)]
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    @property
+    def n(self) -> int:
+        return len(self._adjacency)
+
+    def add_edge(self, u: int, v: int) -> None:
+        if u == v:
+            raise ValueError(f"self-loop on vertex {u}")
+        self._check(u)
+        self._check(v)
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        self._check(u)
+        self._check(v)
+        return v in self._adjacency[u]
+
+    def neighbors(self, u: int) -> frozenset[int]:
+        self._check(u)
+        return frozenset(self._adjacency[u])
+
+    def degree(self, u: int) -> int:
+        self._check(u)
+        return len(self._adjacency[u])
+
+    def edge_count(self) -> int:
+        return sum(len(adj) for adj in self._adjacency) // 2
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        for u, adj in enumerate(self._adjacency):
+            for v in adj:
+                if u < v:
+                    yield (u, v)
+
+    def complement(self) -> "Graph":
+        """Inverse graph ``G_inv`` (paper §3): edge iff no edge in ``self``."""
+        inv = Graph(self.n)
+        for u in range(self.n):
+            adj = self._adjacency[u]
+            for v in range(u + 1, self.n):
+                if v not in adj:
+                    inv.add_edge(u, v)
+        return inv
+
+    def is_clique(self, vertices: Iterable[int]) -> bool:
+        """True when the given vertices are pairwise adjacent."""
+        vs = list(vertices)
+        return all(
+            self.has_edge(vs[i], vs[j])
+            for i in range(len(vs))
+            for j in range(i + 1, len(vs))
+        )
+
+    def subgraph_degrees(self) -> list[int]:
+        return [len(adj) for adj in self._adjacency]
+
+    def _check(self, u: int) -> None:
+        if not 0 <= u < self.n:
+            raise IndexError(f"vertex {u} out of range [0, {self.n})")
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.n}, m={self.edge_count()})"

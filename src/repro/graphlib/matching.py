@@ -1,0 +1,107 @@
+"""Bipartite matching, König vertex cover and maximum independent set.
+
+Drives the optimal chord selection inside
+:func:`repro.geometry.partition.partition_rectilinear`: the maximum set of
+pairwise non-crossing chords is the maximum independent set of the
+bipartite horizontal-vs-vertical chord crossing graph, obtained as the
+complement of a minimum vertex cover (König's theorem).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+_INF = float("inf")
+
+
+def hopcroft_karp(
+    adjacency: dict[int, list[int]], n_right: int
+) -> dict[int, int]:
+    """Maximum matching of a bipartite graph in O(E sqrt(V)).
+
+    ``adjacency`` maps each left vertex to its right neighbours (right
+    vertices are ``0..n_right-1``).  Returns ``{left: right}`` for matched
+    pairs.
+    """
+    left_vertices = sorted(adjacency)
+    match_left: dict[int, int] = {}
+    match_right: list[int | None] = [None] * n_right
+    dist: dict[int, float] = {}
+
+    def bfs() -> bool:
+        queue: deque[int] = deque()
+        for u in left_vertices:
+            if u not in match_left:
+                dist[u] = 0.0
+                queue.append(u)
+            else:
+                dist[u] = _INF
+        found = False
+        while queue:
+            u = queue.popleft()
+            for v in adjacency[u]:
+                nxt = match_right[v]
+                if nxt is None:
+                    found = True
+                elif dist[nxt] == _INF:
+                    dist[nxt] = dist[u] + 1.0
+                    queue.append(nxt)
+        return found
+
+    def dfs(u: int) -> bool:
+        for v in adjacency[u]:
+            nxt = match_right[v]
+            if nxt is None or (dist[nxt] == dist[u] + 1.0 and dfs(nxt)):
+                match_left[u] = v
+                match_right[v] = u
+                return True
+        dist[u] = _INF
+        return False
+
+    while bfs():
+        for u in left_vertices:
+            if u not in match_left:
+                dfs(u)
+    return match_left
+
+
+def min_vertex_cover(
+    adjacency: dict[int, list[int]],
+    n_right: int,
+    matching: dict[int, int],
+) -> tuple[set[int], set[int]]:
+    """König construction: minimum vertex cover from a maximum matching.
+
+    Returns ``(cover_left, cover_right)``.  Alternating BFS from the
+    unmatched left vertices marks reachable vertices Z; the cover is
+    (L − Z) ∪ (R ∩ Z).
+    """
+    match_right: dict[int, int] = {v: u for u, v in matching.items()}
+    visited_left: set[int] = set()
+    visited_right: set[int] = set()
+    queue: deque[int] = deque(u for u in adjacency if u not in matching)
+    visited_left.update(queue)
+    while queue:
+        u = queue.popleft()
+        for v in adjacency[u]:
+            if v in visited_right or matching.get(u) == v:
+                continue
+            visited_right.add(v)
+            owner = match_right.get(v)
+            if owner is not None and owner not in visited_left:
+                visited_left.add(owner)
+                queue.append(owner)
+    cover_left = {u for u in adjacency if u not in visited_left}
+    cover_right = set(visited_right)
+    return cover_left, cover_right
+
+
+def maximum_independent_set(
+    adjacency: dict[int, list[int]], n_right: int
+) -> tuple[set[int], set[int]]:
+    """Maximum independent set of a bipartite graph (complement of the cover)."""
+    matching = hopcroft_karp(adjacency, n_right)
+    cover_left, cover_right = min_vertex_cover(adjacency, n_right, matching)
+    free_left = set(adjacency) - cover_left
+    free_right = set(range(n_right)) - cover_right
+    return free_left, free_right

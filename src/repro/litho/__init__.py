@@ -1,0 +1,25 @@
+"""Toy lithography stack: aerial imaging and inverse lithography (ILT).
+
+The paper's workload is the *output* of inverse lithography — curvy mask
+contours optimized so the printed wafer image matches an intended
+pattern.  This package provides a miniature version of that upstream
+flow, so the benchmark suite can be fed by a genuine optimizer rather
+than hand-tuned noise:
+
+* :mod:`repro.litho.aerial` — a scalar aerial-image model: Gaussian
+  optical blur + sigmoid resist, the standard pedagogical abstraction of
+  partially coherent imaging.
+* :mod:`repro.litho.ilt` — pixel-based inverse lithography by projected
+  gradient descent on a continuous mask variable (the Poonawala–Milanfar
+  formulation), with mask-rule cleanup of the final contour.
+"""
+
+from repro.litho.aerial import AerialImageModel
+from repro.litho.ilt import IltResult, InverseLithoOptimizer, ilt_optimized_suite
+
+__all__ = [
+    "AerialImageModel",
+    "IltResult",
+    "InverseLithoOptimizer",
+    "ilt_optimized_suite",
+]

@@ -1,0 +1,69 @@
+"""Scalar aerial-image model: Gaussian optics + sigmoid resist.
+
+The standard pedagogical abstraction of 193 nm partially coherent
+imaging: the mask transmission is low-pass filtered by a Gaussian of
+width ``optical_blur`` (the point-spread scale of the projection optics,
+tens of nanometres at wafer scale), and the resist responds with a steep
+sigmoid around the print threshold.  Good enough to make inverse
+lithography produce the curvilinear mask contours the fracturing paper
+takes as input — not a rigorous Hopkins model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.ndimage import gaussian_filter
+
+
+@dataclass(frozen=True, slots=True)
+class AerialImageModel:
+    """Imaging parameters.
+
+    ``optical_blur`` is in pixels of the simulation grid;
+    ``resist_steepness`` controls the sigmoid slope (larger = closer to
+    an ideal threshold resist); ``threshold`` is the print level.
+    """
+
+    optical_blur: float = 12.0
+    resist_steepness: float = 25.0
+    threshold: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.optical_blur <= 0.0:
+            raise ValueError("optical blur must be positive")
+        if self.resist_steepness <= 0.0:
+            raise ValueError("resist steepness must be positive")
+        if not 0.0 < self.threshold < 1.0:
+            raise ValueError("threshold must lie in (0, 1)")
+
+    def aerial_image(self, mask: np.ndarray) -> np.ndarray:
+        """Optical intensity at the wafer for a (continuous) mask."""
+        return gaussian_filter(np.asarray(mask, dtype=np.float64), self.optical_blur)
+
+    def resist_response(self, aerial: np.ndarray) -> np.ndarray:
+        """Sigmoid resist: differentiable stand-in for develop/etch."""
+        return 1.0 / (
+            1.0 + np.exp(-self.resist_steepness * (aerial - self.threshold))
+        )
+
+    def print_image(self, mask: np.ndarray) -> np.ndarray:
+        """Continuous printed image in [0, 1]."""
+        return self.resist_response(self.aerial_image(mask))
+
+    def printed_pattern(self, mask: np.ndarray) -> np.ndarray:
+        """Boolean printed pattern (resist response thresholded at 1/2)."""
+        return self.print_image(mask) >= 0.5
+
+    def resist_derivative(self, aerial: np.ndarray) -> np.ndarray:
+        """d resist / d aerial — used by the ILT gradient."""
+        z = self.resist_response(aerial)
+        return self.resist_steepness * z * (1.0 - z)
+
+    def edge_placement_error(
+        self, mask: np.ndarray, target: np.ndarray
+    ) -> float:
+        """Mean absolute printed-vs-target disagreement (pixel fraction)."""
+        printed = self.printed_pattern(mask)
+        return float(np.mean(printed != target))

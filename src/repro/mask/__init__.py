@@ -1,0 +1,29 @@
+"""Mask data preparation substrate.
+
+* :class:`~repro.mask.shape.MaskShape` — a target shape plus its pixel
+  sampling (the fracturing problem instance of paper §2).
+* :class:`~repro.mask.pixels.PixelSets` — the P_on / P_off / P_x
+  partition induced by the CD tolerance γ.
+* :class:`~repro.mask.constraints.FractureSpec` /
+  :func:`~repro.mask.constraints.check_solution` — the model parameters
+  and the Eq. 4 feasibility check.
+* :mod:`repro.mask.io` — JSON clip/solution serialization (OpenAccess
+  substitute).
+* :mod:`repro.mask.cost` — mask cost model (write time → cost, §1).
+* :mod:`repro.mask.mdp` — multi-shape mask-data-prep pipeline.
+"""
+
+from repro.mask.constraints import FailureReport, FractureSpec, check_solution
+from repro.mask.cost import MaskCostModel
+from repro.mask.pixels import PixelSets, classify_pixels
+from repro.mask.shape import MaskShape
+
+__all__ = [
+    "FailureReport",
+    "FractureSpec",
+    "MaskCostModel",
+    "MaskShape",
+    "PixelSets",
+    "check_solution",
+    "classify_pixels",
+]

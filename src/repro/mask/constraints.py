@@ -1,0 +1,135 @@
+"""Model parameters and the CD-feasibility check (paper §2, Eq. 4).
+
+A fracturing solution is feasible when every pixel in P_on receives total
+intensity ≥ ρ, every pixel in P_off receives < ρ, and every shot meets the
+minimum size L_min.  Pixels in the γ band P_x are don't-care.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ebeam.corner import compute_lth
+from repro.geometry.rect import Rect
+from repro.mask.pixels import PixelSets
+
+
+@dataclass(frozen=True, slots=True)
+class FractureSpec:
+    """Model-based fracturing parameters.
+
+    Defaults are the paper's experimental setup (§5): γ = 2 nm,
+    σ = 6.25 nm, Δp = 1 nm, fixed dose with print threshold ρ = 0.5, and
+    a 10 nm minimum shot size.
+    """
+
+    sigma: float = 6.25
+    gamma: float = 2.0
+    pitch: float = 1.0
+    rho: float = 0.5
+    lmin: float = 10.0
+
+    def __post_init__(self) -> None:
+        if min(self.sigma, self.gamma, self.pitch, self.lmin) <= 0.0:
+            raise ValueError("sigma, gamma, pitch and lmin must be positive")
+        if not 0.0 < self.rho < 1.0:
+            raise ValueError("rho must lie in (0, 1)")
+
+    @property
+    def lth(self) -> float:
+        """Longest 45° segment writable by corner rounding (paper Fig. 2)."""
+        return compute_lth(self.sigma, self.gamma, self.rho)
+
+    @property
+    def grid_margin(self) -> float:
+        """Padding the pixel grid needs around the target bounding box.
+
+        Shots may extend past the target by ~L_th/√2 and blur by 3σ, and
+        P_off pixels out to the blur reach constrain the solution.
+        """
+        return 4.0 * self.sigma + self.lth
+
+
+@dataclass(frozen=True, slots=True)
+class FailureReport:
+    """Where and how badly a solution violates Eq. 4.
+
+    ``fail_on`` / ``fail_off`` are boolean arrays on the shape's grid;
+    ``cost`` is the refinement objective Eq. 5: Σ |I_tot − ρ| over failing
+    pixels.
+    """
+
+    fail_on: np.ndarray
+    fail_off: np.ndarray
+    cost: float
+    undersize_shots: int = 0
+    _count_on: int = field(default=-1, repr=False)
+    _count_off: int = field(default=-1, repr=False)
+
+    @property
+    def count_on(self) -> int:
+        if self._count_on >= 0:
+            return self._count_on
+        return int(self.fail_on.sum())
+
+    @property
+    def count_off(self) -> int:
+        if self._count_off >= 0:
+            return self._count_off
+        return int(self.fail_off.sum())
+
+    @property
+    def total_failing(self) -> int:
+        return self.count_on + self.count_off
+
+    @property
+    def feasible(self) -> bool:
+        return self.total_failing == 0 and self.undersize_shots == 0
+
+
+def failure_report(
+    total_intensity: np.ndarray, pixels: PixelSets, rho: float
+) -> FailureReport:
+    """Evaluate Eq. 4 and the Eq. 5 cost over a precomputed I_tot array."""
+    fail_on = pixels.on & (total_intensity < rho)
+    fail_off = pixels.off & (total_intensity >= rho)
+    gap = np.abs(total_intensity - rho)
+    cost = float(gap[fail_on].sum() + gap[fail_off].sum())
+    return FailureReport(
+        fail_on=fail_on,
+        fail_off=fail_off,
+        cost=cost,
+        _count_on=int(fail_on.sum()),
+        _count_off=int(fail_off.sum()),
+    )
+
+
+def check_solution(
+    shots: list[Rect],
+    shape: "MaskShape",  # noqa: F821 — imported lazily to avoid a cycle
+    spec: FractureSpec,
+) -> FailureReport:
+    """Full feasibility check of a shot list against a target shape.
+
+    Builds I_tot from scratch (no incremental state), so it is the
+    authoritative verdict used by tests and the benchmark harness.
+    """
+    from repro.ebeam.intensity_map import IntensityMap
+
+    imap = IntensityMap(shape.grid, spec.sigma)
+    for shot in shots:
+        imap.add(shot)
+    report = failure_report(imap.total, shape.pixels(spec.gamma), spec.rho)
+    undersize = sum(1 for s in shots if not s.meets_min_size(spec.lmin - 1e-9))
+    if undersize:
+        report = FailureReport(
+            fail_on=report.fail_on,
+            fail_off=report.fail_off,
+            cost=report.cost,
+            undersize_shots=undersize,
+            _count_on=report.count_on,
+            _count_off=report.count_off,
+        )
+    return report

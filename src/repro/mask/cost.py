@@ -1,0 +1,59 @@
+"""Mask manufacturing cost model (paper §1).
+
+The paper's economics: mask write is ≈ 20 % of mask manufacturing cost
+[4], write time is proportional to shot count [3, 4] (write cost is
+dominated by e-beam tool depreciation, footnote 1), so a shot-count
+reduction of ``x`` translates to a mask cost reduction of ≈ ``0.2 · x``.
+A modern mask set costs more than a million dollars, which is what makes
+a 10 % shot reduction (→ ≈ 2 % mask cost) economically significant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ebeam.writer import VsbWriterModel
+
+
+@dataclass(frozen=True, slots=True)
+class MaskCostModel:
+    """Shot count → relative mask cost."""
+
+    write_cost_fraction: float = 0.20
+    mask_set_cost_usd: float = 1_500_000.0
+    writer: VsbWriterModel = VsbWriterModel()
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.write_cost_fraction <= 1.0:
+            raise ValueError("write cost fraction must be in (0, 1]")
+        if self.mask_set_cost_usd <= 0.0:
+            raise ValueError("mask set cost must be positive")
+
+    def relative_mask_cost(self, shot_ratio: float) -> float:
+        """Mask cost relative to a baseline, given the shot-count ratio.
+
+        ``shot_ratio`` = new shots / baseline shots.  Only the write
+        fraction of the cost scales with shots; the rest is fixed.
+        """
+        if shot_ratio < 0.0:
+            raise ValueError("shot ratio must be non-negative")
+        return (1.0 - self.write_cost_fraction) + self.write_cost_fraction * shot_ratio
+
+    def cost_saving_fraction(self, shot_reduction: float) -> float:
+        """Fractional mask-cost saving from a fractional shot reduction.
+
+        The paper's headline arithmetic: ``cost_saving_fraction(0.10)``
+        ≈ 0.02.
+        """
+        return 1.0 - self.relative_mask_cost(1.0 - shot_reduction)
+
+    def mask_set_saving_usd(self, shot_reduction: float) -> float:
+        return self.mask_set_cost_usd * self.cost_saving_fraction(shot_reduction)
+
+    def write_time_saving_hours(
+        self, baseline_shots: int, new_shots: int
+    ) -> float:
+        """Absolute write-time saving for a full mask."""
+        return self.writer.write_time_hours(baseline_shots) - self.writer.write_time_hours(
+            new_shots
+        )

@@ -1,0 +1,233 @@
+"""Minimal GDSII stream format reader/writer.
+
+GDSII is the de-facto interchange format for mask layout.  This module
+implements the small subset the MDP flow needs — one library, one
+structure, BOUNDARY elements for target polygons and (by convention on a
+separate layer) the rectangular shots of a solution — so clips and
+solutions can round-trip with real EDA tooling.
+
+Supported records: HEADER, BGNLIB, LIBNAME, UNITS, BGNSTR, STRNAME,
+BOUNDARY, LAYER, DATATYPE, XY, ENDEL, ENDSTR, ENDLIB.  Everything else
+is rejected loudly rather than skipped silently.
+
+Layer convention used by this library:
+
+* layer 1 — target mask polygons
+* layer 2 — e-beam shots (axis-parallel rectangles)
+
+Coordinates are stored in database units of 1 nm.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+
+TARGET_LAYER = 1
+SHOT_LAYER = 2
+
+# GDSII record types (subset).
+_HEADER = 0x0002
+_BGNLIB = 0x0102
+_LIBNAME = 0x0206
+_UNITS = 0x0305
+_BGNSTR = 0x0502
+_STRNAME = 0x0606
+_ENDSTR = 0x0700
+_BOUNDARY = 0x0800
+_LAYER = 0x0D02
+_DATATYPE = 0x0E02
+_XY = 0x1003
+_ENDEL = 0x1100
+_ENDLIB = 0x0400
+
+_KNOWN = {
+    _HEADER, _BGNLIB, _LIBNAME, _UNITS, _BGNSTR, _STRNAME, _ENDSTR,
+    _BOUNDARY, _LAYER, _DATATYPE, _XY, _ENDEL, _ENDLIB,
+}
+
+# A zeroed modification/access timestamp (12 int16 fields).
+_NULL_TIME = (0,) * 12
+
+
+@dataclass(slots=True)
+class GdsCell:
+    """One GDSII structure: named polygons per layer."""
+
+    name: str
+    polygons: list[tuple[int, Polygon]] = field(default_factory=list)
+
+    def on_layer(self, layer: int) -> list[Polygon]:
+        return [poly for lay, poly in self.polygons if lay == layer]
+
+    @property
+    def targets(self) -> list[Polygon]:
+        return self.on_layer(TARGET_LAYER)
+
+    @property
+    def shots(self) -> list[Rect]:
+        """Shot-layer polygons interpreted as their bounding rectangles."""
+        return [poly.bounding_box() for poly in self.on_layer(SHOT_LAYER)]
+
+
+class GdsError(ValueError):
+    """Malformed or unsupported GDSII content."""
+
+
+# -- writing ----------------------------------------------------------------
+
+
+def _record(rtype: int, payload: bytes = b"") -> bytes:
+    length = 4 + len(payload)
+    if length % 2:
+        raise GdsError("odd record length")
+    return struct.pack(">HH", length, rtype) + payload
+
+
+def _ascii(text: str) -> bytes:
+    data = text.encode("ascii")
+    if len(data) % 2:
+        data += b"\x00"
+    return data
+
+
+def _gds_real8(value: float) -> bytes:
+    """Excess-64 base-16 floating point, the GDSII 8-byte real."""
+    if value == 0.0:
+        return b"\x00" * 8
+    sign = 0
+    if value < 0.0:
+        sign = 0x80
+        value = -value
+    exponent = 64
+    mantissa = value
+    while mantissa >= 1.0:
+        mantissa /= 16.0
+        exponent += 1
+    while mantissa < 1.0 / 16.0:
+        mantissa *= 16.0
+        exponent -= 1
+    if not 0 <= exponent <= 127:
+        raise GdsError(f"real8 exponent out of range for {value}")
+    mantissa_bits = int(mantissa * (1 << 56))
+    return struct.pack(">B7s", sign | exponent, mantissa_bits.to_bytes(7, "big"))
+
+
+def _xy_payload(points: list[tuple[int, int]]) -> bytes:
+    return b"".join(struct.pack(">ii", x, y) for x, y in points)
+
+
+def write_gds(
+    cell: GdsCell,
+    path: str | Path,
+    library_name: str = "REPRO",
+    db_unit_m: float = 1e-9,
+) -> None:
+    """Write one cell to a GDSII stream file (1 nm database units)."""
+    chunks = [
+        _record(_HEADER, struct.pack(">h", 600)),
+        _record(_BGNLIB, struct.pack(">12h", *_NULL_TIME)),
+        _record(_LIBNAME, _ascii(library_name)),
+        # UNITS: db unit in user units (1e-3 um per nm), db unit in metres.
+        _record(_UNITS, _gds_real8(1e-3) + _gds_real8(db_unit_m)),
+        _record(_BGNSTR, struct.pack(">12h", *_NULL_TIME)),
+        _record(_STRNAME, _ascii(cell.name)),
+    ]
+    for layer, polygon in cell.polygons:
+        points = [(round(p.x), round(p.y)) for p in polygon.vertices]
+        points.append(points[0])  # GDSII closes boundaries explicitly
+        chunks += [
+            _record(_BOUNDARY),
+            _record(_LAYER, struct.pack(">h", layer)),
+            _record(_DATATYPE, struct.pack(">h", 0)),
+            _record(_XY, _xy_payload(points)),
+            _record(_ENDEL),
+        ]
+    chunks += [_record(_ENDSTR), _record(_ENDLIB)]
+    Path(path).write_bytes(b"".join(chunks))
+
+
+def write_solution_gds(
+    target: Polygon,
+    shots: list[Rect],
+    path: str | Path,
+    cell_name: str = "CLIP",
+) -> None:
+    """Target on layer 1, shots on layer 2 — the library's convention."""
+    cell = GdsCell(name=cell_name)
+    cell.polygons.append((TARGET_LAYER, target))
+    for shot in shots:
+        cell.polygons.append((SHOT_LAYER, Polygon.from_rect(shot)))
+    write_gds(cell, path)
+
+
+# -- reading -----------------------------------------------------------------
+
+
+def read_gds(path: str | Path) -> GdsCell:
+    """Read the first structure of a GDSII stream file.
+
+    Malformed input of any kind raises :class:`GdsError` — never a bare
+    ``struct.error`` or an index error.
+    """
+    data = Path(path).read_bytes()
+    try:
+        return _parse(data)
+    except GdsError:
+        raise
+    except (struct.error, UnicodeDecodeError, ValueError) as exc:
+        raise GdsError(f"malformed GDSII stream: {exc}") from exc
+
+
+def _parse(data: bytes) -> GdsCell:
+    offset = 0
+    cell: GdsCell | None = None
+    current_layer: int | None = None
+    in_boundary = False
+    pending_points: list[Point] | None = None
+
+    while offset < len(data):
+        if offset + 4 > len(data):
+            raise GdsError("truncated record header")
+        length, rtype = struct.unpack(">HH", data[offset : offset + 4])
+        if length < 4 or offset + length > len(data):
+            raise GdsError(f"bad record length {length} at offset {offset}")
+        payload = data[offset + 4 : offset + length]
+        offset += length
+
+        if rtype not in _KNOWN:
+            raise GdsError(f"unsupported GDSII record 0x{rtype:04X}")
+        if rtype == _BGNSTR:
+            if cell is not None:
+                raise GdsError("multiple structures are not supported")
+            cell = GdsCell(name="")
+        elif rtype == _STRNAME and cell is not None:
+            cell.name = payload.rstrip(b"\x00").decode("ascii")
+        elif rtype == _BOUNDARY:
+            in_boundary = True
+            current_layer = None
+            pending_points = None
+        elif rtype == _LAYER and in_boundary:
+            (current_layer,) = struct.unpack(">h", payload)
+        elif rtype == _XY and in_boundary:
+            count = len(payload) // 8
+            coords = struct.unpack(f">{2 * count}i", payload)
+            pending_points = [
+                Point(float(coords[2 * i]), float(coords[2 * i + 1]))
+                for i in range(count)
+            ]
+        elif rtype == _ENDEL and in_boundary:
+            if cell is None or current_layer is None or pending_points is None:
+                raise GdsError("BOUNDARY element missing LAYER or XY")
+            cell.polygons.append((current_layer, Polygon(pending_points)))
+            in_boundary = False
+        elif rtype == _ENDLIB:
+            break
+    if cell is None:
+        raise GdsError("no structure found")
+    return cell

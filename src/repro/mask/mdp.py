@@ -1,0 +1,148 @@
+"""Multi-shape mask data preparation pipeline.
+
+A full-field mask contains billions of polygons; each is fractured
+independently (paper §2).  :class:`MdpPipeline` is the batch driver a
+downstream user runs over a clip library: fracture every shape, verify,
+aggregate shot counts and write-time/cost projections, and optionally
+persist the solutions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from repro.fracture.base import FractureResult, Fracturer
+from repro.mask.constraints import FractureSpec
+from repro.mask.cost import MaskCostModel
+from repro.mask.io import save_solution
+from repro.mask.shape import MaskShape
+
+
+@dataclass(slots=True)
+class MdpReport:
+    """Aggregate outcome of an MDP batch run."""
+
+    results: list[FractureResult] = field(default_factory=list)
+
+    @property
+    def total_shots(self) -> int:
+        return sum(r.shot_count for r in self.results)
+
+    @property
+    def total_runtime_s(self) -> float:
+        return sum(r.runtime_s for r in self.results)
+
+    @property
+    def feasible_count(self) -> int:
+        return sum(1 for r in self.results if r.feasible)
+
+    @property
+    def all_feasible(self) -> bool:
+        return self.feasible_count == len(self.results)
+
+    def shots_per_shape(self) -> float:
+        if not self.results:
+            return 0.0
+        return self.total_shots / len(self.results)
+
+    def summary(self) -> str:
+        lines = [r.summary() for r in self.results]
+        lines.append(
+            f"total: {self.total_shots} shots over {len(self.results)} shapes, "
+            f"{self.feasible_count} feasible, {self.total_runtime_s:.1f}s"
+        )
+        return "\n".join(lines)
+
+
+class MdpPipeline:
+    """Fracture a batch of shapes and aggregate mask-level economics."""
+
+    def __init__(
+        self,
+        fracturer: Fracturer,
+        spec: FractureSpec = FractureSpec(),
+        cost_model: MaskCostModel = MaskCostModel(),
+    ):
+        self.fracturer = fracturer
+        self.spec = spec
+        self.cost_model = cost_model
+
+    def run(
+        self,
+        shapes: Sequence[MaskShape],
+        output_dir: str | Path | None = None,
+        verbose: bool = False,
+        workers: int = 1,
+    ) -> MdpReport:
+        """Fracture every shape; optionally persist per-shape solutions.
+
+        ``workers > 1`` fractures shapes in parallel processes — the
+        per-shape independence of mask fracturing (paper §2) makes the
+        batch embarrassingly parallel.  Results keep input order either
+        way.
+        """
+        report = MdpReport()
+        out = Path(output_dir) if output_dir is not None else None
+        if out is not None:
+            out.mkdir(parents=True, exist_ok=True)
+        if workers > 1 and len(shapes) > 1:
+            results = self._run_parallel(shapes, workers)
+        else:
+            results = [
+                self.fracturer.fracture(shape, self.spec) for shape in shapes
+            ]
+        for shape, result in zip(shapes, results):
+            report.results.append(result)
+            if verbose:
+                print(result.summary())
+            if out is not None:
+                save_solution(
+                    result.shots,
+                    self.spec,
+                    out / f"{shape.name or 'shape'}.solution.json",
+                    clip_name=shape.name,
+                    metadata={
+                        "method": result.method,
+                        "runtime_s": result.runtime_s,
+                        "failing_pixels": result.report.total_failing,
+                    },
+                )
+        return report
+
+    def _run_parallel(
+        self, shapes: Sequence[MaskShape], workers: int
+    ) -> list[FractureResult]:
+        from concurrent.futures import ProcessPoolExecutor
+
+        jobs = [(self.fracturer, shape, self.spec) for shape in shapes]
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_fracture_job, jobs))
+
+    def projected_saving(
+        self, baseline: MdpReport, improved: MdpReport
+    ) -> dict[str, float]:
+        """Mask-level economics of an improved fracturing flow.
+
+        Extrapolates the per-shape average shot reduction to a full mask
+        using the cost model (paper §1: 10 % fewer shots ≈ 2 % mask cost).
+        """
+        base = baseline.total_shots
+        new = improved.total_shots
+        if base <= 0:
+            raise ValueError("baseline has no shots")
+        reduction = 1.0 - new / base
+        return {
+            "shot_reduction": reduction,
+            "mask_cost_saving_fraction": self.cost_model.cost_saving_fraction(
+                reduction
+            ),
+            "mask_set_saving_usd": self.cost_model.mask_set_saving_usd(reduction),
+        }
+
+
+def _fracture_job(job: tuple) -> FractureResult:
+    """Module-level worker so ProcessPoolExecutor can pickle the call."""
+    fracturer, shape, spec = job
+    return fracturer.fracture(shape, spec)

@@ -1,0 +1,12 @@
+"""Minimal SVG rendering for shapes, shots and paper figures.
+
+No plotting dependency is available offline, so figures are emitted as
+hand-built SVG: :class:`~repro.viz.svg.SvgCanvas` is a tiny element
+builder and :mod:`repro.viz.render` knows how to draw mask shapes, shot
+lists and intensity contours with it.
+"""
+
+from repro.viz.render import render_fracture, render_polygon_overlay
+from repro.viz.svg import SvgCanvas
+
+__all__ = ["SvgCanvas", "render_fracture", "render_polygon_overlay"]

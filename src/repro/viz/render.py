@@ -1,0 +1,115 @@
+"""Ready-made renderings: target + shots, polygon overlays, contours."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+from repro.mask.shape import MaskShape
+from repro.viz.svg import SvgCanvas
+
+# Qualitative palette used to distinguish shots/cliques.
+PALETTE = (
+    "#4477aa", "#ee6677", "#228833", "#ccbb44",
+    "#66ccee", "#aa3377", "#bbbbbb", "#e07b39",
+)
+
+
+def canvas_for_shape(shape: MaskShape, scale: float = 2.0) -> SvgCanvas:
+    bbox = shape.polygon.bounding_box()
+    return SvgCanvas(bbox.xbl, bbox.ybl, bbox.xtr, bbox.ytr, scale=scale, padding=25.0)
+
+
+def draw_target(canvas: SvgCanvas, shape: MaskShape, fill: str = "#dddddd") -> None:
+    canvas.polygon(
+        [(p.x, p.y) for p in shape.polygon.vertices],
+        fill=fill,
+        stroke="#555555",
+        stroke_width=1.0,
+        opacity=0.9,
+    )
+
+
+def draw_shots(
+    canvas: SvgCanvas, shots: list[Rect], colorize: bool = True
+) -> None:
+    for index, shot in enumerate(shots):
+        color = PALETTE[index % len(PALETTE)] if colorize else "#4477aa"
+        canvas.rect(
+            shot.xbl, shot.ybl, shot.xtr, shot.ytr,
+            fill=color, stroke=color, stroke_width=1.2, opacity=0.25,
+        )
+
+
+def render_fracture(
+    shape: MaskShape, shots: list[Rect], title: str = "", scale: float = 2.0
+) -> str:
+    """Target shape with the shot solution overlaid (shot count labeled)."""
+    canvas = canvas_for_shape(shape, scale)
+    draw_target(canvas, shape)
+    draw_shots(canvas, shots)
+    bbox = shape.polygon.bounding_box()
+    label = title or f"{shape.name}: {len(shots)} shots"
+    canvas.text(bbox.xbl, bbox.ytr + 12.0, label, size_px=14.0)
+    return canvas.to_string()
+
+
+def render_polygon_overlay(
+    shape: MaskShape,
+    overlays: list[tuple[Polygon, str]],
+    points: list[tuple[float, float, str]] | None = None,
+    title: str = "",
+    scale: float = 2.0,
+) -> str:
+    """Target with extra polygons (e.g. RDP approximations) and markers."""
+    canvas = canvas_for_shape(shape, scale)
+    draw_target(canvas, shape)
+    for polygon, color in overlays:
+        pts = [(p.x, p.y) for p in polygon.vertices]
+        pts.append(pts[0])
+        canvas.polyline(pts, stroke=color, stroke_width=1.5)
+    for x, y, color in points or []:
+        canvas.circle(x, y, radius_px=3.0, fill=color)
+    bbox = shape.polygon.bounding_box()
+    if title:
+        canvas.text(bbox.xbl, bbox.ytr + 12.0, title, size_px=14.0)
+    return canvas.to_string()
+
+
+def intensity_contour(
+    total: np.ndarray, grid, level: float
+) -> list[list[tuple[float, float]]]:
+    """ρ-contour segments of an intensity field (marching-squares light).
+
+    Returns short line-segment chains suitable for polyline drawing —
+    enough to visualize printed contours in Figure 2 without a plotting
+    library.
+    """
+    segments: list[list[tuple[float, float]]] = []
+    above = total >= level
+    ny, nx = above.shape
+    xs = grid.x_centers()
+    ys = grid.y_centers()
+    for iy in range(ny - 1):
+        for ix in range(nx - 1):
+            square = (
+                above[iy, ix], above[iy, ix + 1],
+                above[iy + 1, ix + 1], above[iy + 1, ix],
+            )
+            if all(square) or not any(square):
+                continue
+            crossings = []
+            corners = [
+                (xs[ix], ys[iy], total[iy, ix]),
+                (xs[ix + 1], ys[iy], total[iy, ix + 1]),
+                (xs[ix + 1], ys[iy + 1], total[iy + 1, ix + 1]),
+                (xs[ix], ys[iy + 1], total[iy + 1, ix]),
+            ]
+            for (x1, y1, v1), (x2, y2, v2) in zip(corners, corners[1:] + corners[:1]):
+                if (v1 >= level) != (v2 >= level):
+                    t = (level - v1) / (v2 - v1)
+                    crossings.append((x1 + t * (x2 - x1), y1 + t * (y2 - y1)))
+            if len(crossings) >= 2:
+                segments.append(crossings[:2])
+    return segments

@@ -1,0 +1,155 @@
+"""A tiny SVG document builder (enough for the paper's figures)."""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape
+
+
+class SvgCanvas:
+    """Accumulates SVG elements in mask-plane coordinates.
+
+    The mask plane has y growing upward; SVG has y growing downward, so
+    the canvas flips y at emit time.  All coordinates are nanometres and
+    ``scale`` maps them to SVG pixels.
+    """
+
+    def __init__(
+        self,
+        x_min: float,
+        y_min: float,
+        x_max: float,
+        y_max: float,
+        scale: float = 2.0,
+        padding: float = 10.0,
+    ):
+        if x_max <= x_min or y_max <= y_min:
+            raise ValueError("canvas extent must be non-degenerate")
+        self.x_min = x_min - padding
+        self.y_min = y_min - padding
+        self.x_max = x_max + padding
+        self.y_max = y_max + padding
+        self.scale = scale
+        self._elements: list[str] = []
+
+    # -- coordinate mapping -------------------------------------------------
+
+    def _tx(self, x: float) -> float:
+        return (x - self.x_min) * self.scale
+
+    def _ty(self, y: float) -> float:
+        return (self.y_max - y) * self.scale
+
+    # -- elements ----------------------------------------------------------
+
+    def rect(
+        self,
+        xbl: float,
+        ybl: float,
+        xtr: float,
+        ytr: float,
+        fill: str = "none",
+        stroke: str = "black",
+        stroke_width: float = 1.0,
+        opacity: float = 1.0,
+        dash: str | None = None,
+    ) -> None:
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._elements.append(
+            f'<rect x="{self._tx(xbl):.2f}" y="{self._ty(ytr):.2f}" '
+            f'width="{(xtr - xbl) * self.scale:.2f}" '
+            f'height="{(ytr - ybl) * self.scale:.2f}" '
+            f'fill="{fill}" stroke="{stroke}" stroke-width="{stroke_width}" '
+            f'fill-opacity="{opacity}"{dash_attr}/>'
+        )
+
+    def polygon(
+        self,
+        points: list[tuple[float, float]],
+        fill: str = "none",
+        stroke: str = "black",
+        stroke_width: float = 1.0,
+        opacity: float = 1.0,
+    ) -> None:
+        coords = " ".join(f"{self._tx(x):.2f},{self._ty(y):.2f}" for x, y in points)
+        self._elements.append(
+            f'<polygon points="{coords}" fill="{fill}" stroke="{stroke}" '
+            f'stroke-width="{stroke_width}" fill-opacity="{opacity}"/>'
+        )
+
+    def polyline(
+        self,
+        points: list[tuple[float, float]],
+        stroke: str = "black",
+        stroke_width: float = 1.0,
+        dash: str | None = None,
+    ) -> None:
+        coords = " ".join(f"{self._tx(x):.2f},{self._ty(y):.2f}" for x, y in points)
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._elements.append(
+            f'<polyline points="{coords}" fill="none" stroke="{stroke}" '
+            f'stroke-width="{stroke_width}"{dash_attr}/>'
+        )
+
+    def circle(
+        self,
+        x: float,
+        y: float,
+        radius_px: float = 3.0,
+        fill: str = "black",
+        stroke: str = "none",
+    ) -> None:
+        self._elements.append(
+            f'<circle cx="{self._tx(x):.2f}" cy="{self._ty(y):.2f}" '
+            f'r="{radius_px:.2f}" fill="{fill}" stroke="{stroke}"/>'
+        )
+
+    def text(
+        self,
+        x: float,
+        y: float,
+        content: str,
+        size_px: float = 12.0,
+        fill: str = "black",
+        anchor: str = "start",
+    ) -> None:
+        self._elements.append(
+            f'<text x="{self._tx(x):.2f}" y="{self._ty(y):.2f}" '
+            f'font-size="{size_px}" fill="{fill}" text-anchor="{anchor}" '
+            f'font-family="sans-serif">{escape(content)}</text>'
+        )
+
+    def line(
+        self,
+        x1: float,
+        y1: float,
+        x2: float,
+        y2: float,
+        stroke: str = "black",
+        stroke_width: float = 1.0,
+        dash: str | None = None,
+    ) -> None:
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        self._elements.append(
+            f'<line x1="{self._tx(x1):.2f}" y1="{self._ty(y1):.2f}" '
+            f'x2="{self._tx(x2):.2f}" y2="{self._ty(y2):.2f}" '
+            f'stroke="{stroke}" stroke-width="{stroke_width}"{dash_attr}/>'
+        )
+
+    # -- output --------------------------------------------------------------
+
+    def to_string(self) -> str:
+        width = (self.x_max - self.x_min) * self.scale
+        height = (self.y_max - self.y_min) * self.scale
+        body = "\n  ".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{width:.0f}" height="{height:.0f}" '
+            f'viewBox="0 0 {width:.0f} {height:.0f}">\n  '
+            f'<rect width="100%" height="100%" fill="white"/>\n  '
+            f"{body}\n</svg>\n"
+        )
+
+    def save(self, path) -> None:
+        from pathlib import Path
+
+        Path(path).write_text(self.to_string())

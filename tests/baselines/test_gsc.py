@@ -1,0 +1,63 @@
+"""Unit tests for the greedy set cover baseline."""
+
+from repro.baselines.gsc import GreedySetCoverFracturer, _grow_max_rect
+from repro.geometry.rect import Rect
+
+
+class TestGrowMaxRect:
+    def test_grows_to_region_bounds(self, rect_shape, spec):
+        seed = rect_shape.grid.index_of(rect_shape.polygon.centroid())
+        rect = _grow_max_rect(rect_shape.inside, rect_shape, seed, spec.lmin)
+        assert rect is not None
+        # The rectangle should essentially fill the 60x40 target.
+        assert rect.width >= 55 and rect.height >= 35
+
+    def test_seed_outside_region_none(self, rect_shape, spec):
+        rect = _grow_max_rect(rect_shape.inside, rect_shape, (0, 0), spec.lmin)
+        assert rect is None
+
+    def test_respects_concavity(self, l_shape, spec):
+        # Seed deep in the vertical arm: growth must not cross the notch.
+        seed = l_shape.grid.index_of(l_shape.polygon.vertices[0])
+        from repro.geometry.point import Point
+
+        seed = l_shape.grid.index_of(Point(20.0, 60.0))
+        rect = _grow_max_rect(l_shape.inside, l_shape, seed, spec.lmin)
+        assert rect is not None
+        assert rect.xtr <= 41.0
+
+    def test_enforces_min_size(self, rect_shape, spec):
+        from repro.geometry.point import Point
+
+        seed = rect_shape.grid.index_of(Point(30.0, 20.0))
+        rect = _grow_max_rect(rect_shape.inside, rect_shape, seed, spec.lmin)
+        assert rect is not None and rect.meets_min_size(spec.lmin)
+
+
+class TestGscFracturing:
+    def test_rectangle_single_shot(self, rect_shape, spec):
+        result = GreedySetCoverFracturer().fracture(rect_shape, spec)
+        assert 1 <= result.shot_count <= 3
+
+    def test_covers_all_on_pixels_or_stops(self, l_shape, spec):
+        result = GreedySetCoverFracturer().fracture(l_shape, spec)
+        # GSC keeps adding while net gain is positive; the L is easy
+        # enough that on-coverage should complete.
+        assert result.report.count_on <= 5
+
+    def test_shot_cap_respected(self, blob_shape, spec):
+        result = GreedySetCoverFracturer(max_shots=3).fracture(blob_shape, spec)
+        assert result.shot_count <= 3
+
+    def test_shots_meet_min_size(self, blob_shape, spec):
+        result = GreedySetCoverFracturer().fracture(blob_shape, spec)
+        assert all(s.meets_min_size(spec.lmin - 1e-9) for s in result.shots)
+
+    def test_more_shots_than_ours_on_curvy(self, blob_shape, spec):
+        """The headline ordering: GSC needs at least as many shots as the
+        coloring + refinement method on a curvy shape."""
+        from repro.fracture.pipeline import ModelBasedFracturer
+
+        gsc = GreedySetCoverFracturer().fracture(blob_shape, spec)
+        ours = ModelBasedFracturer().fracture(blob_shape, spec)
+        assert gsc.shot_count >= ours.shot_count

@@ -1,0 +1,53 @@
+"""Unit tests for the matching pursuit baseline."""
+
+import numpy as np
+
+from repro.baselines.matching_pursuit import (
+    MatchingPursuitFracturer,
+    _densify,
+    _intervals,
+)
+
+
+class TestLatticeHelpers:
+    def test_densify_inserts_intermediate_coords(self):
+        out = _densify([0.0, 40.0], spacing=8.0)
+        assert out[0] == 0.0 and out[-1] == 40.0
+        assert len(out) >= 5
+        assert (np.diff(out) <= 8.0 + 1e-9).all()
+
+    def test_densify_keeps_close_coords(self):
+        out = _densify([0.0, 5.0, 9.0], spacing=8.0)
+        assert list(out) == [0.0, 5.0, 9.0]
+
+    def test_intervals_respect_lmin(self):
+        pairs = _intervals(np.array([0.0, 5.0, 12.0, 30.0]), lmin=10.0)
+        assert (0.0, 5.0) not in pairs
+        assert (0.0, 12.0) in pairs
+        assert all(hi - lo >= 10.0 for lo, hi in pairs)
+
+
+class TestMpFracturing:
+    def test_rectangle_one_or_two_shots(self, rect_shape, spec):
+        result = MatchingPursuitFracturer().fracture(rect_shape, spec)
+        assert 1 <= result.shot_count <= 3
+
+    def test_shot_cap(self, blob_shape, spec):
+        result = MatchingPursuitFracturer(max_shots=4).fracture(blob_shape, spec)
+        assert result.shot_count <= 4
+
+    def test_shots_on_feature_lattice(self, rect_shape, spec):
+        result = MatchingPursuitFracturer().fracture(rect_shape, spec)
+        for shot in result.shots:
+            assert shot.meets_min_size(spec.lmin - 1e-9)
+
+    def test_dictionary_size_reported(self, rect_shape, spec):
+        result = MatchingPursuitFracturer().fracture(rect_shape, spec)
+        assert result.extra["dictionary_size"] > 0
+
+    def test_off_penalty_controls_overexposure(self, l_shape, spec):
+        """Without the off-target penalty MP greedily overexposes the
+        notch; with it the off-failure count drops."""
+        lax = MatchingPursuitFracturer(off_penalty=0.0).fracture(l_shape, spec)
+        strict = MatchingPursuitFracturer(off_penalty=0.9).fracture(l_shape, spec)
+        assert strict.report.count_off <= lax.report.count_off

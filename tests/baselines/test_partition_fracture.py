@@ -1,0 +1,59 @@
+"""Unit tests for the conventional partition baseline."""
+
+import pytest
+
+from repro.baselines.partition_fracture import PartitionFracturer
+
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionFracturer(engine="quantum")
+
+    def test_auto_uses_optimal_for_small_rectilinear(self, rect_shape, spec):
+        result = PartitionFracturer().fracture(rect_shape, spec)
+        assert result.extra["engine"] == "optimal"
+        assert result.shot_count == 1
+
+    def test_auto_uses_scanline_for_big_contours(self, spec):
+        from repro.geometry.polygon import Polygon
+        from repro.mask.shape import MaskShape
+
+        # A 100-step staircase: 202 vertices, beyond the optimal-engine
+        # threshold.
+        verts = [(0.0, 0.0), (300.0, 0.0)]
+        for k in range(100):
+            x = 300.0 - 3.0 * k
+            verts += [(x, 20.0 + 2.0 * k), (x - 3.0, 20.0 + 2.0 * k)]
+        verts += [(0.0, 220.0)]
+        shape = MaskShape.from_polygon(Polygon(verts), margin=10.0, name="stairs")
+        result = PartitionFracturer().fracture(shape, spec)
+        assert result.extra["engine"] == "scanline"
+
+    def test_forced_scanline(self, rect_shape, spec):
+        result = PartitionFracturer(engine="scanline").fracture(rect_shape, spec)
+        assert result.extra["engine"] == "scanline"
+        assert result.shot_count == 1
+
+
+class TestConventionalWeakness:
+    def test_l_shape_optimal_two(self, l_shape, spec):
+        result = PartitionFracturer().fracture(l_shape, spec)
+        assert result.shot_count == 2
+
+    def test_curvy_shape_explodes(self, blob_shape, spec):
+        """The motivating observation: geometric partitioning needs far
+        more shots than model-based methods on ILT contours."""
+        from repro.fracture.pipeline import ModelBasedFracturer, RefineConfig
+
+        partition = PartitionFracturer().fracture(blob_shape, spec)
+        ours = ModelBasedFracturer(config=RefineConfig.fast()).fracture(
+            blob_shape, spec
+        )
+        assert partition.shot_count > 3 * ours.shot_count
+
+    def test_partition_produces_slivers_on_staircase(self, blob_shape, spec):
+        """Pixel-level partitioning violates the writer's Lmin — the
+        sliver problem of [6, 7]."""
+        result = PartitionFracturer().fracture(blob_shape, spec)
+        assert result.report.undersize_shots > 0

@@ -1,0 +1,33 @@
+"""Unit tests for the PROTO-EDA proxy."""
+
+from repro.baselines.proto_eda import ProtoEdaFracturer
+
+
+class TestProtoEda:
+    def test_rectangle_feasible(self, rect_shape, spec):
+        result = ProtoEdaFracturer().fracture(rect_shape, spec)
+        assert result.feasible
+        assert result.shot_count <= 3
+
+    def test_iteration_budget_respected(self, blob_shape, spec):
+        result = ProtoEdaFracturer(nmax=5).fracture(blob_shape, spec)
+        assert result.extra["iterations"] <= 5
+
+    def test_loose_termination_leaves_failures_on_hard_shapes(self, blob_shape, spec):
+        """With a permissive stop threshold the proxy may terminate with
+        failing pixels — the published PROTO-EDA behaviour on wavy
+        shapes."""
+        loose = ProtoEdaFracturer(nmax=40, failing_fraction_stop=0.05)
+        result = loose.fracture(blob_shape, spec)
+        pixels = blob_shape.pixels(spec.gamma)
+        assert result.report.total_failing <= 0.05 * pixels.count_on + 50
+
+    def test_uses_conservative_graph_config(self):
+        proxy = ProtoEdaFracturer()
+        assert proxy.graph.min_overlap > 0.8
+        assert proxy.graph.coloring_strategy == "given"
+
+    def test_diagnostics_include_stage1(self, rect_shape, spec):
+        result = ProtoEdaFracturer().fracture(rect_shape, spec)
+        assert "corner_points" in result.extra
+        assert "stop_threshold" in result.extra

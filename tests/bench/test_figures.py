@@ -1,0 +1,32 @@
+"""Unit tests for the paper-figure renderers."""
+
+import pytest
+
+from repro.bench.figures import FIGURES, render_figure
+
+
+class TestRenderFigure:
+    @pytest.mark.parametrize("number", sorted(FIGURES))
+    def test_every_figure_is_valid_svg(self, number):
+        svg = render_figure(number)
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert f"Fig.{number}" in svg
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValueError):
+            render_figure(6)
+
+    def test_figure2_shows_lth_value(self, spec):
+        svg = render_figure(2, spec)
+        assert f"Lth = {spec.lth:.1f}" in svg
+
+    def test_figure1_reports_vertex_reduction(self):
+        svg = render_figure(1)
+        assert "RDP (" in svg and "corner points" in svg
+
+    def test_figures_parse_as_xml(self):
+        import xml.etree.ElementTree as ET
+
+        for number in FIGURES:
+            ET.fromstring(render_figure(number))

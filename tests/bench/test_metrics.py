@@ -1,0 +1,43 @@
+"""Unit tests for solution metrics."""
+
+import pytest
+
+from repro.bench.metrics import solution_metrics
+from repro.geometry.rect import Rect
+
+
+class TestSolutionMetrics:
+    def test_empty_solution(self, rect_shape, spec):
+        metrics = solution_metrics([], rect_shape, spec)
+        assert metrics.shot_count == 0
+        assert metrics.overlap_ratio == 0.0
+        assert metrics.write_time_s == 0.0
+
+    def test_single_shot(self, rect_shape, spec):
+        metrics = solution_metrics([Rect(0, 0, 60, 40)], rect_shape, spec)
+        assert metrics.shot_count == 1
+        assert metrics.overlap_ratio == pytest.approx(1.0)
+        assert metrics.min_shot_side == 40.0
+        assert metrics.max_shot_side == 60.0
+        assert metrics.sliver_count == 0
+
+    def test_overlap_ratio_counts_double_exposure(self, rect_shape, spec):
+        shots = [Rect(0, 0, 40, 40), Rect(20, 0, 60, 40)]
+        metrics = solution_metrics(shots, rect_shape, spec)
+        assert metrics.overlap_ratio == pytest.approx(3200 / 2400)
+
+    def test_sliver_detection(self, rect_shape, spec):
+        shots = [Rect(0, 0, 60, 40), Rect(0, 0, 5, 40)]
+        metrics = solution_metrics(shots, rect_shape, spec)
+        assert metrics.sliver_count == 1
+
+    def test_coverage_ratio_overhang(self, rect_shape, spec):
+        metrics = solution_metrics([Rect(-10, -10, 70, 50)], rect_shape, spec)
+        assert metrics.coverage_ratio > 1.0
+
+    def test_write_time_proportional_to_shots(self, rect_shape, spec):
+        one = solution_metrics([Rect(0, 0, 60, 40)], rect_shape, spec)
+        two = solution_metrics(
+            [Rect(0, 0, 30, 40), Rect(30, 0, 60, 40)], rect_shape, spec
+        )
+        assert two.write_time_s == pytest.approx(2 * one.write_time_s)

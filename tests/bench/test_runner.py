@@ -1,0 +1,81 @@
+"""Unit tests for the suite runner and result aggregation."""
+
+import pytest
+
+from repro.baselines import PartitionFracturer
+from repro.bench.runner import ClipResult, SuiteResult, run_suite
+from repro.bench.shapes import rgb_suite
+from repro.fracture.graph_color import GraphColoringFracturer
+
+
+@pytest.fixture(scope="module")
+def small_suite(spec_module):
+    return run_suite(
+        rgb_suite()[:2],
+        [PartitionFracturer(), GraphColoringFracturer()],
+        spec_module,
+    )
+
+
+@pytest.fixture(scope="module")
+def spec_module():
+    from repro.mask.constraints import FractureSpec
+
+    return FractureSpec()
+
+
+class TestRunSuite:
+    def test_all_clips_and_methods_present(self, small_suite):
+        assert len(small_suite.clips) == 2
+        assert small_suite.methods() == ["PARTITION", "GC-INIT"]
+        for clip in small_suite.clips:
+            assert set(clip.results) == {"PARTITION", "GC-INIT"}
+
+    def test_known_optimal_propagated(self, small_suite):
+        assert small_suite.clips[0].optimal == 5  # RGB-1
+
+    def test_normalization_uses_optimal(self, small_suite):
+        clip = small_suite.clips[0]
+        norm = clip.normalized_shot_count("PARTITION")
+        assert norm == clip.results["PARTITION"].shot_count / 5
+
+    def test_sum_normalized(self, small_suite):
+        total = small_suite.sum_normalized("PARTITION")
+        parts = sum(
+            c.normalized_shot_count("PARTITION") for c in small_suite.clips
+        )
+        assert total == pytest.approx(parts)
+
+    def test_totals(self, small_suite):
+        assert small_suite.total_shots("PARTITION") == sum(
+            c.results["PARTITION"].shot_count for c in small_suite.clips
+        )
+        assert small_suite.total_runtime("PARTITION") >= 0.0
+
+
+class TestClipResult:
+    def test_missing_method_none(self):
+        clip = ClipResult(shape_name="x", results={}, optimal=5)
+        assert clip.normalized_shot_count("nope") is None
+
+    def test_no_reference_none(self):
+        clip = ClipResult(shape_name="x", results={})
+        assert clip.normalized_shot_count("any") is None
+
+    def test_upper_bound_fallback(self, small_suite):
+        clip = small_suite.clips[0]
+        fallback = ClipResult(
+            shape_name=clip.shape_name,
+            results=clip.results,
+            upper_bound=7,
+        )
+        norm = fallback.normalized_shot_count("PARTITION")
+        assert norm == clip.results["PARTITION"].shot_count / 7
+
+
+class TestSuiteResultEdgeCases:
+    def test_empty_suite(self):
+        suite = SuiteResult()
+        assert suite.methods() == []
+        assert suite.sum_normalized("x") is None
+        assert suite.total_shots("x") == 0

@@ -1,0 +1,135 @@
+"""Unit tests for the benchmark shape generators."""
+
+import numpy as np
+import pytest
+
+from repro.bench.shapes import (
+    AGB_OPTIMA,
+    RGB_OPTIMA,
+    agb_suite,
+    ilt_suite,
+    rgb_suite,
+)
+from repro.ebeam.intensity_map import IntensityMap
+from repro.mask.constraints import FractureSpec, check_solution
+
+
+@pytest.fixture(scope="module")
+def ilt_shapes():
+    return ilt_suite()
+
+
+@pytest.fixture(scope="module")
+def known_shapes():
+    return agb_suite() + rgb_suite()
+
+
+class TestIltSuite:
+    def test_ten_clips_named(self, ilt_shapes):
+        assert len(ilt_shapes) == 10
+        assert [s.name for s in ilt_shapes] == [f"ILT-{i}" for i in range(1, 11)]
+
+    def test_deterministic(self, ilt_shapes):
+        again = ilt_suite()
+        for a, b in zip(ilt_shapes, again):
+            assert np.array_equal(a.inside, b.inside)
+
+    def test_curvilinear_character(self, ilt_shapes):
+        """ILT contours have many vertices — pixel-level curvature."""
+        assert all(s.vertex_count > 50 for s in ilt_shapes)
+
+    def test_single_connected_polygon(self, ilt_shapes):
+        from repro.geometry.labeling import label_components
+
+        for shape in ilt_shapes:
+            _, count = label_components(shape.inside)
+            assert count == 1
+
+    def test_reasonable_sizes(self, ilt_shapes):
+        for shape in ilt_shapes:
+            assert 3_000 < shape.area < 60_000  # nm²
+
+    def test_mrc_no_thin_necks(self, ilt_shapes):
+        """MRC cleanup guarantees a disc of radius ~5 fits everywhere:
+        erosion by radius 4 must keep every region non-trivial."""
+        from scipy.ndimage import binary_erosion
+
+        span = np.arange(-4, 5)
+        disc = (span[:, None] ** 2 + span[None, :] ** 2) <= 16
+        for shape in ilt_shapes:
+            eroded = binary_erosion(shape.inside, structure=disc)
+            assert eroded.sum() > 0.2 * shape.inside.sum()
+
+
+class TestKnownOptimalSuites:
+    def test_counts_match_table3(self, known_shapes):
+        assert tuple(k.optimal_shots for k in known_shapes[:5]) == AGB_OPTIMA
+        assert tuple(k.optimal_shots for k in known_shapes[5:]) == RGB_OPTIMA
+
+    def test_names(self, known_shapes):
+        names = [k.shape.name for k in known_shapes]
+        assert names[:5] == [f"AGB-{i}" for i in range(1, 6)]
+        assert names[5:] == [f"RGB-{i}" for i in range(1, 6)]
+
+    def test_generator_shots_reproduce_shape(self, known_shapes, spec):
+        """The construction guarantee: the K generator shots are a
+        feasible solution of the generated instance."""
+        for ko in known_shapes:
+            report = check_solution(list(ko.generator_shots), ko.shape, spec)
+            assert report.feasible, f"{ko.shape.name}: {report.total_failing} failing"
+
+    def test_generator_shots_meet_min_size(self, known_shapes, spec):
+        for ko in known_shapes:
+            assert all(
+                s.meets_min_size(spec.lmin - 1e-9) for s in ko.generator_shots
+            )
+
+    def test_target_is_rho_contour(self, known_shapes, spec):
+        """Inside mask equals {I_tot >= rho} of the generator shots (up
+        to the largest-component filter)."""
+        ko = known_shapes[0]
+        imap = IntensityMap(ko.shape.grid, spec.sigma)
+        for shot in ko.generator_shots:
+            imap.add(shot)
+        contour_mask = imap.total >= spec.rho
+        overlap = (contour_mask & ko.shape.inside).sum()
+        assert overlap >= 0.99 * ko.shape.inside.sum()
+
+    def test_deterministic(self, known_shapes):
+        again = agb_suite() + rgb_suite()
+        for a, b in zip(known_shapes, again):
+            assert a.generator_shots == b.generator_shots
+
+
+class TestSrafSuite:
+    def test_five_clips(self):
+        from repro.bench.shapes import sraf_suite
+
+        shapes = sraf_suite()
+        assert [s.name for s in shapes] == [f"SRAF-{i}" for i in range(1, 6)]
+
+    def test_skinny_geometry(self):
+        from repro.bench.shapes import sraf_suite
+
+        for shape in sraf_suite():
+            bbox = shape.polygon.bounding_box()
+            aspect = max(bbox.width, bbox.height) / min(bbox.width, bbox.height)
+            assert aspect > 3.0  # bars, not blobs
+
+    def test_deterministic(self):
+        from repro.bench.shapes import sraf_suite
+
+        a = sraf_suite()
+        b = sraf_suite()
+        for x, y in zip(a, b):
+            assert np.array_equal(x.inside, y.inside)
+
+    def test_fracturable(self, spec):
+        from repro.bench.shapes import sraf_suite
+        from repro.fracture.pipeline import ModelBasedFracturer, RefineConfig
+
+        shape = sraf_suite()[0]
+        result = ModelBasedFracturer(config=RefineConfig.fast()).fracture(
+            shape, spec
+        )
+        assert result.shot_count <= 6

@@ -1,0 +1,90 @@
+"""Unit tests for table formatting."""
+
+import numpy as np
+import pytest
+
+from repro.bench.runner import ClipResult, SuiteResult
+from repro.bench.tables import format_table2, format_table3
+from repro.fracture.base import FractureResult
+from repro.geometry.rect import Rect
+from repro.mask.constraints import FailureReport
+
+
+def _result(method: str, shots: int, runtime: float, failing: int = 0) -> FractureResult:
+    fail = np.zeros((4, 4), dtype=bool)
+    fail.flat[:failing] = True
+    return FractureResult(
+        method=method,
+        shape_name="clip",
+        shots=[Rect(0, 0, 10, 10)] * shots,
+        runtime_s=runtime,
+        report=FailureReport(
+            fail_on=fail, fail_off=np.zeros_like(fail), cost=float(failing)
+        ),
+    )
+
+
+@pytest.fixture()
+def suite() -> SuiteResult:
+    suite = SuiteResult()
+    suite.clips.append(
+        ClipResult(
+            shape_name="ILT-1",
+            results={"GSC": _result("GSC", 14, 0.5), "OURS": _result("OURS", 6, 1.0)},
+            lower_bound=3,
+            upper_bound=4,
+        )
+    )
+    suite.clips.append(
+        ClipResult(
+            shape_name="ILT-2",
+            results={
+                "GSC": _result("GSC", 18, 3.0),
+                "OURS": _result("OURS", 13, 1.5, failing=2),
+            },
+            lower_bound=5,
+            upper_bound=9,
+        )
+    )
+    return suite
+
+
+class TestTable2:
+    def test_contains_all_rows(self, suite):
+        text = format_table2(suite)
+        assert "ILT-1" in text and "ILT-2" in text
+        assert "3/4" in text and "5/9" in text
+        assert "Sum norm." in text
+
+    def test_normalized_sum_value(self, suite):
+        text = format_table2(suite)
+        expected = 14 / 4 + 18 / 9
+        assert f"{expected:.2f}" in text
+
+    def test_failing_marker(self, suite):
+        assert "13*2" in format_table2(suite)
+
+    def test_method_selection(self, suite):
+        text = format_table2(suite, methods=["OURS"])
+        assert "GSC" not in text
+
+
+class TestTable3:
+    def _known_suite(self) -> SuiteResult:
+        suite = SuiteResult()
+        suite.clips.append(
+            ClipResult(
+                shape_name="AGB-1",
+                results={"OURS": _result("OURS", 5, 0.1)},
+                optimal=3,
+            )
+        )
+        return suite
+
+    def test_optimal_column(self):
+        text = format_table3(self._known_suite())
+        assert "AGB-1" in text
+        assert f"{5 / 3:.2f}" in text
+
+    def test_header_mentions_optimal(self):
+        assert "Optimal" in format_table3(self._known_suite())

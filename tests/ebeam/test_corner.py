@@ -1,0 +1,74 @@
+"""Unit tests for corner rounding analysis and L_th."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ebeam.corner import compute_lth, corner_pullback, corner_rounding_contour
+from repro.ebeam.intensity import point_intensity
+from repro.geometry.rect import Rect
+
+SIGMA = 6.25
+
+
+class TestContour:
+    def test_invalid_rho(self):
+        with pytest.raises(ValueError):
+            corner_rounding_contour(SIGMA, rho=1.5)
+
+    def test_contour_points_on_level_set(self):
+        """Every contour point evaluates to ρ under the exact model."""
+        contour = corner_rounding_contour(SIGMA, rho=0.5, samples=201)
+        big = Rect(-1000.0, -1000.0, 0.0, 0.0)  # quarter-plane-ish shot
+        for x, y in contour[:: len(contour) // 15]:
+            if abs(x) > 3 * SIGMA or abs(y) > 3 * SIGMA:
+                continue
+            value = point_intensity([big], x, y, SIGMA)
+            assert abs(value - 0.5) < 1e-3
+
+    def test_contour_passes_through_diagonal_pullback(self):
+        contour = corner_rounding_contour(SIGMA, rho=0.5, samples=2001)
+        pullback = corner_pullback(SIGMA, rho=0.5)
+        # The contour point nearest the diagonal is ~pullback/√2 on each axis.
+        diag_dist = np.min(np.abs(contour[:, 0] - contour[:, 1]))
+        k = int(np.argmin(np.abs(contour[:, 0] - contour[:, 1])))
+        assert diag_dist < 0.2
+        assert abs(contour[k, 0] + pullback / math.sqrt(2.0)) < 0.2
+
+    def test_contour_asymptotes_to_printed_edge(self):
+        contour = corner_rounding_contour(SIGMA, rho=0.5, samples=2001)
+        # Far from the corner (x → −3σ) the contour approaches y = 0.
+        assert abs(contour[0, 1]) < 0.25
+
+
+class TestPullback:
+    def test_positive_for_half_threshold(self):
+        assert corner_pullback(SIGMA, rho=0.5) > 0.0
+
+    def test_scales_with_sigma(self):
+        assert np.isclose(
+            corner_pullback(2 * SIGMA) / corner_pullback(SIGMA), 2.0
+        )
+
+
+class TestLth:
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            compute_lth(SIGMA, gamma=0.0)
+
+    def test_paper_parameters_magnitude(self):
+        """For σ=6.25, γ=2 the 45° segment is in the 10–20 nm range."""
+        lth = compute_lth(SIGMA, gamma=2.0)
+        assert 8.0 < lth < 22.0
+
+    def test_monotone_in_gamma(self):
+        assert compute_lth(SIGMA, 1.0) < compute_lth(SIGMA, 2.0) < compute_lth(SIGMA, 4.0)
+
+    def test_scales_roughly_with_sigma(self):
+        small = compute_lth(3.0, 1.0)
+        large = compute_lth(6.0, 2.0)
+        assert np.isclose(large / small, 2.0, rtol=0.1)
+
+    def test_cached(self):
+        assert compute_lth(SIGMA, 2.0) == compute_lth(SIGMA, 2.0)

@@ -1,0 +1,74 @@
+"""Unit tests for the variable-dose extension."""
+
+import numpy as np
+import pytest
+
+from repro.ebeam.dose import (
+    DosedShot,
+    count_failing,
+    optimize_doses,
+    total_intensity,
+)
+from repro.geometry.rect import Rect
+
+
+class TestDosedShot:
+    def test_positive_dose_required(self):
+        with pytest.raises(ValueError):
+            DosedShot(Rect(0, 0, 10, 10), dose=0.0)
+
+    def test_default_unit_dose(self):
+        assert DosedShot(Rect(0, 0, 10, 10)).dose == 1.0
+
+
+class TestTotalIntensity:
+    def test_dose_scales_linearly(self, rect_shape, spec):
+        shot = Rect(0, 0, 60, 40)
+        unit = total_intensity([DosedShot(shot, 1.0)], rect_shape, spec)
+        double = total_intensity([DosedShot(shot, 2.0)], rect_shape, spec)
+        assert np.allclose(double, 2.0 * unit, atol=1e-9)
+
+    def test_counts_match_constraint_checker(self, rect_shape, spec):
+        from repro.mask.constraints import check_solution
+
+        shots = [Rect(-1, -1, 61, 41)]
+        dosed = [DosedShot(s, 1.0) for s in shots]
+        report = check_solution(shots, rect_shape, spec)
+        assert count_failing(dosed, rect_shape, spec) == report.total_failing
+
+
+class TestOptimizeDoses:
+    def test_empty_input(self, rect_shape, spec):
+        result = optimize_doses([], rect_shape, spec)
+        assert result.shots == [] and result.failing_after == 0
+
+    def test_invalid_bounds(self, rect_shape, spec):
+        with pytest.raises(ValueError):
+            optimize_doses([Rect(0, 0, 60, 40)], rect_shape, spec,
+                           dose_bounds=(1.2, 1.6))
+
+    def test_never_worse_than_unit_dose(self, rect_shape, spec):
+        shots = [Rect(2, 2, 58, 38)]  # slightly undersized → failing P_on
+        result = optimize_doses(shots, rect_shape, spec)
+        assert result.failing_after <= result.failing_before
+
+    def test_fixes_mild_underexposure(self, rect_shape, spec):
+        """A shot pulled 2nm inside the target underexposes the band
+        edge; raising its dose must fix most of it."""
+        shots = [Rect(2, 2, 58, 38)]
+        before = count_failing([DosedShot(s) for s in shots], rect_shape, spec)
+        assert before > 0
+        result = optimize_doses(shots, rect_shape, spec)
+        assert result.failing_after < before
+        assert all(s.dose > 1.0 for s in result.shots)  # dosed up
+
+    def test_doses_stay_in_bounds(self, rect_shape, spec):
+        shots = [Rect(5, 5, 55, 35)]
+        result = optimize_doses(shots, rect_shape, spec, dose_bounds=(0.8, 1.3))
+        assert all(0.8 <= s.dose <= 1.3 for s in result.shots)
+
+    def test_feasible_input_stays_feasible(self, rect_shape, spec):
+        shots = [Rect(-1, -1, 61, 41)]
+        result = optimize_doses(shots, rect_shape, spec)
+        assert result.failing_before == 0
+        assert result.failing_after == 0

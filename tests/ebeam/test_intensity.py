@@ -1,0 +1,125 @@
+"""Unit tests for analytic shot intensity (Eq. 1–3)."""
+
+import numpy as np
+import pytest
+
+from repro.ebeam.intensity import (
+    edge_profile,
+    point_intensity,
+    shot_intensity,
+    shot_profile_1d,
+)
+from repro.ebeam.kernel import GaussianKernel
+from repro.geometry.raster import PixelGrid
+from repro.geometry.rect import Rect
+
+SIGMA = 6.25
+
+
+class TestProfile1d:
+    def test_inverted_interval_raises(self):
+        with pytest.raises(ValueError):
+            shot_profile_1d(np.array([0.0]), 5.0, 1.0, SIGMA)
+
+    def test_half_at_edges(self):
+        xs = np.array([0.0, 60.0])
+        profile = shot_profile_1d(xs, 0.0, 60.0, SIGMA)
+        assert np.allclose(profile, 0.5, atol=1e-6)
+
+    def test_one_deep_inside_zero_far_outside(self):
+        xs = np.array([30.0, -40.0, 100.0])
+        profile = shot_profile_1d(xs, 0.0, 60.0, SIGMA)
+        assert profile[0] > 0.999
+        assert profile[1] < 1e-6 and profile[2] < 1e-6
+
+    def test_symmetry(self):
+        xs = np.linspace(-10, 70, 81)
+        profile = shot_profile_1d(xs, 0.0, 60.0, SIGMA)
+        assert np.allclose(profile, profile[::-1], atol=1e-9)
+
+    def test_monotone_across_single_edge(self):
+        xs = np.linspace(-20, 20, 41)
+        profile = shot_profile_1d(xs, 0.0, 1000.0, SIGMA)
+        assert (np.diff(profile) > 0).all()
+
+
+class TestShotIntensity:
+    def _grid(self):
+        return PixelGrid(-30.0, -30.0, 1.0, 120, 120)
+
+    def test_separability(self):
+        grid = self._grid()
+        shot = Rect(0, 0, 40, 25)
+        full = shot_intensity(shot, grid, SIGMA)
+        fx = shot_profile_1d(grid.x_centers(), 0, 40, SIGMA)
+        fy = shot_profile_1d(grid.y_centers(), 0, 25, SIGMA)
+        assert np.allclose(full, np.outer(fy, fx), atol=1e-9)
+
+    def test_window_matches_full(self):
+        grid = self._grid()
+        shot = Rect(0, 0, 40, 25)
+        window = grid.rect_to_slices(shot, margin=25.0)
+        patch = shot_intensity(shot, grid, SIGMA, window)
+        full = shot_intensity(shot, grid, SIGMA)
+        assert np.allclose(patch, full[window], atol=1e-12)
+
+    def test_matches_numeric_convolution(self):
+        """Analytic erf form equals brute-force kernel convolution."""
+        from scipy.signal import fftconvolve
+
+        grid = PixelGrid(-25.0, -25.0, 0.5, 200, 200)
+        shot = Rect(0.0, 0.0, 30.0, 20.0)
+        analytic = shot_intensity(shot, grid, SIGMA)
+        indicator = (
+            (grid.x_centers()[None, :] >= shot.xbl)
+            & (grid.x_centers()[None, :] <= shot.xtr)
+            & (grid.y_centers()[:, None] >= shot.ybl)
+            & (grid.y_centers()[:, None] <= shot.ytr)
+        ).astype(float)
+        kernel = GaussianKernel(SIGMA, truncation=5.0).discretized(0.5)
+        numeric = fftconvolve(indicator, kernel, mode="same") * 0.5**2
+        # Pixel-center vs cell-edge discretization differs by O(pitch).
+        assert np.max(np.abs(analytic - numeric)) < 0.03
+
+    def test_peak_at_center(self):
+        grid = self._grid()
+        shot = Rect(10, 10, 50, 40)
+        intensity = shot_intensity(shot, grid, SIGMA)
+        iy, ix = np.unravel_index(intensity.argmax(), intensity.shape)
+        center = grid.pixel_center(int(iy), int(ix))
+        assert abs(center.x - 30.0) <= 1.0 and abs(center.y - 25.0) <= 1.0
+
+
+class TestPointIntensity:
+    def test_additivity(self):
+        shots = [Rect(0, 0, 20, 20), Rect(10, 0, 30, 20)]
+        total = point_intensity(shots, 15.0, 10.0, SIGMA)
+        parts = sum(point_intensity([s], 15.0, 10.0, SIGMA) for s in shots)
+        assert np.isclose(total, parts)
+
+    def test_corner_of_quarter_plane(self):
+        # At the exact corner of a large shot the intensity is 0.25.
+        value = point_intensity([Rect(0, 0, 1000, 1000)], 0.0, 0.0, SIGMA)
+        assert np.isclose(value, 0.25, atol=1e-6)
+
+    def test_agrees_with_grid_evaluation(self):
+        grid = PixelGrid(0.0, 0.0, 1.0, 50, 50)
+        shot = Rect(5, 5, 35, 30)
+        field = shot_intensity(shot, grid, SIGMA)
+        exact = point_intensity([shot], 20.5, 20.5, SIGMA)
+        assert np.isclose(field[20, 20], exact, atol=1e-6)
+
+
+class TestEdgeProfile:
+    def test_half_at_edge(self):
+        assert np.isclose(edge_profile(0.0, SIGMA), 0.5)
+
+    def test_limits(self):
+        assert edge_profile(30.0, SIGMA) > 0.9999
+        assert edge_profile(-30.0, SIGMA) < 1e-4
+
+    def test_matches_profile_limit(self):
+        xs = np.linspace(-15, 15, 31)
+        half_infinite = shot_profile_1d(xs, -1e6, 0.0, SIGMA)
+        step = edge_profile(-xs, SIGMA)
+        assert np.allclose(half_infinite, step, atol=1e-9)

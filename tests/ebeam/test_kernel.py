@@ -1,0 +1,66 @@
+"""Unit tests for the Gaussian proximity kernel (Eq. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.ebeam.kernel import GaussianKernel
+
+
+class TestConstruction:
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            GaussianKernel(sigma=0.0)
+
+    def test_invalid_truncation(self):
+        with pytest.raises(ValueError):
+            GaussianKernel(sigma=1.0, truncation=0.0)
+
+
+class TestValues:
+    def test_peak_value(self):
+        k = GaussianKernel(sigma=6.25)
+        assert np.isclose(k.value(0.0, 0.0), 1.0 / (np.pi * 6.25**2))
+
+    def test_radial_symmetry(self):
+        k = GaussianKernel(sigma=5.0)
+        assert np.isclose(k.value(3.0, 4.0), k.value(5.0, 0.0))
+        assert np.isclose(k.value(-3.0, 4.0), k.value(3.0, -4.0))
+
+    def test_truncated_beyond_3_sigma(self):
+        k = GaussianKernel(sigma=6.25)
+        assert k.value(3.01 * 6.25, 0.0) == 0.0
+        assert k.value(2.99 * 6.25, 0.0) > 0.0
+
+    def test_support_radius(self):
+        assert GaussianKernel(sigma=2.0).support_radius() == 6.0
+
+    def test_vectorized_input(self):
+        k = GaussianKernel(sigma=6.25)
+        xs = np.linspace(-20, 20, 11)
+        out = k.value(xs, np.zeros_like(xs))
+        assert out.shape == xs.shape
+        assert out.argmax() == 5
+
+
+class TestNormalization:
+    def test_truncated_mass_close_to_one(self):
+        k = GaussianKernel(sigma=6.25)
+        mass = k.truncated_mass()
+        assert 0.9998 < mass < 1.0
+        # Paper Eq. 2 truncates at 3σ: mass loss is exp(-9) ≈ 1.2e-4.
+        assert np.isclose(1.0 - mass, np.exp(-9.0))
+
+    def test_discretized_sums_to_mass(self):
+        k = GaussianKernel(sigma=6.25)
+        samples = k.discretized(pitch=0.5)
+        numeric_mass = samples.sum() * 0.5**2
+        assert abs(numeric_mass - k.truncated_mass()) < 1e-3
+
+    def test_discretized_odd_square(self):
+        samples = GaussianKernel(sigma=4.0).discretized(pitch=1.0)
+        assert samples.shape[0] == samples.shape[1]
+        assert samples.shape[0] % 2 == 1
+
+    def test_discretized_bad_pitch(self):
+        with pytest.raises(ValueError):
+            GaussianKernel(sigma=4.0).discretized(pitch=0.0)

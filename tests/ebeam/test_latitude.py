@@ -1,0 +1,74 @@
+"""Unit tests for dose-latitude analysis."""
+
+import numpy as np
+import pytest
+
+from repro.ebeam.latitude import compare_latitude, dose_window, edge_slope_stats
+from repro.geometry.rect import Rect
+
+
+class TestDoseWindow:
+    def test_clean_solution_has_positive_latitude(self, rect_shape, spec):
+        window = dose_window([Rect(-1, -1, 61, 41)], rect_shape, spec)
+        assert window.feasible_at_nominal
+        assert window.latitude > 0.0
+        assert window.margin > 0.0
+
+    def test_empty_solution_infeasible(self, rect_shape, spec):
+        window = dose_window([], rect_shape, spec)
+        assert not window.feasible_at_nominal
+
+    def test_overexposed_solution_needs_lower_dose(self, rect_shape, spec):
+        window = dose_window([Rect(-30, -30, 90, 70)], rect_shape, spec)
+        assert window.s_max < 1.0  # must scale dose down to be legal
+
+    def test_window_consistent_with_checker(self, rect_shape, spec):
+        """Scaling the dose inside the window keeps the solution feasible
+        (verified by brute force at a few scale factors)."""
+        from repro.ebeam.intensity_map import IntensityMap
+
+        shots = [Rect(-1, -1, 61, 41)]
+        window = dose_window(shots, rect_shape, spec)
+        imap = IntensityMap(rect_shape.grid, spec.sigma)
+        for s in shots:
+            imap.add(s)
+        pixels = rect_shape.pixels(spec.gamma)
+        for scale in np.linspace(window.s_min + 1e-6, window.s_max - 1e-6, 4):
+            total = imap.total * scale
+            assert not (pixels.on & (total < spec.rho)).any()
+            assert not (pixels.off & (total >= spec.rho)).any()
+        # Just beyond the window the solution must break.
+        total = imap.total * (window.s_max + 1e-3)
+        assert (pixels.off & (total >= spec.rho)).any()
+
+    def test_tight_cover_has_less_latitude_than_roomy(self, rect_shape, spec):
+        """A shot hugging the outer band edge prints but leaves less dose
+        headroom than one centred on the target."""
+        roomy = dose_window([Rect(-1, -1, 61, 41)], rect_shape, spec)
+        tight = dose_window([Rect(-2, -2, 62, 42)], rect_shape, spec)
+        assert tight.s_max <= roomy.s_max + 1e-9
+
+
+class TestEdgeSlope:
+    def test_positive_slopes_on_clean_solution(self, rect_shape, spec):
+        stats = edge_slope_stats([Rect(-1, -1, 61, 41)], rect_shape, spec)
+        assert stats["min_slope"] > 0.0
+        assert stats["mean_slope"] >= stats["min_slope"]
+
+    def test_no_shots_zero_slope(self, rect_shape, spec):
+        stats = edge_slope_stats([], rect_shape, spec)
+        assert stats["mean_slope"] == pytest.approx(0.0, abs=1e-12)
+
+
+class TestCompare:
+    def test_compare_multiple_methods(self, rect_shape, spec):
+        windows = compare_latitude(
+            {
+                "single": [Rect(-1, -1, 61, 41)],
+                "split": [Rect(-1, -1, 31, 41), Rect(29, -1, 61, 41)],
+            },
+            rect_shape,
+            spec,
+        )
+        assert set(windows) == {"single", "split"}
+        assert all(w.feasible_at_nominal for w in windows.values())

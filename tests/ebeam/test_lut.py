@@ -1,0 +1,49 @@
+"""Unit tests for the erf lookup table."""
+
+import numpy as np
+import pytest
+from scipy.special import erf
+
+from repro.ebeam.lut import ErfLookupTable, default_lut
+
+
+class TestConstruction:
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            ErfLookupTable(bound=0.0)
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            ErfLookupTable(samples=1)
+
+
+class TestAccuracy:
+    def test_max_error_tiny(self):
+        lut = ErfLookupTable()
+        assert lut.max_abs_error() < 1e-7
+
+    def test_saturation_outside_range(self):
+        lut = ErfLookupTable(bound=4.0)
+        assert np.isclose(lut(10.0), 1.0, atol=1e-6)
+        assert np.isclose(lut(-10.0), -1.0, atol=1e-6)
+
+    def test_odd_symmetry(self):
+        lut = ErfLookupTable()
+        xs = np.linspace(0, 4.5, 100)
+        assert np.allclose(lut(xs), -lut(-xs), atol=1e-9)
+
+    def test_scalar_and_array_inputs(self):
+        lut = ErfLookupTable()
+        assert np.isclose(float(lut(0.5)), erf(0.5), atol=1e-7)
+        out = lut(np.array([[0.1, 0.2], [0.3, 0.4]]))
+        assert out.shape == (2, 2)
+
+    def test_monotone(self):
+        lut = ErfLookupTable()
+        xs = np.linspace(-4, 4, 1000)
+        assert (np.diff(lut(xs)) >= 0).all()
+
+
+class TestSharedInstance:
+    def test_default_lut_is_cached(self):
+        assert default_lut() is default_lut()

@@ -1,0 +1,74 @@
+"""Unit tests for contour metrology (CD / EPE measurement)."""
+
+import numpy as np
+import pytest
+
+from repro.ebeam.metrology import epe_report, measure_cutline
+from repro.geometry.rect import Rect
+
+
+class TestMeasureCutline:
+    def test_invalid_orientation(self, rect_shape, spec):
+        with pytest.raises(ValueError):
+            measure_cutline([], rect_shape, spec, 20.0, "diagonal")
+
+    def test_matched_solution_small_errors(self, rect_shape, spec):
+        cut = measure_cutline([Rect(-1, -1, 61, 41)], rect_shape, spec, 20.0, "h")
+        assert len(cut.printed) == 1
+        assert len(cut.drawn) == 1
+        assert abs(cut.cd_error) < 2.5  # within γ per edge
+        assert cut.worst_edge_error() < 2.0
+
+    def test_printed_cd_tracks_shot_width(self, rect_shape, spec):
+        narrow = measure_cutline([Rect(10, -1, 50, 41)], rect_shape, spec, 20.0, "h")
+        wide = measure_cutline([Rect(-1, -1, 61, 41)], rect_shape, spec, 20.0, "h")
+        assert narrow.printed_cd < wide.printed_cd
+        assert narrow.printed_cd == pytest.approx(40.0, abs=1.5)
+
+    def test_vertical_cutline(self, rect_shape, spec):
+        cut = measure_cutline([Rect(-1, -1, 61, 41)], rect_shape, spec, 30.0, "v")
+        assert cut.printed_cd == pytest.approx(42.0, abs=2.0)
+        assert cut.drawn_cd == pytest.approx(40.0, abs=1.1)
+
+    def test_no_shots_nothing_printed(self, rect_shape, spec):
+        cut = measure_cutline([], rect_shape, spec, 20.0, "h")
+        assert cut.printed == ()
+        assert cut.worst_edge_error() == float("inf")
+
+    def test_two_bars_two_segments(self, spec):
+        from repro.geometry.polygon import Polygon
+        from repro.mask.shape import MaskShape
+
+        poly = Polygon([(0, 0), (100, 0), (100, 30), (0, 30)])
+        shape = MaskShape.from_polygon(poly, margin=spec.grid_margin)
+        shots = [Rect(-1, -1, 40, 31), Rect(60, -1, 101, 31)]
+        cut = measure_cutline(shots, shape, spec, 15.0, "h")
+        assert len(cut.printed) == 2
+
+
+class TestEpeReport:
+    def test_clean_solution_within_tolerance(self, rect_shape, spec):
+        report = epe_report([Rect(-1, -1, 61, 41)], rect_shape, spec)
+        assert report["worst_epe"] < spec.gamma + 1.5
+        assert report["mean_epe"] <= report["worst_epe"]
+
+    def test_fractured_solution_in_spec(self, blob_shape, spec):
+        """On curvy contours the along-cut error amplifies the normal
+        (Eq. 4) tolerance wherever a cutline grazes the boundary, so the
+        bound here is on the mean, not the worst grazing case."""
+        from repro.fracture.pipeline import ModelBasedFracturer
+
+        result = ModelBasedFracturer().fracture(blob_shape, spec)
+        if result.feasible:
+            report = epe_report(result.shots, blob_shape, spec)
+            assert report["mean_epe"] < 2.5 * spec.gamma
+            assert np.isfinite(report["worst_epe"])
+
+    def test_biased_solution_flagged(self, rect_shape, spec):
+        """A uniformly 4nm-oversized solution violates the EPE budget."""
+        report = epe_report([Rect(-4, -4, 64, 44)], rect_shape, spec)
+        assert report["worst_epe"] > spec.gamma
+
+    def test_empty_solution(self, rect_shape, spec):
+        report = epe_report([], rect_shape, spec)
+        assert report["worst_epe"] == float("inf")

@@ -1,0 +1,101 @@
+"""Unit tests for the double-Gaussian PSF extension."""
+
+import numpy as np
+import pytest
+
+from repro.ebeam.psf import (
+    DoubleGaussianExposure,
+    DoubleGaussianPsf,
+    dose_margin,
+    effective_threshold_shift,
+)
+from repro.geometry.raster import PixelGrid
+from repro.geometry.rect import Rect
+
+
+class TestPsfParameters:
+    def test_invalid_ranges(self):
+        with pytest.raises(ValueError):
+            DoubleGaussianPsf(sigma_forward=0.0)
+        with pytest.raises(ValueError):
+            DoubleGaussianPsf(beta=3.0, sigma_forward=6.25)
+
+    def test_negative_eta(self):
+        with pytest.raises(ValueError):
+            DoubleGaussianPsf(eta=-0.1)
+
+
+class TestExposure:
+    def _setup(self, eta: float):
+        grid = PixelGrid(0.0, 0.0, 1.0, 120, 120)
+        psf = DoubleGaussianPsf(eta=eta, beta=500.0)
+        return DoubleGaussianExposure(grid, psf), [Rect(30, 30, 90, 90)]
+
+    def test_eta_zero_reduces_to_forward_model(self):
+        exposure, shots = self._setup(eta=0.0)
+        assert np.allclose(exposure.total(shots), exposure.forward(shots))
+
+    def test_backscatter_adds_background(self):
+        exposure, shots = self._setup(eta=0.5)
+        forward = exposure.forward(shots)
+        full = exposure.total(shots)
+        # Far outside the shot the forward term is ~0 but backscatter is not.
+        assert forward[5, 5] < 1e-6
+        assert full[5, 5] > forward[5, 5]
+
+    def test_normalization_keeps_interior_near_one(self):
+        exposure, shots = self._setup(eta=0.5)
+        full = exposure.total(shots)
+        assert full[60, 60] < 1.0 + 1e-9
+        assert full[60, 60] > 0.6
+
+    def test_coverage_counts_overlap(self):
+        grid = PixelGrid(0.0, 0.0, 1.0, 50, 50)
+        exposure = DoubleGaussianExposure(grid)
+        cov = exposure.coverage([Rect(0, 0, 30, 30), Rect(20, 0, 50, 30)])
+        assert cov[10, 25] == 2.0
+        assert cov[10, 5] == 1.0
+
+
+class TestDoseMargin:
+    def test_low_density_window_underdoses(self, rect_shape, spec):
+        """With PSF normalization a sparse window receives less than the
+        calibrated dose: the P_on margin collapses — exactly the effect
+        dose-correction flows compensate for."""
+        shots = [Rect(-1, -1, 61, 41)]
+        margins = dose_margin(shots, rect_shape, spec,
+                              DoubleGaussianPsf(eta=0.6, beta=500.0))
+        assert margins["forward_on_margin"] > 0.0
+        assert margins["forward_off_margin"] > 0.0
+        assert margins["full_on_margin"] < margins["forward_on_margin"]
+
+    def test_forward_margins_match_base_model(self, rect_shape, spec):
+        from repro.ebeam.intensity_map import IntensityMap
+
+        shots = [Rect(-1, -1, 61, 41)]
+        margins = dose_margin(shots, rect_shape, spec)
+        imap = IntensityMap(rect_shape.grid, spec.sigma)
+        for s in shots:
+            imap.add(s)
+        pixels = rect_shape.pixels(spec.gamma)
+        assert margins["forward_on_margin"] == pytest.approx(
+            float(imap.total[pixels.on].min()) - spec.rho, abs=1e-9
+        )
+
+
+class TestThresholdShift:
+    def test_zero_density(self):
+        assert effective_threshold_shift(DoubleGaussianPsf(eta=0.5), 0.0) == 0.0
+
+    def test_half_density_rule_of_thumb(self):
+        shift = effective_threshold_shift(DoubleGaussianPsf(eta=0.5), 0.5)
+        assert shift == pytest.approx(0.5 * 0.5 / 1.5)
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError):
+            effective_threshold_shift(DoubleGaussianPsf(), 1.5)
+
+    def test_monotone_in_density(self):
+        psf = DoubleGaussianPsf(eta=0.8)
+        shifts = [effective_threshold_shift(psf, d) for d in (0.1, 0.5, 0.9)]
+        assert shifts == sorted(shifts)

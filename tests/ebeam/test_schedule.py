@@ -1,0 +1,127 @@
+"""Unit tests for shot scheduling."""
+
+import pytest
+
+from repro.ebeam.schedule import (
+    TravelModel,
+    greedy_schedule,
+    natural_schedule,
+    schedule_time,
+    travel_saving,
+)
+from repro.geometry.rect import Rect
+
+
+def _grid_of_shots(nx: int, ny: int, pitch: float = 100.0) -> list[Rect]:
+    shots = []
+    for iy in range(ny):
+        for ix in range(nx):
+            x = ix * pitch
+            y = iy * pitch
+            shots.append(Rect(x, y, x + 40, y + 40))
+    return shots
+
+
+class TestTravelModel:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TravelModel(flash_us=0.0)
+        with pytest.raises(ValueError):
+            TravelModel(settle_us_per_um=-1.0)
+
+    def test_segment_time(self):
+        model = TravelModel(flash_us=10.0, settle_us_per_um=2.0)
+        a = Rect(0, 0, 40, 40)
+        b = Rect(1000, 0, 1040, 40)  # centres 1 µm apart
+        assert model.segment_time_us(a, b) == pytest.approx(12.0)
+
+
+class TestScheduleTime:
+    def test_empty(self):
+        assert schedule_time([], []) == (0.0, 0.0)
+
+    def test_single_shot_flash_only(self):
+        model = TravelModel(flash_us=15.0)
+        total, travel = schedule_time([Rect(0, 0, 40, 40)], [0], model)
+        assert total == 15.0 and travel == 0.0
+
+    def test_additivity(self):
+        shots = _grid_of_shots(3, 1)
+        model = TravelModel()
+        total, travel = schedule_time(shots, [0, 1, 2], model)
+        assert travel == pytest.approx(200.0)
+        assert total == pytest.approx(3 * model.flash_us + 0.2 * model.settle_us_per_um)
+
+
+class TestGreedyOrdering:
+    def test_empty_and_single(self):
+        assert greedy_schedule([]).order == []
+        assert greedy_schedule([Rect(0, 0, 40, 40)]).order == [0]
+
+    def test_visits_every_shot_once(self):
+        shots = _grid_of_shots(4, 3)
+        schedule = greedy_schedule(shots)
+        assert sorted(schedule.order) == list(range(len(shots)))
+
+    def test_beats_scrambled_order_on_grid(self):
+        """A deliberately bad input order (corner-hopping) must be
+        improved substantially by nearest-neighbour ordering.  Uses a
+        subfield-scale grid (2 µm pitch) where settle time matters."""
+        shots = _grid_of_shots(5, 5, pitch=2000.0)
+        # Interleave far-apart shots.
+        scrambled = [shots[i] for i in range(0, 25, 2)] + [
+            shots[i] for i in range(1, 25, 2)
+        ]
+        saving = travel_saving(scrambled)
+        assert saving > 0.05
+
+    def test_never_worse_than_natural(self):
+        for shots in (_grid_of_shots(3, 3), _grid_of_shots(1, 7)):
+            greedy = greedy_schedule(shots)
+            naive = natural_schedule(shots)
+            assert greedy.total_time_us <= naive.total_time_us + 1e-9
+
+    def test_snake_order_is_respected(self):
+        """On a single row the greedy order is the sweep."""
+        shots = _grid_of_shots(6, 1)
+        schedule = greedy_schedule(shots)
+        assert schedule.order == list(range(6))
+
+    def test_schedule_on_real_solution(self, blob_shape, spec):
+        from repro.fracture.pipeline import ModelBasedFracturer, RefineConfig
+
+        result = ModelBasedFracturer(config=RefineConfig.fast()).fracture(
+            blob_shape, spec
+        )
+        schedule = greedy_schedule(result.shots)
+        assert sorted(schedule.order) == list(range(result.shot_count))
+        assert schedule.total_time_us > 0.0
+
+
+class TestSubfieldSchedule:
+    def test_invalid_subfield(self):
+        from repro.ebeam.schedule import subfield_schedule
+
+        with pytest.raises(ValueError):
+            subfield_schedule([Rect(0, 0, 40, 40)], subfield_nm=0.0)
+
+    def test_permutation_preserved(self):
+        from repro.ebeam.schedule import subfield_schedule
+
+        shots = _grid_of_shots(6, 4, pitch=300.0)
+        schedule = subfield_schedule(shots, subfield_nm=600.0)
+        assert sorted(schedule.order) == list(range(len(shots)))
+
+    def test_never_worse_than_flat_greedy(self):
+        from repro.ebeam.schedule import greedy_schedule, subfield_schedule
+
+        for pitch in (150.0, 800.0):
+            shots = _grid_of_shots(5, 5, pitch=pitch)
+            flat = greedy_schedule(shots)
+            two_level = subfield_schedule(shots, subfield_nm=1000.0)
+            assert two_level.total_time_us <= flat.total_time_us + 1e-9
+
+    def test_empty(self):
+        from repro.ebeam.schedule import subfield_schedule
+
+        assert subfield_schedule([]).order == []

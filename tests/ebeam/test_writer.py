@@ -1,0 +1,60 @@
+"""Unit tests for the VSB writer model."""
+
+import pytest
+
+from repro.ebeam.writer import VsbWriterModel
+from repro.geometry.rect import Rect
+
+
+class TestConstruction:
+    def test_invalid_cycle_time(self):
+        with pytest.raises(ValueError):
+            VsbWriterModel(shot_cycle_us=0.0)
+
+    def test_invalid_overhead(self):
+        with pytest.raises(ValueError):
+            VsbWriterModel(stage_overhead=1.0)
+
+
+class TestWriteTime:
+    def test_zero_shots(self):
+        assert VsbWriterModel().write_time_seconds(0) == 0.0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            VsbWriterModel().write_time_seconds(-1)
+
+    def test_linear_in_shot_count(self):
+        w = VsbWriterModel()
+        assert w.write_time_seconds(2_000) == pytest.approx(
+            2 * w.write_time_seconds(1_000)
+        )
+
+    def test_overhead_inflates(self):
+        lean = VsbWriterModel(stage_overhead=0.0)
+        padded = VsbWriterModel(stage_overhead=0.5)
+        assert padded.write_time_seconds(100) == pytest.approx(
+            2 * lean.write_time_seconds(100)
+        )
+
+    def test_critical_mask_regime(self):
+        """~10^10 shots lands in the multi-day regime reported by [2]."""
+        hours = VsbWriterModel().write_time_hours(10_000_000_000)
+        assert hours > 48.0
+
+    def test_full_mask_estimate(self):
+        w = VsbWriterModel()
+        assert w.full_mask_estimate(10.0, 1e9) == w.write_time_hours(int(1e10))
+
+
+class TestValidation:
+    def test_flags_undersize_and_oversize(self):
+        w = VsbWriterModel(max_shot_size_nm=100.0)
+        shots = [Rect(0, 0, 5, 50), Rect(0, 0, 50, 50), Rect(0, 0, 150, 50)]
+        problems = w.validate_shots(shots, lmin=10.0)
+        assert len(problems) == 2
+        assert "below" in problems[0] and "above" in problems[1]
+
+    def test_clean_list(self):
+        w = VsbWriterModel()
+        assert w.validate_shots([Rect(0, 0, 50, 50)], lmin=10.0) == []

@@ -1,0 +1,67 @@
+"""Unit tests for AddShot / RemoveShot (paper §4.3, §4.4)."""
+
+from repro.fracture.add_remove import add_shot, remove_shot
+from repro.fracture.state import RefinementState
+from repro.geometry.rect import Rect
+
+
+class TestAddShot:
+    def test_no_failing_pixels_no_add(self, rect_shape, spec):
+        state = RefinementState(rect_shape, spec, [Rect(-2, -2, 62, 42)])
+        report = state.report()
+        assert report.count_on == 0
+        assert add_shot(state, report) is None
+
+    def test_adds_over_uncovered_region(self, rect_shape, spec):
+        # Cover only the left half; the right half is a failing cluster.
+        state = RefinementState(rect_shape, spec, [Rect(-2, -2, 30, 42)])
+        report = state.report()
+        added = add_shot(state, report)
+        assert added is not None
+        assert added.center.x > 30.0  # over the uncovered right half
+        assert len(state.shots) == 2
+
+    def test_added_shot_meets_min_size(self, rect_shape, spec):
+        # Uncovered sliver thinner than Lmin.
+        state = RefinementState(rect_shape, spec, [Rect(-2, -2, 56, 42)])
+        report = state.report()
+        added = add_shot(state, report)
+        if added is not None:
+            assert added.meets_min_size(spec.lmin)
+
+    def test_add_reduces_failing(self, rect_shape, spec):
+        state = RefinementState(rect_shape, spec, [Rect(-2, -2, 30, 42)])
+        before = state.report().count_on
+        add_shot(state, state.report())
+        assert state.report().count_on < before
+
+    def test_picks_biggest_cluster(self, l_shape, spec):
+        # Leave both arms uncovered: the bigger failing cluster wins.
+        state = RefinementState(l_shape, spec, [])
+        report = state.report()
+        added = add_shot(state, report)
+        assert added is not None
+        assert added.area >= 100.0
+
+
+class TestRemoveShot:
+    def test_empty_state_none(self, rect_shape, spec):
+        state = RefinementState(rect_shape, spec, [])
+        assert remove_shot(state, state.report()) is None
+
+    def test_no_off_failures_none(self, rect_shape, spec):
+        state = RefinementState(rect_shape, spec, [Rect(-2, -2, 62, 42)])
+        report = state.report()
+        assert report.count_off == 0
+        assert remove_shot(state, report) is None
+
+    def test_removes_the_offending_shot(self, rect_shape, spec):
+        good = Rect(-2, -2, 62, 42)
+        stray = Rect(75, 50, 95, 70)  # fully outside the target
+        state = RefinementState(rect_shape, spec, [good, stray])
+        report = state.report()
+        assert report.count_off > 0
+        removed = remove_shot(state, report)
+        assert removed == stray
+        assert state.shots == [good]
+        assert state.report().feasible

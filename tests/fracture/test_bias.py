@@ -1,0 +1,71 @@
+"""Unit tests for BiasAllShots (paper §4.2)."""
+
+from repro.fracture.bias import bias_all_shots
+from repro.fracture.state import RefinementState
+from repro.geometry.rect import Rect
+
+
+class TestBiasDirection:
+    def test_underexposure_grows_shots(self, rect_shape, spec):
+        # Shot 4nm too small everywhere → P_on failures dominate.
+        state = RefinementState(rect_shape, spec, [Rect(4, 4, 56, 36)])
+        report = state.report()
+        assert report.count_on > report.count_off
+        bias_all_shots(state, report)
+        assert state.shots[0].as_tuple() == (3, 3, 57, 37)
+
+    def test_overexposure_shrinks_shots(self, rect_shape, spec):
+        state = RefinementState(rect_shape, spec, [Rect(-6, -6, 66, 46)])
+        report = state.report()
+        assert report.count_off > report.count_on
+        bias_all_shots(state, report)
+        assert state.shots[0].as_tuple() == (-5, -5, 65, 45)
+
+    def test_bias_reduces_cost_when_uniform(self, rect_shape, spec):
+        state = RefinementState(rect_shape, spec, [Rect(4, 4, 56, 36)])
+        before = state.report().cost
+        bias_all_shots(state, state.report())
+        assert state.report().cost < before
+
+    def test_lmin_clamp_on_shrink(self, rect_shape, spec):
+        tiny = Rect(20, 0, 20 + spec.lmin, 40)
+        state = RefinementState(rect_shape, spec, [tiny, Rect(-6, -6, 66, 46)])
+        report = state.report()
+        bias_all_shots(state, report)
+        # The Lmin-wide shot keeps its width; only its height shrinks.
+        assert state.shots[0].width == spec.lmin
+        assert state.shots[0].height == 40 - 2 * spec.pitch
+
+    def test_all_shots_biased_together(self, rect_shape, spec):
+        shots = [Rect(4, 4, 30, 36), Rect(30, 4, 56, 36)]
+        state = RefinementState(rect_shape, spec, shots)
+        report = state.report()
+        bias_all_shots(state, report)
+        assert all(
+            new.width == old.width + 2 * spec.pitch
+            for old, new in zip(shots, state.shots)
+        )
+
+
+class TestPaperTextDirection:
+    def test_ablation_flag_inverts_direction(self, rect_shape, spec):
+        """§4.2 as literally written shrinks when P_on failures dominate
+        — the ablation flag reproduces that (physically inconsistent)
+        behaviour so the discrepancy is measurable."""
+        from repro.fracture.state import RefinementState
+        from repro.geometry.rect import Rect
+
+        state = RefinementState(rect_shape, spec, [Rect(4, 4, 56, 36)])
+        report = state.report()
+        assert report.count_on > report.count_off
+        bias_all_shots(state, report, paper_text_direction=True)
+        assert state.shots[0].as_tuple() == (5, 5, 55, 35)  # shrunk
+
+    def test_paper_direction_increases_cost(self, rect_shape, spec):
+        from repro.fracture.state import RefinementState
+        from repro.geometry.rect import Rect
+
+        state = RefinementState(rect_shape, spec, [Rect(4, 4, 56, 36)])
+        before = state.report().cost
+        bias_all_shots(state, state.report(), paper_text_direction=True)
+        assert state.report().cost > before

@@ -1,0 +1,128 @@
+"""Unit tests for shot corner point extraction (paper §3)."""
+
+import math
+
+import pytest
+
+from repro.fracture.corner_points import (
+    CornerType,
+    ShotCornerPoint,
+    cluster_corner_points,
+    corner_type_from_normal,
+    extract_corner_points,
+)
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+
+LTH = 14.0
+SHIFT = LTH / math.sqrt(2.0)
+
+
+class TestCornerType:
+    def test_words(self):
+        assert CornerType.BOTTOM_LEFT.is_left and CornerType.BOTTOM_LEFT.is_bottom
+        assert not CornerType.TOP_RIGHT.is_left and not CornerType.TOP_RIGHT.is_bottom
+
+    def test_diagonal_opposites(self):
+        assert CornerType.BOTTOM_LEFT.diagonal_opposite is CornerType.TOP_RIGHT
+        assert CornerType.TOP_LEFT.diagonal_opposite is CornerType.BOTTOM_RIGHT
+
+    def test_from_normal_quadrants(self):
+        assert corner_type_from_normal(-1, -1) is CornerType.BOTTOM_LEFT
+        assert corner_type_from_normal(1, -1) is CornerType.BOTTOM_RIGHT
+        assert corner_type_from_normal(-1, 1) is CornerType.TOP_LEFT
+        assert corner_type_from_normal(1, 1) is CornerType.TOP_RIGHT
+
+
+class TestExtraction:
+    def test_invalid_lth(self):
+        square = Polygon([(0, 0), (60, 0), (60, 60), (0, 60)])
+        with pytest.raises(ValueError):
+            extract_corner_points(square, 0.0)
+
+    def test_square_gives_four_clustered_corners(self):
+        square = Polygon([(0, 0), (60, 0), (60, 60), (0, 60)])
+        points = extract_corner_points(square, LTH)
+        assert len(points) == 4
+        assert {p.ctype for p in points} == set(CornerType)
+
+    def test_square_corner_points_outside_shape(self):
+        square = Polygon([(0, 0), (60, 0), (60, 60), (0, 60)])
+        for scp in extract_corner_points(square, LTH):
+            assert not square.contains_point(scp.point)
+
+    def test_bottom_left_position(self):
+        square = Polygon([(0, 0), (60, 0), (60, 60), (0, 60)])
+        bl = [p for p in extract_corner_points(square, LTH)
+              if p.ctype is CornerType.BOTTOM_LEFT][0]
+        # Cluster centroid of the two shifted endpoints near (0,0).
+        assert abs(bl.point.x + SHIFT / 2.0) < 0.5
+        assert abs(bl.point.y + SHIFT / 2.0) < 0.5
+
+    def test_short_segments_skipped(self):
+        # A tiny jog shorter than L_th must not spawn corner points.
+        poly = Polygon(
+            [(0, 0), (60, 0), (60, 30), (57, 30), (57, 33), (60, 33),
+             (60, 60), (0, 60)]
+        )
+        points = extract_corner_points(poly, LTH)
+        square_points = extract_corner_points(
+            Polygon([(0, 0), (60, 0), (60, 60), (0, 60)]), LTH
+        )
+        assert len(points) <= len(square_points) + 2
+
+    def test_diagonal_segment_spawns_series(self):
+        # 45° hypotenuse of length ~85 → about 6 points at L_th spacing.
+        tri = Polygon([(0, 0), (60, 0), (60, 60)])
+        points = extract_corner_points(tri, LTH)
+        diag_points = [p for p in points if p.ctype is CornerType.TOP_LEFT]
+        assert 4 <= len(diag_points) <= 8
+
+    def test_diagonal_points_shifted_outward(self):
+        tri = Polygon([(0, 0), (60, 0), (60, 60)])
+        for scp in extract_corner_points(tri, LTH):
+            assert not tri.contains_point(scp.point)
+
+
+class TestClustering:
+    def test_same_type_close_points_merge(self):
+        points = [
+            ShotCornerPoint(Point(0, 0), CornerType.BOTTOM_LEFT),
+            ShotCornerPoint(Point(1, 1), CornerType.BOTTOM_LEFT),
+        ]
+        merged = cluster_corner_points(points, LTH)
+        assert len(merged) == 1
+        assert merged[0].point == Point(0.5, 0.5)
+
+    def test_different_types_never_merge(self):
+        points = [
+            ShotCornerPoint(Point(0, 0), CornerType.BOTTOM_LEFT),
+            ShotCornerPoint(Point(1, 1), CornerType.TOP_RIGHT),
+        ]
+        assert len(cluster_corner_points(points, LTH)) == 2
+
+    def test_far_points_stay_separate(self):
+        points = [
+            ShotCornerPoint(Point(0, 0), CornerType.BOTTOM_LEFT),
+            ShotCornerPoint(Point(100, 0), CornerType.BOTTOM_LEFT),
+        ]
+        assert len(cluster_corner_points(points, LTH)) == 2
+
+    def test_chain_clusters_transitively(self):
+        # a-b close, b-c close, a-c not: single-link merges all three.
+        points = [
+            ShotCornerPoint(Point(0, 0), CornerType.TOP_LEFT),
+            ShotCornerPoint(Point(10, 0), CornerType.TOP_LEFT),
+            ShotCornerPoint(Point(20, 0), CornerType.TOP_LEFT),
+        ]
+        merged = cluster_corner_points(points, LTH)
+        assert len(merged) == 1
+        assert merged[0].point == Point(10, 0)
+
+    def test_output_sorted_deterministically(self):
+        points = [
+            ShotCornerPoint(Point(50, 0), CornerType.TOP_LEFT),
+            ShotCornerPoint(Point(0, 0), CornerType.BOTTOM_LEFT),
+        ]
+        merged = cluster_corner_points(points, 1.0)
+        assert merged[0].point.x <= merged[1].point.x

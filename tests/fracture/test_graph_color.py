@@ -1,0 +1,154 @@
+"""Unit tests for compatibility graph construction and stage-1 fracturing."""
+
+import pytest
+
+from repro.fracture.corner_points import CornerType, ShotCornerPoint
+from repro.fracture.graph_color import (
+    GraphBuildConfig,
+    GraphColoringFracturer,
+    approximate_fracture,
+    build_compatibility_graph,
+)
+from repro.fracture.graph_color import pair_test_shot as shot_for_pair
+from repro.geometry.point import Point
+
+LMIN = 10.0
+ALIGN = 7.0
+
+
+def _scp(x, y, ctype) -> ShotCornerPoint:
+    return ShotCornerPoint(Point(x, y), ctype)
+
+
+class TestTestShotForPair:
+    def test_same_type_rejected(self):
+        a = _scp(0, 0, CornerType.BOTTOM_LEFT)
+        b = _scp(20, 20, CornerType.BOTTOM_LEFT)
+        assert shot_for_pair(a, b, LMIN, ALIGN) is None
+
+    def test_diagonal_pair_unique_shot(self):
+        a = _scp(0, 0, CornerType.BOTTOM_LEFT)
+        b = _scp(30, 20, CornerType.TOP_RIGHT)
+        shot = shot_for_pair(a, b, LMIN, ALIGN)
+        assert shot is not None and shot.as_tuple() == (0, 0, 30, 20)
+
+    def test_diagonal_pair_wrong_side_rejected(self):
+        a = _scp(30, 20, CornerType.BOTTOM_LEFT)
+        b = _scp(0, 0, CornerType.TOP_RIGHT)
+        assert shot_for_pair(a, b, LMIN, ALIGN) is None
+
+    def test_anti_diagonal_pair(self):
+        a = _scp(0, 20, CornerType.TOP_LEFT)
+        b = _scp(30, 0, CornerType.BOTTOM_RIGHT)
+        shot = shot_for_pair(a, b, LMIN, ALIGN)
+        assert shot is not None and shot.as_tuple() == (0, 0, 30, 20)
+
+    def test_diagonal_below_min_size_rejected(self):
+        a = _scp(0, 0, CornerType.BOTTOM_LEFT)
+        b = _scp(8, 20, CornerType.TOP_RIGHT)
+        assert shot_for_pair(a, b, LMIN, ALIGN) is None
+
+    def test_left_pair_min_width_shot(self):
+        a = _scp(0, 0, CornerType.BOTTOM_LEFT)
+        b = _scp(1, 40, CornerType.TOP_LEFT)
+        shot = shot_for_pair(a, b, LMIN, ALIGN)
+        assert shot is not None
+        assert shot.width == LMIN
+        assert shot.xbl == pytest.approx(0.5)
+
+    def test_left_pair_misaligned_rejected(self):
+        a = _scp(0, 0, CornerType.BOTTOM_LEFT)
+        b = _scp(20, 40, CornerType.TOP_LEFT)
+        assert shot_for_pair(a, b, LMIN, ALIGN) is None
+
+    def test_bottom_pair_min_height_shot(self):
+        a = _scp(0, 0, CornerType.BOTTOM_LEFT)
+        b = _scp(40, 1, CornerType.BOTTOM_RIGHT)
+        shot = shot_for_pair(a, b, LMIN, ALIGN)
+        assert shot is not None
+        assert shot.height == LMIN
+        assert shot.ybl == pytest.approx(0.5)
+
+    def test_top_pair(self):
+        a = _scp(0, 40, CornerType.TOP_LEFT)
+        b = _scp(40, 40, CornerType.TOP_RIGHT)
+        shot = shot_for_pair(a, b, LMIN, ALIGN)
+        assert shot is not None
+        assert shot.ytr == pytest.approx(40.0)
+        assert shot.height == LMIN
+
+    def test_side_pair_too_short_rejected(self):
+        a = _scp(0, 0, CornerType.BOTTOM_LEFT)
+        b = _scp(5, 0, CornerType.BOTTOM_RIGHT)
+        assert shot_for_pair(a, b, LMIN, ALIGN) is None
+
+    def test_symmetry_in_argument_order(self):
+        a = _scp(0, 0, CornerType.BOTTOM_LEFT)
+        b = _scp(30, 20, CornerType.TOP_RIGHT)
+        assert shot_for_pair(a, b, LMIN, ALIGN) == shot_for_pair(
+            b, a, LMIN, ALIGN
+        )
+
+
+class TestGraphConstruction:
+    def test_rect_target_complete_graph(self, rect_shape, spec):
+        from repro.fracture.corner_points import extract_corner_points
+        from repro.geometry.rdp import rdp_simplify
+
+        simplified = rdp_simplify(rect_shape.polygon, spec.gamma)
+        corner_points = extract_corner_points(simplified, spec.lth)
+        graph = build_compatibility_graph(corner_points, rect_shape, spec)
+        assert graph.n == 4
+        assert graph.edge_count() == 6  # all pairs compatible
+
+    def test_overlap_rule_blocks_cross_notch_pairs(self, l_shape, spec):
+        """Corner points across the L's notch must not form one shot."""
+        from repro.fracture.corner_points import extract_corner_points
+        from repro.geometry.rdp import rdp_simplify
+
+        simplified = rdp_simplify(l_shape.polygon, spec.gamma)
+        corner_points = extract_corner_points(simplified, spec.lth)
+        graph = build_compatibility_graph(corner_points, l_shape, spec)
+        # The far bottom-right corner and the top-left of the vertical arm
+        # would span the notch; that pair must be absent.
+        bl_arm = next(
+            i for i, c in enumerate(corner_points)
+            if c.ctype is CornerType.BOTTOM_RIGHT and c.point.x > 70
+        )
+        tl_arm = next(
+            i for i, c in enumerate(corner_points)
+            if c.ctype is CornerType.TOP_LEFT and c.point.y > 60
+        )
+        assert not graph.has_edge(bl_arm, tl_arm)
+
+
+class TestApproximateFracture:
+    def test_rectangle_single_shot(self, rect_shape, spec):
+        shots, diagnostics = approximate_fracture(rect_shape, spec)
+        assert len(shots) == 1
+        assert diagnostics["cliques"] == 1
+
+    def test_l_shape_few_shots(self, l_shape, spec):
+        shots, diagnostics = approximate_fracture(l_shape, spec)
+        assert 2 <= len(shots) <= 4
+        assert diagnostics["corner_points"] >= 6
+
+    def test_shots_meet_min_size(self, blob_shape, spec):
+        shots, _ = approximate_fracture(blob_shape, spec)
+        assert shots, "stage 1 must produce shots"
+        assert all(s.meets_min_size(spec.lmin - 1e-9) for s in shots)
+
+    def test_fracturer_interface(self, rect_shape, spec):
+        result = GraphColoringFracturer().fracture(rect_shape, spec)
+        assert result.method == "GC-INIT"
+        assert result.shot_count == 1
+        assert "corner_points" in result.extra
+
+    def test_coloring_strategy_configurable(self, blob_shape, spec):
+        a, _ = approximate_fracture(
+            blob_shape, spec, GraphBuildConfig(coloring_strategy="given")
+        )
+        b, _ = approximate_fracture(
+            blob_shape, spec, GraphBuildConfig(coloring_strategy="dsatur")
+        )
+        assert a and b  # both valid; counts may differ

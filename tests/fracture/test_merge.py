@@ -1,0 +1,72 @@
+"""Unit tests for MergeShots (paper §4.5, Fig. 5)."""
+
+from repro.fracture.merge import merge_shots
+from repro.fracture.state import RefinementState
+from repro.geometry.rect import Rect
+
+
+class TestContainment:
+    def test_contained_shot_removed(self, rect_shape, spec):
+        state = RefinementState(
+            rect_shape, spec, [Rect(0, 0, 60, 40), Rect(10, 10, 30, 30)]
+        )
+        merged = merge_shots(state)
+        assert merged == 1
+        assert state.shots == [Rect(0, 0, 60, 40)]
+
+    def test_identical_shots_deduplicated(self, rect_shape, spec):
+        state = RefinementState(
+            rect_shape, spec, [Rect(0, 0, 60, 40), Rect(0, 0, 60, 40)]
+        )
+        assert merge_shots(state) == 1
+        assert len(state.shots) == 1
+
+
+class TestAlignedExtension:
+    def test_x_aligned_pair_merges_inside_target(self, rect_shape, spec):
+        # Two vertically stacked shots spanning the rect: merge to one.
+        state = RefinementState(
+            rect_shape, spec, [Rect(0, 0, 60, 18), Rect(1, 25, 60, 40)]
+        )
+        assert merge_shots(state) == 1
+        assert len(state.shots) == 1
+        assert state.shots[0].union_bbox(Rect(0, 0, 60, 40)) == Rect(0, 0, 60, 40)
+
+    def test_y_aligned_pair_merges(self, rect_shape, spec):
+        state = RefinementState(
+            rect_shape, spec, [Rect(0, 0, 25, 40), Rect(35, 1, 60, 40)]
+        )
+        assert merge_shots(state) == 1
+
+    def test_misaligned_pair_not_merged(self, rect_shape, spec):
+        state = RefinementState(
+            rect_shape, spec, [Rect(0, 0, 30, 18), Rect(20, 25, 60, 40)]
+        )
+        assert merge_shots(state) == 0
+        assert len(state.shots) == 2
+
+    def test_merge_across_notch_blocked(self, l_shape, spec):
+        """Fig. 5 right: merging across the L's notch would cover P_off,
+        so the 90% rule must reject it."""
+        # Two x-aligned shots in the vertical arm region and beyond the
+        # notch: their union bbox dips into the notch (x>40, y>30).
+        state = RefinementState(
+            l_shape, spec, [Rect(45, 0, 80, 28), Rect(45.5, 50, 80.5, 90)]
+        )
+        assert merge_shots(state) == 0
+
+    def test_alignment_tolerance_is_gamma(self, rect_shape, spec):
+        offset = spec.gamma + 0.5  # just beyond tolerance
+        state = RefinementState(
+            rect_shape, spec, [Rect(0, 0, 60, 18), Rect(offset, 25, 60 + offset, 40)]
+        )
+        assert merge_shots(state) == 0
+
+    def test_cascading_merges(self, rect_shape, spec):
+        """Three stacked aligned shots collapse to one via two merges."""
+        state = RefinementState(
+            rect_shape, spec,
+            [Rect(0, 0, 60, 12), Rect(0, 14, 60, 26), Rect(0, 28, 60, 40)],
+        )
+        assert merge_shots(state) == 2
+        assert len(state.shots) == 1

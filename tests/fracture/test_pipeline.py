@@ -1,0 +1,73 @@
+"""Unit tests for the full ModelBasedFracturer pipeline."""
+
+import pytest
+
+from repro.fracture.graph_color import GraphBuildConfig
+from repro.fracture.pipeline import (
+    DEFAULT_PORTFOLIO,
+    ModelBasedFracturer,
+    RefineConfig,
+)
+from repro.fracture.refine import RefineParams
+
+
+class TestConfig:
+    def test_factory_presets(self):
+        assert RefineConfig.fast().params.nmax < RefineConfig().params.nmax
+        assert RefineConfig.thorough().params.nmax > RefineConfig().params.nmax
+        assert not RefineConfig.paper_faithful().polish
+
+    def test_config_and_portfolio_exclusive(self):
+        with pytest.raises(ValueError):
+            ModelBasedFracturer(
+                config=RefineConfig(), portfolio=DEFAULT_PORTFOLIO
+            )
+
+    def test_single_config_mode(self):
+        f = ModelBasedFracturer(config=RefineConfig.fast())
+        assert len(f.portfolio) == 1
+
+
+class TestFracturing:
+    def test_rectangle_is_one_shot(self, rect_shape, spec):
+        result = ModelBasedFracturer(config=RefineConfig.fast()).fracture(
+            rect_shape, spec
+        )
+        assert result.feasible
+        assert result.shot_count == 1
+
+    def test_l_shape_feasible(self, l_shape, spec):
+        result = ModelBasedFracturer(config=RefineConfig()).fracture(l_shape, spec)
+        assert result.feasible
+        assert result.shot_count <= 6
+
+    def test_blob_feasible_with_portfolio(self, blob_shape, spec):
+        result = ModelBasedFracturer().fracture(blob_shape, spec)
+        assert result.feasible
+        assert result.shot_count >= 1
+
+    def test_min_size_constraint_always_met(self, blob_shape, spec):
+        result = ModelBasedFracturer(config=RefineConfig.fast()).fracture(
+            blob_shape, spec
+        )
+        assert all(s.meets_min_size(spec.lmin - 1e-9) for s in result.shots)
+
+    def test_extra_diagnostics_populated(self, rect_shape, spec):
+        result = ModelBasedFracturer(config=RefineConfig.fast()).fracture(
+            rect_shape, spec
+        )
+        for key in ("corner_points", "refine_iterations", "runs"):
+            assert key in result.extra
+
+    def test_portfolio_stops_early_when_feasible(self, rect_shape, spec):
+        result = ModelBasedFracturer().fracture(rect_shape, spec)
+        assert len(result.extra["runs"]) == 2  # _MIN_RUNS, then early stop
+
+    def test_polish_disabled_is_paper_faithful(self, rect_shape, spec):
+        config = RefineConfig(
+            graph=GraphBuildConfig(),
+            params=RefineParams(nmax=150),
+            polish=False,
+        )
+        result = ModelBasedFracturer(config=config).fracture(rect_shape, spec)
+        assert result.extra["polished_away"] == 0

@@ -1,0 +1,83 @@
+"""Unit tests for shot placement from color classes (paper Fig. 4)."""
+
+import pytest
+
+from repro.fracture.corner_points import CornerType, ShotCornerPoint
+from repro.fracture.placement import shot_from_class
+from repro.geometry.point import Point
+
+LMIN = 10.0
+
+
+def _scp(x, y, ctype) -> ShotCornerPoint:
+    return ShotCornerPoint(Point(x, y), ctype)
+
+
+class TestFullyPinned:
+    def test_diagonal_pair(self, rect_shape):
+        shot = shot_from_class(
+            [_scp(0, 0, CornerType.BOTTOM_LEFT), _scp(60, 40, CornerType.TOP_RIGHT)],
+            rect_shape, LMIN,
+        )
+        assert shot is not None and shot.as_tuple() == (0, 0, 60, 40)
+
+    def test_four_corners_averaged(self, rect_shape):
+        shot = shot_from_class(
+            [
+                _scp(0, 0, CornerType.BOTTOM_LEFT),
+                _scp(1, 0, CornerType.BOTTOM_RIGHT),  # near-degenerate input
+                _scp(0, 40, CornerType.TOP_LEFT),
+                _scp(60, 40, CornerType.TOP_RIGHT),
+            ],
+            rect_shape, LMIN,
+        )
+        assert shot is not None
+        # Conflicting right corners average; min-size widening applies.
+        assert shot.meets_min_size(LMIN)
+
+
+class TestDegenerateClasses:
+    def test_empty_class(self, rect_shape):
+        assert shot_from_class([], rect_shape, LMIN) is None
+
+    def test_top_pair_extends_to_bottom_boundary(self, rect_shape):
+        """Fig. 4: two top corners; the bottom edge must extend down to
+        the opposite boundary of the 0..40 target."""
+        shot = shot_from_class(
+            [_scp(20, 40, CornerType.TOP_LEFT), _scp(50, 40, CornerType.TOP_RIGHT)],
+            rect_shape, LMIN,
+        )
+        assert shot is not None
+        assert shot.ybl <= 2.0  # reached (near) the bottom boundary at y=0
+        assert shot.ytr == pytest.approx(40.0)
+
+    def test_left_pair_extends_right(self, rect_shape):
+        shot = shot_from_class(
+            [_scp(0, 5, CornerType.BOTTOM_LEFT), _scp(0, 35, CornerType.TOP_LEFT)],
+            rect_shape, LMIN,
+        )
+        assert shot is not None
+        assert shot.xtr >= 55.0
+
+    def test_single_corner_extends_both_axes(self, rect_shape):
+        shot = shot_from_class([_scp(0, 0, CornerType.BOTTOM_LEFT)], rect_shape, LMIN)
+        assert shot is not None
+        assert shot.xtr >= 55.0 and shot.ytr >= 35.0
+
+    def test_extension_stops_at_notch(self, l_shape):
+        """Extending within the L's vertical arm must stop at the notch
+        boundary (x=40), not run into the bottom bar's full width."""
+        shot = shot_from_class(
+            [_scp(0, 50, CornerType.BOTTOM_LEFT), _scp(0, 70, CornerType.TOP_LEFT)],
+            l_shape, LMIN,
+        )
+        assert shot is not None
+        assert shot.xtr <= 45.0
+
+    def test_min_size_enforced_between_close_pins(self, rect_shape):
+        shot = shot_from_class(
+            [_scp(20, 10, CornerType.BOTTOM_LEFT), _scp(24, 30, CornerType.TOP_RIGHT)],
+            rect_shape, LMIN,
+        )
+        assert shot is not None
+        assert shot.width >= LMIN

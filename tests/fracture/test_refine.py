@@ -1,0 +1,126 @@
+"""Unit tests for Algorithm 1 (iterative shot refinement)."""
+
+import pytest
+
+from repro.fracture.refine import (
+    RefineParams,
+    _stagnated,
+    _state_hash,
+    reduce_shot_count,
+    refine,
+)
+from repro.geometry.rect import Rect
+
+
+class TestParams:
+    def test_invalid_nmax(self):
+        with pytest.raises(ValueError):
+            RefineParams(nmax=-1)
+
+    def test_invalid_nh(self):
+        with pytest.raises(ValueError):
+            RefineParams(nh=0)
+
+
+class TestStagnation:
+    def test_not_enough_history(self):
+        assert not _stagnated([1.0, 1.0], nh=3)
+
+    def test_improving_history(self):
+        assert not _stagnated([5.0, 4.0, 3.0, 2.0], nh=3)
+
+    def test_flat_history(self):
+        assert _stagnated([2.0, 2.0, 2.0, 2.0], nh=3)
+
+    def test_slow_improvement_counts_as_stagnant(self):
+        assert _stagnated([2.0, 2.0 - 1e-8, 2.0 - 2e-8, 2.0 - 3e-8], nh=3)
+
+
+class TestStateHash:
+    def test_order_insensitive(self):
+        a = [Rect(0, 0, 10, 10), Rect(5, 5, 20, 20)]
+        b = list(reversed(a))
+        assert _state_hash(a, 1.0) == _state_hash(b, 1.0)
+
+    def test_quantization_absorbs_float_noise(self):
+        a = [Rect(0, 0, 10, 10)]
+        b = [Rect(1e-9, 0, 10, 10 - 1e-9)]
+        assert _state_hash(a, 1.0) == _state_hash(b, 1.0)
+
+    def test_distinct_states_differ(self):
+        assert _state_hash([Rect(0, 0, 10, 10)], 1.0) != _state_hash(
+            [Rect(1, 0, 11, 10)], 1.0
+        )
+
+
+class TestRefine:
+    def test_fixes_oversized_initial_shot(self, rect_shape, spec):
+        shots, trace = refine(
+            rect_shape, spec, [Rect(-4, -4, 64, 44)], RefineParams(nmax=120)
+        )
+        assert trace.converged
+        assert len(shots) == 1
+
+    def test_fills_coverage_gap_by_adding(self, rect_shape, spec):
+        shots, trace = refine(
+            rect_shape, spec, [Rect(-2, -2, 28, 42)], RefineParams(nmax=200)
+        )
+        assert trace.converged
+        assert trace.shots_added >= 1 or len(shots) >= 1
+
+    def test_zero_budget_returns_input(self, rect_shape, spec):
+        initial = [Rect(0, 0, 60, 40)]
+        shots, trace = refine(rect_shape, spec, initial, RefineParams(nmax=0))
+        assert shots == initial
+        assert trace.iterations == 0
+
+    def test_already_feasible_stops_immediately(self, rect_shape, spec):
+        shots, trace = refine(
+            rect_shape, spec, [Rect(-1, -1, 61, 41)], RefineParams(nmax=50)
+        )
+        assert trace.converged
+        assert trace.iterations == 1
+
+    def test_trace_histories_recorded(self, rect_shape, spec):
+        _, trace = refine(
+            rect_shape, spec, [Rect(-4, -4, 64, 44)], RefineParams(nmax=120)
+        )
+        assert len(trace.cost_history) == trace.iterations
+        assert len(trace.failing_history) == trace.iterations
+        assert trace.failing_history[-1] == 0
+
+    def test_unconverged_returns_best_seen(self, blob_shape, spec):
+        """With a tiny budget the result is the best snapshot, which can
+        be no worse than the initial solution."""
+        from repro.fracture.graph_color import approximate_fracture
+        from repro.mask.constraints import check_solution
+
+        initial, _ = approximate_fracture(blob_shape, spec)
+        initial_failing = check_solution(initial, blob_shape, spec).total_failing
+        shots, trace = refine(blob_shape, spec, initial, RefineParams(nmax=12))
+        final_failing = check_solution(shots, blob_shape, spec).total_failing
+        assert final_failing <= initial_failing
+
+
+class TestReduceShotCount:
+    def test_removes_redundant_shot(self, rect_shape, spec):
+        shots = [Rect(-1, -1, 61, 41), Rect(10, 5, 45, 35)]
+        reduced, removed = reduce_shot_count(rect_shape, spec, shots)
+        assert removed >= 1
+        assert len(reduced) == 1
+
+    def test_keeps_necessary_shots(self, rect_shape, spec):
+        shots = [Rect(-1, -1, 61, 41)]
+        reduced, removed = reduce_shot_count(rect_shape, spec, shots)
+        assert reduced == shots and removed == 0
+
+    def test_result_remains_feasible(self, l_shape, spec):
+        from repro.mask.constraints import check_solution
+        from repro.fracture.refine import refine as run_refine
+
+        initial = [Rect(-2, -2, 82, 32), Rect(-2, -2, 42, 72), Rect(5, 5, 40, 40)]
+        shots, trace = run_refine(l_shape, spec, initial, RefineParams(nmax=200))
+        if trace.converged:
+            reduced, _ = reduce_shot_count(l_shape, spec, shots)
+            assert check_solution(reduced, l_shape, spec).feasible
+            assert len(reduced) <= len(shots)

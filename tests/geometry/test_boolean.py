@@ -1,0 +1,102 @@
+"""Unit tests for pixel-resolution polygon boolean operations."""
+
+import pytest
+
+from repro.geometry.boolean import (
+    polygon_area_of,
+    polygon_difference,
+    polygon_intersection,
+    polygon_union,
+    shots_union_polygons,
+)
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+
+
+@pytest.fixture()
+def square_a() -> Polygon:
+    return Polygon([(0, 0), (40, 0), (40, 40), (0, 40)])
+
+
+@pytest.fixture()
+def square_b() -> Polygon:
+    return Polygon([(20, 0), (60, 0), (60, 40), (20, 40)])
+
+
+@pytest.fixture()
+def far_square() -> Polygon:
+    return Polygon([(100, 100), (130, 100), (130, 130), (100, 130)])
+
+
+class TestUnion:
+    def test_overlapping_squares(self, square_a, square_b):
+        result = polygon_union(square_a, square_b)
+        assert len(result) == 1
+        assert polygon_area_of(result) == pytest.approx(60 * 40, rel=0.02)
+
+    def test_disjoint_stays_separate(self, square_a, far_square):
+        result = polygon_union(square_a, far_square)
+        assert len(result) == 2
+        assert polygon_area_of(result) == pytest.approx(40 * 40 + 30 * 30, rel=0.02)
+
+    def test_union_contains_both(self, square_a, square_b):
+        result = polygon_union(square_a, square_b)
+        merged = result[0]
+        for probe in (square_a.centroid(), square_b.centroid()):
+            assert merged.contains_point(probe)
+
+
+class TestIntersection:
+    def test_overlap_region(self, square_a, square_b):
+        result = polygon_intersection(square_a, square_b)
+        assert len(result) == 1
+        assert polygon_area_of(result) == pytest.approx(20 * 40, rel=0.05)
+
+    def test_disjoint_empty(self, square_a, far_square):
+        assert polygon_intersection(square_a, far_square) == []
+
+    def test_self_intersection_is_identity(self, square_a):
+        result = polygon_intersection(square_a, square_a)
+        assert polygon_area_of(result) == pytest.approx(square_a.area, rel=0.02)
+
+
+class TestDifference:
+    def test_bite_taken(self, square_a, square_b):
+        result = polygon_difference(square_a, square_b)
+        assert polygon_area_of(result) == pytest.approx(20 * 40, rel=0.05)
+
+    def test_subtracting_nothing_nearby(self, square_a, far_square):
+        result = polygon_difference(square_a, far_square)
+        assert polygon_area_of(result) == pytest.approx(square_a.area, rel=0.02)
+
+    def test_full_cover_empty(self, square_a):
+        cover = Polygon([(-5, -5), (45, -5), (45, 45), (-5, 45)])
+        assert polygon_difference(square_a, cover) == []
+
+    def test_inclusion_exclusion(self, square_a, square_b):
+        """|A∪B| = |A| + |B| − |A∩B| at pixel resolution."""
+        union = polygon_area_of(polygon_union(square_a, square_b))
+        inter = polygon_area_of(polygon_intersection(square_a, square_b))
+        assert union == pytest.approx(
+            square_a.area + square_b.area - inter, rel=0.02
+        )
+
+
+class TestShotUnion:
+    def test_empty(self):
+        assert shots_union_polygons([]) == []
+
+    def test_l_from_two_shots(self):
+        shots = [Rect(0, 0, 40, 15), Rect(0, 0, 15, 40)]
+        result = shots_union_polygons(shots)
+        assert len(result) == 1
+        assert polygon_area_of(result) == pytest.approx(
+            40 * 15 + 15 * 40 - 15 * 15, rel=0.05
+        )
+
+    def test_uncovered_region_workflow(self, square_a):
+        """The documented diffing use: target minus written area."""
+        shots = [Rect(0, 0, 40, 25)]
+        written = shots_union_polygons(shots)
+        uncovered = polygon_difference(square_a, written)
+        assert polygon_area_of(uncovered) == pytest.approx(40 * 15, rel=0.05)

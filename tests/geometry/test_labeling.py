@@ -1,0 +1,81 @@
+"""Unit tests for connected-component labeling."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.labeling import bounding_boxes, label_components
+from repro.geometry.raster import PixelGrid
+
+
+class TestLabelComponents:
+    def test_empty_mask(self):
+        labels, count = label_components(np.zeros((5, 5), dtype=bool))
+        assert count == 0 and labels.sum() == 0
+
+    def test_single_component(self):
+        mask = np.zeros((6, 6), dtype=bool)
+        mask[1:4, 1:4] = True
+        labels, count = label_components(mask)
+        assert count == 1
+        assert (labels[mask] == 1).all()
+        assert (labels[~mask] == 0).all()
+
+    def test_two_components(self):
+        mask = np.zeros((8, 8), dtype=bool)
+        mask[0:2, 0:2] = True
+        mask[5:8, 5:8] = True
+        _, count = label_components(mask)
+        assert count == 2
+
+    def test_diagonal_is_not_connected(self):
+        mask = np.array([[1, 0], [0, 1]], dtype=bool)
+        _, count = label_components(mask)
+        assert count == 2
+
+    def test_u_shape_merges_to_one(self):
+        """U shape forces label equivalence resolution across the pass."""
+        mask = np.zeros((5, 7), dtype=bool)
+        mask[1:4, 1] = True
+        mask[1:4, 5] = True
+        mask[1, 1:6] = True
+        _, count = label_components(mask)
+        assert count == 1
+
+    def test_labels_consecutive(self):
+        rng = np.random.default_rng(3)
+        mask = rng.random((30, 30)) > 0.6
+        labels, count = label_components(mask)
+        present = np.unique(labels)
+        assert present[0] == 0 or count == labels.max()
+        assert set(present) - {0} == set(range(1, count + 1))
+
+    def test_matches_scipy(self):
+        from scipy.ndimage import label as scipy_label
+
+        rng = np.random.default_rng(11)
+        mask = rng.random((40, 40)) > 0.55
+        _, ours = label_components(mask)
+        _, theirs = scipy_label(mask)
+        assert ours == theirs
+
+
+class TestBoundingBoxes:
+    def test_boxes_cover_pixel_cells(self):
+        grid = PixelGrid(0.0, 0.0, 2.0, 10, 10)
+        mask = np.zeros((10, 10), dtype=bool)
+        mask[2:4, 3:6] = True
+        labels, count = label_components(mask)
+        boxes = bounding_boxes(labels, count, grid)
+        assert len(boxes) == 1
+        rect, pixels = boxes[0]
+        assert pixels == 6
+        assert rect.as_tuple() == (6.0, 4.0, 12.0, 8.0)
+
+    def test_sorted_by_size_descending(self):
+        grid = PixelGrid(0.0, 0.0, 1.0, 20, 20)
+        mask = np.zeros((20, 20), dtype=bool)
+        mask[1:3, 1:3] = True  # 4 px
+        mask[10:16, 10:16] = True  # 36 px
+        labels, count = label_components(mask)
+        boxes = bounding_boxes(labels, count, grid)
+        assert [pixels for _, pixels in boxes] == [36, 4]

@@ -1,0 +1,118 @@
+"""Unit tests for rectilinear partition (optimal and scanline)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.partition import partition_rectilinear, scanline_partition
+from repro.geometry.polygon import Polygon
+from repro.geometry.raster import PixelGrid, rasterize_polygon
+from repro.geometry.rect import Rect, total_union_area
+
+
+def _assert_exact_partition(polygon: Polygon, rects: list[Rect]) -> None:
+    total = sum(r.area for r in rects)
+    union = total_union_area(rects)
+    assert np.isclose(total, polygon.area), "areas must add up (no overlap)"
+    assert np.isclose(union, polygon.area), "union must cover the polygon"
+
+
+class TestOptimalPartition:
+    def test_rectangle_is_single_rect(self):
+        poly = Polygon([(0, 0), (10, 0), (10, 5), (0, 5)])
+        rects = partition_rectilinear(poly)
+        assert len(rects) == 1
+        assert rects[0].as_tuple() == (0, 0, 10, 5)
+
+    def test_l_shape_two_rects(self):
+        poly = Polygon([(0, 0), (8, 0), (8, 3), (4, 3), (4, 7), (0, 7)])
+        rects = partition_rectilinear(poly)
+        assert len(rects) == 2
+        _assert_exact_partition(poly, rects)
+
+    def test_t_shape_two_rects(self):
+        poly = Polygon(
+            [(0, 4), (3, 4), (3, 0), (6, 0), (6, 4), (9, 4), (9, 7), (0, 7)]
+        )
+        rects = partition_rectilinear(poly)
+        assert len(rects) <= 3
+        _assert_exact_partition(poly, rects)
+
+    def test_plus_shape_three_rects(self):
+        poly = Polygon(
+            [(3, 0), (6, 0), (6, 3), (9, 3), (9, 6), (6, 6), (6, 9), (3, 9),
+             (3, 6), (0, 6), (0, 3), (3, 3)]
+        )
+        rects = partition_rectilinear(poly)
+        assert len(rects) == 3  # the optimal uses the middle band
+        _assert_exact_partition(poly, rects)
+
+    def test_chord_sharing_staircase(self):
+        """Staircase with aligned reflex vertices exercises chord selection."""
+        poly = Polygon(
+            [(0, 0), (9, 0), (9, 3), (6, 3), (6, 6), (3, 6), (3, 9), (0, 9)]
+        )
+        rects = partition_rectilinear(poly)
+        assert len(rects) == 3
+        _assert_exact_partition(poly, rects)
+
+    def test_non_rectilinear_raises(self):
+        with pytest.raises(ValueError):
+            partition_rectilinear(Polygon([(0, 0), (4, 1), (0, 3)]))
+
+    def test_collinear_vertices_tolerated(self):
+        poly = Polygon([(0, 0), (5, 0), (10, 0), (10, 5), (0, 5)])
+        rects = partition_rectilinear(poly)
+        assert len(rects) == 1
+
+
+class TestScanlinePartition:
+    def _grid(self) -> PixelGrid:
+        return PixelGrid(0.0, 0.0, 1.0, 30, 30)
+
+    def test_rectangle_single_slab(self):
+        grid = self._grid()
+        mask = np.zeros(grid.shape, dtype=bool)
+        mask[5:15, 3:23] = True
+        rects = scanline_partition(mask, grid)
+        assert len(rects) == 1
+        assert rects[0].as_tuple() == (3.0, 5.0, 23.0, 15.0)
+
+    def test_exact_partition_of_l_mask(self):
+        grid = self._grid()
+        poly = Polygon([(0, 0), (20, 0), (20, 8), (8, 8), (8, 25), (0, 25)])
+        mask = rasterize_polygon(poly, grid)
+        rects = scanline_partition(mask, grid)
+        covered = sum(r.area for r in rects)
+        assert covered == float(mask.sum())
+        assert total_union_area(rects) == covered  # non-overlapping
+
+    def test_tolerance_merges_jagged_slabs(self):
+        grid = self._grid()
+        mask = np.zeros(grid.shape, dtype=bool)
+        # Jagged left edge: alternating 10/11 start columns.
+        for iy in range(5, 15):
+            mask[iy, 10 + (iy % 2) : 25] = True
+        exact = scanline_partition(mask, grid, merge_tolerance=0.0)
+        merged = scanline_partition(mask, grid, merge_tolerance=1.5)
+        assert len(merged) < len(exact)
+
+    def test_two_separate_runs_per_row(self):
+        grid = self._grid()
+        mask = np.zeros(grid.shape, dtype=bool)
+        mask[5:10, 2:8] = True
+        mask[5:10, 15:25] = True
+        rects = scanline_partition(mask, grid)
+        assert len(rects) == 2
+
+    def test_empty_mask(self):
+        grid = self._grid()
+        assert scanline_partition(np.zeros(grid.shape, dtype=bool), grid) == []
+
+
+class TestPartitionOnTracedShapes:
+    def test_partition_count_staircase_vs_optimal(self, blob_shape):
+        """Scanline on a curvy mask produces many slabs (the motivation
+        for model-based fracturing)."""
+        rects = scanline_partition(blob_shape.inside, blob_shape.grid)
+        assert len(rects) > 15
+        assert sum(r.area for r in rects) == float(blob_shape.inside.sum())

@@ -1,0 +1,74 @@
+"""Unit tests for the Point primitive."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import Point, collinear, segment_point_distance
+
+
+class TestPointAlgebra:
+    def test_add_sub(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+        assert Point(3, 4) - Point(1, 2) == Point(2, 2)
+
+    def test_scalar_multiplication_both_sides(self):
+        assert Point(1, -2) * 3 == Point(3, -6)
+        assert 3 * Point(1, -2) == Point(3, -6)
+
+    def test_negation(self):
+        assert -Point(1, -2) == Point(-1, 2)
+
+    def test_dot_and_cross(self):
+        assert Point(1, 0).dot(Point(0, 1)) == 0.0
+        assert Point(1, 0).cross(Point(0, 1)) == 1.0
+        assert Point(0, 1).cross(Point(1, 0)) == -1.0
+
+    def test_norm_and_distance(self):
+        assert Point(3, 4).norm() == 5.0
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+        assert Point(1, 1).manhattan_to(Point(4, 5)) == 7.0
+
+    def test_normalized_unit_length(self):
+        n = Point(3, 4).normalized()
+        assert math.isclose(n.norm(), 1.0)
+
+    def test_normalized_zero_raises(self):
+        with pytest.raises(ValueError):
+            Point(0, 0).normalized()
+
+    def test_perpendicular_is_ccw(self):
+        # CCW rotation of +x is +y.
+        assert Point(1, 0).perpendicular() == Point(0, 1)
+        assert Point(0, 1).perpendicular() == Point(-1, 0)
+
+    def test_rounded(self):
+        assert Point(1.4, -1.6).rounded() == Point(1, -2)
+
+    def test_hashable_and_frozen(self):
+        assert len({Point(1, 2), Point(1, 2), Point(2, 1)}) == 2
+        with pytest.raises(AttributeError):
+            Point(1, 2).x = 5  # type: ignore[misc]
+
+
+class TestSegmentPointDistance:
+    def test_perpendicular_projection(self):
+        assert segment_point_distance(Point(0, 0), Point(10, 0), Point(5, 3)) == 3.0
+
+    def test_clamps_to_endpoints(self):
+        assert segment_point_distance(Point(0, 0), Point(10, 0), Point(13, 4)) == 5.0
+        assert segment_point_distance(Point(0, 0), Point(10, 0), Point(-3, 4)) == 5.0
+
+    def test_degenerate_segment(self):
+        assert segment_point_distance(Point(1, 1), Point(1, 1), Point(4, 5)) == 5.0
+
+
+class TestCollinear:
+    def test_collinear_points(self):
+        assert collinear(Point(0, 0), Point(1, 1), Point(5, 5))
+
+    def test_non_collinear(self):
+        assert not collinear(Point(0, 0), Point(1, 1), Point(5, 5.1))
+
+    def test_tolerance(self):
+        assert collinear(Point(0, 0), Point(1, 1), Point(2, 2 + 1e-12))

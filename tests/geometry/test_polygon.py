@@ -1,0 +1,106 @@
+"""Unit tests for the Polygon primitive."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+
+
+@pytest.fixture()
+def unit_square() -> Polygon:
+    return Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+
+
+@pytest.fixture()
+def l_polygon() -> Polygon:
+    return Polygon([(0, 0), (4, 0), (4, 2), (2, 2), (2, 4), (0, 4)])
+
+
+class TestConstruction:
+    def test_too_few_vertices(self):
+        with pytest.raises(ValueError):
+            Polygon([(0, 0), (1, 1)])
+
+    def test_closing_vertex_dropped(self):
+        p = Polygon([(0, 0), (1, 0), (1, 1), (0, 0)])
+        assert len(p) == 3
+
+    def test_orientation_normalized_to_ccw(self):
+        cw = Polygon([(0, 0), (0, 1), (1, 1), (1, 0)])
+        ccw = Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+        assert cw.area == ccw.area == 1.0
+        # Both store CCW loops: the shoelace sum over stored vertices is
+        # positive.
+        for poly in (cw, ccw):
+            shoelace = sum(a.cross(b) for a, b in poly.edges())
+            assert shoelace > 0
+
+    def test_accepts_points_and_tuples(self):
+        assert len(Polygon([Point(0, 0), (1, 0), Point(0, 1)])) == 3
+
+
+class TestMeasures:
+    def test_area(self, unit_square, l_polygon):
+        assert unit_square.area == 1.0
+        assert l_polygon.area == 12.0
+
+    def test_perimeter(self, unit_square):
+        assert unit_square.perimeter == 4.0
+
+    def test_bounding_box(self, l_polygon):
+        assert l_polygon.bounding_box().as_tuple() == (0, 0, 4, 4)
+
+    def test_centroid_of_square(self, unit_square):
+        c = unit_square.centroid()
+        assert math.isclose(c.x, 0.5) and math.isclose(c.y, 0.5)
+
+
+class TestPredicates:
+    def test_contains_interior_and_exterior(self, l_polygon):
+        assert l_polygon.contains_point(Point(1, 1))
+        assert l_polygon.contains_point(Point(3, 1))
+        assert not l_polygon.contains_point(Point(3, 3))
+
+    def test_boundary_counts_as_inside(self, unit_square):
+        assert unit_square.contains_point(Point(0.5, 0))
+        assert unit_square.contains_point(Point(0, 0))
+
+    def test_is_rectilinear(self, l_polygon):
+        assert l_polygon.is_rectilinear()
+        assert not Polygon([(0, 0), (2, 1), (0, 2)]).is_rectilinear()
+
+    def test_is_convex(self, unit_square, l_polygon):
+        assert unit_square.is_convex()
+        assert not l_polygon.is_convex()
+
+
+class TestTransforms:
+    def test_translated(self, unit_square):
+        moved = unit_square.translated(2, 3)
+        assert moved.bounding_box().as_tuple() == (2, 3, 3, 4)
+
+    def test_scaled(self, unit_square):
+        assert unit_square.scaled(3).area == 9.0
+
+    def test_collinear_vertices_removed(self):
+        p = Polygon([(0, 0), (1, 0), (2, 0), (2, 2), (0, 2)])
+        cleaned = p.without_collinear_vertices()
+        assert len(cleaned) == 4
+        assert cleaned.area == p.area
+
+
+class TestConstructors:
+    def test_from_rect(self):
+        p = Polygon.from_rect(Rect(0, 0, 3, 2))
+        assert p.area == 6.0 and p.is_rectilinear()
+
+    def test_regular_polygon_area_converges_to_circle(self):
+        p = Polygon.regular(Point(0, 0), 1.0, 64)
+        assert math.isclose(p.area, math.pi, rel_tol=0.01)
+
+    def test_regular_needs_three_sides(self):
+        with pytest.raises(ValueError):
+            Polygon.regular(Point(0, 0), 1.0, 2)

@@ -1,0 +1,96 @@
+"""Unit tests for the pixel grid and polygon rasterization."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.raster import PixelGrid, rasterize_polygon, rasterize_rect
+from repro.geometry.rect import Rect
+
+
+class TestPixelGrid:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PixelGrid(0, 0, 0.0, 10, 10)
+        with pytest.raises(ValueError):
+            PixelGrid(0, 0, 1.0, 0, 10)
+
+    def test_for_rect_covers_with_margin(self):
+        grid = PixelGrid.for_rect(Rect(0, 0, 10, 6), pitch=1.0, margin=2.0)
+        extent = grid.extent
+        assert extent.xbl == -2.0 and extent.ybl == -2.0
+        assert extent.xtr >= 12.0 and extent.ytr >= 8.0
+
+    def test_centers_spacing(self, small_grid):
+        xs = small_grid.x_centers()
+        assert xs[0] == 0.5 and np.allclose(np.diff(xs), 1.0)
+
+    def test_pixel_center_and_index_roundtrip(self, small_grid):
+        center = small_grid.pixel_center(7, 13)
+        assert small_grid.index_of(center) == (7, 13)
+
+    def test_index_of_clamps(self, small_grid):
+        assert small_grid.index_of(Point(-100, -100)) == (0, 0)
+        assert small_grid.index_of(Point(1000, 1000)) == (39, 49)
+
+    def test_rect_to_slices_covers_rect_pixels(self, small_grid):
+        ys, xs = small_grid.rect_to_slices(Rect(10, 10, 20, 15))
+        # Pixel centres 10.5..19.5 in x, 10.5..14.5 in y.
+        assert xs.start <= 10 and xs.stop >= 20
+        assert ys.start <= 10 and ys.stop >= 15
+
+    def test_rect_to_slices_never_exceeds_grid(self, small_grid):
+        ys, xs = small_grid.rect_to_slices(Rect(-50, -50, 500, 500), margin=25.0)
+        assert 0 <= ys.start <= ys.stop <= small_grid.ny
+        assert 0 <= xs.start <= xs.stop <= small_grid.nx
+
+
+class TestRasterizePolygon:
+    def test_rectangle_pixel_count(self, small_grid):
+        mask = rasterize_polygon(Polygon([(5, 5), (15, 5), (15, 12), (5, 12)]), small_grid)
+        assert mask.sum() == 10 * 7
+
+    def test_triangle_area_approximation(self):
+        grid = PixelGrid(0, 0, 0.5, 100, 100)
+        tri = Polygon([(5, 5), (45, 5), (5, 45)])
+        mask = rasterize_polygon(tri, grid)
+        area = mask.sum() * grid.pitch**2
+        assert abs(area - 800.0) < 25.0
+
+    def test_l_shape_concavity_excluded(self, small_grid):
+        l_poly = Polygon([(0, 0), (40, 0), (40, 10), (10, 10), (10, 30), (0, 30)])
+        mask = rasterize_polygon(l_poly, small_grid)
+        assert not mask[20, 25]  # inside the notch
+        assert mask[5, 25]  # inside the bottom bar
+
+    def test_mask_matches_contains_point(self, small_grid):
+        from repro.geometry.point import segment_point_distance
+
+        poly = Polygon([(3, 2), (30, 8), (25, 30), (8, 25)])
+        mask = rasterize_polygon(poly, small_grid)
+        for iy in range(0, small_grid.ny, 3):
+            for ix in range(0, small_grid.nx, 3):
+                center = small_grid.pixel_center(iy, ix)
+                boundary_distance = min(
+                    segment_point_distance(a, b, center) for a, b in poly.edges()
+                )
+                if boundary_distance < 1.0:
+                    continue  # near-boundary pixels may go either way
+                assert mask[iy, ix] == poly.contains_point(center)
+
+    def test_degenerate_no_vertical_extent(self, small_grid):
+        # A polygon fully between two scanline rows rasterizes to nothing.
+        sliver = Polygon([(0, 10.6), (40, 10.6), (40, 10.9), (0, 10.9)])
+        assert rasterize_polygon(sliver, small_grid).sum() == 0
+
+
+class TestRasterizeRect:
+    def test_matches_polygon_rasterization(self, small_grid):
+        rect = Rect(5, 5, 20, 15)
+        a = rasterize_rect(rect, small_grid)
+        b = rasterize_polygon(Polygon.from_rect(rect), small_grid)
+        assert np.array_equal(a, b)
+
+    def test_empty_outside_grid(self, small_grid):
+        assert rasterize_rect(Rect(100, 100, 120, 120), small_grid).sum() == 0

@@ -1,0 +1,86 @@
+"""Unit tests for Ramer–Douglas–Peucker simplification."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import Point, segment_point_distance
+from repro.geometry.polygon import Polygon
+from repro.geometry.rdp import rdp_closed, rdp_polyline, rdp_simplify
+
+
+def _zigzag(n: int, amplitude: float) -> list[Point]:
+    return [Point(float(i), amplitude * (i % 2)) for i in range(n)]
+
+
+class TestPolyline:
+    def test_negative_epsilon_raises(self):
+        with pytest.raises(ValueError):
+            rdp_polyline([Point(0, 0), Point(1, 1), Point(2, 2)], -1.0)
+
+    def test_short_input_unchanged(self):
+        pts = [Point(0, 0), Point(1, 1)]
+        assert rdp_polyline(pts, 1.0) == pts
+
+    def test_collinear_collapses_to_endpoints(self):
+        pts = [Point(float(i), 0.0) for i in range(10)]
+        assert rdp_polyline(pts, 0.1) == [pts[0], pts[-1]]
+
+    def test_small_zigzag_removed_large_kept(self):
+        small = rdp_polyline(_zigzag(11, 0.5), epsilon=1.0)
+        assert len(small) == 2
+        large = rdp_polyline(_zigzag(11, 3.0), epsilon=1.0)
+        assert len(large) > 2
+
+    def test_endpoints_always_kept(self):
+        pts = _zigzag(21, 0.3)
+        out = rdp_polyline(pts, 5.0)
+        assert out[0] == pts[0] and out[-1] == pts[-1]
+
+    def test_tolerance_guarantee(self):
+        """Every dropped vertex stays within epsilon of the simplified line."""
+        eps = 0.75
+        pts = [Point(i, math.sin(i * 0.7) * 2.0) for i in range(40)]
+        out = rdp_polyline(pts, eps)
+        for p in pts:
+            best = min(
+                segment_point_distance(a, b, p) for a, b in zip(out, out[1:])
+            )
+            assert best <= eps + 1e-9
+
+
+class TestClosed:
+    def test_square_with_noise_vertices(self):
+        pts = []
+        for i in range(20):
+            pts.append(Point(i, 0.05 * (i % 2)))
+        for i in range(20):
+            pts.append(Point(20, i))
+        for i in range(20):
+            pts.append(Point(20 - i, 20))
+        for i in range(20):
+            pts.append(Point(0, 20 - i))
+        out = rdp_closed(pts, epsilon=0.5)
+        assert len(out) <= 8
+
+    def test_start_index_invariance(self):
+        pts = [
+            Point(0, 0), Point(5, 0.2), Point(10, 0), Point(10, 10),
+            Point(5, 10.2), Point(0, 10),
+        ]
+        rotated = pts[2:] + pts[:2]
+        a = {(round(p.x, 6), round(p.y, 6)) for p in rdp_closed(pts, 0.5)}
+        b = {(round(p.x, 6), round(p.y, 6)) for p in rdp_closed(rotated, 0.5)}
+        assert a == b
+
+
+class TestPolygonSimplify:
+    def test_reduces_traced_staircase(self, blob_shape):
+        simplified = rdp_simplify(blob_shape.polygon, 2.0)
+        assert len(simplified) < len(blob_shape.polygon) / 3
+        # Area is approximately preserved.
+        assert abs(simplified.area - blob_shape.polygon.area) < 0.1 * blob_shape.polygon.area
+
+    def test_degenerate_fallback_returns_original(self):
+        tri = Polygon([(0, 0), (10, 0.1), (20, 0)])
+        assert rdp_simplify(tri, epsilon=5.0) == tri

@@ -1,0 +1,130 @@
+"""Unit tests for the Rect (shot) primitive."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect, bounding_box, total_union_area
+
+
+class TestConstruction:
+    def test_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            Rect(5, 0, 0, 5)
+        with pytest.raises(ValueError):
+            Rect(0, 5, 5, 0)
+
+    def test_zero_size_is_allowed(self):
+        # Degenerate-but-not-inverted rects model edge segments.
+        assert Rect(1, 1, 1, 5).width == 0.0
+
+    def test_from_corners_any_order(self):
+        r = Rect.from_corners(Point(5, 7), Point(1, 2))
+        assert r.as_tuple() == (1, 2, 5, 7)
+
+    def test_from_center(self):
+        r = Rect.from_center(Point(5, 5), 4, 6)
+        assert r.as_tuple() == (3, 2, 7, 8)
+
+
+class TestMeasures:
+    def test_width_height_area(self):
+        r = Rect(1, 2, 5, 8)
+        assert (r.width, r.height, r.area) == (4, 6, 24)
+
+    def test_center_and_corners(self):
+        r = Rect(0, 0, 4, 2)
+        assert r.center == Point(2, 1)
+        assert r.corners() == (Point(0, 0), Point(4, 0), Point(4, 2), Point(0, 2))
+
+
+class TestPredicates:
+    def test_contains_point_boundary(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.contains_point(Point(0, 5))
+        assert not r.contains_point(Point(0, 5), strict=True)
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(2, 2, 8, 8))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(2, 2, 12, 8))
+
+    def test_intersects_touching_edges(self):
+        assert Rect(0, 0, 5, 5).intersects(Rect(5, 0, 10, 5))
+        assert not Rect(0, 0, 5, 5).intersects(Rect(6, 0, 10, 5))
+
+    def test_meets_min_size(self):
+        assert Rect(0, 0, 10, 10).meets_min_size(10)
+        assert not Rect(0, 0, 9.9, 10).meets_min_size(10)
+
+
+class TestCombination:
+    def test_intersection(self):
+        overlap = Rect(0, 0, 5, 5).intersection(Rect(3, 3, 9, 9))
+        assert overlap is not None and overlap.as_tuple() == (3, 3, 5, 5)
+
+    def test_intersection_disjoint_is_none(self):
+        assert Rect(0, 0, 2, 2).intersection(Rect(5, 5, 7, 7)) is None
+
+    def test_intersection_area_commutative(self):
+        a, b = Rect(0, 0, 5, 5), Rect(3, -1, 9, 2)
+        assert a.intersection_area(b) == b.intersection_area(a) == 4.0
+
+    def test_union_bbox(self):
+        assert Rect(0, 0, 1, 1).union_bbox(Rect(5, 5, 7, 7)).as_tuple() == (0, 0, 7, 7)
+
+    def test_expanded_and_translated(self):
+        assert Rect(1, 1, 2, 2).expanded(1).as_tuple() == (0, 0, 3, 3)
+        assert Rect(1, 1, 2, 2).translated(2, -1).as_tuple() == (3, 0, 4, 1)
+
+
+class TestEdgeMoves:
+    def test_each_edge_moves_correct_coordinate(self):
+        r = Rect(0, 0, 10, 10)
+        assert r.moved_edge("left", 1).as_tuple() == (1, 0, 10, 10)
+        assert r.moved_edge("right", 1).as_tuple() == (0, 0, 11, 10)
+        assert r.moved_edge("bottom", -1).as_tuple() == (0, -1, 10, 10)
+        assert r.moved_edge("top", -1).as_tuple() == (0, 0, 10, 9)
+
+    def test_inverting_move_raises(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 1, 1).moved_edge("left", 2)
+
+    def test_unknown_edge_raises(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 1, 1).moved_edge("diagonal", 1)
+
+    def test_edge_coordinate_roundtrip(self):
+        r = Rect(1, 2, 3, 4)
+        assert [r.edge_coordinate(e) for e, _ in r.iter_edges()] == [1, 3, 2, 4]
+
+    def test_shrunk_respects_lmin(self):
+        r = Rect(0, 0, 12, 30)
+        s = r.shrunk(2, lmin=10)
+        # Width would drop to 8 < lmin, so x edges stay; height shrinks.
+        assert s.as_tuple() == (0, 2, 12, 28)
+
+    def test_snapped(self):
+        assert Rect(0.4, 0.6, 10.4, 10.6).snapped().as_tuple() == (0, 1, 10, 11)
+
+
+class TestCollectionHelpers:
+    def test_bounding_box(self):
+        rects = [Rect(0, 0, 1, 1), Rect(5, -2, 6, 3)]
+        assert bounding_box(rects).as_tuple() == (0, -2, 6, 3)
+
+    def test_bounding_box_empty_raises(self):
+        with pytest.raises(ValueError):
+            bounding_box([])
+
+    def test_union_area_disjoint(self):
+        assert total_union_area([Rect(0, 0, 2, 2), Rect(5, 5, 7, 7)]) == 8.0
+
+    def test_union_area_overlapping_not_double_counted(self):
+        assert total_union_area([Rect(0, 0, 4, 4), Rect(2, 0, 6, 4)]) == 24.0
+
+    def test_union_area_contained(self):
+        assert total_union_area([Rect(0, 0, 10, 10), Rect(2, 2, 4, 4)]) == 100.0
+
+    def test_union_area_empty(self):
+        assert total_union_area([]) == 0.0

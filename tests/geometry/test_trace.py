@@ -1,0 +1,86 @@
+"""Unit tests for mask boundary tracing."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.raster import PixelGrid, rasterize_polygon
+from repro.geometry.trace import trace_all_boundaries, trace_boundary
+
+
+@pytest.fixture()
+def grid() -> PixelGrid:
+    return PixelGrid(0.0, 0.0, 1.0, 30, 30)
+
+
+class TestTraceBoundary:
+    def test_single_rectangle(self, grid):
+        mask = np.zeros(grid.shape, dtype=bool)
+        mask[5:15, 3:23] = True
+        poly = trace_boundary(mask, grid)
+        assert poly.is_rectilinear()
+        assert poly.area == 200.0
+        assert poly.bounding_box().as_tuple() == (3.0, 5.0, 23.0, 15.0)
+
+    def test_empty_mask_raises(self, grid):
+        with pytest.raises(ValueError):
+            trace_boundary(np.zeros(grid.shape, dtype=bool), grid)
+
+    def test_shape_mismatch_raises(self, grid):
+        with pytest.raises(ValueError):
+            trace_boundary(np.zeros((5, 5), dtype=bool), grid)
+
+    def test_single_pixel(self, grid):
+        mask = np.zeros(grid.shape, dtype=bool)
+        mask[10, 10] = True
+        poly = trace_boundary(mask, grid)
+        assert poly.area == 1.0
+
+    def test_l_shape_vertex_count(self, grid):
+        mask = np.zeros(grid.shape, dtype=bool)
+        mask[2:10, 2:20] = True
+        mask[10:25, 2:8] = True
+        poly = trace_boundary(mask, grid)
+        assert len(poly) == 6  # collinear vertices collapsed
+        assert poly.area == float(mask.sum())
+
+    def test_roundtrip_with_rasterizer(self, grid):
+        """trace(rasterize(P)) reproduces the pixel set of P exactly."""
+        from repro.geometry.polygon import Polygon
+
+        original = Polygon([(2, 2), (25, 2), (25, 14), (12, 14), (12, 26), (2, 26)])
+        mask = rasterize_polygon(original, grid)
+        traced = trace_boundary(mask, grid)
+        remask = rasterize_polygon(traced, grid)
+        assert np.array_equal(mask, remask)
+
+
+class TestTraceAll:
+    def test_two_disjoint_regions(self, grid):
+        mask = np.zeros(grid.shape, dtype=bool)
+        mask[2:8, 2:8] = True
+        mask[15:25, 15:28] = True
+        polys = trace_all_boundaries(mask, grid)
+        assert len(polys) == 2
+        assert sorted(p.area for p in polys) == [36.0, 130.0]
+
+    def test_largest_selected(self, grid):
+        mask = np.zeros(grid.shape, dtype=bool)
+        mask[2:8, 2:8] = True
+        mask[15:25, 15:28] = True
+        assert trace_boundary(mask, grid).area == 130.0
+
+    def test_diagonal_touch_stays_separate(self, grid):
+        mask = np.zeros(grid.shape, dtype=bool)
+        mask[5:10, 5:10] = True
+        mask[10:15, 10:15] = True  # touches only at corner (10,10)
+        polys = trace_all_boundaries(mask, grid)
+        assert len(polys) == 2
+
+    def test_hole_produces_inner_loop(self, grid):
+        mask = np.zeros(grid.shape, dtype=bool)
+        mask[5:20, 5:20] = True
+        mask[10:14, 10:14] = False
+        polys = trace_all_boundaries(mask, grid)
+        assert len(polys) == 2
+        areas = sorted(p.area for p in polys)
+        assert areas[0] == 16.0  # the hole loop

@@ -1,0 +1,58 @@
+"""Unit tests for clique partition via inverse-graph coloring."""
+
+import random
+
+from repro.graphlib.clique_cover import clique_partition, is_clique_partition
+from repro.graphlib.graph import Graph
+
+
+class TestCliquePartition:
+    def test_empty_graph(self):
+        assert clique_partition(Graph(0)) == []
+
+    def test_complete_graph_single_clique(self):
+        g = Graph(5, [(i, j) for i in range(5) for j in range(i + 1, 5)])
+        cliques = clique_partition(g)
+        assert len(cliques) == 1
+        assert cliques[0] == [0, 1, 2, 3, 4]
+
+    def test_edgeless_graph_singletons(self):
+        g = Graph(4)
+        cliques = clique_partition(g)
+        assert len(cliques) == 4
+        assert all(len(c) == 1 for c in cliques)
+
+    def test_two_disjoint_triangles(self):
+        g = Graph(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+        cliques = clique_partition(g)
+        assert len(cliques) == 2
+        assert is_clique_partition(g, cliques)
+
+    def test_partition_always_valid_on_random_graphs(self):
+        rng = random.Random(7)
+        for trial in range(10):
+            g = Graph(15)
+            for _ in range(rng.randint(5, 60)):
+                u, v = rng.sample(range(15), 2)
+                g.add_edge(u, v)
+            cliques = clique_partition(g)
+            assert is_clique_partition(g, cliques)
+
+    def test_strategies_give_valid_partitions(self):
+        g = Graph(8, [(0, 1), (1, 2), (0, 2), (2, 3), (4, 5), (5, 6), (6, 7)])
+        for strategy in ("given", "largest_first", "smallest_last", "dsatur"):
+            assert is_clique_partition(g, clique_partition(g, strategy))
+
+
+class TestValidityChecker:
+    def test_detects_missing_vertex(self):
+        g = Graph(3, [(0, 1)])
+        assert not is_clique_partition(g, [[0, 1]])
+
+    def test_detects_duplicate_vertex(self):
+        g = Graph(3, [(0, 1)])
+        assert not is_clique_partition(g, [[0, 1], [1], [2]])
+
+    def test_detects_non_clique(self):
+        g = Graph(3, [(0, 1)])
+        assert not is_clique_partition(g, [[0, 1, 2]])

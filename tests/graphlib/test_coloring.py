@@ -1,0 +1,77 @@
+"""Unit tests for greedy graph coloring."""
+
+import pytest
+
+from repro.graphlib.coloring import color_count, greedy_color, is_proper_coloring
+from repro.graphlib.graph import Graph
+
+
+def _cycle(n: int) -> Graph:
+    return Graph(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def _complete(n: int) -> Graph:
+    return Graph(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+ALL_STRATEGIES = ("given", "largest_first", "smallest_last", "dsatur")
+
+
+class TestProperness:
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_cycle_coloring_proper(self, strategy):
+        g = _cycle(7)
+        colors = greedy_color(g, strategy)
+        assert is_proper_coloring(g, colors)
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_random_graph_proper(self, strategy):
+        import random
+
+        rng = random.Random(4)
+        g = Graph(25)
+        for _ in range(80):
+            u, v = rng.sample(range(25), 2)
+            g.add_edge(u, v)
+        assert is_proper_coloring(g, greedy_color(g, strategy))
+
+
+class TestColorCounts:
+    def test_complete_graph_needs_n(self):
+        for strategy in ALL_STRATEGIES:
+            assert color_count(greedy_color(_complete(5), strategy)) == 5
+
+    def test_even_cycle_two_colors(self):
+        assert color_count(greedy_color(_cycle(8), "smallest_last")) == 2
+
+    def test_odd_cycle_three_colors(self):
+        colors = greedy_color(_cycle(7), "smallest_last")
+        assert color_count(colors) == 3
+
+    def test_edgeless_one_color(self):
+        assert color_count(greedy_color(Graph(10), "dsatur")) == 1
+
+    def test_empty_graph(self):
+        assert greedy_color(Graph(0)) == []
+        assert color_count([]) == 0
+
+    def test_bipartite_dsatur_two_colors(self):
+        # K_{3,3}: DSATUR is exact on bipartite graphs.
+        g = Graph(6, [(i, j) for i in range(3) for j in range(3, 6)])
+        assert color_count(greedy_color(g, "dsatur")) == 2
+
+
+class TestStrategyHandling:
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(ValueError):
+            greedy_color(Graph(3), "rainbow")
+
+    def test_strategies_can_disagree_but_all_proper(self):
+        # Crown-like graph where greedy orderings differ.
+        g = Graph(8, [(0, 5), (0, 7), (1, 4), (1, 6), (2, 5), (2, 7), (3, 4), (3, 6)])
+        counts = {}
+        for strategy in ALL_STRATEGIES:
+            colors = greedy_color(g, strategy)
+            assert is_proper_coloring(g, colors)
+            counts[strategy] = color_count(colors)
+        assert min(counts.values()) >= 2

@@ -1,0 +1,98 @@
+"""Unit tests for exact coloring / clique partition."""
+
+import random
+
+import pytest
+
+from repro.graphlib.clique_cover import is_clique_partition
+from repro.graphlib.coloring import color_count, greedy_color, is_proper_coloring
+from repro.graphlib.exact import (
+    SearchBudgetExceeded,
+    exact_chromatic_number,
+    exact_clique_partition,
+    exact_color,
+)
+from repro.graphlib.graph import Graph
+
+
+def _cycle(n: int) -> Graph:
+    return Graph(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+def _complete(n: int) -> Graph:
+    return Graph(n, [(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+class TestExactColor:
+    def test_empty(self):
+        assert exact_color(Graph(0)) == []
+
+    def test_edgeless(self):
+        colors = exact_color(Graph(5))
+        assert color_count(colors) == 1
+
+    def test_complete_graph(self):
+        assert exact_chromatic_number(_complete(6)) == 6
+
+    def test_odd_cycle_is_three(self):
+        assert exact_chromatic_number(_cycle(9)) == 3
+
+    def test_even_cycle_is_two(self):
+        assert exact_chromatic_number(_cycle(10)) == 2
+
+    def test_petersen_graph_is_three(self):
+        edges = [
+            (0, 1), (1, 2), (2, 3), (3, 4), (4, 0),  # outer cycle
+            (5, 7), (7, 9), (9, 6), (6, 8), (8, 5),  # inner star
+            (0, 5), (1, 6), (2, 7), (3, 8), (4, 9),  # spokes
+        ]
+        assert exact_chromatic_number(Graph(10, edges)) == 3
+
+    def test_always_proper_and_never_worse_than_greedy(self):
+        rng = random.Random(17)
+        for _ in range(15):
+            g = Graph(12)
+            for _ in range(rng.randint(0, 40)):
+                u, v = rng.sample(range(12), 2)
+                g.add_edge(u, v)
+            exact = exact_color(g)
+            assert is_proper_coloring(g, exact)
+            greedy = greedy_color(g, "dsatur")
+            assert color_count(exact) <= color_count(greedy)
+
+    def test_node_budget_enforced(self):
+        # A 14-vertex random graph with a 1-node budget must bail out.
+        rng = random.Random(3)
+        g = Graph(14)
+        for _ in range(40):
+            u, v = rng.sample(range(14), 2)
+            g.add_edge(u, v)
+        with pytest.raises(SearchBudgetExceeded):
+            exact_color(g, node_limit=1)
+
+
+class TestExactCliquePartition:
+    def test_two_triangles(self):
+        g = Graph(6, [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+        cliques = exact_clique_partition(g)
+        assert len(cliques) == 2
+        assert is_clique_partition(g, cliques)
+
+    def test_path_graph(self):
+        # P4: minimum clique partition = 2 (two edges).
+        g = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        assert len(exact_clique_partition(g)) == 2
+
+    def test_matches_or_beats_greedy_partition(self):
+        from repro.graphlib.clique_cover import clique_partition
+
+        rng = random.Random(23)
+        for _ in range(10):
+            g = Graph(10)
+            for _ in range(rng.randint(5, 30)):
+                u, v = rng.sample(range(10), 2)
+                g.add_edge(u, v)
+            exact = exact_clique_partition(g)
+            greedy = clique_partition(g)
+            assert is_clique_partition(g, exact)
+            assert len(exact) <= len(greedy)

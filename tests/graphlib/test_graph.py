@@ -1,0 +1,73 @@
+"""Unit tests for the Graph container."""
+
+import pytest
+
+from repro.graphlib.graph import Graph
+
+
+class TestBasics:
+    def test_negative_size_raises(self):
+        with pytest.raises(ValueError):
+            Graph(-1)
+
+    def test_empty_graph(self):
+        g = Graph(0)
+        assert g.n == 0 and g.edge_count() == 0
+
+    def test_add_and_query_edges(self):
+        g = Graph(4, [(0, 1), (1, 2)])
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+        assert g.edge_count() == 2
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(3, [(1, 1)])
+
+    def test_out_of_range_vertex(self):
+        g = Graph(3)
+        with pytest.raises(IndexError):
+            g.add_edge(0, 3)
+        with pytest.raises(IndexError):
+            g.has_edge(-1, 0)
+
+    def test_duplicate_edge_idempotent(self):
+        g = Graph(3, [(0, 1), (0, 1)])
+        assert g.edge_count() == 1
+
+    def test_degree_and_neighbors(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.degree(0) == 3
+        assert g.neighbors(0) == frozenset({1, 2, 3})
+        assert g.degree(1) == 1
+
+    def test_edges_iteration_unique(self):
+        g = Graph(4, [(0, 1), (2, 3), (1, 2)])
+        assert sorted(g.edges()) == [(0, 1), (1, 2), (2, 3)]
+
+
+class TestComplement:
+    def test_complement_of_empty_is_complete(self):
+        g = Graph(4)
+        inv = g.complement()
+        assert inv.edge_count() == 6
+
+    def test_complement_involution(self):
+        g = Graph(5, [(0, 1), (2, 3), (1, 4)])
+        double = g.complement().complement()
+        assert sorted(double.edges()) == sorted(g.edges())
+
+    def test_edge_counts_sum_to_complete(self):
+        g = Graph(6, [(0, 1), (1, 2), (3, 4)])
+        inv = g.complement()
+        assert g.edge_count() + inv.edge_count() == 15
+
+
+class TestClique:
+    def test_is_clique(self):
+        g = Graph(4, [(0, 1), (0, 2), (1, 2)])
+        assert g.is_clique([0, 1, 2])
+        assert g.is_clique([0, 1])
+        assert g.is_clique([3])
+        assert g.is_clique([])
+        assert not g.is_clique([0, 1, 3])

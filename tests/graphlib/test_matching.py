@@ -1,0 +1,76 @@
+"""Unit tests for bipartite matching, vertex cover and independent set."""
+
+import random
+
+from repro.graphlib.matching import (
+    hopcroft_karp,
+    maximum_independent_set,
+    min_vertex_cover,
+)
+
+
+class TestHopcroftKarp:
+    def test_perfect_matching(self):
+        adjacency = {0: [0], 1: [1], 2: [2]}
+        matching = hopcroft_karp(adjacency, 3)
+        assert len(matching) == 3
+
+    def test_augmenting_path_needed(self):
+        # 0 prefers right-0 but must yield it so 1 can match.
+        adjacency = {0: [0, 1], 1: [0]}
+        matching = hopcroft_karp(adjacency, 2)
+        assert len(matching) == 2
+        assert matching[1] == 0 and matching[0] == 1
+
+    def test_unmatchable_left_vertex(self):
+        adjacency = {0: [0], 1: [0], 2: [0]}
+        matching = hopcroft_karp(adjacency, 1)
+        assert len(matching) == 1
+
+    def test_empty(self):
+        assert hopcroft_karp({}, 0) == {}
+
+    def test_matching_is_consistent(self):
+        rng = random.Random(13)
+        for _ in range(10):
+            n_left, n_right = rng.randint(1, 12), rng.randint(1, 12)
+            adjacency = {
+                u: sorted(rng.sample(range(n_right), rng.randint(0, n_right)))
+                for u in range(n_left)
+            }
+            matching = hopcroft_karp(adjacency, n_right)
+            # No right vertex matched twice, every edge exists.
+            assert len(set(matching.values())) == len(matching)
+            assert all(v in adjacency[u] for u, v in matching.items())
+
+
+class TestKonig:
+    def test_cover_covers_all_edges(self):
+        rng = random.Random(29)
+        for _ in range(10):
+            n_left, n_right = rng.randint(1, 10), rng.randint(1, 10)
+            adjacency = {
+                u: sorted(rng.sample(range(n_right), rng.randint(0, n_right)))
+                for u in range(n_left)
+            }
+            matching = hopcroft_karp(adjacency, n_right)
+            cover_left, cover_right = min_vertex_cover(adjacency, n_right, matching)
+            for u, nbrs in adjacency.items():
+                for v in nbrs:
+                    assert u in cover_left or v in cover_right
+            # König: |cover| equals |matching|.
+            assert len(cover_left) + len(cover_right) == len(matching)
+
+
+class TestIndependentSet:
+    def test_independent_set_has_no_edges(self):
+        adjacency = {0: [0, 1], 1: [1], 2: [2]}
+        free_left, free_right = maximum_independent_set(adjacency, 3)
+        for u in free_left:
+            assert not set(adjacency[u]) & free_right
+
+    def test_size_complements_cover(self):
+        adjacency = {0: [0], 1: [0, 1], 2: [1]}
+        free_left, free_right = maximum_independent_set(adjacency, 2)
+        matching = hopcroft_karp(adjacency, 2)
+        assert len(free_left) + len(free_right) == 3 + 2 - len(matching)

@@ -1,0 +1,75 @@
+"""Unit tests for the aerial-image model."""
+
+import numpy as np
+import pytest
+
+from repro.litho.aerial import AerialImageModel
+
+
+@pytest.fixture()
+def bar_mask():
+    mask = np.zeros((200, 200))
+    mask[80:120, 40:160] = 1.0
+    return mask
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            AerialImageModel(optical_blur=0.0)
+        with pytest.raises(ValueError):
+            AerialImageModel(resist_steepness=-1.0)
+        with pytest.raises(ValueError):
+            AerialImageModel(threshold=1.0)
+
+
+class TestAerialImage:
+    def test_blur_conserves_energy(self, bar_mask):
+        model = AerialImageModel()
+        aerial = model.aerial_image(bar_mask)
+        assert np.isclose(aerial.sum(), bar_mask.sum(), rtol=1e-6)
+
+    def test_values_bounded(self, bar_mask):
+        aerial = AerialImageModel().aerial_image(bar_mask)
+        assert aerial.min() >= 0.0 and aerial.max() <= 1.0 + 1e-12
+
+    def test_center_bright_edges_dark(self, bar_mask):
+        aerial = AerialImageModel().aerial_image(bar_mask)
+        assert aerial[100, 100] > 0.8
+        assert aerial[10, 10] < 1e-3
+
+
+class TestResist:
+    def test_sigmoid_midpoint(self):
+        model = AerialImageModel(threshold=0.5)
+        assert model.resist_response(np.array(0.5)) == pytest.approx(0.5)
+
+    def test_saturation(self):
+        model = AerialImageModel()
+        assert model.resist_response(np.array(1.0)) > 0.99
+        assert model.resist_response(np.array(0.0)) < 0.01
+
+    def test_derivative_peaks_at_threshold(self):
+        model = AerialImageModel()
+        levels = np.array([0.2, 0.5, 0.8])
+        deriv = model.resist_derivative(levels)
+        assert deriv[1] > deriv[0] and deriv[1] > deriv[2]
+
+
+class TestPrinting:
+    def test_large_feature_prints(self, bar_mask):
+        model = AerialImageModel()
+        printed = model.printed_pattern(bar_mask)
+        assert printed[100, 100]
+        assert not printed[10, 10]
+
+    def test_sub_resolution_feature_vanishes(self):
+        model = AerialImageModel(optical_blur=12.0)
+        mask = np.zeros((100, 100))
+        mask[48:52, 48:52] = 1.0  # 4px dot, far below the blur scale
+        assert not model.printed_pattern(mask).any()
+
+    def test_edge_placement_error_zero_for_ideal(self, bar_mask):
+        model = AerialImageModel()
+        target = model.printed_pattern(bar_mask)
+        assert model.edge_placement_error(bar_mask, target) == 0.0

@@ -1,0 +1,83 @@
+"""Unit tests for the inverse-lithography optimizer."""
+
+import numpy as np
+import pytest
+
+from repro.litho.aerial import AerialImageModel
+from repro.litho.ilt import InverseLithoOptimizer, ilt_optimized_suite
+
+
+@pytest.fixture(scope="module")
+def bar_target():
+    target = np.zeros((220, 220), dtype=bool)
+    target[90:132, 50:170] = True
+    return target
+
+
+@pytest.fixture(scope="module")
+def bar_result(bar_target):
+    return InverseLithoOptimizer(iterations=80).optimize(bar_target)
+
+
+class TestOptimizer:
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            InverseLithoOptimizer(iterations=0)
+
+    def test_loss_decreases(self, bar_result):
+        assert bar_result.loss_history[-1] < bar_result.loss_history[0]
+        assert bar_result.converged
+
+    def test_prints_close_to_target(self, bar_target, bar_result):
+        assert bar_result.edge_error < 0.02  # < 2 % pixel disagreement
+
+    def test_mask_beats_drawn_pattern(self, bar_target, bar_result):
+        """The optimized mask must print the target more faithfully than
+        simply writing the drawn pattern — the whole point of ILT."""
+        model = AerialImageModel()
+        drawn_error = model.edge_placement_error(
+            bar_target.astype(np.float64), bar_target
+        )
+        assert bar_result.edge_error < drawn_error
+
+    def test_mask_is_curvilinear(self, bar_target, bar_result):
+        """ILT output differs from the drawn rectangle (flares, bias)."""
+        assert bar_result.mask.sum() != bar_target.sum() or (
+            bar_result.mask != bar_target
+        ).any()
+
+    def test_mask_manufacturable(self, bar_result):
+        """A ~5px disc must fit everywhere (MRC cleanup)."""
+        from scipy.ndimage import binary_opening
+
+        span = np.arange(-4, 5)
+        disc = (span[:, None] ** 2 + span[None, :] ** 2) <= 16
+        opened = binary_opening(bar_result.mask, structure=disc)
+        assert opened.sum() > 0.5 * bar_result.mask.sum()
+
+    def test_deterministic(self, bar_target):
+        a = InverseLithoOptimizer(iterations=25).optimize(bar_target)
+        b = InverseLithoOptimizer(iterations=25).optimize(bar_target)
+        assert np.array_equal(a.mask, b.mask)
+
+
+class TestOptimizedSuite:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        return ilt_optimized_suite()
+
+    def test_five_named_clips(self, suite):
+        assert [s.name for s in suite] == [f"ILT-OPT-{i}" for i in range(1, 6)]
+
+    def test_curvy_many_vertex_contours(self, suite):
+        assert all(s.vertex_count > 60 for s in suite)
+
+    def test_fracturable_majority(self, suite, spec):
+        """At least the simple clips must fracture CD-clean (ILT-OPT-5's
+        thin curvy bridges are the documented hard case)."""
+        from repro.fracture.pipeline import ModelBasedFracturer, RefineConfig
+
+        result = ModelBasedFracturer(config=RefineConfig.fast()).fracture(
+            suite[0], spec
+        )
+        assert result.shot_count >= 2

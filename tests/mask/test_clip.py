@@ -1,0 +1,102 @@
+"""Unit tests for multi-polygon clips."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.polygon import Polygon
+from repro.geometry.raster import PixelGrid
+from repro.mask.clip import MaskClip
+
+
+@pytest.fixture()
+def two_feature_mask():
+    grid = PixelGrid(0.0, 0.0, 1.0, 120, 120)
+    mask = np.zeros(grid.shape, dtype=bool)
+    mask[20:60, 20:80] = True  # main feature
+    mask[90:105, 30:95] = True  # assist bar
+    return mask, grid
+
+
+class TestFromMask:
+    def test_splits_components(self, two_feature_mask):
+        mask, grid = two_feature_mask
+        clip = MaskClip.from_mask(mask, grid, name="clip")
+        assert len(clip.shapes) == 2
+        assert clip.total_area == float(mask.sum())
+
+    def test_shape_names(self, two_feature_mask):
+        mask, grid = two_feature_mask
+        clip = MaskClip.from_mask(mask, grid, name="c7")
+        assert [s.name for s in clip.shapes] == ["c7/1", "c7/2"]
+
+    def test_subgrids_are_padded(self, two_feature_mask):
+        mask, grid = two_feature_mask
+        clip = MaskClip.from_mask(mask, grid, margin=15.0)
+        main = clip.shapes[0]
+        bbox = main.polygon.bounding_box()
+        extent = main.grid.extent
+        assert extent.xbl <= bbox.xbl - 14.0
+        assert extent.xtr >= bbox.xtr + 14.0
+
+    def test_subgrid_coordinates_preserved(self, two_feature_mask):
+        """Shapes keep absolute mask-plane coordinates."""
+        mask, grid = two_feature_mask
+        clip = MaskClip.from_mask(mask, grid)
+        main = clip.shapes[0]
+        assert main.polygon.bounding_box().as_tuple() == (20.0, 20.0, 80.0, 60.0)
+
+    def test_debris_dropped(self, two_feature_mask):
+        mask, grid = two_feature_mask
+        mask = mask.copy()
+        mask[0, 0] = True  # 1-px speck
+        clip = MaskClip.from_mask(mask, grid, min_area_px=16)
+        assert len(clip.shapes) == 2
+
+    def test_margin_clamped_at_window_edge(self):
+        grid = PixelGrid(0.0, 0.0, 1.0, 40, 40)
+        mask = np.zeros(grid.shape, dtype=bool)
+        mask[0:15, 0:15] = True  # touches the window corner
+        clip = MaskClip.from_mask(mask, grid, margin=30.0)
+        assert len(clip.shapes) == 1
+
+
+class TestFromPolygonsAndGds:
+    def test_from_polygons(self):
+        polys = [
+            Polygon([(0, 0), (40, 0), (40, 30), (0, 30)]),
+            Polygon([(100, 0), (140, 0), (140, 20), (100, 20)]),
+        ]
+        clip = MaskClip.from_polygons(polys, name="p")
+        assert len(clip.shapes) == 2
+        assert clip.rasterized_check()
+
+    def test_from_gds_roundtrip(self, tmp_path):
+        from repro.mask.gds import GdsCell, TARGET_LAYER, write_gds
+
+        polys = [
+            Polygon([(0, 0), (40, 0), (40, 30), (0, 30)]),
+            Polygon([(100, 0), (140, 0), (140, 20), (100, 20)]),
+        ]
+        cell = GdsCell("CLIPX", [(TARGET_LAYER, p) for p in polys])
+        path = tmp_path / "clip.gds"
+        write_gds(cell, path)
+        clip = MaskClip.from_gds(path)
+        assert clip.name == "CLIPX"
+        assert len(clip.shapes) == 2
+        assert clip.shapes[0].polygon == polys[0]
+
+
+class TestClipFracturing:
+    def test_mdp_over_clip(self, spec):
+        """End to end: split a clip, fracture every shape."""
+        from repro.baselines import PartitionFracturer
+        from repro.mask.mdp import MdpPipeline
+
+        grid = PixelGrid(0.0, 0.0, 1.0, 120, 120)
+        mask = np.zeros(grid.shape, dtype=bool)
+        mask[20:60, 20:80] = True
+        mask[90:105, 30:95] = True
+        clip = MaskClip.from_mask(mask, grid, name="clip")
+        report = MdpPipeline(PartitionFracturer(), spec).run(clip.shapes)
+        assert len(report.results) == 2
+        assert report.all_feasible

@@ -1,0 +1,113 @@
+"""Unit tests for the fracture spec and Eq. 4 feasibility checking."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.rect import Rect
+from repro.mask.constraints import (
+    FailureReport,
+    FractureSpec,
+    check_solution,
+    failure_report,
+)
+from repro.mask.pixels import PixelSets
+
+
+class TestFractureSpec:
+    def test_paper_defaults(self, spec):
+        assert spec.sigma == 6.25
+        assert spec.gamma == 2.0
+        assert spec.pitch == 1.0
+        assert spec.rho == 0.5
+        assert spec.lmin == 10.0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FractureSpec(sigma=-1.0)
+        with pytest.raises(ValueError):
+            FractureSpec(rho=0.0)
+        with pytest.raises(ValueError):
+            FractureSpec(rho=1.0)
+
+    def test_lth_derived(self, spec):
+        assert 8.0 < spec.lth < 22.0
+
+    def test_grid_margin_covers_blur_and_overhang(self, spec):
+        assert spec.grid_margin >= 4 * spec.sigma
+
+
+class TestFailureReport:
+    def _pixels(self):
+        on = np.zeros((4, 4), dtype=bool)
+        off = np.zeros((4, 4), dtype=bool)
+        on[1:3, 1:3] = True
+        off[0, :] = True
+        band = ~(on | off)
+        return PixelSets(on=on, off=off, band=band)
+
+    def test_all_satisfied(self):
+        intensity = np.zeros((4, 4))
+        intensity[1:3, 1:3] = 0.9
+        report = failure_report(intensity, self._pixels(), rho=0.5)
+        assert report.feasible
+        assert report.cost == 0.0
+
+    def test_underexposed_on_pixels(self):
+        intensity = np.zeros((4, 4))
+        intensity[1:3, 1:3] = 0.4
+        report = failure_report(intensity, self._pixels(), rho=0.5)
+        assert report.count_on == 4 and report.count_off == 0
+        assert np.isclose(report.cost, 4 * 0.1)
+
+    def test_overexposed_off_pixels(self):
+        intensity = np.zeros((4, 4))
+        intensity[1:3, 1:3] = 0.9
+        intensity[0, 0] = 0.6
+        report = failure_report(intensity, self._pixels(), rho=0.5)
+        assert report.count_off == 1
+        assert np.isclose(report.cost, 0.1)
+
+    def test_band_pixels_are_dont_care(self):
+        intensity = np.zeros((4, 4))
+        intensity[1:3, 1:3] = 0.9
+        intensity[3, 3] = 0.7  # band pixel overexposed — must not count
+        report = failure_report(intensity, self._pixels(), rho=0.5)
+        assert report.feasible
+
+    def test_exact_threshold_boundary(self):
+        """I = ρ exactly: P_on passes (≥), P_off fails (<  is required)."""
+        intensity = np.full((4, 4), 0.5)
+        report = failure_report(intensity, self._pixels(), rho=0.5)
+        assert report.count_on == 0
+        assert report.count_off == 4
+
+    def test_total_and_feasible_properties(self):
+        report = FailureReport(
+            fail_on=np.ones((2, 2), dtype=bool),
+            fail_off=np.zeros((2, 2), dtype=bool),
+            cost=1.0,
+        )
+        assert report.total_failing == 4
+        assert not report.feasible
+
+
+class TestCheckSolution:
+    def test_single_covering_shot_feasible(self, rect_shape, spec):
+        shots = [Rect(-1, -1, 61, 41)]
+        report = check_solution(shots, rect_shape, spec)
+        assert report.feasible
+
+    def test_no_shots_all_on_fail(self, rect_shape, spec):
+        report = check_solution([], rect_shape, spec)
+        pixels = rect_shape.pixels(spec.gamma)
+        assert report.count_on == pixels.count_on
+
+    def test_undersize_shot_flagged(self, rect_shape, spec):
+        shots = [Rect(-1, -1, 61, 41), Rect(0, 0, 5, 5)]
+        report = check_solution(shots, rect_shape, spec)
+        assert report.undersize_shots == 1
+        assert not report.feasible
+
+    def test_overexposure_flagged(self, rect_shape, spec):
+        report = check_solution([Rect(-40, -40, 100, 80)], rect_shape, spec)
+        assert report.count_off > 0

@@ -1,0 +1,53 @@
+"""Unit tests for the mask cost model (paper §1 economics)."""
+
+import pytest
+
+from repro.mask.cost import MaskCostModel
+
+
+class TestConstruction:
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            MaskCostModel(write_cost_fraction=0.0)
+        with pytest.raises(ValueError):
+            MaskCostModel(write_cost_fraction=1.5)
+
+    def test_invalid_mask_cost(self):
+        with pytest.raises(ValueError):
+            MaskCostModel(mask_set_cost_usd=-1.0)
+
+
+class TestHeadlineArithmetic:
+    def test_paper_claim_10pct_shots_is_2pct_cost(self):
+        """§1: 'a reduction of even 10% in shot count would roughly
+        translate to 2% improvement in mask cost'."""
+        model = MaskCostModel()
+        assert model.cost_saving_fraction(0.10) == pytest.approx(0.02)
+
+    def test_23pct_reduction(self):
+        """The paper's result (23% fewer shots than PROTO-EDA) ≈ 4.6%."""
+        model = MaskCostModel()
+        assert model.cost_saving_fraction(0.23) == pytest.approx(0.046)
+
+    def test_relative_cost_bounds(self):
+        model = MaskCostModel()
+        assert model.relative_mask_cost(1.0) == 1.0
+        assert model.relative_mask_cost(0.0) == pytest.approx(0.8)
+
+    def test_negative_ratio_rejected(self):
+        with pytest.raises(ValueError):
+            MaskCostModel().relative_mask_cost(-0.1)
+
+    def test_mask_set_saving_dollars(self):
+        model = MaskCostModel(mask_set_cost_usd=1_000_000.0)
+        assert model.mask_set_saving_usd(0.10) == pytest.approx(20_000.0)
+
+
+class TestWriteTimeBridge:
+    def test_write_time_saving(self):
+        model = MaskCostModel()
+        saving = model.write_time_saving_hours(1_000_000, 900_000)
+        assert saving > 0.0
+        assert saving == pytest.approx(
+            model.writer.write_time_hours(100_000)
+        )

@@ -1,0 +1,71 @@
+"""Unit tests for the multi-shape MDP pipeline."""
+
+import json
+
+from repro.baselines import PartitionFracturer
+from repro.mask.mdp import MdpPipeline, MdpReport
+
+
+class TestMdpPipeline:
+    def test_batch_run(self, rect_shape, l_shape, spec):
+        pipeline = MdpPipeline(PartitionFracturer(), spec)
+        report = pipeline.run([rect_shape, l_shape])
+        assert len(report.results) == 2
+        assert report.total_shots >= 3  # 1 for rect, 2 for L
+        assert report.shots_per_shape() == report.total_shots / 2
+
+    def test_writes_solutions(self, rect_shape, spec, tmp_path):
+        pipeline = MdpPipeline(PartitionFracturer(), spec)
+        pipeline.run([rect_shape], output_dir=tmp_path)
+        path = tmp_path / "rect.solution.json"
+        assert path.exists()
+        payload = json.loads(path.read_text())
+        assert payload["metadata"]["method"] == "PARTITION"
+
+    def test_projected_saving(self, rect_shape, l_shape, spec):
+        pipeline = MdpPipeline(PartitionFracturer(), spec)
+        base = pipeline.run([rect_shape, l_shape])
+        # Fake an improved flow with 10% fewer shots.
+        improved = MdpReport(results=base.results[:1])
+        saving = pipeline.projected_saving(base, improved)
+        assert 0.0 < saving["shot_reduction"] <= 1.0
+        import pytest
+
+        assert saving["mask_cost_saving_fraction"] == pytest.approx(
+            0.2 * saving["shot_reduction"]
+        )
+        assert saving["mask_set_saving_usd"] > 0.0
+
+    def test_projected_saving_empty_baseline(self, spec):
+        pipeline = MdpPipeline(PartitionFracturer(), spec)
+        import pytest
+
+        with pytest.raises(ValueError):
+            pipeline.projected_saving(MdpReport(), MdpReport())
+
+    def test_summary_mentions_totals(self, rect_shape, spec):
+        pipeline = MdpPipeline(PartitionFracturer(), spec)
+        report = pipeline.run([rect_shape])
+        assert "total:" in report.summary()
+
+
+class TestParallelMdp:
+    def test_parallel_matches_serial(self, rect_shape, l_shape, spec):
+        pipeline = MdpPipeline(PartitionFracturer(), spec)
+        serial = pipeline.run([rect_shape, l_shape], workers=1)
+        parallel = pipeline.run([rect_shape, l_shape], workers=2)
+        assert [r.shot_count for r in serial.results] == [
+            r.shot_count for r in parallel.results
+        ]
+        assert [r.shape_name for r in parallel.results] == ["rect", "L"]
+
+    def test_parallel_single_shape_falls_back(self, rect_shape, spec):
+        pipeline = MdpPipeline(PartitionFracturer(), spec)
+        report = pipeline.run([rect_shape], workers=4)
+        assert len(report.results) == 1
+
+    def test_parallel_writes_solutions(self, rect_shape, l_shape, spec, tmp_path):
+        pipeline = MdpPipeline(PartitionFracturer(), spec)
+        pipeline.run([rect_shape, l_shape], output_dir=tmp_path, workers=2)
+        assert (tmp_path / "rect.solution.json").exists()
+        assert (tmp_path / "L.solution.json").exists()

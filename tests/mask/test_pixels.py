@@ -1,0 +1,88 @@
+"""Unit tests for pixel classification (P_on / P_off / P_x)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.raster import PixelGrid
+from repro.mask.pixels import PixelSets, boundary_distance, classify_pixels
+
+
+@pytest.fixture()
+def square_mask(small_grid):
+    mask = np.zeros(small_grid.shape, dtype=bool)
+    mask[10:30, 10:40] = True
+    return mask
+
+
+class TestBoundaryDistance:
+    def test_shape_mismatch_raises(self, small_grid):
+        with pytest.raises(ValueError):
+            boundary_distance(np.zeros((3, 3), dtype=bool), small_grid)
+
+    def test_zero_adjacent_to_boundary(self, square_mask, small_grid):
+        d = boundary_distance(square_mask, small_grid)
+        # Pixels adjacent to the boundary report ~half a pixel.
+        assert d[10, 10] <= 0.5 + 1e-9
+        assert d[9, 10] <= 0.5 + 1e-9
+
+    def test_grows_away_from_boundary(self, square_mask, small_grid):
+        d = boundary_distance(square_mask, small_grid)
+        assert d[20, 25] > 5.0  # deep inside
+        assert d[0, 0] > 5.0  # far outside
+
+    def test_respects_pitch(self, square_mask):
+        fine = PixelGrid(0, 0, 1.0, 50, 40)
+        d1 = boundary_distance(square_mask, fine)
+        coarse = PixelGrid(0, 0, 2.0, 50, 40)
+        d2 = boundary_distance(square_mask, coarse)
+        assert np.isclose(d2[20, 25], 2 * d1[20, 25] + 0.5, atol=1.0)
+
+
+class TestClassify:
+    def test_negative_gamma_raises(self, square_mask, small_grid):
+        with pytest.raises(ValueError):
+            classify_pixels(square_mask, small_grid, -1.0)
+
+    def test_partition_property(self, square_mask, small_grid):
+        pixels = classify_pixels(square_mask, small_grid, 2.0)
+        assert pixels.is_partition()
+
+    def test_on_inside_off_outside(self, square_mask, small_grid):
+        pixels = classify_pixels(square_mask, small_grid, 2.0)
+        assert pixels.on[20, 25] and not pixels.off[20, 25]
+        assert pixels.off[0, 0] and not pixels.on[0, 0]
+
+    def test_band_hugs_boundary(self, square_mask, small_grid):
+        pixels = classify_pixels(square_mask, small_grid, 2.0)
+        assert pixels.band[10, 20]  # first inside row
+        assert pixels.band[9, 20]  # first outside row
+        assert not pixels.band[20, 25]
+
+    def test_band_width_scales_with_gamma(self, square_mask, small_grid):
+        narrow = classify_pixels(square_mask, small_grid, 1.0)
+        wide = classify_pixels(square_mask, small_grid, 4.0)
+        assert wide.count_band > narrow.count_band
+        assert wide.count_on < narrow.count_on
+
+    def test_zero_gamma_still_partitions(self, square_mask, small_grid):
+        pixels = classify_pixels(square_mask, small_grid, 0.0)
+        assert pixels.is_partition()
+
+    def test_counts_sum_to_grid(self, square_mask, small_grid):
+        pixels = classify_pixels(square_mask, small_grid, 2.0)
+        total = pixels.count_on + pixels.count_off + pixels.count_band
+        assert total == small_grid.nx * small_grid.ny
+
+
+class TestPixelSets:
+    def test_mismatched_shapes_raise(self):
+        a = np.zeros((3, 3), dtype=bool)
+        b = np.zeros((4, 4), dtype=bool)
+        with pytest.raises(ValueError):
+            PixelSets(on=a, off=b, band=a)
+
+    def test_is_partition_detects_overlap(self):
+        a = np.ones((2, 2), dtype=bool)
+        z = np.zeros((2, 2), dtype=bool)
+        assert not PixelSets(on=a, off=a, band=z).is_partition()
+        assert PixelSets(on=a, off=z, band=z).is_partition()

@@ -1,0 +1,55 @@
+"""Unit tests for MaskShape."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.polygon import Polygon
+from repro.geometry.raster import PixelGrid
+from repro.mask.shape import MaskShape
+
+
+class TestConstruction:
+    def test_from_polygon_pads_grid(self, spec):
+        poly = Polygon([(0, 0), (50, 0), (50, 30), (0, 30)])
+        shape = MaskShape.from_polygon(poly, margin=20.0)
+        extent = shape.grid.extent
+        assert extent.xbl <= -20.0 and extent.xtr >= 70.0
+
+    def test_from_mask_traces_polygon(self, small_grid):
+        mask = np.zeros(small_grid.shape, dtype=bool)
+        mask[5:25, 5:35] = True
+        shape = MaskShape.from_mask(mask, small_grid, name="sq")
+        assert shape.polygon.is_rectilinear()
+        assert shape.polygon.area == 600.0
+
+    def test_empty_mask_raises(self, small_grid):
+        with pytest.raises(ValueError):
+            MaskShape.from_mask(np.zeros(small_grid.shape, dtype=bool), small_grid)
+
+    def test_shape_mismatch_raises(self, small_grid):
+        poly = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        with pytest.raises(ValueError):
+            MaskShape(poly, small_grid, np.zeros((3, 3), dtype=bool))
+
+
+class TestDerivedData:
+    def test_area_matches_polygon(self, rect_shape):
+        assert abs(rect_shape.area - 2400.0) < 150.0
+
+    def test_sat_cached(self, rect_shape):
+        assert rect_shape.sat is rect_shape.sat
+
+    def test_pixels_cached_per_gamma(self, rect_shape):
+        a = rect_shape.pixels(2.0)
+        b = rect_shape.pixels(2.0)
+        c = rect_shape.pixels(3.0)
+        assert a is b and a is not c
+
+    def test_pixel_partition(self, blob_shape):
+        assert blob_shape.pixels(2.0).is_partition()
+
+    def test_repr_mentions_name(self, rect_shape):
+        assert "rect" in repr(rect_shape)
+
+    def test_vertex_count(self, rect_shape):
+        assert rect_shape.vertex_count == 4

@@ -1,0 +1,97 @@
+"""Hypothesis property tests for the e-beam exposure model."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ebeam.intensity import point_intensity, shot_profile_1d
+from repro.ebeam.intensity_map import IntensityMap
+from repro.geometry.raster import PixelGrid
+from repro.geometry.rect import Rect
+
+SIGMA = 6.25
+
+shot_coords = st.floats(min_value=0.0, max_value=80.0, allow_nan=False)
+
+
+@st.composite
+def shots(draw) -> Rect:
+    x = draw(shot_coords)
+    y = draw(shot_coords)
+    w = draw(st.floats(min_value=10.0, max_value=60.0))
+    h = draw(st.floats(min_value=10.0, max_value=60.0))
+    return Rect(x, y, x + w, y + h)
+
+
+class TestIntensityInvariants:
+    @given(shots(), st.floats(-50, 150), st.floats(-50, 150))
+    def test_intensity_in_unit_interval(self, shot, x, y):
+        value = point_intensity([shot], x, y, SIGMA)
+        assert -1e-12 <= value <= 1.0 + 1e-12
+
+    @given(shots())
+    def test_center_is_maximum_on_axis(self, shot):
+        xs = np.linspace(shot.xbl - 20, shot.xtr + 20, 41)
+        profile = shot_profile_1d(xs, shot.xbl, shot.xtr, SIGMA)
+        center_value = shot_profile_1d(
+            np.array([(shot.xbl + shot.xtr) / 2.0]), shot.xbl, shot.xtr, SIGMA
+        )[0]
+        assert center_value >= profile.max() - 1e-9
+
+    @given(shots(), shots())
+    def test_superposition(self, a, b):
+        x, y = 40.0, 40.0
+        together = point_intensity([a, b], x, y, SIGMA)
+        separate = point_intensity([a], x, y, SIGMA) + point_intensity(
+            [b], x, y, SIGMA
+        )
+        assert np.isclose(together, separate, atol=1e-12)
+
+    @given(shots())
+    def test_translation_invariance(self, shot):
+        value_here = point_intensity([shot], shot.center.x, shot.center.y, SIGMA)
+        moved = shot.translated(13.0, -7.0)
+        value_there = point_intensity(
+            [moved], moved.center.x, moved.center.y, SIGMA
+        )
+        assert np.isclose(value_here, value_there, atol=1e-12)
+
+    @given(shots())
+    def test_monotone_in_shot_growth(self, shot):
+        """A larger shot never delivers less dose anywhere."""
+        grown = shot.expanded(3.0)
+        for probe in (shot.center, shot.bottom_left, Point_out(shot)):
+            small = point_intensity([shot], probe.x, probe.y, SIGMA)
+            big = point_intensity([grown], probe.x, probe.y, SIGMA)
+            assert big >= small - 1e-12
+
+
+def Point_out(shot: Rect):
+    from repro.geometry.point import Point
+
+    return Point(shot.xtr + 5.0, shot.ytr + 5.0)
+
+
+class TestIncrementalConsistency:
+    @given(st.lists(shots(), min_size=1, max_size=6))
+    @settings(max_examples=20, deadline=None)
+    def test_incremental_equals_batch(self, shot_list):
+        grid = PixelGrid(-20.0, -20.0, 2.0, 90, 90)
+        incremental = IntensityMap(grid, SIGMA)
+        for shot in shot_list:
+            incremental.add(shot)
+        batch = IntensityMap(grid, SIGMA)
+        batch.rebuild(shot_list)
+        assert np.max(np.abs(incremental.total - batch.total)) < 1e-9
+
+    @given(st.lists(shots(), min_size=2, max_size=6))
+    @settings(max_examples=20, deadline=None)
+    def test_remove_order_irrelevant(self, shot_list):
+        grid = PixelGrid(-20.0, -20.0, 2.0, 90, 90)
+        imap = IntensityMap(grid, SIGMA)
+        for shot in shot_list:
+            imap.add(shot)
+        imap.remove(shot_list[0])
+        reference = IntensityMap(grid, SIGMA)
+        reference.rebuild(shot_list[1:])
+        assert np.max(np.abs(imap.total - reference.total)) < 1e-8

@@ -1,0 +1,125 @@
+"""Hypothesis property tests for fracturing invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fracture.corner_points import (
+    CornerType,
+    ShotCornerPoint,
+    cluster_corner_points,
+    extract_corner_points,
+)
+from repro.fracture.graph_color import approximate_fracture, pair_test_shot
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.graphlib.clique_cover import clique_partition, is_clique_partition
+from repro.graphlib.coloring import greedy_color, is_proper_coloring
+from repro.graphlib.graph import Graph
+from repro.mask.constraints import FractureSpec
+from repro.mask.shape import MaskShape
+
+
+@st.composite
+def random_graphs(draw) -> Graph:
+    n = draw(st.integers(min_value=0, max_value=18))
+    g = Graph(n)
+    if n >= 2:
+        edge_count = draw(st.integers(min_value=0, max_value=n * (n - 1) // 2))
+        for _ in range(edge_count):
+            u = draw(st.integers(0, n - 1))
+            v = draw(st.integers(0, n - 1))
+            if u != v:
+                g.add_edge(u, v)
+    return g
+
+
+@st.composite
+def corner_point_lists(draw) -> list[ShotCornerPoint]:
+    n = draw(st.integers(min_value=0, max_value=20))
+    points = []
+    for _ in range(n):
+        x = draw(st.floats(0, 200, allow_nan=False))
+        y = draw(st.floats(0, 200, allow_nan=False))
+        ctype = draw(st.sampled_from(list(CornerType)))
+        points.append(ShotCornerPoint(Point(x, y), ctype))
+    return points
+
+
+class TestGraphInvariants:
+    @given(random_graphs(), st.sampled_from(["given", "largest_first", "dsatur"]))
+    def test_coloring_always_proper(self, g, strategy):
+        assert is_proper_coloring(g, greedy_color(g, strategy))
+
+    @given(random_graphs())
+    def test_clique_partition_always_valid(self, g):
+        assert is_clique_partition(g, clique_partition(g))
+
+
+class TestCornerPointInvariants:
+    @given(corner_point_lists(), st.floats(min_value=1.0, max_value=30.0))
+    def test_clustering_preserves_types_and_never_grows(self, points, lth):
+        merged = cluster_corner_points(points, lth)
+        assert len(merged) <= len(points)
+        assert {p.ctype for p in merged} == {p.ctype for p in points}
+
+    @given(corner_point_lists(), st.floats(min_value=1.0, max_value=30.0))
+    def test_clustering_idempotent(self, points, lth):
+        once = cluster_corner_points(points, lth)
+        twice = cluster_corner_points(once, lth)
+        # Same-type centroids farther than the threshold stay put.
+        assert len(twice) <= len(once)
+
+    @given(corner_point_lists())
+    def test_test_shots_respect_min_size(self, points):
+        lmin = 10.0
+        for i in range(len(points)):
+            for j in range(i + 1, len(points)):
+                shot = pair_test_shot(points[i], points[j], lmin, 7.0)
+                if shot is not None:
+                    assert shot.width >= lmin - 1e-9
+                    assert shot.height >= lmin - 1e-9
+
+
+@st.composite
+def small_rectilinear_targets(draw) -> Polygon:
+    """L/T-like targets assembled from two overlapping integer rects."""
+    x1 = draw(st.integers(0, 30))
+    y1 = draw(st.integers(0, 30))
+    w1 = draw(st.integers(25, 60))
+    h1 = draw(st.integers(25, 60))
+    x2 = draw(st.integers(x1, x1 + w1 - 20))
+    y2 = draw(st.integers(y1, y1 + h1 - 20))
+    w2 = draw(st.integers(25, 60))
+    h2 = draw(st.integers(25, 60))
+    import numpy as np
+
+    from repro.geometry.raster import PixelGrid
+    from repro.geometry.trace import trace_boundary
+
+    grid = PixelGrid(0.0, 0.0, 1.0, 140, 140)
+    mask = np.zeros(grid.shape, dtype=bool)
+    mask[y1 : y1 + h1, x1 : x1 + w1] = True
+    mask[y2 : y2 + h2, x2 : x2 + w2] = True
+    return trace_boundary(mask, grid)
+
+
+class TestStageOneInvariants:
+    @given(small_rectilinear_targets())
+    @settings(max_examples=15, deadline=None)
+    def test_initial_shots_valid(self, polygon):
+        spec = FractureSpec()
+        shape = MaskShape.from_polygon(polygon, margin=spec.grid_margin)
+        shots, diagnostics = approximate_fracture(shape, spec)
+        assert diagnostics["corner_points"] >= 4
+        for shot in shots:
+            assert shot.meets_min_size(spec.lmin - 1e-9)
+
+    @given(small_rectilinear_targets())
+    @settings(max_examples=10, deadline=None)
+    def test_corner_points_outside_target(self, polygon):
+        spec = FractureSpec()
+        bbox = polygon.bounding_box().expanded(2.0 * spec.lth)
+        for scp in extract_corner_points(polygon, spec.lth):
+            # Corner points are pushed L_th/√2 off the boundary, so they
+            # always stay within the padded neighbourhood of the target.
+            assert bbox.contains_point(scp.point)

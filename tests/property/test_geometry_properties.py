@@ -1,0 +1,129 @@
+"""Hypothesis property tests for the geometry kernel."""
+
+import math
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.partition import partition_rectilinear
+from repro.geometry.point import Point, segment_point_distance
+from repro.geometry.polygon import Polygon
+from repro.geometry.raster import PixelGrid, rasterize_polygon
+from repro.geometry.rdp import rdp_polyline
+from repro.geometry.rect import Rect, total_union_area
+from repro.geometry.trace import trace_boundary
+
+coordinates = st.floats(
+    min_value=-1000.0, max_value=1000.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def rects(draw) -> Rect:
+    x1, x2 = sorted((draw(coordinates), draw(coordinates)))
+    y1, y2 = sorted((draw(coordinates), draw(coordinates)))
+    return Rect(x1, y1, x2, y2)
+
+
+@st.composite
+def staircase_polygons(draw) -> Polygon:
+    """Random rectilinear hole-free staircase polygons on integer grid."""
+    steps = draw(st.integers(min_value=1, max_value=6))
+    widths = draw(
+        st.lists(st.integers(2, 15), min_size=steps, max_size=steps)
+    )
+    heights = draw(
+        st.lists(st.integers(2, 15), min_size=steps, max_size=steps)
+    )
+    verts: list[tuple[float, float]] = [(0.0, 0.0)]
+    x = 0.0
+    total_w = float(sum(widths))
+    for w, h in zip(widths, heights):
+        x += w
+        verts.append((x, verts[-1][1]))
+        verts.append((x, verts[-1][1] + h))
+    top = verts[-1][1]
+    verts.append((0.0, top))
+    return Polygon(verts)
+
+
+class TestRectProperties:
+    @given(rects(), rects())
+    def test_intersection_area_symmetric_and_bounded(self, a, b):
+        area = a.intersection_area(b)
+        assert area == b.intersection_area(a)
+        assert 0.0 <= area <= min(a.area, b.area) + 1e-9
+
+    @given(rects(), rects())
+    def test_union_bbox_contains_both(self, a, b):
+        bbox = a.union_bbox(b)
+        assert bbox.contains_rect(a) and bbox.contains_rect(b)
+
+    @given(rects(), st.floats(min_value=0.0, max_value=50.0))
+    def test_expanded_contains_original(self, r, margin):
+        assert r.expanded(margin).contains_rect(r)
+
+    @given(rects())
+    def test_contains_center(self, r):
+        assert r.contains_point(r.center)
+
+    @given(st.lists(rects(), max_size=6))
+    def test_union_area_bounds(self, rs):
+        union = total_union_area(rs)
+        total = sum(r.area for r in rs)
+        biggest = max((r.area for r in rs), default=0.0)
+        assert biggest - 1e-6 <= union <= total + 1e-6
+
+
+class TestRdpProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(-100, 100, allow_nan=False),
+                st.floats(-100, 100, allow_nan=False),
+            ),
+            min_size=2,
+            max_size=30,
+        ),
+        st.floats(min_value=0.01, max_value=20.0),
+    )
+    def test_tolerance_guarantee(self, raw_points, epsilon):
+        points = [Point(x, y) for x, y in raw_points]
+        simplified = rdp_polyline(points, epsilon)
+        assert simplified[0] == points[0]
+        assert simplified[-1] == points[-1]
+        for p in points:
+            nearest = min(
+                (
+                    segment_point_distance(a, b, p)
+                    for a, b in zip(simplified, simplified[1:])
+                ),
+                default=p.distance_to(simplified[0]),
+            )
+            assert nearest <= epsilon + 1e-6
+
+
+class TestPolygonProperties:
+    @given(staircase_polygons())
+    def test_staircase_area_positive_and_rectilinear(self, poly):
+        assert poly.area > 0.0
+        assert poly.is_rectilinear()
+
+    @given(staircase_polygons())
+    def test_partition_is_exact(self, poly):
+        rects = partition_rectilinear(poly)
+        assert math.isclose(sum(r.area for r in rects), poly.area, rel_tol=1e-9)
+        assert math.isclose(total_union_area(rects), poly.area, rel_tol=1e-9)
+
+    @given(staircase_polygons())
+    @settings(max_examples=25, deadline=None)
+    def test_raster_trace_roundtrip(self, poly):
+        bbox = poly.bounding_box()
+        assume(bbox.width >= 2 and bbox.height >= 2)
+        grid = PixelGrid.for_rect(bbox, pitch=1.0, margin=2.0)
+        mask = rasterize_polygon(poly, grid)
+        assume(mask.any())
+        traced = trace_boundary(mask, grid)
+        remask = rasterize_polygon(traced, grid)
+        assert np.array_equal(mask, remask)

@@ -1,0 +1,188 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bench_requires_table(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench"])
+
+    def test_spec_arguments_parsed(self):
+        args = build_parser().parse_args(
+            ["fracture", "--sigma", "5.0", "--gamma", "1.0"]
+        )
+        assert args.sigma == 5.0 and args.gamma == 1.0
+
+    def test_unknown_method_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["fracture", "--method", "magic"])
+
+
+class TestCommands:
+    def test_generate_writes_clip_files(self, tmp_path, capsys):
+        assert main(["generate", "--output", str(tmp_path)]) == 0
+        ilt = json.loads((tmp_path / "ilt_suite.clips.json").read_text())
+        assert len(ilt["clips"]) == 10
+        known = json.loads((tmp_path / "known_optimal.clips.json").read_text())
+        assert len(known["clips"]) == 10
+
+    def test_figure_rendering(self, tmp_path, capsys):
+        out = tmp_path / "fig4.svg"
+        assert main(["figure", "4", "--output", str(out)]) == 0
+        assert out.read_text().startswith("<svg")
+
+    def test_fracture_clip_file_roundtrip(self, tmp_path, capsys):
+        from repro.geometry.polygon import Polygon
+        from repro.mask.io import save_clips
+
+        save_clips(
+            {"sq": Polygon([(0, 0), (40, 0), (40, 30), (0, 30)])},
+            tmp_path / "clips.json",
+        )
+        code = main(
+            [
+                "fracture",
+                "--method", "partition",
+                "--clip-file", str(tmp_path / "clips.json"),
+                "--output", str(tmp_path / "out"),
+                "--svg", str(tmp_path / "svg"),
+            ]
+        )
+        assert code == 0
+        solution = json.loads((tmp_path / "out" / "sq.solution.json").read_text())
+        assert solution["metadata"]["method"] == "PARTITION"
+        assert (tmp_path / "svg" / "sq.svg").exists()
+        printed = capsys.readouterr().out
+        assert "PARTITION" in printed
+
+    def test_fracture_unknown_clip_name(self, tmp_path):
+        from repro.geometry.polygon import Polygon
+        from repro.mask.io import save_clips
+
+        save_clips(
+            {"sq": Polygon([(0, 0), (40, 0), (40, 30), (0, 30)])},
+            tmp_path / "clips.json",
+        )
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "fracture",
+                    "--clip-file", str(tmp_path / "clips.json"),
+                    "--clip", "nope",
+                ]
+            )
+
+
+class TestVerifyCommand:
+    def _clip_and_solution(self, tmp_path):
+        from repro.geometry.polygon import Polygon
+        from repro.geometry.rect import Rect
+        from repro.mask.constraints import FractureSpec
+        from repro.mask.io import save_clips, save_solution
+
+        poly = Polygon([(0, 0), (60, 0), (60, 40), (0, 40)])
+        clip_file = tmp_path / "clips.json"
+        save_clips({"sq": poly}, clip_file)
+        spec = FractureSpec()
+        good = tmp_path / "good.json"
+        save_solution([Rect(-1, -1, 61, 41)], spec, good, clip_name="sq")
+        bad = tmp_path / "bad.json"
+        save_solution([Rect(10, 10, 30, 30)], spec, bad, clip_name="sq")
+        return clip_file, good, bad
+
+    def test_verify_clean_solution(self, tmp_path, capsys):
+        clip_file, good, _ = self._clip_and_solution(tmp_path)
+        code = main(["verify", str(good), "--clip-file", str(clip_file)])
+        assert code == 0
+        assert "CD-clean" in capsys.readouterr().out
+
+    def test_verify_bad_solution_nonzero_exit(self, tmp_path, capsys):
+        clip_file, _, bad = self._clip_and_solution(tmp_path)
+        code = main(["verify", str(bad), "--clip-file", str(clip_file)])
+        assert code == 1
+        assert "failing pixels" in capsys.readouterr().out
+
+    def test_verify_unknown_clip(self, tmp_path):
+        clip_file, good, _ = self._clip_and_solution(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["verify", str(good), "--clip-file", str(clip_file),
+                  "--clip", "nope"])
+
+
+class TestGdsExport:
+    def test_fracture_writes_gds(self, tmp_path, capsys):
+        from repro.geometry.polygon import Polygon
+        from repro.mask.io import save_clips
+
+        save_clips(
+            {"sq": Polygon([(0, 0), (40, 0), (40, 30), (0, 30)])},
+            tmp_path / "clips.json",
+        )
+        code = main(
+            ["fracture", "--method", "partition",
+             "--clip-file", str(tmp_path / "clips.json"),
+             "--gds", str(tmp_path / "gds")]
+        )
+        assert code == 0
+        from repro.mask.gds import read_gds
+
+        cell = read_gds(tmp_path / "gds" / "sq.gds")
+        assert len(cell.targets) == 1
+        assert len(cell.shots) >= 1
+
+
+class TestMdpCommand:
+    def _clip_file(self, tmp_path):
+        from repro.geometry.polygon import Polygon
+        from repro.mask.io import save_clips
+
+        clips = {
+            "a": Polygon([(0, 0), (50, 0), (50, 30), (0, 30)]),
+            "b": Polygon([(0, 0), (30, 0), (30, 60), (0, 60)]),
+        }
+        path = tmp_path / "clips.json"
+        save_clips(clips, path)
+        return path
+
+    def test_batch_run(self, tmp_path, capsys):
+        clip_file = self._clip_file(tmp_path)
+        # Exit code reflects feasibility, which is marginal for exact-fit
+        # partition shots; the batch mechanics are what is under test.
+        code = main(
+            ["mdp", str(clip_file), "--method", "partition",
+             "--output", str(tmp_path / "out")]
+        )
+        assert code in (0, 1)
+        out = capsys.readouterr().out
+        assert "batch: " in out and "2 shapes" in out
+        assert (tmp_path / "out" / "a.solution.json").exists()
+
+    def test_baseline_economics(self, tmp_path, capsys):
+        clip_file = self._clip_file(tmp_path)
+        code = main(
+            ["mdp", str(clip_file), "--method", "partition",
+             "--baseline", "partition"]
+        )
+        assert code in (0, 1)
+        out = capsys.readouterr().out
+        assert "vs partition:" in out
+
+    def test_parallel_matches_serial_output(self, tmp_path, capsys):
+        clip_file = self._clip_file(tmp_path)
+        serial = main(["mdp", str(clip_file), "--method", "partition"])
+        serial_out = capsys.readouterr().out
+        parallel = main(
+            ["mdp", str(clip_file), "--method", "partition", "--workers", "2"]
+        )
+        parallel_out = capsys.readouterr().out
+        assert serial == parallel
+        assert serial_out.splitlines()[-1] == parallel_out.splitlines()[-1]

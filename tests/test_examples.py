@@ -1,0 +1,63 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least parse and import-check; the cheapest one
+runs end to end so a broken public API surfaces here before a user hits
+it.  (The heavier examples are exercised indirectly: they reuse the
+exact library calls the integration tests cover.)
+"""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExamples:
+    def test_expected_examples_present(self):
+        names = {path.name for path in ALL_EXAMPLES}
+        assert {
+            "quickstart.py",
+            "compare_methods.py",
+            "mask_cost_analysis.py",
+            "custom_shape.py",
+            "dose_modulation.py",
+            "ilt_to_shots.py",
+            "render_figures.py",
+        } <= names
+
+    @pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+    def test_example_compiles(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    def test_render_figures_runs(self, tmp_path):
+        """The cheapest example end to end: writes all five figure SVGs."""
+        result = subprocess.run(
+            [
+                sys.executable,
+                str(EXAMPLES_DIR / "render_figures.py"),
+                "--output", str(tmp_path),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        for number in range(1, 6):
+            assert (tmp_path / f"figure{number}.svg").exists()
+
+
+class TestCliBenchPath:
+    def test_bench_table3_with_cheap_method(self, capsys):
+        """The CLI bench command end to end with the fast baseline."""
+        from repro.cli import main
+
+        code = main(["bench", "--table", "3", "--methods", "partition", "--quiet"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "AGB-1" in out and "RGB-5" in out
+        assert "Sum norm." in out

@@ -1,0 +1,128 @@
+"""End-to-end integration tests across subsystems.
+
+These exercise the flows a user of the library actually runs: generate a
+workload, fracture it with several methods, verify feasibility with the
+independent checker, compare methods, persist and reload solutions.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    FractureSpec,
+    MaskShape,
+    ModelBasedFracturer,
+    Polygon,
+    RefineConfig,
+    check_solution,
+)
+from repro.baselines import (
+    GreedySetCoverFracturer,
+    PartitionFracturer,
+    ProtoEdaFracturer,
+)
+from repro.mask.io import load_solution, save_solution
+
+
+class TestEndToEndSingleClip:
+    def test_full_flow_on_known_optimal_clip(self, spec):
+        """Generate an RGB clip, fracture it, land within 3x of optimal."""
+        from repro.bench.shapes import rgb_suite
+
+        ko = rgb_suite()[0]  # RGB-1, optimal 5
+        result = ModelBasedFracturer().fracture(ko.shape, spec)
+        assert result.feasible
+        assert result.shot_count <= 3 * ko.optimal_shots
+
+    def test_solution_roundtrip_stays_feasible(self, spec, tmp_path):
+        polygon = Polygon([(0, 0), (70, 0), (70, 45), (0, 45)])
+        shape = MaskShape.from_polygon(polygon, margin=spec.grid_margin, name="t")
+        result = ModelBasedFracturer(config=RefineConfig.fast()).fracture(
+            shape, spec
+        )
+        path = tmp_path / "solution.json"
+        save_solution(result.shots, spec, path, clip_name="t")
+        shots, loaded_spec, _ = load_solution(path)
+        report = check_solution(shots, shape, loaded_spec)
+        assert report.total_failing == result.report.total_failing
+
+    def test_methods_agree_on_feasibility_semantics(self, blob_shape, spec):
+        """Every method's self-reported result matches the independent
+        from-scratch checker."""
+        for fracturer in (
+            PartitionFracturer(),
+            GreedySetCoverFracturer(),
+            ProtoEdaFracturer(nmax=40),
+        ):
+            result = fracturer.fracture(blob_shape, spec)
+            recheck = check_solution(result.shots, blob_shape, spec)
+            assert recheck.total_failing == result.report.total_failing
+
+
+class TestMethodOrdering:
+    def test_model_based_beats_partition_on_curvy(self, blob_shape, spec):
+        ours = ModelBasedFracturer().fracture(blob_shape, spec)
+        partition = PartitionFracturer().fracture(blob_shape, spec)
+        assert ours.feasible
+        assert ours.shot_count < partition.shot_count
+
+    def test_refinement_fixes_stage1_violations(self, blob_shape, spec):
+        from repro.fracture.graph_color import approximate_fracture
+
+        initial, _ = approximate_fracture(blob_shape, spec)
+        initial_report = check_solution(initial, blob_shape, spec)
+        final = ModelBasedFracturer().fracture(blob_shape, spec)
+        assert final.report.total_failing <= initial_report.total_failing
+
+
+class TestSpecVariations:
+    @pytest.mark.parametrize("lmin", [8.0, 12.0])
+    def test_lmin_respected(self, rect_shape, lmin):
+        spec = FractureSpec(lmin=lmin)
+        result = ModelBasedFracturer(config=RefineConfig.fast()).fracture(
+            rect_shape, spec
+        )
+        assert all(s.meets_min_size(lmin - 1e-9) for s in result.shots)
+
+    def test_larger_gamma_is_easier(self, blob_shape):
+        """A wider CD band never makes the instance harder to satisfy."""
+        tight = FractureSpec(gamma=1.0)
+        loose = FractureSpec(gamma=4.0)
+        f = ModelBasedFracturer(config=RefineConfig.fast())
+        result_tight = f.fracture(blob_shape, tight)
+        result_loose = f.fracture(blob_shape, loose)
+        assert (
+            result_loose.report.total_failing
+            <= result_tight.report.total_failing + 5
+        )
+
+    def test_coarser_pixels_run_faster_same_structure(self, spec):
+        polygon = Polygon([(0, 0), (80, 0), (80, 50), (0, 50)])
+        coarse_spec = FractureSpec(pitch=2.0)
+        shape = MaskShape.from_polygon(
+            polygon, pitch=2.0, margin=coarse_spec.grid_margin
+        )
+        result = ModelBasedFracturer(config=RefineConfig.fast()).fracture(
+            shape, coarse_spec
+        )
+        assert result.shot_count >= 1
+
+
+class TestMdpEconomics:
+    def test_shot_reduction_to_cost_story(self, blob_shape, spec):
+        """The paper's economic chain: fewer shots → write time → cost."""
+        from repro.mask.cost import MaskCostModel
+        from repro.mask.mdp import MdpPipeline
+
+        baseline = MdpPipeline(PartitionFracturer(), spec).run([blob_shape])
+        improved = MdpPipeline(
+            ModelBasedFracturer(config=RefineConfig.fast()), spec
+        ).run([blob_shape])
+        saving = MdpPipeline(ModelBasedFracturer(), spec).projected_saving(
+            baseline, improved
+        )
+        assert saving["shot_reduction"] > 0.5  # partition explodes on curvy
+        model = MaskCostModel()
+        assert saving["mask_cost_saving_fraction"] == pytest.approx(
+            model.cost_saving_fraction(saving["shot_reduction"])
+        )

@@ -1,0 +1,56 @@
+"""Unit tests for ready-made renderings."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+
+from repro.ebeam.intensity_map import IntensityMap
+from repro.geometry.raster import PixelGrid
+from repro.geometry.rect import Rect
+from repro.viz.render import intensity_contour, render_fracture, render_polygon_overlay
+
+
+class TestRenderFracture:
+    def test_valid_svg_with_shots(self, rect_shape):
+        svg = render_fracture(rect_shape, [Rect(0, 0, 30, 40), Rect(30, 0, 60, 40)])
+        root = ET.fromstring(svg)
+        rects = root.findall(".//{http://www.w3.org/2000/svg}rect")
+        assert len(rects) == 3  # background + 2 shots
+        assert "2 shots" in svg
+
+    def test_custom_title(self, rect_shape):
+        svg = render_fracture(rect_shape, [], title="hello")
+        assert "hello" in svg
+
+
+class TestRenderOverlay:
+    def test_overlay_polylines_and_points(self, rect_shape):
+        svg = render_polygon_overlay(
+            rect_shape,
+            overlays=[(rect_shape.polygon, "#ff0000")],
+            points=[(5.0, 5.0, "#00ff00")],
+            title="overlay",
+        )
+        root = ET.fromstring(svg)
+        assert root.findall(".//{http://www.w3.org/2000/svg}polyline")
+        assert root.findall(".//{http://www.w3.org/2000/svg}circle")
+
+
+class TestIntensityContour:
+    def test_contour_surrounds_shot(self):
+        grid = PixelGrid(-20, -20, 1.0, 100, 100)
+        imap = IntensityMap(grid, 6.25)
+        shot = Rect(0, 0, 50, 40)
+        imap.add(shot)
+        segments = intensity_contour(imap.total, grid, 0.5)
+        assert len(segments) > 50
+        points = np.array([p for seg in segments for p in seg])
+        # ρ=0.5 contour tracks the shot boundary within ~2 px.
+        assert abs(points[:, 0].min() - 0.0) < 2.0
+        assert abs(points[:, 0].max() - 50.0) < 2.0
+        assert abs(points[:, 1].min() - 0.0) < 2.0
+        assert abs(points[:, 1].max() - 40.0) < 2.0
+
+    def test_no_contour_for_flat_field(self):
+        grid = PixelGrid(0, 0, 1.0, 10, 10)
+        assert intensity_contour(np.zeros((10, 10)), grid, 0.5) == []

@@ -1,0 +1,57 @@
+"""Unit tests for the SVG canvas."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.viz.svg import SvgCanvas
+
+
+@pytest.fixture()
+def canvas() -> SvgCanvas:
+    return SvgCanvas(0.0, 0.0, 100.0, 50.0, scale=2.0, padding=0.0)
+
+
+class TestCanvas:
+    def test_degenerate_extent_rejected(self):
+        with pytest.raises(ValueError):
+            SvgCanvas(0, 0, 0, 10)
+
+    def test_empty_document_valid(self, canvas):
+        root = ET.fromstring(canvas.to_string())
+        assert root.tag.endswith("svg")
+        assert root.get("width") == "200"
+        assert root.get("height") == "100"
+
+    def test_y_axis_flipped(self, canvas):
+        canvas.circle(0.0, 0.0, radius_px=1.0)
+        root = ET.fromstring(canvas.to_string())
+        circle = root.find(".//{http://www.w3.org/2000/svg}circle")
+        assert float(circle.get("cy")) == 100.0  # bottom of the image
+
+    def test_rect_geometry(self, canvas):
+        canvas.rect(10, 10, 30, 20)
+        root = ET.fromstring(canvas.to_string())
+        rects = root.findall(".//{http://www.w3.org/2000/svg}rect")
+        drawn = rects[1]  # rects[0] is the background
+        assert float(drawn.get("width")) == 40.0
+        assert float(drawn.get("height")) == 20.0
+
+    def test_text_escaped(self, canvas):
+        canvas.text(5, 5, "a < b & c")
+        assert "a &lt; b &amp; c" in canvas.to_string()
+
+    def test_all_elements_render(self, canvas):
+        canvas.rect(0, 0, 10, 10)
+        canvas.polygon([(0, 0), (10, 0), (5, 8)])
+        canvas.polyline([(0, 0), (10, 10)], dash="2,2")
+        canvas.circle(5, 5)
+        canvas.line(0, 0, 10, 0)
+        canvas.text(1, 1, "label")
+        root = ET.fromstring(canvas.to_string())
+        assert len(list(root)) == 7  # background + 6 elements
+
+    def test_save(self, canvas, tmp_path):
+        path = tmp_path / "out.svg"
+        canvas.save(path)
+        assert path.read_text().startswith("<svg")
