@@ -10,6 +10,9 @@ from repro.bench.shapes import KnownOptimalShape
 from repro.fracture.base import FractureResult, Fracturer
 from repro.mask.constraints import FractureSpec
 from repro.mask.shape import MaskShape
+from repro.obs import get_logger, get_recorder
+
+logger = get_logger(__name__)
 
 
 @dataclass(slots=True)
@@ -83,6 +86,7 @@ def run_suite(
     :class:`KnownOptimalShape` (AGB/RGB clips — the construction K is the
     normalization reference).
     """
+    obs = get_recorder()
     suite = SuiteResult()
     for item in shapes:
         if isinstance(item, KnownOptimalShape):
@@ -92,14 +96,19 @@ def run_suite(
             shape = item
             optimal = None
         clip = ClipResult(shape_name=shape.name, results={}, optimal=optimal)
-        for fracturer in fracturers:
-            result = fracturer.fracture(shape, spec)
-            clip.results[fracturer.name] = result
-            if verbose:
-                print(result.summary())
-        if optimal is None:
-            if compute_bounds:
-                clip.lower_bound = lower_bound_shots(shape, spec)
-            clip.upper_bound = upper_bound_shots(list(clip.results.values()))
+        with obs.span("bench.clip", clip=shape.name):
+            for fracturer in fracturers:
+                result = fracturer.fracture(shape, spec)
+                clip.results[fracturer.name] = result
+                if verbose:
+                    logger.info("%s", result.summary())
+            if optimal is None:
+                if compute_bounds:
+                    with obs.span("bench.bounds"):
+                        clip.lower_bound = lower_bound_shots(shape, spec)
+                clip.upper_bound = upper_bound_shots(
+                    list(clip.results.values())
+                )
+        obs.incr("bench.clips")
         suite.clips.append(clip)
     return suite

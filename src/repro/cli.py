@@ -8,14 +8,22 @@ Sub-commands:
 * ``bench`` — regenerate the paper's Table 2 or Table 3.
 * ``generate`` — write the benchmark suites to clip files.
 * ``figure`` — render one of the paper's Figures 1–5 as SVG.
+* ``trace`` — inspect a telemetry file written via ``--telemetry``.
+
+``fracture``, ``bench`` and ``mdp`` accept ``--telemetry PATH``: a
+:class:`repro.obs.TelemetryRecorder` is installed for the run and the
+manifest + span tree + metrics + convergence records are written to
+``PATH`` (format by extension: ``.json`` / ``.jsonl`` / ``.csv``).
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 from pathlib import Path
 
+from repro import obs
 from repro.baselines import (
     GreedySetCoverFracturer,
     MatchingPursuitFracturer,
@@ -61,6 +69,30 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--lmin", type=float, default=10.0, help="min shot size (nm)")
 
 
+def _add_telemetry_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry", metavar="PATH",
+        help="record spans/metrics/convergence and write them here "
+             "(.json, .jsonl or .csv)",
+    )
+
+
+@contextlib.contextmanager
+def _telemetry(args: argparse.Namespace, spec: FractureSpec):
+    """Install a TelemetryRecorder for the command when requested."""
+    path = getattr(args, "telemetry", None)
+    if not path:
+        yield None
+        return
+    recorder = obs.TelemetryRecorder(
+        manifest=obs.run_manifest(spec=spec, argv=sys.argv[1:])
+    )
+    with obs.recording(recorder):
+        yield recorder
+    obs.write_telemetry(recorder.export(), path)
+    print(f"wrote telemetry to {path}")
+
+
 def _cmd_fracture(args: argparse.Namespace) -> int:
     spec = _spec_from_args(args)
     fracturer = _make_fracturer(args.method)
@@ -80,6 +112,17 @@ def _cmd_fracture(args: argparse.Namespace) -> int:
         shapes = [s for s in ilt_suite(spec.pitch) if not args.clip or s.name == args.clip]
         if not shapes:
             raise SystemExit(f"no suite clip named {args.clip!r}")
+    with _telemetry(args, spec):
+        _fracture_shapes(args, spec, fracturer, shapes)
+    return 0
+
+
+def _fracture_shapes(
+    args: argparse.Namespace,
+    spec: FractureSpec,
+    fracturer: Fracturer,
+    shapes: list[MaskShape],
+) -> None:
     for shape in shapes:
         result = fracturer.fracture(shape, spec)
         print(result.summary())
@@ -108,7 +151,6 @@ def _cmd_fracture(args: argparse.Namespace) -> int:
                 shape.polygon, result.shots, out / f"{shape.name}.gds",
                 cell_name=shape.name or "CLIP",
             )
-    return 0
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -153,16 +195,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     spec = _spec_from_args(args)
     methods = [_make_fracturer(name) for name in args.methods.split(",")]
-    if args.table == 2:
-        suite = run_suite(
-            ilt_suite(spec.pitch), methods, spec,
-            compute_bounds=True, verbose=not args.quiet,
-        )
-        print(format_table2(suite))
-    else:
-        shapes = agb_suite(spec, spec.pitch) + rgb_suite(spec, spec.pitch)
-        suite = run_suite(shapes, methods, spec, verbose=not args.quiet)
-        print(format_table3(suite))
+    with _telemetry(args, spec) as recorder:
+        if args.table == 2:
+            suite = run_suite(
+                ilt_suite(spec.pitch), methods, spec,
+                compute_bounds=True, verbose=not args.quiet,
+            )
+            print(format_table2(suite))
+        else:
+            shapes = agb_suite(spec, spec.pitch) + rgb_suite(spec, spec.pitch)
+            suite = run_suite(shapes, methods, spec, verbose=not args.quiet)
+            print(format_table3(suite))
+        if recorder is not None:
+            # Per-clip phase breakdown rides along with the paper table.
+            print()
+            print("Per-clip phase breakdown (wall seconds):")
+            print(obs.format_clip_breakdown(recorder.export()))
     return 0
 
 
@@ -179,9 +227,10 @@ def _cmd_mdp(args: argparse.Namespace) -> int:
         for name, poly in clips.items()
     ]
     pipeline = MdpPipeline(fracturer, spec)
-    report = pipeline.run(
-        shapes, output_dir=args.output, workers=args.workers, verbose=True
-    )
+    with _telemetry(args, spec):
+        report = pipeline.run(
+            shapes, output_dir=args.output, workers=args.workers, verbose=True
+        )
     print(
         f"batch: {report.total_shots} shots over {len(report.results)} shapes, "
         f"{report.feasible_count} feasible"
@@ -214,6 +263,22 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    """Render a per-phase breakdown of a recorded telemetry file."""
+    try:
+        payload = obs.load_telemetry(args.path)
+    except FileNotFoundError:
+        raise SystemExit(f"no telemetry file at {args.path!r}") from None
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+    print(obs.format_summary(payload))
+    if args.clips:
+        print()
+        print("Per-clip phase breakdown (wall seconds):")
+        print(obs.format_clip_breakdown(payload))
+    return 0
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     from repro.bench.figures import render_figure
 
@@ -240,6 +305,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fracture.add_argument("--svg", help="directory for SVG renderings")
     p_fracture.add_argument("--gds", help="directory for GDSII solution files")
     _add_spec_arguments(p_fracture)
+    _add_telemetry_argument(p_fracture)
     p_fracture.set_defaults(func=_cmd_fracture)
 
     p_verify = sub.add_parser("verify", help="re-check a stored solution")
@@ -256,6 +322,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument("--quiet", action="store_true")
     _add_spec_arguments(p_bench)
+    _add_telemetry_argument(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
 
     p_mdp = sub.add_parser("mdp", help="batch fracture a clip file")
@@ -265,7 +332,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_mdp.add_argument("--workers", type=int, default=1)
     p_mdp.add_argument("--output", help="directory for solution JSON files")
     _add_spec_arguments(p_mdp)
+    _add_telemetry_argument(p_mdp)
     p_mdp.set_defaults(func=_cmd_mdp)
+
+    p_trace = sub.add_parser("trace", help="inspect a telemetry file")
+    trace_sub = p_trace.add_subparsers(dest="trace_command", required=True)
+    p_summarize = trace_sub.add_parser(
+        "summarize", help="per-phase time breakdown of a --telemetry file"
+    )
+    p_summarize.add_argument("path", help="telemetry file (.json or .jsonl)")
+    p_summarize.add_argument(
+        "--clips", action="store_true",
+        help="also print the per-clip phase table (bench telemetry)",
+    )
+    p_summarize.set_defaults(func=_cmd_trace_summarize)
 
     p_generate = sub.add_parser("generate", help="write benchmark clip files")
     p_generate.add_argument("--output", default="clips")
@@ -281,6 +361,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    # The CLI is the interactive surface: opt into the library's (by
+    # default silent) logging so progress lands on stderr.
+    obs.enable_console_logging()
     args = build_parser().parse_args(argv)
     return args.func(args)
 

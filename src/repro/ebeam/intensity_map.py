@@ -19,6 +19,7 @@ from repro.ebeam.intensity import shot_intensity
 from repro.ebeam.lut import ErfLookupTable, default_lut
 from repro.geometry.raster import PixelGrid
 from repro.geometry.rect import Rect
+from repro.obs import get_recorder
 
 
 class IntensityMap:
@@ -62,6 +63,7 @@ class IntensityMap:
         """Intensity of a single shot restricted to its influence window."""
         if window is None:
             window = self.window_of(shot)
+        get_recorder().incr("intensity.patch_evals")
         return window, shot_intensity(shot, self.grid, self.sigma, window, self._lut)
 
     # -- mutation --------------------------------------------------------------
@@ -138,6 +140,9 @@ class IntensityMap:
         args[4 * n_c : 4 * n_c + n_f] = fixed - f_lo
         args[4 * n_c + 2 * n_f - n_f :] = fixed - f_hi
         args /= self.sigma
+        obs = get_recorder()
+        obs.incr("intensity.edge_deltas")
+        obs.incr("intensity.lut_hits", len(args))
         e = self._lut(args)
         profile_old = 0.5 * (e[0:n_c] - e[n_c : 2 * n_c])
         profile_new = 0.5 * (e[2 * n_c : 3 * n_c] - e[3 * n_c : 4 * n_c])

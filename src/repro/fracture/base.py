@@ -10,6 +10,7 @@ from typing import Any
 from repro.geometry.rect import Rect
 from repro.mask.constraints import FailureReport, FractureSpec, check_solution
 from repro.mask.shape import MaskShape
+from repro.obs import get_recorder
 
 
 @dataclass(slots=True)
@@ -58,11 +59,18 @@ class Fracturer(abc.ABC):
 
     def fracture(self, shape: MaskShape, spec: FractureSpec) -> FractureResult:
         """Run the method, time it, and verify the result independently."""
+        obs = get_recorder()
         self._last_extra: dict[str, Any] = {}
-        start = time.perf_counter()
-        shots = self.fracture_shots(shape, spec)
-        runtime = time.perf_counter() - start
-        report = check_solution(shots, shape, spec)
+        with obs.span("fracture", method=self.name, shape=shape.name) as span:
+            start = time.perf_counter()
+            shots = self.fracture_shots(shape, spec)
+            runtime = time.perf_counter() - start
+            with obs.span("verify"):
+                report = check_solution(shots, shape, spec)
+            span.annotate(shots=len(shots), feasible=report.feasible)
+        obs.incr("fracture.shapes")
+        obs.observe("fracture.runtime_s", runtime)
+        obs.observe("fracture.shots", len(shots))
         return FractureResult(
             method=self.name,
             shape_name=shape.name,

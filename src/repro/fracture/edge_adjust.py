@@ -16,6 +16,7 @@ import numpy as np
 from repro.fracture.state import RefinementState
 from repro.geometry.rect import EDGES, Rect
 from repro.mask.constraints import FailureReport
+from repro.obs import get_recorder
 
 _IMPROVEMENT_EPS = 1e-12
 
@@ -83,15 +84,21 @@ def greedy_shot_edge_adjustment(
     blocked_zones: list[Rect] = []
     block_margin = 2.0 * state.spec.sigma
     accepted = 0
+    blocked = 0
     for move in moves:
         segment = edge_segment(state.shots[move.index], move.edge)
         if any(zone.intersects(segment) for zone in blocked_zones):
+            blocked += 1
             continue
         if not state.apply_edge_move(move.index, move.edge, move.delta):
             continue
         accepted += 1
         moved_segment = edge_segment(state.shots[move.index], move.edge)
         blocked_zones.append(moved_segment.expanded(block_margin))
+    obs = get_recorder()
+    obs.incr("refine.moves_priced", len(moves))
+    obs.incr("refine.moves_accepted", accepted)
+    obs.incr("refine.moves_blocked_2sigma", blocked)
     return accepted
 
 

@@ -26,6 +26,7 @@ from repro.graphlib.clique_cover import clique_partition
 from repro.graphlib.graph import Graph
 from repro.mask.constraints import FractureSpec
 from repro.mask.shape import MaskShape
+from repro.obs import get_recorder
 
 
 @dataclass(frozen=True, slots=True)
@@ -180,15 +181,26 @@ def approximate_fracture(
     Returns the initial shot list and a diagnostics dict (vertex counts,
     clique count) that the benchmark tables surface.
     """
-    simplified = rdp_simplify(shape.polygon, spec.gamma)
-    corner_points = extract_corner_points(simplified, spec.lth)
-    graph = build_compatibility_graph(corner_points, shape, spec, config)
-    cliques = clique_partition(graph, strategy=config.coloring_strategy)
-    shots: list[Rect] = []
-    for clique in cliques:
-        shot = shot_from_class([corner_points[v] for v in clique], shape, spec.lmin)
-        if shot is not None:
-            shots.append(shot)
+    obs = get_recorder()
+    with obs.span("init.rdp"):
+        simplified = rdp_simplify(shape.polygon, spec.gamma)
+    with obs.span("init.corner_points"):
+        corner_points = extract_corner_points(simplified, spec.lth)
+    with obs.span("init.graph", vertices=len(corner_points)):
+        graph = build_compatibility_graph(corner_points, shape, spec, config)
+    with obs.span("init.coloring", strategy=config.coloring_strategy):
+        cliques = clique_partition(graph, strategy=config.coloring_strategy)
+    with obs.span("init.placement"):
+        shots: list[Rect] = []
+        for clique in cliques:
+            shot = shot_from_class(
+                [corner_points[v] for v in clique], shape, spec.lmin
+            )
+            if shot is not None:
+                shots.append(shot)
+    obs.gauge("coloring.corner_points", len(corner_points))
+    obs.gauge("coloring.graph_edges", graph.edge_count())
+    obs.gauge("coloring.colors_used", len(cliques))
     diagnostics = {
         "simplified_vertices": len(simplified),
         "corner_points": len(corner_points),

@@ -27,6 +27,7 @@ from repro.fracture.refine import RefineParams, reduce_shot_count, refine
 from repro.geometry.rect import Rect
 from repro.mask.constraints import FractureSpec, check_solution
 from repro.mask.shape import MaskShape
+from repro.obs import get_recorder
 
 
 @dataclass(frozen=True, slots=True)
@@ -111,12 +112,21 @@ class ModelBasedFracturer(Fracturer):
         self._last_extra: dict = {}
 
     def fracture_shots(self, shape: MaskShape, spec: FractureSpec) -> list[Rect]:
+        obs = get_recorder()
         best_shots: list[Rect] | None = None
         best_key: tuple | None = None
         runs: list[dict] = []
         for run_index, config in enumerate(self.portfolio):
-            shots, run_info = _run_once(shape, spec, config)
-            report = check_solution(shots, shape, spec)
+            with obs.span(
+                "portfolio_run", run=run_index, init=config.init,
+                coloring=config.graph.coloring_strategy, nh=config.params.nh,
+            ) as span:
+                shots, run_info = _run_once(shape, spec, config)
+                report = check_solution(shots, shape, spec)
+                span.annotate(
+                    shots=len(shots), feasible=report.feasible,
+                    failing=report.total_failing,
+                )
             key = (not report.feasible, len(shots), report.cost)
             runs.append(
                 {
@@ -126,12 +136,22 @@ class ModelBasedFracturer(Fracturer):
                     "failing": report.total_failing,
                 }
             )
+            obs.event(
+                "pipeline.run_outcome", run=run_index, init=config.init,
+                coloring=config.graph.coloring_strategy, nh=config.params.nh,
+                shots=len(shots), feasible=report.feasible,
+                failing=report.total_failing,
+            )
             if best_key is None or key < best_key:
                 best_key = key
                 best_shots = shots
             have_feasible = best_key is not None and not best_key[0]
             if run_index + 1 >= _MIN_RUNS and have_feasible:
                 break
+        obs.incr("pipeline.portfolio_runs", len(runs))
+        obs.incr(
+            "pipeline.feasible_runs", sum(1 for run in runs if run["feasible"])
+        )
         self._last_extra = {
             "runs": runs,
             "chosen_shots": len(best_shots or []),
@@ -144,8 +164,10 @@ def _run_once(
     shape: MaskShape, spec: FractureSpec, config: RefineConfig
 ) -> tuple[list[Rect], dict]:
     """One init → refine → polish pass under a single configuration."""
+    obs = get_recorder()
     if config.init == "partition":
-        initial = _partition_initial(shape, spec, config)
+        with obs.span("init.partition"):
+            initial = _partition_initial(shape, spec, config)
         diagnostics = {"initial_shots": len(initial)}
     else:
         initial, diagnostics = approximate_fracture(shape, spec, config.graph)

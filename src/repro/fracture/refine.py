@@ -16,6 +16,7 @@ from repro.fracture.bias import bias_all_shots
 from repro.fracture.edge_adjust import greedy_shot_edge_adjustment
 from repro.fracture.merge import merge_shots
 from repro.fracture.state import RefinementState
+from repro.obs import get_recorder
 from repro.geometry.rect import Rect
 from repro.mask.constraints import FractureSpec
 from repro.mask.shape import MaskShape
@@ -66,59 +67,87 @@ def refine(
     cycle) and break them by inverting the add/remove decision — the
     best-so-far tracking makes this strictly safe.
     """
-    state = RefinementState(shape, spec, initial_shots)
-    trace = RefineTrace()
-    best_shots = state.snapshot()
-    best_key: tuple[int, float] | None = None
-    visits: dict[tuple, int] = {}
-
-    for iteration in range(params.nmax):
-        report = state.report()
-        key = (report.total_failing, report.cost)
-        if best_key is None or key < best_key:
-            best_key = key
-            best_shots = state.snapshot()
-        trace.cost_history.append(report.cost)
-        trace.failing_history.append(report.total_failing)
-        trace.iterations = iteration + 1
-        if report.total_failing == 0:
-            trace.converged = True
-            break
-
-        state_key = _state_hash(state.shots, spec.pitch)
-        times_seen = visits.get(state_key, 0) + 1
-        visits[state_key] = times_seen
-        cycling = times_seen > 1
-
-        if cycling or _stagnated(trace.cost_history, params.nh):
-            # Escalate: change the shot count (paper lines 5–11).  When a
-            # limit cycle is detected, alternate the decision so repeated
-            # visits take different exits.
-            prefer_add = report.count_on > report.count_off
-            if cycling and times_seen > 2:
-                prefer_add = times_seen % 2 == 0
-            if prefer_add:
-                if add_shot(state, report) is not None:
-                    trace.shots_added += 1
-            else:
-                if remove_shot(state, report) is not None:
-                    trace.shots_removed += 1
-            trace.shots_merged += merge_shots(state)
-        else:
-            moved = greedy_shot_edge_adjustment(state, report)
-            trace.edge_moves += moved
-            if moved == 0:
-                bias_all_shots(state, report)
-                trace.bias_steps += 1
-
-    if not trace.converged and params.nmax > 0:
-        # Budget exhausted: report the best solution seen, re-checked.
-        state.restore(best_shots)
-        final = state.report()
-        if best_key is not None and (final.total_failing, final.cost) <= best_key:
-            best_shots = state.snapshot()
-    elif trace.converged:
+    obs = get_recorder()
+    with obs.span("refine", initial_shots=len(initial_shots)) as span:
+        state = RefinementState(shape, spec, initial_shots)
+        trace = RefineTrace()
         best_shots = state.snapshot()
+        best_key: tuple[int, float] | None = None
+        visits: dict[tuple, int] = {}
+
+        for iteration in range(params.nmax):
+            report = state.report()
+            key = (report.total_failing, report.cost)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_shots = state.snapshot()
+            trace.cost_history.append(report.cost)
+            trace.failing_history.append(report.total_failing)
+            trace.iterations = iteration + 1
+            if report.total_failing == 0:
+                trace.converged = True
+                obs.convergence(
+                    iteration=iteration, cost=report.cost, failing=0,
+                    shots=len(state.shots), operator="converged",
+                )
+                break
+
+            state_key = _state_hash(state.shots, spec.pitch)
+            times_seen = visits.get(state_key, 0) + 1
+            visits[state_key] = times_seen
+            cycling = times_seen > 1
+
+            if cycling or _stagnated(trace.cost_history, params.nh):
+                # Escalate: change the shot count (paper lines 5–11).  When a
+                # limit cycle is detected, alternate the decision so repeated
+                # visits take different exits.
+                prefer_add = report.count_on > report.count_off
+                if cycling and times_seen > 2:
+                    prefer_add = times_seen % 2 == 0
+                if prefer_add:
+                    operator = "add"
+                    if add_shot(state, report) is not None:
+                        trace.shots_added += 1
+                        obs.incr("refine.shots_added")
+                else:
+                    operator = "remove"
+                    if remove_shot(state, report) is not None:
+                        trace.shots_removed += 1
+                        obs.incr("refine.shots_removed")
+                merged = merge_shots(state)
+                trace.shots_merged += merged
+                if merged:
+                    obs.incr("refine.shots_merged", merged)
+                    operator += "+merge"
+            else:
+                moved = greedy_shot_edge_adjustment(state, report)
+                trace.edge_moves += moved
+                if moved == 0:
+                    bias_all_shots(state, report)
+                    trace.bias_steps += 1
+                    obs.incr("refine.bias_steps")
+                    operator = "bias"
+                else:
+                    operator = "edge_adjust"
+            obs.convergence(
+                iteration=iteration, cost=report.cost,
+                failing=report.total_failing, shots=len(state.shots),
+                operator=operator,
+            )
+
+        if not trace.converged and params.nmax > 0:
+            # Budget exhausted: report the best solution seen, re-checked.
+            state.restore(best_shots)
+            final = state.report()
+            if best_key is not None and (final.total_failing, final.cost) <= best_key:
+                best_shots = state.snapshot()
+        elif trace.converged:
+            best_shots = state.snapshot()
+        span.annotate(
+            iterations=trace.iterations, converged=trace.converged,
+            final_shots=len(best_shots),
+        )
+        obs.observe("refine.iterations", trace.iterations)
     return best_shots, trace
 
 
@@ -164,24 +193,29 @@ def reduce_shot_count(
     only through MergeShots); it is enabled by default and can be turned
     off via ``RefineConfig(polish=False)`` for paper-faithful ablations.
     """
-    current = list(shots)
-    removed_total = 0
-    attempts = 0
-    improved = True
-    while improved and attempts < max_attempts:
-        improved = False
-        suspects = _redundancy_suspects(current, overlap_threshold)
-        for index in suspects:
-            if attempts >= max_attempts:
-                break
-            attempts += 1
-            trial = current[:index] + current[index + 1 :]
-            repaired, trace = refine(shape, spec, trial, repair_params)
-            if trace.converged and len(repaired) < len(current):
-                removed_total += len(current) - len(repaired)
-                current = repaired
-                improved = True
-                break
+    obs = get_recorder()
+    with obs.span("polish", initial_shots=len(shots)) as span:
+        current = list(shots)
+        removed_total = 0
+        attempts = 0
+        improved = True
+        while improved and attempts < max_attempts:
+            improved = False
+            suspects = _redundancy_suspects(current, overlap_threshold)
+            for index in suspects:
+                if attempts >= max_attempts:
+                    break
+                attempts += 1
+                trial = current[:index] + current[index + 1 :]
+                repaired, trace = refine(shape, spec, trial, repair_params)
+                if trace.converged and len(repaired) < len(current):
+                    removed_total += len(current) - len(repaired)
+                    current = repaired
+                    improved = True
+                    break
+        span.annotate(attempts=attempts, polished_away=removed_total)
+        obs.incr("polish.attempts", attempts)
+        obs.incr("polish.shots_removed", removed_total)
     return current, removed_total
 
 

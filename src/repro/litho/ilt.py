@@ -23,6 +23,9 @@ from scipy.ndimage import gaussian_filter
 from repro.geometry.raster import PixelGrid
 from repro.litho.aerial import AerialImageModel
 from repro.mask.shape import MaskShape
+from repro.obs import get_logger, get_recorder
+
+logger = get_logger(__name__)
 
 
 @dataclass(slots=True)
@@ -67,26 +70,35 @@ class InverseLithoOptimizer:
 
     def optimize(self, target: np.ndarray) -> IltResult:
         """Optimize a mask for a boolean intended wafer pattern."""
+        obs = get_recorder()
         target_f = target.astype(np.float64)
         theta = (target_f - 0.5) * 2.0  # start from the drawn pattern
         model = self.model
         loss_history: list[float] = []
-        for _ in range(self.iterations):
-            mask = self._mask_of(theta)
-            aerial = model.aerial_image(mask)
-            printed = model.resist_response(aerial)
-            error = printed - target_f
-            loss_history.append(float(np.sum(error**2)))
-            # Chain rule: dL/dmask = blur( 2 error · resist' ), blur being
-            # self-adjoint; then dmask/dtheta for the sigmoid.
-            back = gaussian_filter(
-                2.0 * error * model.resist_derivative(aerial), model.optical_blur
+        with obs.span("ilt.optimize", pixels=int(target.size)) as span:
+            for _ in range(self.iterations):
+                mask = self._mask_of(theta)
+                aerial = model.aerial_image(mask)
+                printed = model.resist_response(aerial)
+                error = printed - target_f
+                loss_history.append(float(np.sum(error**2)))
+                # Chain rule: dL/dmask = blur( 2 error · resist' ), blur being
+                # self-adjoint; then dmask/dtheta for the sigmoid.
+                back = gaussian_filter(
+                    2.0 * error * model.resist_derivative(aerial), model.optical_blur
+                )
+                grad_theta = back * self.mask_steepness * mask * (1.0 - mask)
+                norm = float(np.max(np.abs(grad_theta)))
+                if norm < 1e-12:
+                    break
+                theta = theta - self.step * grad_theta / norm
+            span.annotate(iterations=len(loss_history))
+            obs.incr("ilt.iterations", len(loss_history))
+        if loss_history:
+            logger.debug(
+                "ILT descent: %d iterations, loss %.4g -> %.4g",
+                len(loss_history), loss_history[0], loss_history[-1],
             )
-            grad_theta = back * self.mask_steepness * mask * (1.0 - mask)
-            norm = float(np.max(np.abs(grad_theta)))
-            if norm < 1e-12:
-                break
-            theta = theta - self.step * grad_theta / norm
         continuous = self._mask_of(theta)
         # Contour smoothing: ~2 px low-pass before thresholding strips the
         # pixel-scale ripple and sub-L_min serif hooks gradient descent leaves

@@ -18,6 +18,9 @@ from repro.mask.constraints import FractureSpec
 from repro.mask.cost import MaskCostModel
 from repro.mask.io import save_solution
 from repro.mask.shape import MaskShape
+from repro.obs import TelemetryRecorder, get_logger, get_recorder, recording
+
+logger = get_logger(__name__)
 
 
 @dataclass(slots=True)
@@ -81,22 +84,27 @@ class MdpPipeline:
         ``workers > 1`` fractures shapes in parallel processes — the
         per-shape independence of mask fracturing (paper §2) makes the
         batch embarrassingly parallel.  Results keep input order either
-        way.
+        way.  When a telemetry recorder is installed, each worker
+        collects its own buffer and the parent merges them on join, so
+        parallel runs lose no observability.
         """
+        obs = get_recorder()
         report = MdpReport()
         out = Path(output_dir) if output_dir is not None else None
         if out is not None:
             out.mkdir(parents=True, exist_ok=True)
-        if workers > 1 and len(shapes) > 1:
-            results = self._run_parallel(shapes, workers)
-        else:
-            results = [
-                self.fracturer.fracture(shape, self.spec) for shape in shapes
-            ]
+        with obs.span("mdp.batch", shapes=len(shapes), workers=workers):
+            if workers > 1 and len(shapes) > 1:
+                results = self._run_parallel(shapes, workers)
+            else:
+                results = []
+                for shape in shapes:
+                    with obs.span("mdp.shape", shape=shape.name):
+                        results.append(self.fracturer.fracture(shape, self.spec))
         for shape, result in zip(shapes, results):
             report.results.append(result)
             if verbose:
-                print(result.summary())
+                logger.info("%s", result.summary())
             if out is not None:
                 save_solution(
                     result.shots,
@@ -116,9 +124,18 @@ class MdpPipeline:
     ) -> list[FractureResult]:
         from concurrent.futures import ProcessPoolExecutor
 
-        jobs = [(self.fracturer, shape, self.spec) for shape in shapes]
+        obs = get_recorder()
+        jobs = [
+            (self.fracturer, shape, self.spec, obs.enabled) for shape in shapes
+        ]
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_fracture_job, jobs))
+            outcomes = list(pool.map(_fracture_job, jobs))
+        results = []
+        for shape, (result, telemetry) in zip(shapes, outcomes):
+            if telemetry is not None:
+                obs.merge_child(telemetry, label=shape.name or "shape")
+            results.append(result)
+        return results
 
     def projected_saving(
         self, baseline: MdpReport, improved: MdpReport
@@ -142,7 +159,18 @@ class MdpPipeline:
         }
 
 
-def _fracture_job(job: tuple) -> FractureResult:
-    """Module-level worker so ProcessPoolExecutor can pickle the call."""
-    fracturer, shape, spec = job
-    return fracturer.fracture(shape, spec)
+def _fracture_job(job: tuple) -> tuple[FractureResult, dict | None]:
+    """Module-level worker so ProcessPoolExecutor can pickle the call.
+
+    When the parent had telemetry enabled, the worker records into a
+    fresh per-process buffer and ships it back alongside the result for
+    the parent to merge — recorders themselves never cross the process
+    boundary.
+    """
+    fracturer, shape, spec, telemetry_enabled = job
+    if not telemetry_enabled:
+        return fracturer.fracture(shape, spec), None
+    worker_recorder = TelemetryRecorder()
+    with recording(worker_recorder):
+        result = fracturer.fracture(shape, spec)
+    return result, worker_recorder.export()

@@ -1,0 +1,59 @@
+"""``repro.obs`` — tracing, metrics and run-manifest observability.
+
+The measurement substrate for the fracturing pipeline:
+
+* hierarchical **spans** (wall + CPU time, nestable, thread- and
+  process-safe) — :class:`TelemetryRecorder`, :func:`get_recorder`;
+* **counters / gauges / histograms** (``refine.moves_accepted``,
+  ``intensity.lut_hits``, ``coloring.colors_used``, …);
+* a per-iteration **convergence recorder** for Algorithm 1;
+* a **run manifest** (γ/σ/Δp/ρ/L_min, seed, git SHA, host) with
+  JSON / JSONL / CSV exporters and a ``trace summarize`` renderer.
+
+The default recorder is a no-op (:class:`NullRecorder`), so the
+instrumentation scattered through the library costs ~nothing until a
+:class:`TelemetryRecorder` is installed — e.g. by the CLI's
+``--telemetry`` flag::
+
+    python -m repro fracture --clip ILT-1 --telemetry out.json
+    python -m repro trace summarize out.json
+
+Dependency-free by design (standard library only) so every other
+package may import it without layering concerns.
+"""
+
+from repro.obs.export import load_telemetry, payload_to_records, write_telemetry
+from repro.obs.logs import enable_console_logging, get_logger
+from repro.obs.manifest import git_sha, run_manifest
+from repro.obs.recorder import (
+    NullRecorder,
+    SpanNode,
+    TelemetryRecorder,
+    get_recorder,
+    recording,
+    set_recorder,
+)
+from repro.obs.summarize import (
+    format_clip_breakdown,
+    format_summary,
+    phase_breakdown,
+)
+
+__all__ = [
+    "NullRecorder",
+    "SpanNode",
+    "TelemetryRecorder",
+    "enable_console_logging",
+    "format_clip_breakdown",
+    "format_summary",
+    "get_logger",
+    "get_recorder",
+    "git_sha",
+    "load_telemetry",
+    "payload_to_records",
+    "phase_breakdown",
+    "recording",
+    "run_manifest",
+    "set_recorder",
+    "write_telemetry",
+]

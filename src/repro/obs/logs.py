@@ -1,0 +1,39 @@
+"""Logging policy: library code is silent unless a consumer opts in.
+
+Every module that used to ``print()`` progress now goes through
+:func:`get_logger`, which hangs a ``NullHandler`` off the ``repro`` root
+logger — the standard-library convention for quiet libraries.  The CLI
+(and anyone embedding the package) opts into console output with
+:func:`enable_console_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["enable_console_logging", "get_logger"]
+
+_ROOT = "repro"
+
+logging.getLogger(_ROOT).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (silent by default)."""
+    if not name.startswith(_ROOT):
+        name = f"{_ROOT}.{name}"
+    return logging.getLogger(name)
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Logger:
+    """Route ``repro`` logs to stderr (idempotent; used by the CLI)."""
+    root = logging.getLogger(_ROOT)
+    root.setLevel(level)
+    marker = "_repro_console_handler"
+    if not any(getattr(h, marker, False) for h in root.handlers):
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+        setattr(handler, marker, True)
+        root.addHandler(handler)
+    return root

@@ -1,0 +1,75 @@
+"""Run manifest: everything needed to reproduce / attribute one run.
+
+Captures the model parameters (γ, σ, Δp, ρ, L_min and the derived L_th),
+the seed when the workload is randomized, the invoking command line, the
+git commit of the source tree (best-effort — absent when running from an
+installed wheel), and host facts that contextualize the runtime numbers
+the paper's tables report.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+from typing import Any
+
+__all__ = ["git_sha", "run_manifest"]
+
+
+def git_sha() -> str | None:
+    """Commit SHA of the source checkout, or ``None`` outside a repo."""
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=5.0,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = result.stdout.strip()
+    return sha if result.returncode == 0 and sha else None
+
+
+def run_manifest(
+    spec: Any = None,
+    seed: int | None = None,
+    argv: list[str] | None = None,
+    extra: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Build the manifest dict stored at the top of a telemetry payload.
+
+    ``spec`` is a :class:`repro.mask.constraints.FractureSpec` (accepted
+    duck-typed to keep this package dependency-free).
+    """
+    manifest: dict[str, Any] = {
+        "created_unix": time.time(),
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "git_sha": git_sha(),
+        "host": {
+            "hostname": platform.node(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+    }
+    if spec is not None:
+        manifest["params"] = {
+            "sigma": getattr(spec, "sigma", None),
+            "gamma": getattr(spec, "gamma", None),
+            "pitch": getattr(spec, "pitch", None),
+            "rho": getattr(spec, "rho", None),
+            "lmin": getattr(spec, "lmin", None),
+            "lth": getattr(spec, "lth", None),
+        }
+    if seed is not None:
+        manifest["seed"] = seed
+    manifest["argv"] = list(argv) if argv is not None else list(sys.argv[1:])
+    if extra:
+        manifest.update(extra)
+    return manifest

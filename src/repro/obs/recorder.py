@@ -1,0 +1,323 @@
+"""Recorders: the core of the observability subsystem.
+
+Two implementations share one duck-typed interface:
+
+* :class:`NullRecorder` — the process-wide default.  Every method is a
+  no-op and :meth:`NullRecorder.span` returns a shared do-nothing
+  context manager, so instrumented library code costs essentially
+  nothing when telemetry is off (asserted by ``tests/obs``).
+* :class:`TelemetryRecorder` — collects a hierarchical span tree
+  (wall *and* CPU time), counters / gauges / histograms, free-form
+  events and per-iteration convergence records, and exports everything
+  as one JSON-serializable payload.
+
+Thread safety: each thread keeps its own span stack (``threading.local``)
+so concurrently open spans never corrupt each other; shared aggregates
+are guarded by a single lock.  Process safety: worker processes install
+their *own* recorder, export it, and the parent grafts the payload into
+its tree via :meth:`TelemetryRecorder.merge_child` — the pattern used by
+the parallel MDP pipeline.
+
+The active recorder is resolved through :func:`get_recorder` at call
+time, so installing a recorder mid-process (the CLI ``--telemetry``
+flag) retroactively covers every instrumented module.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Any, Iterator
+
+__all__ = [
+    "NullRecorder",
+    "SpanNode",
+    "TelemetryRecorder",
+    "get_recorder",
+    "recording",
+    "set_recorder",
+]
+
+
+class _NullSpan:
+    """Shared do-nothing context manager returned by the null recorder."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def annotate(self, **attrs: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullRecorder:
+    """Default recorder: every operation is a no-op (see module docstring)."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def incr(self, name: str, value: int | float = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+    def event(self, name: str, **fields: Any) -> None:
+        pass
+
+    def convergence(self, **fields: Any) -> None:
+        pass
+
+    def merge_child(self, payload: dict, label: str = "") -> None:
+        pass
+
+
+class SpanNode:
+    """One node of the span tree: timings, attributes, children."""
+
+    __slots__ = ("name", "attrs", "wall_s", "cpu_s", "children")
+
+    def __init__(self, name: str, attrs: dict[str, Any] | None = None):
+        self.name = name
+        self.attrs: dict[str, Any] = dict(attrs) if attrs else {}
+        self.wall_s = 0.0
+        self.cpu_s = 0.0
+        self.children: list[SpanNode] = []
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "name": self.name,
+            "wall_s": self.wall_s,
+            "cpu_s": self.cpu_s,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "SpanNode":
+        node = cls(payload.get("name", "?"), payload.get("attrs"))
+        node.wall_s = float(payload.get("wall_s", 0.0))
+        node.cpu_s = float(payload.get("cpu_s", 0.0))
+        node.children = [
+            cls.from_dict(child) for child in payload.get("children", ())
+        ]
+        return node
+
+    def walk(self) -> Iterator["SpanNode"]:
+        """Depth-first iteration over this node and all descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+class _SpanContext:
+    """Context manager that opens/closes one :class:`SpanNode`."""
+
+    __slots__ = ("_rec", "node", "_t0", "_c0")
+
+    def __init__(self, rec: "TelemetryRecorder", name: str, attrs: dict):
+        self._rec = rec
+        self.node = SpanNode(name, attrs)
+
+    def __enter__(self) -> "_SpanContext":
+        stack = self._rec._stack()
+        parent = stack[-1].node if stack else self._rec.root
+        with self._rec._lock:
+            parent.children.append(self.node)
+        stack.append(self)
+        self._t0 = time.perf_counter()
+        self._c0 = time.process_time()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.node.wall_s += time.perf_counter() - self._t0
+        self.node.cpu_s += time.process_time() - self._c0
+        stack = self._rec._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        return False
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach attributes discovered after the span was opened."""
+        self.node.attrs.update(attrs)
+
+
+class TelemetryRecorder:
+    """Collecting recorder (see module docstring for the data model)."""
+
+    enabled = True
+
+    def __init__(self, manifest: dict[str, Any] | None = None):
+        self.manifest: dict[str, Any] = dict(manifest) if manifest else {}
+        self.root = SpanNode("run")
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, dict[str, float]] = {}
+        self.events: list[dict[str, Any]] = []
+        self.convergence_records: list[dict[str, Any]] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- span context --------------------------------------------------------
+
+    def _stack(self) -> list[_SpanContext]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str, **attrs: Any) -> _SpanContext:
+        """Open a nested span; use as ``with rec.span("refine"): ...``."""
+        thread = threading.current_thread()
+        if thread is not threading.main_thread():
+            attrs.setdefault("thread", thread.name)
+        return _SpanContext(self, name, attrs)
+
+    def current_path(self) -> str:
+        """Slash-joined names of the spans open on the calling thread."""
+        return "/".join(ctx.node.name for ctx in self._stack())
+
+    # -- metrics -------------------------------------------------------------
+
+    def incr(self, name: str, value: int | float = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Add one sample to the named histogram (count/sum/min/max)."""
+        with self._lock:
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = {
+                    "count": 0, "sum": 0.0,
+                    "min": math.inf, "max": -math.inf,
+                }
+                self.histograms[name] = hist
+            hist["count"] += 1
+            hist["sum"] += value
+            hist["min"] = min(hist["min"], value)
+            hist["max"] = max(hist["max"], value)
+
+    # -- structured records --------------------------------------------------
+
+    def event(self, name: str, **fields: Any) -> None:
+        record = {"name": name, "span": self.current_path(), **fields}
+        with self._lock:
+            self.events.append(record)
+
+    def convergence(self, **fields: Any) -> None:
+        """Append one per-iteration record of the refinement loop."""
+        record = {"span": self.current_path(), **fields}
+        with self._lock:
+            record["seq"] = len(self.convergence_records)
+            self.convergence_records.append(record)
+
+    # -- export / merge ------------------------------------------------------
+
+    def export(self) -> dict[str, Any]:
+        """One JSON-serializable payload of everything collected."""
+        with self._lock:
+            return {
+                "schema": "repro.obs/v1",
+                "manifest": dict(self.manifest),
+                "spans": self.root.to_dict(),
+                "counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+                "histograms": {
+                    name: dict(hist) for name, hist in self.histograms.items()
+                },
+                "events": list(self.events),
+                "convergence": list(self.convergence_records),
+            }
+
+    def merge_child(self, payload: dict, label: str = "") -> None:
+        """Graft an exported child-process payload into this recorder.
+
+        The child's span tree hangs under a ``worker:<label>`` node in
+        the *current* span context; counters sum, histograms merge,
+        gauges adopt the child's value, and events / convergence records
+        are appended tagged with the worker label.
+        """
+        child_root = SpanNode.from_dict(payload.get("spans", {"name": "run"}))
+        wrapper = SpanNode(f"worker:{label}" if label else "worker")
+        wrapper.children = child_root.children
+        wrapper.wall_s = sum(c.wall_s for c in wrapper.children)
+        wrapper.cpu_s = sum(c.cpu_s for c in wrapper.children)
+        stack = self._stack()
+        parent = stack[-1].node if stack else self.root
+        with self._lock:
+            parent.children.append(wrapper)
+            for name, value in payload.get("counters", {}).items():
+                self.counters[name] = self.counters.get(name, 0) + value
+            for name, value in payload.get("gauges", {}).items():
+                self.gauges[name] = value
+            for name, hist in payload.get("histograms", {}).items():
+                mine = self.histograms.get(name)
+                if mine is None:
+                    self.histograms[name] = dict(hist)
+                else:
+                    mine["count"] += hist["count"]
+                    mine["sum"] += hist["sum"]
+                    mine["min"] = min(mine["min"], hist["min"])
+                    mine["max"] = max(mine["max"], hist["max"])
+            for event in payload.get("events", ()):
+                self.events.append({**event, "worker": label})
+            for record in payload.get("convergence", ()):
+                merged = {**record, "worker": label}
+                merged["seq"] = len(self.convergence_records)
+                self.convergence_records.append(merged)
+
+
+_RECORDER: NullRecorder | TelemetryRecorder = NullRecorder()
+
+
+def get_recorder() -> NullRecorder | TelemetryRecorder:
+    """The process-wide active recorder (null unless one was installed)."""
+    return _RECORDER
+
+
+def set_recorder(
+    recorder: NullRecorder | TelemetryRecorder | None,
+) -> NullRecorder | TelemetryRecorder:
+    """Install ``recorder`` (``None`` restores the null default)."""
+    global _RECORDER
+    _RECORDER = recorder if recorder is not None else NullRecorder()
+    return _RECORDER
+
+
+class recording:
+    """Temporarily install a recorder: ``with recording(rec): ...``."""
+
+    def __init__(self, recorder: NullRecorder | TelemetryRecorder | None):
+        self._recorder = recorder
+
+    def __enter__(self) -> NullRecorder | TelemetryRecorder:
+        self._previous = get_recorder()
+        return set_recorder(self._recorder)
+
+    def __exit__(self, *exc: object) -> bool:
+        set_recorder(self._previous)
+        return False

@@ -4,6 +4,7 @@ import json
 
 from repro.baselines import PartitionFracturer
 from repro.mask.mdp import MdpPipeline, MdpReport
+from repro.obs import TelemetryRecorder, recording
 
 
 class TestMdpPipeline:
@@ -69,3 +70,63 @@ class TestParallelMdp:
         pipeline.run([rect_shape, l_shape], output_dir=tmp_path, workers=2)
         assert (tmp_path / "rect.solution.json").exists()
         assert (tmp_path / "L.solution.json").exists()
+
+
+class TestParallelTelemetry:
+    def _run(self, shapes, spec, workers):
+        recorder = TelemetryRecorder()
+        with recording(recorder):
+            report = MdpPipeline(PartitionFracturer(), spec).run(
+                shapes, workers=workers
+            )
+        return report, recorder.export()
+
+    def test_workers2_identical_solutions_and_merged_telemetry(
+        self, rect_shape, l_shape, spec
+    ):
+        shapes = [rect_shape, l_shape]
+        serial_report, serial = self._run(shapes, spec, workers=1)
+        parallel_report, parallel = self._run(shapes, spec, workers=2)
+
+        # Identical solutions, shot for shot.
+        assert [
+            [s.as_tuple() for s in r.shots] for r in serial_report.results
+        ] == [[s.as_tuple() for s in r.shots] for r in parallel_report.results]
+
+        # Workload counters merge to the same totals across processes.
+        assert parallel["counters"]["fracture.shapes"] == 2
+        assert (
+            parallel["counters"]["fracture.shapes"]
+            == serial["counters"]["fracture.shapes"]
+        )
+        assert (
+            parallel["counters"].get("intensity.patch_evals")
+            == serial["counters"].get("intensity.patch_evals")
+        )
+        hist_p = parallel["histograms"]["fracture.shots"]
+        hist_s = serial["histograms"]["fracture.shots"]
+        assert hist_p["count"] == hist_s["count"] == 2
+        assert hist_p["sum"] == hist_s["sum"]
+
+    def test_worker_span_trees_grafted_per_shape(
+        self, rect_shape, l_shape, spec
+    ):
+        _, payload = self._run([rect_shape, l_shape], spec, workers=2)
+        batch = payload["spans"]["children"][0]
+        assert batch["name"] == "mdp.batch"
+        worker_nodes = [
+            c for c in batch.get("children", ())
+            if c["name"].startswith("worker:")
+        ]
+        assert {c["name"] for c in worker_nodes} == {
+            "worker:rect", "worker:L",
+        }
+        for node in worker_nodes:
+            assert node["children"][0]["name"] == "fracture"
+            assert node["wall_s"] > 0.0
+
+    def test_parallel_off_means_no_worker_nodes(self, rect_shape, l_shape, spec):
+        _, payload = self._run([rect_shape, l_shape], spec, workers=1)
+        batch = payload["spans"]["children"][0]
+        names = [c["name"] for c in batch.get("children", ())]
+        assert names == ["mdp.shape", "mdp.shape"]

@@ -1,0 +1,114 @@
+"""Tests for the run manifest and the JSON/JSONL/CSV exporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.mask.constraints import FractureSpec
+from repro.obs import (
+    TelemetryRecorder,
+    load_telemetry,
+    payload_to_records,
+    run_manifest,
+    write_telemetry,
+)
+
+
+class TestManifest:
+    def test_captures_spec_params(self):
+        spec = FractureSpec(sigma=5.0, gamma=1.5)
+        manifest = run_manifest(spec=spec, seed=42, argv=["bench", "--table", "2"])
+        params = manifest["params"]
+        assert params["sigma"] == 5.0
+        assert params["gamma"] == 1.5
+        assert params["rho"] == 0.5
+        assert params["lmin"] == 10.0
+        assert params["lth"] == pytest.approx(spec.lth)
+        assert manifest["seed"] == 42
+        assert manifest["argv"] == ["bench", "--table", "2"]
+
+    def test_host_and_provenance_fields(self):
+        manifest = run_manifest()
+        assert set(manifest["host"]) == {
+            "hostname", "platform", "python", "cpu_count",
+        }
+        assert "created_unix" in manifest
+        # In this checkout the git SHA must resolve; from a wheel it may
+        # legitimately be None, so only the type is asserted.
+        assert manifest["git_sha"] is None or len(manifest["git_sha"]) == 40
+
+    def test_is_json_serializable(self):
+        json.dumps(run_manifest(spec=FractureSpec(), extra={"note": "x"}))
+
+
+def _sample_payload() -> dict:
+    rec = TelemetryRecorder(manifest=run_manifest(spec=FractureSpec()))
+    with rec.span("fracture", method="OURS"):
+        with rec.span("refine"):
+            rec.convergence(iteration=0, cost=2.0, failing=5, shots=3,
+                            operator="edge_adjust")
+            rec.convergence(iteration=1, cost=0.0, failing=0, shots=3,
+                            operator="converged")
+        rec.incr("refine.moves_accepted", 7)
+        rec.gauge("coloring.colors_used", 3)
+        rec.observe("refine.iterations", 2.0)
+        rec.event("pipeline.run_outcome", run=0, feasible=True)
+    return rec.export()
+
+
+class TestExporters:
+    def test_json_round_trip(self, tmp_path):
+        payload = _sample_payload()
+        path = write_telemetry(payload, tmp_path / "t.json")
+        assert load_telemetry(path) == json.loads(json.dumps(payload))
+
+    def test_jsonl_round_trip_preserves_everything(self, tmp_path):
+        payload = _sample_payload()
+        path = write_telemetry(payload, tmp_path / "t.jsonl")
+        back = load_telemetry(path)
+        assert back["manifest"]["params"] == payload["manifest"]["params"]
+        assert back["counters"] == payload["counters"]
+        assert back["gauges"] == payload["gauges"]
+        assert back["histograms"] == payload["histograms"]
+        assert back["convergence"] == payload["convergence"]
+        assert back["events"] == payload["events"]
+        # Span tree shape survives the flatten/rebuild cycle.
+        assert back["spans"]["children"][0]["name"] == "fracture"
+        assert (
+            back["spans"]["children"][0]["children"][0]["name"] == "refine"
+        )
+
+    def test_jsonl_lines_are_typed_records(self, tmp_path):
+        path = write_telemetry(_sample_payload(), tmp_path / "t.jsonl")
+        types = {
+            json.loads(line)["type"] for line in path.read_text().splitlines()
+        }
+        assert {"manifest", "span", "counter", "gauge", "histogram",
+                "event", "convergence"} <= types
+
+    def test_csv_is_the_convergence_table(self, tmp_path):
+        path = write_telemetry(_sample_payload(), tmp_path / "t.csv")
+        lines = path.read_text().strip().splitlines()
+        assert lines[0].startswith("seq,span,worker,iteration,cost")
+        assert len(lines) == 3  # header + 2 records
+
+    def test_csv_cannot_be_summarized(self, tmp_path):
+        path = write_telemetry(_sample_payload(), tmp_path / "t.csv")
+        with pytest.raises(ValueError):
+            load_telemetry(path)
+
+    def test_records_include_span_links(self):
+        records = list(payload_to_records(_sample_payload()))
+        spans = [r for r in records if r["type"] == "span"]
+        roots = [r for r in spans if r["parent"] is None]
+        assert len(roots) == 1
+        ids = {r["id"] for r in spans}
+        assert all(r["parent"] in ids for r in spans if r["parent"] is not None)
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = write_telemetry(
+            _sample_payload(), tmp_path / "deep" / "dir" / "t.json"
+        )
+        assert path.exists()

@@ -140,6 +140,103 @@ class TestGdsExport:
         assert len(cell.shots) >= 1
 
 
+class TestTelemetry:
+    def _fracture_with_telemetry(self, tmp_path, telemetry_name):
+        from repro.geometry.polygon import Polygon
+        from repro.mask.io import save_clips
+
+        save_clips(
+            {"sq": Polygon([(0, 0), (40, 0), (40, 30), (0, 30)])},
+            tmp_path / "clips.json",
+        )
+        telemetry = tmp_path / telemetry_name
+        code = main(
+            ["fracture", "--method", "partition",
+             "--clip-file", str(tmp_path / "clips.json"),
+             "--telemetry", str(telemetry)]
+        )
+        assert code == 0
+        return telemetry
+
+    def test_fracture_writes_manifest_spans_convergence(self, tmp_path, capsys):
+        telemetry = self._fracture_with_telemetry(tmp_path, "out.json")
+        assert "wrote telemetry" in capsys.readouterr().out
+        payload = json.loads(telemetry.read_text())
+        assert payload["schema"] == "repro.obs/v1"
+        params = payload["manifest"]["params"]
+        assert params["sigma"] == 6.25 and params["lmin"] == 10.0
+        names = {node["name"] for node in _walk_spans(payload["spans"])}
+        assert "fracture" in names and "verify" in names
+        assert payload["counters"]["fracture.shapes"] == 1
+
+    def test_fracture_with_refinement_records_convergence(self, tmp_path, capsys):
+        from repro.geometry.polygon import Polygon
+        from repro.mask.io import save_clips
+
+        save_clips(
+            {"sq": Polygon([(0, 0), (40, 0), (40, 30), (0, 30)])},
+            tmp_path / "clips.json",
+        )
+        telemetry = tmp_path / "ours.json"
+        code = main(
+            ["fracture", "--clip-file", str(tmp_path / "clips.json"),
+             "--telemetry", str(telemetry)]
+        )
+        assert code == 0
+        payload = json.loads(telemetry.read_text())
+        records = payload["convergence"]
+        assert records
+        assert {"iteration", "cost", "failing", "shots", "operator"} <= set(
+            records[0]
+        )
+
+    def test_trace_summarize_prints_phase_breakdown(self, tmp_path, capsys):
+        telemetry = self._fracture_with_telemetry(tmp_path, "out.json")
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(telemetry)]) == 0
+        out = capsys.readouterr().out
+        assert "per-phase breakdown" in out
+        assert "fracture" in out
+        assert "counters:" in out
+
+    def test_trace_summarize_jsonl(self, tmp_path, capsys):
+        telemetry = self._fracture_with_telemetry(tmp_path, "out.jsonl")
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(telemetry)]) == 0
+        assert "per-phase breakdown" in capsys.readouterr().out
+
+    def test_trace_summarize_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", "summarize", str(tmp_path / "absent.json")])
+
+    def test_mdp_telemetry_with_workers(self, tmp_path, capsys):
+        from repro.geometry.polygon import Polygon
+        from repro.mask.io import save_clips
+
+        clips = {
+            "a": Polygon([(0, 0), (50, 0), (50, 30), (0, 30)]),
+            "b": Polygon([(0, 0), (30, 0), (30, 60), (0, 60)]),
+        }
+        save_clips(clips, tmp_path / "clips.json")
+        telemetry = tmp_path / "mdp.json"
+        code = main(
+            ["mdp", str(tmp_path / "clips.json"), "--method", "partition",
+             "--workers", "2", "--telemetry", str(telemetry)]
+        )
+        assert code in (0, 1)
+        payload = json.loads(telemetry.read_text())
+        assert payload["counters"]["fracture.shapes"] == 2
+        names = {node["name"] for node in _walk_spans(payload["spans"])}
+        assert "mdp.batch" in names
+        assert any(name.startswith("worker:") for name in names)
+
+
+def _walk_spans(node):
+    yield node
+    for child in node.get("children", ()):
+        yield from _walk_spans(child)
+
+
 class TestMdpCommand:
     def _clip_file(self, tmp_path):
         from repro.geometry.polygon import Polygon
