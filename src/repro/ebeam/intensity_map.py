@@ -7,6 +7,15 @@ removing or moving a shot only touches the pixels within the shot's
 blur reach.  The reach is 4σ (erf tail < 2e-8) rather than the kernel's
 3σ truncation so incremental and from-scratch evaluation agree to float
 precision; tests assert the drift bound.
+
+Because the kernel is separable, every patch this module produces is an
+outer product of two 1-D axis profiles ``0.5·(erf((t−lo)/σ) −
+erf((t−hi)/σ))``.  Shots snap to the pixel pitch, so the same (axis, lo,
+hi, window) profile recurs heavily across candidate pricing and committed
+updates; :class:`IntensityMap` therefore memoizes profiles in a keyed
+cache (hit/miss counters exported through ``repro.obs``).  The cache
+needs no invalidation: a profile depends only on the grid, σ and the LUT
+— all immutable — never on the current shot list.
 """
 
 from __future__ import annotations
@@ -21,11 +30,50 @@ from repro.geometry.raster import PixelGrid
 from repro.geometry.rect import Rect
 from repro.obs import get_recorder
 
+# A profile-cache key: (axis, lo, hi, window start, window stop).
+ProfileKey = tuple[str, float, float, int, int]
+
+_PROFILE_CACHE_DEFAULT = True
+_PROFILE_CACHE_LIMIT = 20_000
+
+
+class profile_caching:
+    """Temporarily set the default for new maps: ``with profile_caching(False): ...``.
+
+    Used by the pricing benchmarks to time the uncached per-candidate
+    baseline without threading a flag through every constructor.
+    """
+
+    def __init__(self, enabled: bool):
+        self._enabled = bool(enabled)
+
+    def __enter__(self) -> "profile_caching":
+        global _PROFILE_CACHE_DEFAULT
+        self._previous = _PROFILE_CACHE_DEFAULT
+        _PROFILE_CACHE_DEFAULT = self._enabled
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        global _PROFILE_CACHE_DEFAULT
+        _PROFILE_CACHE_DEFAULT = self._previous
+        return False
+
 
 class IntensityMap:
     """Sum of shot intensities sampled at the pixel centres of ``grid``."""
 
-    __slots__ = ("grid", "sigma", "reach", "_lut", "_total")
+    __slots__ = (
+        "grid",
+        "sigma",
+        "reach",
+        "_lut",
+        "_total",
+        "_x_centers",
+        "_y_centers",
+        "_profile_cache",
+        "_profile_cache_limit",
+        "_cache_profiles",
+    )
 
     def __init__(
         self,
@@ -33,6 +81,8 @@ class IntensityMap:
         sigma: float,
         lut: ErfLookupTable | None = None,
         reach_sigmas: float = 4.0,
+        profile_cache: bool | None = None,
+        profile_cache_limit: int = _PROFILE_CACHE_LIMIT,
     ):
         if sigma <= 0.0:
             raise ValueError("sigma must be positive")
@@ -41,6 +91,13 @@ class IntensityMap:
         self.reach = reach_sigmas * sigma
         self._lut = lut if lut is not None else default_lut()
         self._total = np.zeros(grid.shape, dtype=np.float64)
+        self._x_centers = grid.x_centers()
+        self._y_centers = grid.y_centers()
+        self._profile_cache: dict[ProfileKey, np.ndarray] = {}
+        self._profile_cache_limit = profile_cache_limit
+        self._cache_profiles = (
+            _PROFILE_CACHE_DEFAULT if profile_cache is None else profile_cache
+        )
 
     # -- queries -------------------------------------------------------------
 
@@ -48,6 +105,14 @@ class IntensityMap:
     def total(self) -> np.ndarray:
         """The full I_tot array (read-only view by convention)."""
         return self._total
+
+    @property
+    def profile_cache_enabled(self) -> bool:
+        return self._cache_profiles
+
+    @property
+    def profile_cache_size(self) -> int:
+        return len(self._profile_cache)
 
     def window_of(self, rect: Rect) -> tuple[slice, slice]:
         """Index window of all pixels the shot ``rect`` can influence."""
@@ -64,24 +129,140 @@ class IntensityMap:
         if window is None:
             window = self.window_of(shot)
         get_recorder().incr("intensity.patch_evals")
-        return window, shot_intensity(shot, self.grid, self.sigma, window, self._lut)
+        if not self._cache_profiles:
+            return window, shot_intensity(
+                shot, self.grid, self.sigma, window, self._lut
+            )
+        fy = self.axis_profile("y", shot.ybl, shot.ytr, window[0])
+        fx = self.axis_profile("x", shot.xbl, shot.xtr, window[1])
+        return window, fy[:, None] * fx[None, :]
+
+    # -- 1-D profile cache ---------------------------------------------------
+
+    def axis_profile(
+        self, axis: str, lo: float, hi: float, index_slice: slice
+    ) -> np.ndarray:
+        """Cached ``0.5·(erf((t−lo)/σ) − erf((t−hi)/σ))`` on a coord window.
+
+        ``axis`` is ``"x"`` or ``"y"``; ``index_slice`` selects the pixel
+        centres.  Returned arrays are read-only and shared between all
+        callers with the same key.
+        """
+        key: ProfileKey = (axis, lo, hi, index_slice.start, index_slice.stop)
+        profile = self._profile_cache.get(key)
+        obs = get_recorder()
+        if profile is not None:
+            obs.incr("intensity.profile_cache_hits")
+            return profile
+        obs.incr("intensity.profile_cache_misses")
+        args = self._profile_args(key)
+        obs.incr("intensity.lut_hits", len(args))
+        profile = self._finish_profile(self._lut(args))
+        self._store_profile(key, profile)
+        return profile
+
+    def ensure_profiles(self, keys: Iterable[ProfileKey]) -> None:
+        """Batch-fill the cache: one LUT evaluation for every missing key.
+
+        This is the iteration-level entry point of the batched pricing
+        engine — all erf arguments of an entire candidate sweep are
+        concatenated and interpolated in a single call, making profile
+        evaluation throughput-bound instead of dispatch-bound.
+        """
+        cache = self._profile_cache
+        missing: list[ProfileKey] = []
+        pending: set[ProfileKey] = set()
+        hits = 0
+        for key in keys:
+            if key in cache or key in pending:
+                hits += 1
+            else:
+                pending.add(key)
+                missing.append(key)
+        obs = get_recorder()
+        if hits:
+            obs.incr("intensity.profile_cache_hits", hits)
+        if not missing:
+            return
+        obs.incr("intensity.profile_cache_misses", len(missing))
+        segments = [self._profile_args(key) for key in missing]
+        obs.incr("intensity.lut_hits", sum(len(s) for s in segments))
+        for key, values in zip(missing, self._lut.eval_concat(segments)):
+            self._store_profile(key, self._finish_profile(values))
+
+    def profile(self, key: ProfileKey) -> np.ndarray:
+        """Fetch a cached profile, computing it on the fly if absent."""
+        cached = self._profile_cache.get(key)
+        if cached is not None:
+            return cached
+        return self.axis_profile(key[0], key[1], key[2], slice(key[3], key[4]))
+
+    def clear_profile_cache(self) -> None:
+        self._profile_cache.clear()
+
+    def _profile_args(self, key: ProfileKey) -> np.ndarray:
+        """The ``2n`` erf arguments of one profile: (t−lo)/σ then (t−hi)/σ."""
+        axis, lo, hi, start, stop = key
+        coords = (self._x_centers if axis == "x" else self._y_centers)[start:stop]
+        n = len(coords)
+        args = np.empty(2 * n)
+        args[:n] = coords - lo
+        args[n:] = coords - hi
+        args /= self.sigma
+        return args
+
+    @staticmethod
+    def _finish_profile(e: np.ndarray) -> np.ndarray:
+        n = len(e) // 2
+        profile = 0.5 * (e[:n] - e[n:])
+        profile.flags.writeable = False
+        return profile
+
+    def _store_profile(self, key: ProfileKey, profile: np.ndarray) -> None:
+        if not self._cache_profiles:
+            return
+        cache = self._profile_cache
+        if len(cache) >= self._profile_cache_limit:
+            cache.clear()
+            get_recorder().incr("intensity.profile_cache_evictions")
+        cache[key] = profile
 
     # -- mutation --------------------------------------------------------------
 
-    def add(self, shot: Rect) -> None:
-        window, patch = self.shot_patch(shot)
+    def add(self, shot: Rect, window: tuple[slice, slice] | None = None) -> None:
+        window, patch = self.shot_patch(shot, window)
         self._total[window] += patch
 
-    def remove(self, shot: Rect) -> None:
-        window, patch = self.shot_patch(shot)
+    def remove(self, shot: Rect, window: tuple[slice, slice] | None = None) -> None:
+        window, patch = self.shot_patch(shot, window)
         self._total[window] -= patch
 
-    def replace(self, old: Rect, new: Rect) -> None:
+    def replace(
+        self,
+        old: Rect,
+        new: Rect,
+        window: tuple[slice, slice] | None = None,
+    ) -> None:
         """Swap ``old`` for ``new`` touching only the union window once."""
-        window = self.union_window(old, new)
+        if window is None:
+            window = self.union_window(old, new)
         _, old_patch = self.shot_patch(old, window)
         _, new_patch = self.shot_patch(new, window)
         self._total[window] += new_patch - old_patch
+
+    def apply_edge_move(
+        self, old: Rect, new: Rect, edge: str
+    ) -> tuple[slice, slice]:
+        """Commit a single-edge move by adding its narrow-window delta.
+
+        The committed change is exactly the patch the pricing engines
+        scored (same profiles, same window), so an accepted Δcost matches
+        the realized cost change to fp precision — and the update touches
+        a fraction of the pixels a union-window :meth:`replace` would.
+        """
+        window, patch = self.edge_move_delta(old, new, edge)
+        self._total[window] += patch
+        return window
 
     def rebuild(self, shots: Iterable[Rect]) -> None:
         """Recompute from scratch (used to bound incremental drift)."""
@@ -106,6 +287,36 @@ class IntensityMap:
         _, new_patch = self.shot_patch(new, window)
         return window, self._total[window] - old_patch + new_patch
 
+    def edge_move_profile_keys(
+        self, old: Rect, new: Rect, edge: str, window: tuple[slice, slice]
+    ) -> tuple[ProfileKey, ProfileKey, ProfileKey]:
+        """The (old, new, fixed) profile keys pricing an edge move needs."""
+        ys, xs = window
+        if edge in ("left", "right"):
+            return (
+                ("x", old.xbl, old.xtr, xs.start, xs.stop),
+                ("x", new.xbl, new.xtr, xs.start, xs.stop),
+                ("y", old.ybl, old.ytr, ys.start, ys.stop),
+            )
+        return (
+            ("y", old.ybl, old.ytr, ys.start, ys.stop),
+            ("y", new.ybl, new.ytr, ys.start, ys.stop),
+            ("x", old.xbl, old.xtr, xs.start, xs.stop),
+        )
+
+    @staticmethod
+    def outer_delta(
+        edge: str,
+        profile_old: np.ndarray,
+        profile_new: np.ndarray,
+        profile_fixed: np.ndarray,
+    ) -> np.ndarray:
+        """Outer-product intensity delta of an edge move from its profiles."""
+        delta = profile_new - profile_old
+        if edge in ("left", "right"):
+            return profile_fixed[:, None] * delta[None, :]
+        return delta[:, None] * profile_fixed[None, :]
+
     def edge_move_delta(
         self, old: Rect, new: Rect, edge: str
     ) -> tuple[tuple[slice, slice], np.ndarray]:
@@ -114,9 +325,20 @@ class IntensityMap:
         Only one axis profile differs between ``old`` and ``new``, so the
         delta is one outer product of (changed-axis profile difference) ×
         (unchanged-axis profile) — the cheapest possible pricing of a
-        candidate edge move.
+        candidate edge move.  With the profile cache enabled the three
+        profiles are dictionary lookups on the hot path; the uncached
+        branch below is the original per-candidate evaluation, kept as
+        the benchmark baseline and bit-identical oracle.
         """
         window = self.edge_move_window(old, new, edge)
+        get_recorder().incr("intensity.edge_deltas")
+        if self._cache_profiles:
+            k_old, k_new, k_fixed = self.edge_move_profile_keys(
+                old, new, edge, window
+            )
+            return window, self.outer_delta(
+                edge, self.profile(k_old), self.profile(k_new), self.profile(k_fixed)
+            )
         ys = self.grid.y_centers()[window[0]]
         xs = self.grid.x_centers()[window[1]]
         # One batched LUT evaluation for all six erf arguments — the
@@ -138,10 +360,9 @@ class IntensityMap:
         args[2 * n_c : 3 * n_c] = changed - c_lo_new
         args[3 * n_c : 4 * n_c] = changed - c_hi_new
         args[4 * n_c : 4 * n_c + n_f] = fixed - f_lo
-        args[4 * n_c + 2 * n_f - n_f :] = fixed - f_hi
+        args[4 * n_c + n_f :] = fixed - f_hi
         args /= self.sigma
         obs = get_recorder()
-        obs.incr("intensity.edge_deltas")
         obs.incr("intensity.lut_hits", len(args))
         e = self._lut(args)
         profile_old = 0.5 * (e[0:n_c] - e[n_c : 2 * n_c])
@@ -186,4 +407,11 @@ class IntensityMap:
         clone.reach = self.reach
         clone._lut = self._lut
         clone._total = self._total.copy()
+        clone._x_centers = self._x_centers
+        clone._y_centers = self._y_centers
+        # Profiles are immutable (read-only arrays keyed by geometry), so
+        # the clone can share them; only the dict itself is copied.
+        clone._profile_cache = dict(self._profile_cache)
+        clone._profile_cache_limit = self._profile_cache_limit
+        clone._cache_profiles = self._cache_profiles
         return clone

@@ -10,6 +10,8 @@ resolution used by the refinement loop's improvement test.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 from scipy.special import erf
 
@@ -34,15 +36,45 @@ class ErfLookupTable:
         self.step = xs[1] - xs[0]
         self._inv_step = 1.0 / self.step
 
-    def __call__(self, u: np.ndarray | float) -> np.ndarray:
+    def __call__(self, u: np.ndarray | float) -> np.ndarray | float:
+        """Interpolated erf of ``u``; scalar in, Python float out."""
+        scalar = np.ndim(u) == 0
         pos = np.asarray(
             (np.asarray(u, dtype=np.float64) + self.bound) * self._inv_step
         )
-        np.clip(pos, 0.0, len(self._table) - 1.001, out=pos)
+        last = len(self._table) - 1
+        np.clip(pos, 0.0, float(last), out=pos)
         idx = pos.astype(np.int64)
+        # The base index of the interpolation cell can be at most
+        # samples - 2, so the idx + 1 read below stays in bounds; at the
+        # upper table edge frac becomes exactly 1.0 and the interpolation
+        # returns the last table entry.
+        np.minimum(idx, last - 1, out=idx)
         frac = pos - idx
         lo = self._table[idx]
-        return lo + (self._table[idx + 1] - lo) * frac
+        out = lo + (self._table[idx + 1] - lo) * frac
+        return float(out) if scalar else out
+
+    def eval_concat(self, segments: Sequence[np.ndarray]) -> list[np.ndarray]:
+        """Evaluate several argument arrays with one table interpolation.
+
+        The batched pricing engine concatenates every 1-D profile argument
+        of an iteration into a single flat array so the clip/index/gather
+        sequence of :meth:`__call__` runs once instead of per candidate.
+        The returned views partition the flat result in input order, and
+        each element is bit-identical to a per-array evaluation (the
+        interpolation is elementwise).
+        """
+        if not segments:
+            return []
+        flat = segments[0] if len(segments) == 1 else np.concatenate(segments)
+        values = self(flat)
+        out: list[np.ndarray] = []
+        offset = 0
+        for segment in segments:
+            out.append(values[offset : offset + len(segment)])
+            offset += len(segment)
+        return out
 
     def max_abs_error(self, samples: int = 4096) -> float:
         """Worst interpolation error over the table range (for tests)."""

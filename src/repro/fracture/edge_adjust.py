@@ -5,10 +5,25 @@ improving moves are sorted best-first, and accepted greedily.  After a
 move is accepted, no other edge within 2σ of the moved edge may move in
 the same iteration — the paper's anti-cycling rule (shot intensity is
 < 1e-6 beyond 2σ outside a shot, so farther edges are independent).
+
+Candidate pricing runs through one of two engines:
+
+* ``"batched"`` (default) — gather every candidate of the iteration,
+  fill the 1-D profile cache with a single LUT evaluation, and score all
+  windowed Eq. 5 Δcosts from cached profiles
+  (:meth:`RefinementState.price_edge_moves`).
+* ``"scalar"`` — a per-candidate
+  :meth:`RefinementState.edge_move_delta_cost` loop sharing the same
+  scorer and window cropping, kept as the bit-identical oracle.
+* ``"legacy"`` — the pre-engine pricing pass preserved verbatim
+  (boolean-masking window cost, full windows, failing-pixel-count
+  filter).  Combined with ``profile_caching(False)`` it reproduces the
+  code path this PR replaces; the benchmark measures against it.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right, insort
 from dataclasses import dataclass
 
 import numpy as np
@@ -20,6 +35,33 @@ from repro.obs import get_recorder
 
 _IMPROVEMENT_EPS = 1e-12
 
+_DEFAULT_ENGINE = "batched"
+
+
+def current_pricing_engine() -> str:
+    """The engine :func:`greedy_shot_edge_adjustment` will use by default."""
+    return _DEFAULT_ENGINE
+
+
+class pricing_engine:
+    """Temporarily select the default engine: ``with pricing_engine("scalar"):``."""
+
+    def __init__(self, engine: str):
+        if engine not in ("batched", "scalar", "legacy"):
+            raise ValueError(f"unknown pricing engine {engine!r}")
+        self._engine = engine
+
+    def __enter__(self) -> "pricing_engine":
+        global _DEFAULT_ENGINE
+        self._previous = _DEFAULT_ENGINE
+        _DEFAULT_ENGINE = self._engine
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        global _DEFAULT_ENGINE
+        _DEFAULT_ENGINE = self._previous
+        return False
+
 
 @dataclass(frozen=True, slots=True)
 class _Move:
@@ -27,6 +69,50 @@ class _Move:
     index: int
     edge: str
     delta: float
+
+
+class BlockedZoneIndex:
+    """Interval index over 2σ blocked zones, sorted by zone left edge.
+
+    Replaces the O(accepted × candidates) ``any(zone.intersects(...))``
+    scan: zones are kept sorted by ``xbl``, a bisect prunes every zone
+    strictly right of the query segment, and the survivors are checked
+    with the same closed-interval overlap predicate
+    :meth:`Rect.intersects` uses — accepted-move sets are identical by
+    construction (asserted on the bench clips by the tests).
+    """
+
+    __slots__ = ("_xbl", "_xtr", "_ybl", "_ytr")
+
+    def __init__(self) -> None:
+        self._xbl: list[float] = []
+        self._xtr: list[float] = []
+        self._ybl: list[float] = []
+        self._ytr: list[float] = []
+
+    def __len__(self) -> int:
+        return len(self._xbl)
+
+    def add(self, zone: Rect) -> None:
+        at = bisect_right(self._xbl, zone.xbl)
+        insort(self._xbl, zone.xbl)
+        self._xtr.insert(at, zone.xtr)
+        self._ybl.insert(at, zone.ybl)
+        self._ytr.insert(at, zone.ytr)
+
+    def intersects(self, segment: Rect) -> bool:
+        # Zones with xbl > segment.xtr can never overlap; bisect prunes
+        # them wholesale.  Touching counts as overlap, as in Rect.intersects.
+        stop = bisect_right(self._xbl, segment.xtr)
+        xtr, ybl, ytr = self._xtr, self._ybl, self._ytr
+        for i in range(stop):
+            if (
+                xtr[i] >= segment.xbl
+                and ytr[i] >= segment.ybl
+                and ybl[i] <= segment.ytr
+            ):
+                return True
+        return False
 
 
 def edge_segment(shot: Rect, edge: str) -> Rect:
@@ -43,7 +129,10 @@ def edge_segment(shot: Rect, edge: str) -> Rect:
 
 
 def greedy_shot_edge_adjustment(
-    state: RefinementState, report: FailureReport | None = None
+    state: RefinementState,
+    report: FailureReport | None = None,
+    *,
+    engine: str | None = None,
 ) -> int:
     """One §4.1 pass.  Returns the number of accepted edge moves.
 
@@ -52,15 +141,133 @@ def greedy_shot_edge_adjustment(
     candidate list.  Candidates are applied best-first subject to the 2σ
     blocking rule and a one-move-per-edge-per-iteration rule.
 
-    When the current :class:`FailureReport` is supplied, edges whose
-    influence window contains no failing pixel are skipped outright: a
-    move can only *reduce* cost if its window already has failures
-    (new cost ≥ 0, so Δcost < 0 needs old cost > 0).
+    Edges whose pricing window carries no failure cost are skipped
+    outright: a move can only *reduce* cost if its window already has
+    positive cost (new cost ≥ 0, so Δcost < 0 needs old cost > 0).  The
+    skip test reads the same cost integral that prices the old side of
+    every move, so both engines filter identically.
+    """
+    if engine is None:
+        engine = _DEFAULT_ENGINE
+    obs = get_recorder()
+    with obs.span("pricing", engine=engine):
+        if engine == "batched":
+            cost_integral = state.cost_integral()
+            active_integral = state.active_integral()
+            moves = _batched_improving_moves(state, cost_integral, active_integral)
+        elif engine == "scalar":
+            cost_integral = state.cost_integral()
+            active_integral = state.active_integral()
+            moves = _scalar_improving_moves(state, cost_integral, active_integral)
+        elif engine == "legacy":
+            cost_integral = state.cost_integral_legacy()
+            moves = _legacy_improving_moves(state, report, cost_integral)
+        else:
+            raise ValueError(f"unknown pricing engine {engine!r}")
+    moves.sort(key=lambda m: m.delta_cost)
+
+    blocked_zones = BlockedZoneIndex()
+    block_margin = 2.0 * state.spec.sigma
+    accepted = 0
+    blocked = 0
+    for move in moves:
+        segment = edge_segment(state.shots[move.index], move.edge)
+        if blocked_zones.intersects(segment):
+            blocked += 1
+            continue
+        if not state.apply_edge_move(move.index, move.edge, move.delta):
+            continue
+        accepted += 1
+        moved_segment = edge_segment(state.shots[move.index], move.edge)
+        blocked_zones.add(moved_segment.expanded(block_margin))
+    obs.incr("refine.moves_priced", len(moves))
+    obs.incr("refine.moves_accepted", accepted)
+    obs.incr("refine.moves_blocked_2sigma", blocked)
+    return accepted
+
+
+def _edge_worth_pricing(
+    state: RefinementState,
+    shot: Rect,
+    edge: str,
+    cost_integral: np.ndarray,
+) -> bool:
+    window = state.edge_pricing_window(shot, edge)
+    return state.window_cost_from_integral(cost_integral, window) > 0.0
+
+
+def _batched_improving_moves(
+    state: RefinementState,
+    cost_integral: np.ndarray,
+    active_integral: np.ndarray,
+) -> list[_Move]:
+    """Gather all candidates, price them in one batch, keep the best ±Δp."""
+    candidates = state.gather_edge_moves(cost_integral)
+    get_recorder().incr("refine.candidates_priced", len(candidates))
+    costs = state.price_edge_moves(candidates, cost_integral, active_integral)
+    # Best improving move per (shot, edge); candidates arrive in
+    # (index, edge, +Δp, −Δp) order, and dicts preserve insertion order,
+    # so ties and final ordering match the scalar loop exactly.
+    best: dict[tuple[int, str], _Move] = {}
+    for candidate, dcost in zip(candidates, costs):
+        dcost = float(dcost)
+        if dcost >= -_IMPROVEMENT_EPS:
+            continue
+        key = (candidate.index, candidate.edge)
+        incumbent = best.get(key)
+        if incumbent is None or dcost < incumbent.delta_cost:
+            best[key] = _Move(dcost, candidate.index, candidate.edge, candidate.delta)
+    return list(best.values())
+
+
+def _scalar_improving_moves(
+    state: RefinementState,
+    cost_integral: np.ndarray,
+    active_integral: np.ndarray,
+) -> list[_Move]:
+    """The original per-candidate pricing loop (oracle / benchmark baseline)."""
+    pitch = state.spec.pitch
+    moves: list[_Move] = []
+    priced = 0
+    for index in range(len(state.shots)):
+        shot = state.shots[index]
+        for edge in EDGES:
+            if not _edge_worth_pricing(state, shot, edge, cost_integral):
+                continue
+            best: _Move | None = None
+            for delta in (pitch, -pitch):
+                dcost = state.edge_move_delta_cost(
+                    index, edge, delta, cost_integral, active_integral
+                )
+                if dcost is None:
+                    continue
+                priced += 1
+                if dcost >= -_IMPROVEMENT_EPS:
+                    continue
+                if best is None or dcost < best.delta_cost:
+                    best = _Move(dcost, index, edge, delta)
+            if best is not None:
+                moves.append(best)
+    get_recorder().incr("refine.candidates_priced", priced)
+    return moves
+
+
+def _legacy_improving_moves(
+    state: RefinementState,
+    report: FailureReport | None,
+    cost_integral: np.ndarray,
+) -> list[_Move]:
+    """The pre-engine pricing pass, preserved as the benchmark baseline.
+
+    Mirrors the original greedy loop exactly: a failing-pixel-count
+    filter built from the iteration's :class:`FailureReport`, then a
+    per-candidate :meth:`RefinementState.edge_move_delta_cost_legacy`
+    over full (uncropped) windows.
     """
     pitch = state.spec.pitch
     fail_counts = _failing_integral(report) if report is not None else None
-    cost_integral = state.cost_integral()
     moves: list[_Move] = []
+    priced = 0
     for index in range(len(state.shots)):
         shot = state.shots[index]
         for edge in EDGES:
@@ -70,36 +277,20 @@ def greedy_shot_edge_adjustment(
                 continue
             best: _Move | None = None
             for delta in (pitch, -pitch):
-                dcost = state.edge_move_delta_cost(
+                dcost = state.edge_move_delta_cost_legacy(
                     index, edge, delta, cost_integral
                 )
-                if dcost is None or dcost >= -_IMPROVEMENT_EPS:
+                if dcost is None:
+                    continue
+                priced += 1
+                if dcost >= -_IMPROVEMENT_EPS:
                     continue
                 if best is None or dcost < best.delta_cost:
                     best = _Move(dcost, index, edge, delta)
             if best is not None:
                 moves.append(best)
-    moves.sort(key=lambda m: m.delta_cost)
-
-    blocked_zones: list[Rect] = []
-    block_margin = 2.0 * state.spec.sigma
-    accepted = 0
-    blocked = 0
-    for move in moves:
-        segment = edge_segment(state.shots[move.index], move.edge)
-        if any(zone.intersects(segment) for zone in blocked_zones):
-            blocked += 1
-            continue
-        if not state.apply_edge_move(move.index, move.edge, move.delta):
-            continue
-        accepted += 1
-        moved_segment = edge_segment(state.shots[move.index], move.edge)
-        blocked_zones.append(moved_segment.expanded(block_margin))
-    obs = get_recorder()
-    obs.incr("refine.moves_priced", len(moves))
-    obs.incr("refine.moves_accepted", accepted)
-    obs.incr("refine.moves_blocked_2sigma", blocked)
-    return accepted
+    get_recorder().incr("refine.candidates_priced", priced)
+    return moves
 
 
 def _failing_integral(report: FailureReport) -> np.ndarray:
@@ -132,3 +323,5 @@ def _window_has_failures(
         + fail_counts[ys.start, xs.start]
     )
     return bool(total > 0)
+
+

@@ -8,19 +8,43 @@ only depends on pixels within the blur reach of the two shot versions.
 
 from __future__ import annotations
 
+import math
+from typing import NamedTuple
+
 import numpy as np
 
-from repro.ebeam.intensity_map import IntensityMap
+from repro.ebeam.intensity_map import IntensityMap, ProfileKey
 from repro.geometry.rect import Rect
 from repro.mask.constraints import FailureReport, FractureSpec, failure_report
 from repro.mask.pixels import PixelSets
 from repro.mask.shape import MaskShape
+from repro.obs import get_recorder
+
+
+class EdgeMoveCandidate(NamedTuple):
+    """One validated candidate edge move, ready for batched pricing.
+
+    ``old``/``new`` are the shot before and after the move and ``window``
+    the narrow index window where they differ — everything the pricing
+    engine needs without touching the (mutable) shot list again.
+    """
+
+    index: int
+    edge: str
+    delta: float
+    window: tuple[slice, slice]
+    keys: tuple[ProfileKey, ProfileKey, ProfileKey]
 
 
 class RefinementState:
     """Shots + intensity + pixel classes for one refinement run."""
 
-    __slots__ = ("shape", "spec", "pixels", "imap", "shots")
+    __slots__ = (
+        "shape", "spec", "pixels", "imap", "shots",
+        "_cost_sign", "_cost_bias", "_cost_base", "_scratch",
+        "_gather_memo", "_delta_memo", "_cost_integral", "_active_integral",
+        "_field_scratch", "_active_scratch",
+    )
 
     def __init__(
         self,
@@ -35,11 +59,75 @@ class RefinementState:
         self.shots: list[Rect] = list(shots)
         for shot in self.shots:
             self.imap.add(shot)
+        # Signed-clamp form of the Eq. 5 cost field: with S = +1 on
+        # P_off, −1 on P_on and 0 on don't-care pixels, the per-pixel
+        # cost is max(S·I − S·ρ, 0) — an off pixel contributes
+        # max(I−ρ, 0), an on pixel max(ρ−I, 0), both exactly the failing
+        # gap and 0 otherwise.  ``_cost_base`` holds S·I − S·ρ for the
+        # *current* I_tot (refreshed on the touched window after every
+        # mutation), so pricing a candidate patch P reduces to
+        # Σ max(S·P + base, 0) — three elementwise kernels and a sum,
+        # with no boolean masking.
+        self._cost_sign = self.pixels.off.astype(np.float64) - self.pixels.on
+        self._cost_bias = self._cost_sign * spec.rho
+        self._cost_base = np.empty_like(self._cost_sign)
+        self._scratch = np.empty(0, dtype=np.float64)
+        # Candidate geometry memo (windows + profile keys per shot rect)
+        # and reused prefix-sum buffers — rebuilt contents every greedy
+        # pass, but the allocations are paid once.
+        self._gather_memo: dict[tuple, tuple] = {}
+        self._delta_memo: dict[tuple, np.ndarray] = {}
+        ny, nx = self._cost_sign.shape
+        self._cost_integral = np.zeros((ny + 1, nx + 1), dtype=np.float64)
+        self._active_integral = np.zeros((ny + 1, nx + 1), dtype=np.int32)
+        self._field_scratch = np.empty_like(self._cost_sign)
+        self._active_scratch = np.empty((ny, nx), dtype=bool)
+        self._refresh_cost_base()
+
+    def _refresh_cost_base(
+        self, window: tuple[slice, slice] | None = None
+    ) -> None:
+        """Recompute ``S·I − S·ρ`` where I_tot changed (or everywhere)."""
+        if window is None:
+            np.multiply(self._cost_sign, self.imap.total, out=self._cost_base)
+            self._cost_base -= self._cost_bias
+            return
+        base = self._cost_sign[window] * self.imap.total[window]
+        base -= self._cost_bias[window]
+        self._cost_base[window] = base
 
     # -- cost evaluation --------------------------------------------------
 
     def report(self) -> FailureReport:
-        """Full-grid Eq. 4 / Eq. 5 evaluation of the current state."""
+        """Full-grid Eq. 4 / Eq. 5 evaluation of the current state.
+
+        Reads the maintained ``_cost_base`` field instead of re-deriving
+        everything from I_tot: an on pixel fails iff ``ρ − I > 0`` and an
+        off pixel iff ``I − ρ ≥ 0``, which are exactly ``base > 0`` /
+        ``base ≥ 0`` (the subtraction happens around ρ, where it is exact
+        by Sterbenz' lemma, so the masks match
+        :func:`~repro.mask.constraints.failure_report` bit for bit), and
+        the Eq. 5 cost is the sum of the clamped base field.
+        """
+        base = self._cost_base
+        fail_on = self.pixels.on & (base > 0.0)
+        fail_off = self.pixels.off & (base >= 0.0)
+        return FailureReport(
+            fail_on=fail_on,
+            fail_off=fail_off,
+            cost=float(np.maximum(base, 0.0).sum()),
+            _count_on=int(np.count_nonzero(fail_on)),
+            _count_off=int(np.count_nonzero(fail_off)),
+        )
+
+    def report_legacy(self) -> FailureReport:
+        """Pre-batching :meth:`report`, re-deriving everything from I_tot.
+
+        Identical values (see :meth:`report`); preserved so benchmark runs
+        of the ``"legacy"`` pricing engine pay the original per-iteration
+        evaluation cost rather than inheriting this PR's maintained cost
+        field.
+        """
         return failure_report(self.imap.total, self.pixels, self.spec.rho)
 
     def window_cost(
@@ -51,13 +139,89 @@ class RefinementState:
         that window, so candidate moves can be priced without mutating
         the map.
         """
-        rho = self.spec.rho
-        on = self.pixels.on[window]
-        off = self.pixels.off[window]
-        fail = (on & (total_window < rho)) | (off & (total_window >= rho))
-        if not fail.any():
-            return 0.0
-        return float(np.abs(total_window[fail] - rho).sum())
+        clamped = total_window * self._cost_sign[window]
+        clamped -= self._cost_bias[window]
+        np.maximum(clamped, 0.0, out=clamped)
+        return float(clamped.sum())
+
+    def score_move_patch(
+        self, window: tuple[slice, slice], patch_delta: np.ndarray
+    ) -> float:
+        """Eq. 5 cost of ``I_tot + patch_delta`` on the window.
+
+        Destroys ``patch_delta`` (it becomes the clamped cost field) so
+        the pricing loops run entirely in-place.  Both pricing engines
+        run exactly this operation sequence, which is what makes their
+        Δcosts bit-identical: same kernels, same order, same shapes.
+        """
+        patch_delta *= self._cost_sign[window]
+        patch_delta += self._cost_base[window]
+        np.maximum(patch_delta, 0.0, out=patch_delta)
+        return float(patch_delta.sum())
+
+    def patch_bound(self) -> float:
+        """Upper bound on |ΔI| of any single-pitch edge move, anywhere.
+
+        The moved-axis profile difference is ``0.5·(erf((t−a−Δp)/σ) −
+        erf((t−a)/σ))`` and erf is (2/√π)-Lipschitz, so no pixel's
+        intensity changes by more than ``Δp/(σ·√π)``; the fixed-axis
+        profile is < 1.  Piecewise-linear LUT interpolation preserves the
+        bound (chord slopes never exceed the true maximum slope).
+        """
+        return (self.spec.pitch / self.spec.sigma) / math.sqrt(math.pi)
+
+    def active_integral(self) -> np.ndarray:
+        """Prefix counts of pixels a ±Δp move could possibly affect.
+
+        A pixel with ``base ≤ −patch_bound`` is clamped to zero cost both
+        before and after any single-pitch move (``max(base ± |ΔI|, 0) =
+        0`` exactly), so it contributes *exactly nothing* to any Δcost.
+        Candidate windows are cropped to the bounding box of the
+        remaining "active" pixels — typically a thin band around the
+        contour — before the per-pixel scoring runs.  Rebuild per greedy
+        pass, like :meth:`cost_integral`.
+        """
+        active = np.greater(
+            self._cost_base, -self.patch_bound(), out=self._active_scratch
+        )
+        # int32 is plenty (counts are bounded by the pixel count) and
+        # halves the cumsum traffic; the buffer (zero first row/column,
+        # interior fully overwritten) is reused across passes and only
+        # valid until the next call.
+        integral = self._active_integral
+        np.cumsum(active, axis=0, out=integral[1:, 1:])
+        np.cumsum(integral[1:, 1:], axis=1, out=integral[1:, 1:])
+        return integral
+
+    @staticmethod
+    def crop_to_active(
+        active_integral: np.ndarray, window: tuple[slice, slice]
+    ) -> tuple[int, int, int, int] | None:
+        """Row/column sub-range of ``window`` holding all active pixels.
+
+        Returns ``(r0, r1, c0, c1)`` offsets within the window, or
+        ``None`` when the window contains no active pixel (the move's
+        Δcost is exactly zero).  Marginal counts come straight from the
+        2-D prefix sums, so the crop costs two small 1-D subtractions.
+        """
+        ys, xs = window
+        rowcum = (
+            active_integral[ys.start : ys.stop + 1, xs.stop]
+            - active_integral[ys.start : ys.stop + 1, xs.start]
+        )
+        if rowcum[-1] == rowcum[0]:
+            return None
+        # ndarray.searchsorted skips the np.searchsorted dispatch layer;
+        # this runs four times per candidate.
+        r0 = int(rowcum.searchsorted(rowcum[0], side="right")) - 1
+        r1 = int(rowcum.searchsorted(rowcum[-1], side="left"))
+        colcum = (
+            active_integral[ys.stop, xs.start : xs.stop + 1]
+            - active_integral[ys.start, xs.start : xs.stop + 1]
+        )
+        c0 = int(colcum.searchsorted(colcum[0], side="right")) - 1
+        c1 = int(colcum.searchsorted(colcum[-1], side="left"))
+        return r0, r1, c0, c1
 
     def cost_integral(self) -> np.ndarray:
         """Prefix sums of the per-pixel Eq. 5 cost field.
@@ -68,15 +232,10 @@ class RefinementState:
         side.  Rebuild after every committed change (one per refinement
         iteration is enough; GreedyShotEdgeAdjustment does so itself).
         """
-        rho = self.spec.rho
-        total = self.imap.total
-        fail = (self.pixels.on & (total < rho)) | (
-            self.pixels.off & (total >= rho)
-        )
-        cost_field = np.where(fail, np.abs(total - rho), 0.0)
-        integral = np.zeros(
-            (cost_field.shape[0] + 1, cost_field.shape[1] + 1), dtype=np.float64
-        )
+        cost_field = np.maximum(self._cost_base, 0.0, out=self._field_scratch)
+        # Reused buffer: zero first row/column, interior fully
+        # overwritten; only valid until the next call.
+        integral = self._cost_integral
         np.cumsum(cost_field, axis=0, out=integral[1:, 1:])
         np.cumsum(integral[1:, 1:], axis=1, out=integral[1:, 1:])
         return integral
@@ -99,13 +258,78 @@ class RefinementState:
         edge: str,
         delta: float,
         cost_integral: np.ndarray | None = None,
+        active_integral: np.ndarray | None = None,
     ) -> float | None:
         """Cost change of moving one edge of shot ``index`` by ``delta``.
 
         Returns ``None`` for invalid moves (shot would fall below L_min or
         invert).  Does not modify the state.  ``cost_integral`` (from
         :meth:`cost_integral`, current as of the last committed change)
-        makes the old-cost side an O(1) lookup.
+        makes the old-cost side an O(1) lookup; ``active_integral`` (from
+        :meth:`active_integral`, only valid for ``|delta| ≤ Δp``) crops
+        the scoring to the active sub-window.
+        """
+        shot = self.shots[index]
+        try:
+            candidate = shot.moved_edge(edge, delta)
+        except ValueError:
+            return None
+        if not candidate.meets_min_size(self.spec.lmin):
+            return None
+        window, patch_delta = self.imap.edge_move_delta(shot, candidate, edge)
+        if active_integral is not None:
+            crop = self.crop_to_active(active_integral, window)
+            if crop is None:
+                return 0.0
+            r0, r1, c0, c1 = crop
+            ys, xs = window
+            window = (
+                slice(ys.start + r0, ys.start + r1),
+                slice(xs.start + c0, xs.start + c1),
+            )
+            # Contiguous copy so the clamped sum reduces in the same
+            # order as the batched engine's scratch segment.
+            patch_delta = np.ascontiguousarray(patch_delta[r0:r1, c0:c1])
+        if cost_integral is not None:
+            old_cost = self.window_cost_from_integral(cost_integral, window)
+        else:
+            old_cost = self.window_cost(window, self.imap.total[window])
+        return self.score_move_patch(window, patch_delta) - old_cost
+
+    # -- legacy (pre-batching) pricing --------------------------------------
+
+    def window_cost_legacy(
+        self, window: tuple[slice, slice], total_window: np.ndarray
+    ) -> float:
+        """Eq. 5 window cost in the original boolean-masking formulation.
+
+        Preserved verbatim as the benchmark baseline: build the failing
+        mask, fancy-index the gaps out and sum them.  Numerically equal
+        to :meth:`window_cost` (same per-pixel gaps), but every call pays
+        two comparisons, two mask combines and a gather.
+        """
+        rho = self.spec.rho
+        on = self.pixels.on[window]
+        off = self.pixels.off[window]
+        fail = (on & (total_window < rho)) | (off & (total_window >= rho))
+        if not fail.any():
+            return 0.0
+        return float(np.abs(total_window[fail] - rho).sum())
+
+    def edge_move_delta_cost_legacy(
+        self,
+        index: int,
+        edge: str,
+        delta: float,
+        cost_integral: np.ndarray | None = None,
+    ) -> float | None:
+        """Pre-batching candidate pricing, preserved as the baseline.
+
+        Exactly the original :meth:`edge_move_delta_cost`: full (uncropped)
+        windows, an allocated ``total + patch`` array and the
+        boolean-masking window cost.  Run under ``profile_caching(False)``
+        this reproduces the pre-engine pricing path end to end — the
+        benchmark's "before" measurement.
         """
         shot = self.shots[index]
         try:
@@ -119,9 +343,330 @@ class RefinementState:
         if cost_integral is not None:
             old_cost = self.window_cost_from_integral(cost_integral, window)
         else:
-            old_cost = self.window_cost(window, total_window)
-        new_cost = self.window_cost(window, total_window + patch_delta)
+            old_cost = self.window_cost_legacy(window, total_window)
+        new_cost = self.window_cost_legacy(window, total_window + patch_delta)
         return new_cost - old_cost
+
+    def cost_integral_legacy(self) -> np.ndarray:
+        """Pre-batching :meth:`cost_integral`, preserved as the baseline.
+
+        Rebuilds the failing mask and cost field from the raw intensity
+        map and allocates a fresh integral every call, exactly as the
+        original did.  Bit-identical values to :meth:`cost_integral`
+        (``max(base, 0)`` equals ``where(fail, |I - ρ|, 0)`` per pixel —
+        see :meth:`report`), so the legacy engine prices the same numbers
+        while paying the original per-iteration rebuild cost.
+        """
+        rho = self.spec.rho
+        total = self.imap.total
+        fail = (self.pixels.on & (total < rho)) | (
+            self.pixels.off & (total >= rho)
+        )
+        cost_field = np.where(fail, np.abs(total - rho), 0.0)
+        integral = np.zeros(
+            (cost_field.shape[0] + 1, cost_field.shape[1] + 1), dtype=np.float64
+        )
+        np.cumsum(cost_field, axis=0, out=integral[1:, 1:])
+        np.cumsum(integral[1:, 1:], axis=1, out=integral[1:, 1:])
+        return integral
+
+    # -- batched pricing ----------------------------------------------------
+
+    def make_edge_move_candidate(
+        self, index: int, edge: str, delta: float
+    ) -> EdgeMoveCandidate | None:
+        """Validate one edge move and package it for batched pricing.
+
+        Returns ``None`` under the same conditions for which
+        :meth:`edge_move_delta_cost` does (inverted shot or L_min
+        violation), so the two pricing paths see identical candidates.
+        """
+        shot = self.shots[index]
+        try:
+            candidate = shot.moved_edge(edge, delta)
+        except ValueError:
+            return None
+        if not candidate.meets_min_size(self.spec.lmin):
+            return None
+        window = self.imap.edge_move_window(shot, candidate, edge)
+        keys = self.imap.edge_move_profile_keys(shot, candidate, edge, window)
+        return EdgeMoveCandidate(index, edge, delta, window, keys)
+
+    def edge_pricing_window(
+        self, shot: Rect, edge: str
+    ) -> tuple[slice, slice]:
+        """Window the ±Δp moves of one edge can influence.
+
+        Spans one pitch *outward* of the edge plus the blur reach — the
+        geometry the greedy pass uses to skip edges whose neighbourhood
+        carries no failure cost (a move can only reduce cost where old
+        cost is positive).
+        """
+        grid = self.imap.grid
+        reach = self.imap.reach
+        pitch = self.spec.pitch
+        if edge == "left":
+            return (
+                grid.y_span_to_slice(shot.ybl, shot.ytr, reach),
+                grid.x_span_to_slice(shot.xbl - pitch, shot.xbl, reach),
+            )
+        if edge == "right":
+            return (
+                grid.y_span_to_slice(shot.ybl, shot.ytr, reach),
+                grid.x_span_to_slice(shot.xtr, shot.xtr + pitch, reach),
+            )
+        if edge == "bottom":
+            return (
+                grid.y_span_to_slice(shot.ybl - pitch, shot.ybl, reach),
+                grid.x_span_to_slice(shot.xbl, shot.xtr, reach),
+            )
+        return (
+            grid.y_span_to_slice(shot.ytr, shot.ytr + pitch, reach),
+            grid.x_span_to_slice(shot.xbl, shot.xtr, reach),
+        )
+
+    def _build_move_geometry(self, shot: Rect) -> tuple:
+        """Pricing regions, windows and profile keys of a shot's ±Δp
+        edge moves.
+
+        Computed with direct scalar math — per candidate this is the
+        equivalent of ``moved_edge`` + ``meets_min_size`` +
+        ``edge_move_window`` without intermediate :class:`Rect`
+        allocations — and memoized per shot rectangle (pure geometry, so
+        no invalidation is ever needed; see :meth:`gather_edge_moves`).
+        """
+        pitch = self.spec.pitch
+        lmin = self.spec.lmin
+        grid = self.imap.grid
+        reach = self.imap.reach
+        xbl, ybl, xtr, ytr = shot.xbl, shot.ybl, shot.xtr, shot.ytr
+        groups: list[tuple] = []
+        if ytr - ybl >= lmin:
+            for edge in ("left", "right"):
+                region = self.edge_pricing_window(shot, edge)
+                rows = region[0]
+                k_fixed = ("y", ybl, ytr, rows.start, rows.stop)
+                coord = xbl if edge == "left" else xtr
+                moves: list[tuple] = []
+                for delta in (pitch, -pitch):
+                    moved = coord + delta
+                    if edge == "left":
+                        new_lo, new_hi = moved, xtr
+                    else:
+                        new_lo, new_hi = xbl, moved
+                    if new_hi - new_lo < lmin:
+                        continue
+                    cols = grid.x_span_to_slice(
+                        min(coord, moved), max(coord, moved), reach
+                    )
+                    key_cols = (cols.start, cols.stop)
+                    moves.append((
+                        delta, (rows, cols),
+                        (
+                            ("x", xbl, xtr) + key_cols,
+                            ("x", new_lo, new_hi) + key_cols,
+                            k_fixed,
+                        ),
+                    ))
+                groups.append((edge, region, tuple(moves)))
+        if xtr - xbl >= lmin:
+            for edge in ("bottom", "top"):
+                region = self.edge_pricing_window(shot, edge)
+                cols = region[1]
+                k_fixed = ("x", xbl, xtr, cols.start, cols.stop)
+                coord = ybl if edge == "bottom" else ytr
+                moves = []
+                for delta in (pitch, -pitch):
+                    moved = coord + delta
+                    if edge == "bottom":
+                        new_lo, new_hi = moved, ytr
+                    else:
+                        new_lo, new_hi = ybl, moved
+                    if new_hi - new_lo < lmin:
+                        continue
+                    rows = grid.y_span_to_slice(
+                        min(coord, moved), max(coord, moved), reach
+                    )
+                    key_rows = (rows.start, rows.stop)
+                    moves.append((
+                        delta, (rows, cols),
+                        (
+                            ("y", ybl, ytr) + key_rows,
+                            ("y", new_lo, new_hi) + key_rows,
+                            k_fixed,
+                        ),
+                    ))
+                groups.append((edge, region, tuple(moves)))
+        return tuple(groups)
+
+    def gather_edge_moves(
+        self, cost_integral: np.ndarray
+    ) -> list[EdgeMoveCandidate]:
+        """All valid ±Δp edge-move candidates worth pricing, in the same
+        (shot, edge, +Δp, −Δp) order the scalar loop enumerates.
+
+        Candidate geometry comes from a per-rectangle memo (most shots
+        do not move between greedy passes); only the skip test — edges
+        whose pricing region carries no failure cost can never yield an
+        accepted move — reads the current cost integral.
+        """
+        memo = self._gather_memo
+        candidates: list[EdgeMoveCandidate] = []
+        append = candidates.append
+        for index, shot in enumerate(self.shots):
+            key = (shot.xbl, shot.ybl, shot.xtr, shot.ytr)
+            groups = memo.get(key)
+            if groups is None:
+                if len(memo) >= 4096:
+                    memo.clear()
+                groups = memo[key] = self._build_move_geometry(shot)
+            for edge, (ys, xs), moves in groups:
+                if (
+                    cost_integral[ys.stop, xs.stop]
+                    - cost_integral[ys.start, xs.stop]
+                    - cost_integral[ys.stop, xs.start]
+                    + cost_integral[ys.start, xs.start]
+                ) <= 0.0:
+                    continue
+                for delta, window, keys in moves:
+                    append(EdgeMoveCandidate(index, edge, delta, window, keys))
+        return candidates
+
+    def price_edge_moves(
+        self,
+        candidates: list[EdgeMoveCandidate],
+        cost_integral: np.ndarray | None = None,
+        active_integral: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Δcost of every candidate, priced with one batched LUT pass.
+
+        Equivalent to calling :meth:`edge_move_delta_cost` per candidate
+        (the scalar oracle) but structured for throughput: all 1-D
+        profile arguments of the sweep are concatenated and interpolated
+        in a single LUT evaluation (via the profile cache), and each
+        candidate's windowed Eq. 5 Δcost is then scored from cached
+        profiles with one outer product.  Bit-identical to the scalar
+        path — the profiles, patches and window costs go through the
+        same elementwise operations.
+        """
+        imap = self.imap
+        get_recorder().incr("intensity.edge_deltas", len(candidates))
+        caching = imap.profile_cache_enabled
+        if caching:
+            imap.ensure_profiles(key for c in candidates for key in c.keys)
+        cache_get = imap._profile_cache.get
+        profile = imap.profile
+        # Moved-axis difference profiles are memoized too: they are a
+        # deterministic function of two immutable cached profiles, so the
+        # memo needs no invalidation — recomputing reproduces the exact
+        # same bits.  Only active while the profile cache is (the
+        # profile_caching(False) baseline must not cache anything).
+        delta_memo = self._delta_memo if caching else None
+        sign = self._cost_sign
+        base = self._cost_base
+        maximum = np.maximum
+        multiply = np.multiply
+        scratch = self._scratch
+        do_crop = active_integral is not None
+        use_integral = cost_integral is not None
+        ncand = len(candidates)
+        costs = np.zeros(ncand, dtype=np.float64)
+        # Deferred old-cost lookup: final window corners per candidate,
+        # gathered from the cost integral in one vectorized pass after
+        # the loop.  All-zero corners (skipped candidates) contribute a
+        # zero old cost by construction.
+        wr0 = np.zeros(ncand, dtype=np.intp)
+        wr1 = np.zeros(ncand, dtype=np.intp)
+        wc0 = np.zeros(ncand, dtype=np.intp)
+        wc1 = np.zeros(ncand, dtype=np.intp)
+        for i, cand in enumerate(candidates):
+            _, edge, _, (ys, xs), (k_old, k_new, k_fixed) = cand
+            if do_crop:
+                # crop_to_active, inlined: this runs once per candidate
+                # and the call/tuple overhead is measurable.
+                y_lo = ys.start
+                x_lo = xs.start
+                rowcum = (
+                    active_integral[y_lo : ys.stop + 1, xs.stop]
+                    - active_integral[y_lo : ys.stop + 1, x_lo]
+                )
+                if rowcum[-1] == rowcum[0]:
+                    continue
+                r0 = int(rowcum.searchsorted(rowcum[0], side="right")) - 1
+                r1 = int(rowcum.searchsorted(rowcum[-1], side="left"))
+                colcum = (
+                    active_integral[ys.stop, x_lo : xs.stop + 1]
+                    - active_integral[y_lo, x_lo : xs.stop + 1]
+                )
+                c0 = int(colcum.searchsorted(colcum[0], side="right")) - 1
+                c1 = int(colcum.searchsorted(colcum[-1], side="left"))
+                ys = slice(y_lo + r0, y_lo + r1)
+                xs = slice(x_lo + c0, x_lo + c1)
+            else:
+                r0, c0 = 0, 0
+                r1 = ys.stop - ys.start
+                c1 = xs.stop - xs.start
+            if delta_memo is not None:
+                dkey = (k_old, k_new)
+                delta = delta_memo.get(dkey)
+                if delta is None:
+                    if len(delta_memo) >= 4096:
+                        delta_memo.clear()
+                    p_new = cache_get(k_new)
+                    if p_new is None:
+                        p_new = profile(k_new)
+                    p_old = cache_get(k_old)
+                    if p_old is None:
+                        p_old = profile(k_old)
+                    delta = p_new - p_old
+                    delta.flags.writeable = False
+                    delta_memo[dkey] = delta
+                p_fixed = cache_get(k_fixed)
+                if p_fixed is None:
+                    p_fixed = profile(k_fixed)
+            else:
+                delta = profile(k_new) - profile(k_old)
+                p_fixed = profile(k_fixed)
+            rows = r1 - r0
+            cols = c1 - c0
+            n = rows * cols
+            if scratch.size < n:
+                scratch = np.empty(n, dtype=np.float64)
+                self._scratch = scratch
+            # The patch is materialized into a reused scratch buffer; the
+            # 2-D view has the same shape/contiguity as the (cropped)
+            # array the scalar path scores, and the ops below mirror
+            # score_move_patch exactly, so the Δcost is bit-identical.
+            seg = scratch[:n].reshape(rows, cols)
+            window = (ys, xs)
+            if edge in ("left", "right"):
+                multiply(p_fixed[r0:r1, None], delta[None, c0:c1], out=seg)
+            else:
+                multiply(delta[r0:r1, None], p_fixed[None, c0:c1], out=seg)
+            seg *= sign[window]
+            seg += base[window]
+            maximum(seg, 0.0, out=seg)
+            if use_integral:
+                costs[i] = seg.sum()
+                wr0[i] = ys.start
+                wr1[i] = ys.stop
+                wc0[i] = xs.start
+                wc1[i] = xs.stop
+            else:
+                costs[i] = seg.sum() - self.window_cost(
+                    window, imap.total[window]
+                )
+        if use_integral and ncand:
+            # Same A − B − C + D order as window_cost_from_integral, in
+            # float64 — elementwise results match the scalar lookups bit
+            # for bit.
+            costs -= (
+                cost_integral[wr1, wc1]
+                - cost_integral[wr0, wc1]
+                - cost_integral[wr1, wc0]
+                + cost_integral[wr0, wc0]
+            )
+        return costs
 
     # -- mutation -----------------------------------------------------------
 
@@ -134,21 +679,29 @@ class RefinementState:
             return False
         if not candidate.meets_min_size(self.spec.lmin):
             return False
-        self.imap.replace(shot, candidate)
+        window = self.imap.apply_edge_move(shot, candidate, edge)
+        self._refresh_cost_base(window)
         self.shots[index] = candidate
         return True
 
     def replace_shot(self, index: int, new: Rect) -> None:
-        self.imap.replace(self.shots[index], new)
+        old = self.shots[index]
+        window = self.imap.union_window(old, new)
+        self.imap.replace(old, new, window)
+        self._refresh_cost_base(window)
         self.shots[index] = new
 
     def add_shot(self, shot: Rect) -> None:
-        self.imap.add(shot)
+        window = self.imap.window_of(shot)
+        self.imap.add(shot, window)
+        self._refresh_cost_base(window)
         self.shots.append(shot)
 
     def remove_shot(self, index: int) -> Rect:
         shot = self.shots.pop(index)
-        self.imap.remove(shot)
+        window = self.imap.window_of(shot)
+        self.imap.remove(shot, window)
+        self._refresh_cost_base(window)
         return shot
 
     def snapshot(self) -> list[Rect]:
@@ -158,3 +711,4 @@ class RefinementState:
         """Reset to a previously snapshotted shot list."""
         self.shots = list(shots)
         self.imap.rebuild(self.shots)
+        self._refresh_cost_base()

@@ -16,6 +16,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.geometry.point import Point
 from repro.geometry.polygon import Polygon
 from repro.geometry.raster import PixelGrid, rasterize_polygon
 from repro.geometry.rect import Rect
@@ -86,9 +87,40 @@ def polygon_difference(
     return _combine(a, b, "difference", pitch)
 
 
-def polygon_area_of(polygons: list[Polygon]) -> float:
-    """Total area of a boolean-op result (component areas summed)."""
-    return sum(poly.area for poly in polygons)
+def _interior_probe(poly: Polygon, pitch: float) -> Point:
+    """A point strictly inside a grid-traced rectilinear boundary loop.
+
+    Every loop vertex and edge lies on pitch-multiple grid lines, and
+    the bottom-left-most vertex is a convex corner with the loop's
+    enclosed region up-right of it — so the centre of the grid cell
+    diagonal to that vertex is strictly inside this loop and strictly
+    off every other loop's boundary.
+    """
+    bl = min(poly.vertices, key=lambda p: (p.y, p.x))
+    return Point(bl.x + 0.5 * pitch, bl.y + 0.5 * pitch)
+
+
+def polygon_area_of(polygons: list[Polygon], pitch: float = 1.0) -> float:
+    """Even-odd area of a boolean-op result.
+
+    :func:`repro.geometry.trace.trace_all_boundaries` returns hole
+    boundaries as additional loops with orientation normalized away, so
+    plain summing counts holes positively (``B ⊂ A`` made
+    ``polygon_difference(A, B)`` report ``|A| + |B|`` instead of
+    ``|A| − |B|``).  A loop nested inside an odd number of the other
+    loops bounds a hole; its area subtracts.  ``pitch`` must match the
+    pitch the boolean op ran at (both default to 1.0).
+    """
+    total = 0.0
+    for i, poly in enumerate(polygons):
+        probe = _interior_probe(poly, pitch)
+        depth = sum(
+            1
+            for j, other in enumerate(polygons)
+            if j != i and other.contains_point(probe)
+        )
+        total += -poly.area if depth % 2 else poly.area
+    return total
 
 
 def shots_union_polygons(shots: list[Rect], pitch: float = 1.0) -> list[Polygon]:

@@ -9,6 +9,7 @@ classifier so they always agree on pixel-centre coordinates.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -79,22 +80,34 @@ class PixelGrid:
         iy = int(np.floor((p.y - self.y0) / self.pitch))
         return (min(max(iy, 0), self.ny - 1), min(max(ix, 0), self.nx - 1))
 
+    def x_span_to_slice(self, lo: float, hi: float, margin: float = 0.0) -> slice:
+        """Column slice of pixel centres inside ``[lo − margin, hi + margin]``.
+
+        Scalar math only — this runs several times per candidate edge
+        move, so numpy-scalar overhead would dominate.
+        """
+        ix_lo = math.floor((lo - margin - self.x0) / self.pitch - 0.5) + 1
+        ix_hi = math.ceil((hi + margin - self.x0) / self.pitch - 0.5)
+        ix_lo = min(max(ix_lo, 0), self.nx)
+        return slice(ix_lo, min(max(ix_hi + 1, ix_lo), self.nx))
+
+    def y_span_to_slice(self, lo: float, hi: float, margin: float = 0.0) -> slice:
+        """Row slice of pixel centres inside ``[lo − margin, hi + margin]``."""
+        iy_lo = math.floor((lo - margin - self.y0) / self.pitch - 0.5) + 1
+        iy_hi = math.ceil((hi + margin - self.y0) / self.pitch - 0.5)
+        iy_lo = min(max(iy_lo, 0), self.ny)
+        return slice(iy_lo, min(max(iy_hi + 1, iy_lo), self.ny))
+
     def rect_to_slices(self, rect: Rect, margin: float = 0.0) -> tuple[slice, slice]:
         """Index slices of all pixels whose centres fall in the padded rect.
 
         Used to restrict intensity updates and cost evaluation to the 3σ
         neighbourhood of a shot.
         """
-        grown = rect.expanded(margin)
-        ix_lo = int(np.floor((grown.xbl - self.x0) / self.pitch - 0.5)) + 1
-        ix_hi = int(np.ceil((grown.xtr - self.x0) / self.pitch - 0.5))
-        iy_lo = int(np.floor((grown.ybl - self.y0) / self.pitch - 0.5)) + 1
-        iy_hi = int(np.ceil((grown.ytr - self.y0) / self.pitch - 0.5))
-        ix_lo = min(max(ix_lo, 0), self.nx)
-        ix_stop = min(max(ix_hi + 1, ix_lo), self.nx)
-        iy_lo = min(max(iy_lo, 0), self.ny)
-        iy_stop = min(max(iy_hi + 1, iy_lo), self.ny)
-        return (slice(iy_lo, iy_stop), slice(ix_lo, ix_stop))
+        return (
+            self.y_span_to_slice(rect.ybl, rect.ytr, margin),
+            self.x_span_to_slice(rect.xbl, rect.xtr, margin),
+        )
 
 
 def rasterize_polygon(polygon: Polygon, grid: PixelGrid) -> np.ndarray:

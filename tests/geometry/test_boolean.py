@@ -73,6 +73,26 @@ class TestDifference:
         cover = Polygon([(-5, -5), (45, -5), (45, 45), (-5, 45)])
         assert polygon_difference(square_a, cover) == []
 
+    def test_hole_area_subtracts(self, square_a):
+        # Regression: B strictly inside A leaves A\B with a hole; the
+        # hole loop's area used to be *added*, reporting |A| + |B|.
+        inner = Polygon([(10, 10), (30, 10), (30, 30), (10, 30)])
+        result = polygon_difference(square_a, inner)
+        assert len(result) == 2  # outer boundary + hole boundary
+        assert polygon_area_of(result) == pytest.approx(
+            square_a.area - inner.area, rel=0.05
+        )
+
+    def test_thin_ring_difference(self):
+        # The hole is one pixel away from the outer boundary — the
+        # nesting probe must not step across the thin filled band.
+        outer = Polygon([(0, 0), (12, 0), (12, 12), (0, 12)])
+        inner = Polygon([(1, 1), (11, 1), (11, 11), (1, 11)])
+        result = polygon_difference(outer, inner)
+        assert polygon_area_of(result) == pytest.approx(
+            outer.area - inner.area, rel=0.10
+        )
+
     def test_inclusion_exclusion(self, square_a, square_b):
         """|A∪B| = |A| + |B| − |A∩B| at pixel resolution."""
         union = polygon_area_of(polygon_union(square_a, square_b))
