@@ -318,15 +318,15 @@ def _diagonal_chain(
 
 
 def _largest_component(mask: np.ndarray) -> np.ndarray:
-    """Keep only the largest connected component of a boolean mask."""
-    from repro.geometry.labeling import label_components
+    """Deprecated alias of :func:`repro.geometry.labeling.largest_component`.
 
-    labels, count = label_components(mask)
-    if count <= 1:
-        return mask
-    sizes = np.bincount(labels.ravel())
-    sizes[0] = 0
-    return labels == int(sizes.argmax())
+    Kept so existing callers keep working; the implementation moved to
+    the geometry layer, where non-bench code may depend on it without a
+    ``* → bench`` layering inversion.
+    """
+    from repro.geometry.labeling import largest_component
+
+    return largest_component(mask)
 
 
 def sraf_suite(pitch: float = 1.0) -> list[MaskShape]:

@@ -54,6 +54,32 @@ def _make_fracturer(name: str) -> Fracturer:
         ) from None
 
 
+def _maybe_windowed(fracturer: Fracturer, args: argparse.Namespace) -> Fracturer:
+    """Wrap the method in the tiled executor when ``--window-nm`` is set."""
+    window_nm = getattr(args, "window_nm", None)
+    if not window_nm:
+        return fracturer
+    from repro.fracture.windowed import WindowedFracturer
+
+    return WindowedFracturer(
+        fracturer,
+        window_nm=window_nm,
+        workers=getattr(args, "workers", 1) or 1,
+    )
+
+
+def _add_window_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--window-nm", type=float, metavar="NM",
+        help="tile large shapes into NM-sized 2-D windows with halo "
+             "overlap, fracture per tile and stitch the seams",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool width of the tile executor (with --window-nm)",
+    )
+
+
 def _spec_from_args(args: argparse.Namespace) -> FractureSpec:
     return FractureSpec(
         sigma=args.sigma, gamma=args.gamma, pitch=args.pitch,
@@ -95,7 +121,7 @@ def _telemetry(args: argparse.Namespace, spec: FractureSpec):
 
 def _cmd_fracture(args: argparse.Namespace) -> int:
     spec = _spec_from_args(args)
-    fracturer = _make_fracturer(args.method)
+    fracturer = _maybe_windowed(_make_fracturer(args.method), args)
     if args.clip_file:
         clips = load_clips(args.clip_file)
         if args.clip and args.clip not in clips:
@@ -219,7 +245,7 @@ def _cmd_mdp(args: argparse.Namespace) -> int:
     from repro.mask.mdp import MdpPipeline
 
     spec = _spec_from_args(args)
-    fracturer = _make_fracturer(args.method)
+    fracturer = _maybe_windowed(_make_fracturer(args.method), args)
     clips = load_clips(args.clip_file)
     shapes = [
         MaskShape.from_polygon(poly, pitch=spec.pitch,
@@ -227,9 +253,13 @@ def _cmd_mdp(args: argparse.Namespace) -> int:
         for name, poly in clips.items()
     ]
     pipeline = MdpPipeline(fracturer, spec)
+    # With --window-nm the worker pool lives inside the tile executor
+    # (parallelism across tiles of each large shape); without it, the
+    # pool parallelizes across shapes as before.
+    batch_workers = 1 if args.window_nm else args.workers
     with _telemetry(args, spec):
         report = pipeline.run(
-            shapes, output_dir=args.output, workers=args.workers, verbose=True
+            shapes, output_dir=args.output, workers=batch_workers, verbose=True
         )
     print(
         f"batch: {report.total_shots} shots over {len(report.results)} shapes, "
@@ -304,6 +334,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fracture.add_argument("--output", help="directory for solution JSON files")
     p_fracture.add_argument("--svg", help="directory for SVG renderings")
     p_fracture.add_argument("--gds", help="directory for GDSII solution files")
+    _add_window_arguments(p_fracture)
     _add_spec_arguments(p_fracture)
     _add_telemetry_argument(p_fracture)
     p_fracture.set_defaults(func=_cmd_fracture)
@@ -329,7 +360,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_mdp.add_argument("clip_file", help="clip JSON file")
     p_mdp.add_argument("--method", default="ours")
     p_mdp.add_argument("--baseline", help="compare economics against this method")
-    p_mdp.add_argument("--workers", type=int, default=1)
+    p_mdp.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool width: across shapes, or across tiles of "
+             "each shape when --window-nm is set",
+    )
+    p_mdp.add_argument(
+        "--window-nm", type=float, metavar="NM",
+        help="tile large shapes into NM-sized 2-D windows (tiled "
+             "executor; --workers then parallelizes tiles)",
+    )
     p_mdp.add_argument("--output", help="directory for solution JSON files")
     _add_spec_arguments(p_mdp)
     _add_telemetry_argument(p_mdp)

@@ -19,17 +19,22 @@ from repro.fracture.base import FractureResult, Fracturer
 from repro.fracture.corner_points import CornerType, ShotCornerPoint, extract_corner_points
 from repro.fracture.graph_color import GraphColoringFracturer, build_compatibility_graph
 from repro.fracture.pipeline import ModelBasedFracturer, RefineConfig
-from repro.fracture.windowed import WindowedFracturer
+from repro.fracture.tiling import Tile, TilePlan, plan_tiles
+from repro.fracture.windowed import LegacyWindowedFracturer, WindowedFracturer
 
 __all__ = [
     "CornerType",
     "FractureResult",
     "Fracturer",
     "GraphColoringFracturer",
+    "LegacyWindowedFracturer",
     "ModelBasedFracturer",
     "RefineConfig",
     "ShotCornerPoint",
+    "Tile",
+    "TilePlan",
     "WindowedFracturer",
     "build_compatibility_graph",
     "extract_corner_points",
+    "plan_tiles",
 ]

@@ -9,6 +9,10 @@ RemoveShot: pick the shot with the most failing P_off pixels within
 distance σ of it — the shot's own intensity exceeds 0.5 inside that
 band, so removing it likely clears those violations (at the price of new
 P_on violations that later iterations repair).
+
+Both moves honour :meth:`RefinementState.mutation_allowed`: in a
+region-restricted refinement, a shot is only added or removed when its
+full dose-effect window lies inside the active mask.
 """
 
 from __future__ import annotations
@@ -35,6 +39,8 @@ def add_shot(state: RefinementState, report: FailureReport) -> Rect | None:
     best_covered = -1
     for box, _pixel_count in boxes:
         shot = _expand_to_min_size(box, lmin)
+        if not state.mutation_allowed(state.imap.window_of(shot)):
+            continue
         covered = _covered_failing(fail_on, shot, state)
         if covered > best_covered:
             best_covered = covered
@@ -57,15 +63,19 @@ def remove_shot(state: RefinementState, report: FailureReport) -> Rect | None:
     px = grid.x0 + (xs + 0.5) * grid.pitch
     py = grid.y0 + (ys + 0.5) * grid.pitch
     sigma = state.spec.sigma
-    best_index = 0
+    best_index = -1
     best_count = -1
     for index, shot in enumerate(state.shots):
+        if not state.mutation_allowed(state.imap.window_of(shot)):
+            continue
         dx = np.maximum(np.maximum(shot.xbl - px, px - shot.xtr), 0.0)
         dy = np.maximum(np.maximum(shot.ybl - py, py - shot.ytr), 0.0)
         count = int(((dx * dx + dy * dy) < sigma * sigma).sum())
         if count > best_count:
             best_count = count
             best_index = index
+    if best_index < 0:
+        return None
     return state.remove_shot(best_index)
 
 

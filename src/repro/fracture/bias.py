@@ -42,5 +42,11 @@ def bias_all_shots(
             new = shot.expanded(pitch)
         else:
             new = shot.shrunk(pitch, lmin)
-        if new != shot:
-            state.replace_shot(index, new)
+        if new == shot:
+            continue
+        # Region-restricted refinements may only bias shots whose dose
+        # change stays inside the active mask (the changed dose lives in
+        # the union window of the two versions).
+        if not state.mutation_allowed(state.imap.union_window(shot, new)):
+            continue
+        state.replace_shot(index, new)

@@ -44,9 +44,9 @@ def merge_shots(state: RefinementState) -> int:
 def _try_merge_pair(a: Rect, b: Rect, state: RefinementState) -> Rect | None:
     """The merged shot for a pair, or None when no rule applies."""
     if a.contains_rect(b):
-        return a
+        return _if_allowed(a, state)
     if b.contains_rect(a):
-        return b
+        return _if_allowed(b, state)
     gamma = state.spec.gamma
     x_aligned = abs(a.xbl - b.xbl) <= gamma and abs(a.xtr - b.xtr) <= gamma
     y_aligned = abs(a.ybl - b.ybl) <= gamma and abs(a.ytr - b.ytr) <= gamma
@@ -54,5 +54,15 @@ def _try_merge_pair(a: Rect, b: Rect, state: RefinementState) -> Rect | None:
         return None
     merged = a.union_bbox(b)
     if state.shape.sat.rect_fraction(merged) > _INSIDE_FRACTION:
+        return _if_allowed(merged, state)
+    return None
+
+
+def _if_allowed(merged: Rect, state: RefinementState) -> Rect | None:
+    """Region-restriction gate: every merge rule's dose change is
+    confined to the merged rectangle's window (the merged shot contains
+    both originals), so one window test keeps restricted refinements
+    sound."""
+    if state.mutation_allowed(state.imap.window_of(merged)):
         return merged
     return None

@@ -62,6 +62,9 @@ def refine(
     spec: FractureSpec,
     initial_shots: list[Rect],
     params: RefineParams = RefineParams(),
+    *,
+    background: tuple[Rect, ...] | list[Rect] = (),
+    active_mask=None,
 ) -> tuple[list[Rect], RefineTrace]:
     """Run Algorithm 1 and return the best shot list found plus a trace.
 
@@ -69,10 +72,19 @@ def refine(
     are deterministic, so a revisited shot configuration means a limit
     cycle) and break them by inverting the add/remove decision — the
     best-so-far tracking makes this strictly safe.
+
+    ``background`` and ``active_mask`` select the region-restricted mode
+    used for seam stitching (see :class:`RefinementState`): background
+    shots contribute dose but are frozen, and cost/failures are counted
+    only inside the active mask.  The returned list holds the refined
+    *movable* shots only — the caller re-attaches the frozen set.
     """
     obs = get_recorder()
     with obs.span("refine", initial_shots=len(initial_shots)) as span:
-        state = RefinementState(shape, spec, initial_shots)
+        state = RefinementState(
+            shape, spec, initial_shots,
+            background=background, active_mask=active_mask,
+        )
         trace = RefineTrace()
         best_shots = state.snapshot()
         best_key: tuple[int, float] | None = None

@@ -37,10 +37,24 @@ class EdgeMoveCandidate(NamedTuple):
 
 
 class RefinementState:
-    """Shots + intensity + pixel classes for one refinement run."""
+    """Shots + intensity + pixel classes for one refinement run.
+
+    The optional *region restriction* turns a full-shape refinement into
+    a seam repair: ``background`` shots contribute dose but are frozen —
+    they are not in :attr:`shots`, so no move module can adjust, remove
+    or merge them — and ``active_mask`` demotes every pixel outside the
+    mask to don't-care (its cost sign ``S`` becomes 0, the exact
+    mechanism the γ band already uses), so the Eq. 5 cost, the failure
+    report and every candidate price see only the active region.  To
+    keep the restriction sound, every mutation whose dose-effect window
+    leaves the mask is forbidden (:meth:`mutation_allowed`) — otherwise
+    a move could damage pixels the restricted cost cannot see.  Both
+    parameters default to the unrestricted behaviour.
+    """
 
     __slots__ = (
-        "shape", "spec", "pixels", "imap", "shots",
+        "shape", "spec", "pixels", "imap", "shots", "background",
+        "active_mask",
         "_cost_sign", "_cost_bias", "_cost_base", "_scratch",
         "_gather_memo", "_delta_memo", "_cost_integral", "_active_integral",
         "_field_scratch", "_active_scratch",
@@ -51,11 +65,30 @@ class RefinementState:
         shape: MaskShape,
         spec: FractureSpec,
         shots: list[Rect],
+        *,
+        background: tuple[Rect, ...] | list[Rect] = (),
+        active_mask: np.ndarray | None = None,
     ):
         self.shape = shape
         self.spec = spec
-        self.pixels: PixelSets = shape.pixels(spec.gamma)
+        pixels: PixelSets = shape.pixels(spec.gamma)
+        if active_mask is not None:
+            if active_mask.shape != shape.grid.shape:
+                raise ValueError(
+                    f"active mask shape {active_mask.shape} != grid "
+                    f"shape {shape.grid.shape}"
+                )
+            pixels = PixelSets(
+                on=pixels.on & active_mask,
+                off=pixels.off & active_mask,
+                band=pixels.band | ~active_mask,
+            )
+        self.pixels = pixels
+        self.active_mask = active_mask
         self.imap = IntensityMap(shape.grid, spec.sigma)
+        self.background: tuple[Rect, ...] = tuple(background)
+        for shot in self.background:
+            self.imap.add(shot)
         self.shots: list[Rect] = list(shots)
         for shot in self.shots:
             self.imap.add(shot)
@@ -276,6 +309,10 @@ class RefinementState:
             return None
         if not candidate.meets_min_size(self.spec.lmin):
             return None
+        if self.active_mask is not None and not self.mutation_allowed(
+            self.imap.edge_move_window(shot, candidate, edge)
+        ):
+            return None
         window, patch_delta = self.imap.edge_move_delta(shot, candidate, edge)
         if active_integral is not None:
             crop = self.crop_to_active(active_integral, window)
@@ -389,6 +426,8 @@ class RefinementState:
         if not candidate.meets_min_size(self.spec.lmin):
             return None
         window = self.imap.edge_move_window(shot, candidate, edge)
+        if not self.mutation_allowed(window):
+            return None
         keys = self.imap.edge_move_profile_keys(shot, candidate, edge, window)
         return EdgeMoveCandidate(index, edge, delta, window, keys)
 
@@ -508,9 +547,15 @@ class RefinementState:
         Candidate geometry comes from a per-rectangle memo (most shots
         do not move between greedy passes); only the skip test — edges
         whose pricing region carries no failure cost can never yield an
-        accepted move — reads the current cost integral.
+        accepted move — reads the current cost integral.  In
+        region-restricted mode, moves whose effect window leaves the
+        active mask are dropped before pricing (they could never be
+        applied — see :meth:`mutation_allowed` — so pricing them would
+        only inflate the candidate count the seam stitch is supposed to
+        keep proportional to the seam area).
         """
         memo = self._gather_memo
+        mask = self.active_mask
         candidates: list[EdgeMoveCandidate] = []
         append = candidates.append
         for index, shot in enumerate(self.shots):
@@ -529,6 +574,8 @@ class RefinementState:
                 ) <= 0.0:
                     continue
                 for delta, window, keys in moves:
+                    if mask is not None and not mask[window].all():
+                        continue
                     append(EdgeMoveCandidate(index, edge, delta, window, keys))
         return candidates
 
@@ -670,6 +717,19 @@ class RefinementState:
 
     # -- mutation -----------------------------------------------------------
 
+    def mutation_allowed(self, window: tuple[slice, slice]) -> bool:
+        """True when a mutation's dose-effect window is fully scored.
+
+        Unrestricted refinements allow everything.  With an active mask,
+        a mutation is only sound when every pixel its dose change can
+        touch lies inside the mask — a window that leaks outside could
+        damage pixels the restricted cost treats as don't-care, damage
+        that would only surface in the full-shape check afterwards.
+        """
+        if self.active_mask is None:
+            return True
+        return bool(self.active_mask[window].all())
+
     def apply_edge_move(self, index: int, edge: str, delta: float) -> bool:
         """Commit an edge move; returns False if it became invalid."""
         shot = self.shots[index]
@@ -678,6 +738,10 @@ class RefinementState:
         except ValueError:
             return False
         if not candidate.meets_min_size(self.spec.lmin):
+            return False
+        if self.active_mask is not None and not self.mutation_allowed(
+            self.imap.edge_move_window(shot, candidate, edge)
+        ):
             return False
         window = self.imap.apply_edge_move(shot, candidate, edge)
         self._refresh_cost_base(window)
@@ -710,5 +774,5 @@ class RefinementState:
     def restore(self, shots: list[Rect]) -> None:
         """Reset to a previously snapshotted shot list."""
         self.shots = list(shots)
-        self.imap.rebuild(self.shots)
+        self.imap.rebuild(list(self.background) + self.shots)
         self._refresh_cost_base()

@@ -1,19 +1,28 @@
-"""Windowed fracturing: divide-and-stitch for very large shapes.
+"""Tiled fracturing: 2-D halo-tile decomposition for very large shapes.
 
 The paper fractures clip-sized shapes (hundreds of nanometres).  A
 production flow meets individual polygons spanning many micrometres —
 too large for the O(|C|²) compatibility graph and the full-grid
 refinement.  :class:`WindowedFracturer` wraps any inner fracturer with
-the standard MDP scaling trick:
+the tiled execution architecture of :mod:`repro.fracture.tiling`:
 
-1. split the shape into vertical slabs of ``window_nm``, each padded by
-   a *halo* wider than the blur reach, so the sub-problem sees the dose
-   context of its neighbours' territory;
-2. fracture every slab independently (the slab boundary looks like a
-   real shape edge to the inner method);
-3. keep each shot with the slab that owns its centre, then run a short
-   *global* stitching refinement to repair the seams where neighbouring
-   slabs' shots meet.
+1. split the mask plane into a deterministic 2-D grid of tiles with
+   blur-derived halos; every connected component owning pixels in a
+   tile's core is extracted as its own sub-problem (none is dropped);
+2. fracture every tile independently — serially or on a process pool
+   (``workers``) — keeping each shot with the tile that owns its centre
+   under a half-open rule, so the merged shot list is identical for any
+   worker count;
+3. repair the tile boundaries with a *seam-band* stitch: only shots
+   within one halo width of a seam move (everything else is frozen
+   background dose), only pixels inside the seam bands are scored, and
+   any mutation whose dose reach would leave the bands is forbidden —
+   so the stitch costs ~O(seam area), not O(chip area).
+
+:class:`LegacyWindowedFracturer` preserves the pre-tiling behaviour —
+serial 1-D slabs and a full-grid stitch over the whole shape — verbatim
+as the benchmark baseline (``benchmarks/bench_windowed.py`` measures the
+refactor against it).
 """
 
 from __future__ import annotations
@@ -22,14 +31,35 @@ import numpy as np
 
 from repro.fracture.base import Fracturer
 from repro.fracture.refine import RefineParams, refine
+from repro.fracture.tiling import (
+    Tile,
+    TilePlan,
+    extract_tile_shapes,
+    halo_nm,
+    ownership_stretch,
+    plan_tiles,
+    seam_band_masks,
+    split_seam_shots,
+)
+from repro.geometry.labeling import largest_component
 from repro.geometry.raster import PixelGrid
 from repro.geometry.rect import Rect
-from repro.mask.constraints import FractureSpec
+from repro.mask.constraints import FractureSpec, check_solution
 from repro.mask.shape import MaskShape
+from repro.obs import TelemetryRecorder, get_recorder, recording
 
 
 class WindowedFracturer(Fracturer):
-    """Slab-decomposed fracturing around any inner method."""
+    """Tile-decomposed fracturing around any inner method.
+
+    ``window_nm`` is the tile size along both axes; ``workers`` the
+    process-pool width of the tile executor (1 = run tiles inline);
+    ``stitch_params`` the iteration budget of the seam-band stitch;
+    ``full_repair`` enables a bounded full-shape repair refinement as a
+    safety net when the stitched solution still has failing pixels
+    outside the seam bands (rare; the final verdict always comes from
+    the independent :meth:`Fracturer.fracture` check either way).
+    """
 
     name = "WINDOWED"
 
@@ -37,24 +67,249 @@ class WindowedFracturer(Fracturer):
         self,
         inner: Fracturer,
         window_nm: float = 300.0,
-        stitch_params: RefineParams = RefineParams(nmax=200, nh=3),
+        stitch_params: RefineParams | None = None,
+        workers: int = 1,
+        full_repair: bool = True,
+    ):
+        if window_nm <= 0.0:
+            raise ValueError("window size must be positive")
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.inner = inner
+        self.window_nm = window_nm
+        # None-sentinel construction: a shared default instance would be
+        # one object across every WindowedFracturer (see the dataclass-
+        # default audit in DESIGN.md).
+        self.stitch_params = (
+            stitch_params if stitch_params is not None
+            else RefineParams(nmax=200, nh=3)
+        )
+        self.workers = workers
+        self.full_repair = full_repair
+        self._last_extra: dict = {}
+
+    # -- execution ----------------------------------------------------------
+
+    def fracture_shots(self, shape: MaskShape, spec: FractureSpec) -> list[Rect]:
+        obs = get_recorder()
+        plan = plan_tiles(shape, spec, self.window_nm)
+        if len(plan) == 1:
+            # Fits in one tile (with slack): bit-identical to the inner
+            # method — no decomposition, no stitch.
+            shots = self.inner.fracture_shots(shape, spec)
+            self._last_extra = {
+                "tiles": 1, "tiles_x": 1, "tiles_y": 1,
+                "stitch_iterations": 0,
+            }
+            return shots
+        with obs.span(
+            "tiled", tiles=len(plan), tiles_x=plan.tiles_x,
+            tiles_y=plan.tiles_y, workers=self.workers,
+        ):
+            jobs = self._plan_jobs(shape, spec, plan)
+            collected, tiles_used, sub_shapes = self._execute(jobs, spec)
+            obs.incr("windowed.tiles", len(plan))
+            obs.incr("windowed.tiles_used", tiles_used)
+            stitched, stitch_info = self._stitch(shape, spec, plan, collected)
+        self._last_extra = {
+            "tiles": len(plan),
+            "tiles_x": plan.tiles_x,
+            "tiles_y": plan.tiles_y,
+            "tiles_used": tiles_used,
+            "tile_sub_shapes": sub_shapes,
+            "workers": self.workers,
+            "pre_stitch_shots": len(collected),
+            **stitch_info,
+        }
+        return stitched
+
+    def _plan_jobs(
+        self, shape: MaskShape, spec: FractureSpec, plan: TilePlan
+    ) -> list[tuple[Tile, list[MaskShape]]]:
+        """Extract every tile's owned sub-shapes (row-major tile order).
+
+        Sub-shapes are cropped to their component's bounding box padded
+        by the halo width, so each tile sub-problem pays for its own
+        geometry, not the whole tile window.
+        """
+        jobs: list[tuple[Tile, list[MaskShape]]] = []
+        for tile in plan.tiles:
+            subs = extract_tile_shapes(shape, tile, pad_nm=halo_nm(spec))
+            if subs:
+                jobs.append((tile, subs))
+        return jobs
+
+    def _execute(
+        self, jobs: list[tuple[Tile, list[MaskShape]]], spec: FractureSpec
+    ) -> tuple[list[Rect], int, int]:
+        """Fracture all tile jobs and merge owned shots in tile order.
+
+        The merge is deterministic regardless of worker count: jobs are
+        issued and results consumed in row-major tile order (``pool.map``
+        preserves input order), and each tile's output depends only on
+        its own sub-shapes.
+        """
+        obs = get_recorder()
+        collected: list[Rect] = []
+        sub_shapes = sum(len(subs) for _, subs in jobs)
+        if self.workers == 1 or len(jobs) <= 1:
+            for tile, subs in jobs:
+                with obs.span("tile", tile=tile.name, sub_shapes=len(subs)):
+                    owned = _fracture_tile(self.inner, tile, subs, spec)
+                collected.extend(owned)
+            return collected, len(jobs), sub_shapes
+        from concurrent.futures import ProcessPoolExecutor
+
+        payloads = [
+            (self.inner, tile, subs, spec, obs.enabled) for tile, subs in jobs
+        ]
+        with ProcessPoolExecutor(max_workers=self.workers) as pool:
+            outcomes = list(pool.map(_tile_job, payloads))
+        for (tile, _subs), (owned, telemetry) in zip(jobs, outcomes):
+            if telemetry is not None:
+                obs.merge_child(telemetry, label=tile.name)
+            collected.extend(owned)
+        return collected, len(jobs), sub_shapes
+
+    # -- stitching ----------------------------------------------------------
+
+    def _stitch(
+        self,
+        shape: MaskShape,
+        spec: FractureSpec,
+        plan: TilePlan,
+        collected: list[Rect],
+    ) -> tuple[list[Rect], dict]:
+        """Seam-band repair of the merged tile solutions.
+
+        Shots within one halo width of an interior tile boundary are
+        refined; the rest contribute frozen background dose.  Cost and
+        failures are evaluated only inside the seam-band active mask,
+        and mutations whose dose reach would leave the mask are
+        forbidden, so the priced candidate count scales with seam area
+        (tracked by the ``windowed.stitch_candidates_priced`` counter).
+        """
+        obs = get_recorder()
+        active_mask, movable_nm = seam_band_masks(shape, plan, spec)
+        movable, frozen = split_seam_shots(collected, plan, movable_nm)
+        obs.incr("windowed.seam_shots", len(movable))
+        obs.incr("windowed.frozen_shots", len(frozen))
+        info: dict = {
+            "seam_shots": len(movable),
+            "frozen_shots": len(frozen),
+            "stitch_iterations": 0,
+            "stitch_converged": True,
+            "stitch_candidates_priced": 0,
+            "full_repair": False,
+        }
+        if not movable:
+            return list(collected), info
+        counters = getattr(obs, "counters", {})
+        priced_before = counters.get("refine.candidates_priced", 0)
+        with obs.span("stitch", seam_shots=len(movable)):
+            refined, trace = refine(
+                shape, spec, movable, self.stitch_params,
+                background=frozen, active_mask=active_mask,
+            )
+        priced = counters.get("refine.candidates_priced", 0) - priced_before
+        obs.incr("windowed.stitch_candidates_priced", priced)
+        stitched = frozen + refined
+        info.update(
+            stitch_iterations=trace.iterations,
+            stitch_converged=trace.converged,
+            stitch_candidates_priced=int(priced),
+        )
+        if self.full_repair and self.stitch_params.nmax > 0:
+            report = check_solution(stitched, shape, spec)
+            if report.total_failing > 0:
+                # Failures outside the stitch's jurisdiction: the
+                # mutation guard keeps the stitch from damaging anything
+                # beyond the bands, so what remains is either in-band
+                # residue the budget didn't clear or tile-interior
+                # residue the inner method left behind.  One bounded
+                # full-shape refinement goes after both.
+                obs.incr("windowed.full_repairs")
+                with obs.span("stitch_full_repair"):
+                    stitched, repair_trace = refine(
+                        shape, spec, stitched, self.stitch_params
+                    )
+                info["full_repair"] = True
+                info["full_repair_iterations"] = repair_trace.iterations
+        return stitched, info
+
+
+def _fracture_tile(
+    inner: Fracturer, tile: Tile, subs: list[MaskShape], spec: FractureSpec
+) -> list[Rect]:
+    """Fracture one tile's sub-shapes, keeping centre-owned shots only."""
+    owned: list[Rect] = []
+    for sub in subs:
+        for shot in inner.fracture_shots(sub, spec):
+            centre = shot.center
+            if tile.owns(centre.x, centre.y):
+                owned.append(shot)
+    return owned
+
+
+def _tile_job(job: tuple) -> tuple[list[Rect], dict | None]:
+    """Module-level worker so ProcessPoolExecutor can pickle the call.
+
+    Mirrors the MDP batch worker: when the parent records telemetry the
+    worker collects into a fresh per-process buffer shipped back with
+    the shots for the parent to :meth:`~TelemetryRecorder.merge_child`.
+    """
+    inner, tile, subs, spec, telemetry_enabled = job
+    if not telemetry_enabled:
+        return _fracture_tile(inner, tile, subs, spec), None
+    recorder = TelemetryRecorder()
+    with recording(recorder):
+        with recorder.span("tile", tile=tile.name, sub_shapes=len(subs)):
+            owned = _fracture_tile(inner, tile, subs, spec)
+    return owned, recorder.export()
+
+
+class LegacyWindowedFracturer(Fracturer):
+    """The pre-tiling windowed fracturer, preserved as a baseline.
+
+    Serial 1-D vertical slabs, largest-component-only slab extraction
+    (the historical dropped-component behaviour) and a *full-grid*
+    stitch refinement over the whole shape with every shot movable.
+    ``benchmarks/bench_windowed.py`` measures the tiled executor against
+    exactly this code path; do not "fix" it.  The only deviations from
+    the historical code are layering ones: the largest-component helper
+    now comes from :mod:`repro.geometry.labeling` instead of
+    ``repro.bench.shapes``, and the outer-slab ownership stretch uses
+    the blur-derived :func:`ownership_stretch` instead of the magic
+    ``10 × grid_margin`` (both stretches exceed any reachable shot
+    centre, so ownership is unchanged).
+    """
+
+    name = "WINDOWED-LEGACY"
+
+    def __init__(
+        self,
+        inner: Fracturer,
+        window_nm: float = 300.0,
+        stitch_params: RefineParams | None = None,
     ):
         if window_nm <= 0.0:
             raise ValueError("window size must be positive")
         self.inner = inner
         self.window_nm = window_nm
-        self.stitch_params = stitch_params
+        self.stitch_params = (
+            stitch_params if stitch_params is not None
+            else RefineParams(nmax=200, nh=3)
+        )
         self._last_extra: dict = {}
 
     def fracture_shots(self, shape: MaskShape, spec: FractureSpec) -> list[Rect]:
         bbox = shape.polygon.bounding_box()
         if bbox.width <= self.window_nm * 1.5:
-            # Fits in one window (with slack): no decomposition needed.
             shots = self.inner.fracture_shots(shape, spec)
             self._last_extra = {"slabs": 1, "stitch_iterations": 0}
             return shots
 
-        halo = spec.grid_margin
+        halo = halo_nm(spec)
         slab_edges = self._slab_edges(bbox, spec)
         collected: list[Rect] = []
         slabs_used = 0
@@ -83,10 +338,11 @@ class WindowedFracturer(Fracturer):
         slabs = list(zip(edges[:-1], edges[1:]))
         # Ownership is half-open [x_lo, x_hi); stretch the outer edges so
         # boundary-hugging shot centres are never orphaned.
+        stretch = ownership_stretch(spec)
         first_lo, first_hi = slabs[0]
-        slabs[0] = (first_lo - 10.0 * spec.grid_margin, first_hi)
+        slabs[0] = (first_lo - stretch, first_hi)
         last_lo, last_hi = slabs[-1]
-        slabs[-1] = (last_lo, last_hi + 10.0 * spec.grid_margin)
+        slabs[-1] = (last_lo, last_hi + stretch)
         return slabs
 
     def _slab_shape(
@@ -108,10 +364,7 @@ class WindowedFracturer(Fracturer):
             ix_hi - ix_lo,
             grid.ny,
         )
-        # The slab may cut the polygon into several pieces; the largest
-        # is fractured here, the rest belong to neighbouring slabs whose
-        # halo sees them whole.
-        from repro.bench.shapes import _largest_component
-
-        biggest = _largest_component(sub_mask)
+        # Historical behaviour (the bug the tiled executor fixes): only
+        # the largest connected component of the slab is fractured.
+        biggest = largest_component(sub_mask)
         return MaskShape.from_mask(biggest, sub_grid, name=f"{shape.name}@{ix_lo}")

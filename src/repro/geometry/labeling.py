@@ -78,6 +78,33 @@ def label_components(mask: np.ndarray) -> tuple[np.ndarray, int]:
     return remap[labels], next_label
 
 
+def largest_component(mask: np.ndarray) -> np.ndarray:
+    """Boolean mask of the largest 4-connected component of ``mask``.
+
+    Returns ``mask`` unchanged when it holds at most one component, so
+    single-polygon inputs pay only the labeling pass.
+    """
+    labels, count = label_components(mask)
+    if count <= 1:
+        return mask
+    sizes = np.bincount(labels.ravel())
+    sizes[0] = 0
+    return labels == int(sizes.argmax())
+
+
+def component_masks(mask: np.ndarray) -> list[np.ndarray]:
+    """Every 4-connected component of ``mask`` as its own boolean mask.
+
+    Ordered by raster-scan position of each component's first pixel
+    (the :func:`label_components` numbering), which makes downstream
+    per-component work deterministic.
+    """
+    labels, count = label_components(mask)
+    if count <= 1:
+        return [mask] if count == 1 else []
+    return [labels == label for label in range(1, count + 1)]
+
+
 def bounding_boxes(
     labels: np.ndarray, count: int, grid: PixelGrid
 ) -> list[tuple[Rect, int]]:
