@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.fracture.pipeline import ModelBasedFracturer, RefineConfig
 from repro.fracture.refine import RefineParams
+from repro.fracture.runtime import RuntimePolicy
 from repro.fracture.windowed import LegacyWindowedFracturer, WindowedFracturer
 from repro.geometry.labeling import component_masks
 from repro.geometry.raster import PixelGrid
@@ -176,6 +177,41 @@ def _run_legacy(shape: MaskShape, spec: FractureSpec, nmax: int) -> dict:
     }
 
 
+def _fault_layer_overhead(
+    shape: MaskShape, spec: FractureSpec, nmax: int, repeats: int = 3
+) -> dict:
+    """Cost of the fault layer's optional features on a fault-free run.
+
+    Compares a plain serial tiled run against the same run with the
+    per-tile JSONL checkpoint journal enabled (the priciest optional
+    feature: one fsync'd append per tile).  Best-of-``repeats`` wall
+    time each; the acceptance bar is < 3% overhead.
+    """
+    import tempfile
+
+    def best(fracturer: WindowedFracturer) -> float:
+        walls = []
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fracturer.fracture_shots(shape, spec)
+            walls.append(time.perf_counter() - start)
+        return min(walls)
+
+    plain_wall = best(WindowedFracturer(_inner(nmax), window_nm=TILE_NM))
+    with tempfile.TemporaryDirectory() as checkpoint_dir:
+        guarded_wall = best(
+            WindowedFracturer(
+                _inner(nmax), window_nm=TILE_NM,
+                runtime=RuntimePolicy(checkpoint_dir=checkpoint_dir),
+            )
+        )
+    return {
+        "plain_wall_s": plain_wall,
+        "checkpointed_wall_s": guarded_wall,
+        "overhead_fraction": guarded_wall / plain_wall - 1.0,
+    }
+
+
 def run(grids: list[tuple[int, int]], workers: list[int], nmax: int) -> dict:
     spec = FractureSpec()
     layouts = []
@@ -225,7 +261,15 @@ def run(grids: list[tuple[int, int]], workers: list[int], nmax: int) -> dict:
             "tiled": runs,
             "deterministic_across_workers": deterministic,
         })
+    overhead = _fault_layer_overhead(
+        chip_shape(*grids[0]), spec, nmax
+    )
+    print(
+        f"fault layer (checkpoint journal on, fault-free): "
+        f"{overhead['overhead_fraction']:+.1%} vs plain"
+    )
     aggregate = {
+        "fault_layer": overhead,
         "all_tiled_feasible": all(
             r["feasible"] for lay in layouts for r in lay["tiled"]
         ),

@@ -14,6 +14,13 @@ Sub-commands:
 :class:`repro.obs.TelemetryRecorder` is installed for the run and the
 manifest + span tree + metrics + convergence records are written to
 ``PATH`` (format by extension: ``.json`` / ``.jsonl`` / ``.csv``).
+
+With ``--window-nm`` the tiled executor additionally accepts the
+fault-tolerance flags ``--tile-retries`` / ``--tile-timeout`` /
+``--checkpoint DIR`` / ``--resume`` / ``--inject-fault`` (see
+:mod:`repro.fracture.runtime`): an interrupted run re-invoked with
+``--checkpoint DIR --resume`` replays completed tiles from the journal
+bit-identically and re-executes only the rest.
 """
 
 from __future__ import annotations
@@ -54,8 +61,72 @@ def _make_fracturer(name: str) -> Fracturer:
         ) from None
 
 
+def _positive_int(value: str) -> int:
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a whole number, got {value!r}"
+        ) from None
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be at least 1, got {parsed}"
+        )
+    return parsed
+
+
+def _positive_float(value: str) -> float:
+    try:
+        parsed = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number, got {value!r}"
+        ) from None
+    if parsed <= 0.0:
+        raise argparse.ArgumentTypeError(
+            f"must be positive, got {parsed}"
+        )
+    return parsed
+
+
+def _runtime_policy(args: argparse.Namespace):
+    """Build the tiled executor's fault-tolerance policy from CLI flags."""
+    from repro.fracture.runtime import FaultPlan, RetryPolicy, RuntimePolicy
+
+    if args.resume and not args.checkpoint:
+        raise SystemExit("--resume requires --checkpoint DIR")
+    for flag, value in (
+        ("--checkpoint", args.checkpoint),
+        ("--resume", args.resume),
+        ("--inject-fault", args.inject_fault),
+        ("--tile-timeout", args.tile_timeout),
+    ):
+        if value and not args.window_nm:
+            raise SystemExit(
+                f"{flag} applies to the tiled executor; add --window-nm"
+            )
+    if args.tile_retries < 0:
+        raise SystemExit("--tile-retries must be 0 or more")
+    fault_plan = None
+    if args.inject_fault:
+        try:
+            fault_plan = FaultPlan.parse(args.inject_fault)
+        except ValueError as error:
+            raise SystemExit(str(error)) from None
+    return RuntimePolicy(
+        retry=RetryPolicy(
+            max_attempts=args.tile_retries + 1,
+            tile_deadline_s=args.tile_timeout,
+        ),
+        fault_plan=fault_plan,
+        checkpoint_dir=args.checkpoint,
+        resume=args.resume,
+    )
+
+
 def _maybe_windowed(fracturer: Fracturer, args: argparse.Namespace) -> Fracturer:
     """Wrap the method in the tiled executor when ``--window-nm`` is set."""
+    runtime = _runtime_policy(args)
     window_nm = getattr(args, "window_nm", None)
     if not window_nm:
         return fracturer
@@ -65,18 +136,48 @@ def _maybe_windowed(fracturer: Fracturer, args: argparse.Namespace) -> Fracturer
         fracturer,
         window_nm=window_nm,
         workers=getattr(args, "workers", 1) or 1,
+        runtime=runtime,
     )
 
 
 def _add_window_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
-        "--window-nm", type=float, metavar="NM",
+        "--window-nm", type=_positive_float, metavar="NM",
         help="tile large shapes into NM-sized 2-D windows with halo "
              "overlap, fracture per tile and stitch the seams",
     )
     parser.add_argument(
-        "--workers", type=int, default=1,
+        "--workers", type=_positive_int, default=1,
         help="process-pool width of the tile executor (with --window-nm)",
+    )
+
+
+def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
+    """Fault-tolerance flags of the tiled executor (require --window-nm)."""
+    parser.add_argument(
+        "--tile-retries", type=int, default=2, metavar="N",
+        help="retries per tile before degrading to the partition "
+             "baseline (default 2)",
+    )
+    parser.add_argument(
+        "--tile-timeout", type=_positive_float, metavar="SECONDS",
+        help="per-tile deadline; an overrunning tile is killed and "
+             "retried (needs --workers > 1)",
+    )
+    parser.add_argument(
+        "--checkpoint", metavar="DIR",
+        help="journal completed tiles to DIR/<shape>.tiles.jsonl so an "
+             "interrupted run can be resumed",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="replay completed tiles from the --checkpoint journal and "
+             "re-execute only the rest (bit-identical result)",
+    )
+    parser.add_argument(
+        "--inject-fault", action="append", metavar="TILE:ACTION[:TIMES]",
+        help="deterministic failure injection for testing, e.g. "
+             "'t0,0:crash' or 't1,2:raise:2' (actions: crash, hang, raise)",
     )
 
 
@@ -335,6 +436,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fracture.add_argument("--svg", help="directory for SVG renderings")
     p_fracture.add_argument("--gds", help="directory for GDSII solution files")
     _add_window_arguments(p_fracture)
+    _add_runtime_arguments(p_fracture)
     _add_spec_arguments(p_fracture)
     _add_telemetry_argument(p_fracture)
     p_fracture.set_defaults(func=_cmd_fracture)
@@ -361,15 +463,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_mdp.add_argument("--method", default="ours")
     p_mdp.add_argument("--baseline", help="compare economics against this method")
     p_mdp.add_argument(
-        "--workers", type=int, default=1,
+        "--workers", type=_positive_int, default=1,
         help="process-pool width: across shapes, or across tiles of "
              "each shape when --window-nm is set",
     )
     p_mdp.add_argument(
-        "--window-nm", type=float, metavar="NM",
+        "--window-nm", type=_positive_float, metavar="NM",
         help="tile large shapes into NM-sized 2-D windows (tiled "
              "executor; --workers then parallelizes tiles)",
     )
+    _add_runtime_arguments(p_mdp)
     p_mdp.add_argument("--output", help="directory for solution JSON files")
     _add_spec_arguments(p_mdp)
     _add_telemetry_argument(p_mdp)

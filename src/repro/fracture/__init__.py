@@ -19,20 +19,42 @@ from repro.fracture.base import FractureResult, Fracturer
 from repro.fracture.corner_points import CornerType, ShotCornerPoint, extract_corner_points
 from repro.fracture.graph_color import GraphColoringFracturer, build_compatibility_graph
 from repro.fracture.pipeline import ModelBasedFracturer, RefineConfig
+from repro.fracture.runtime import (
+    CheckpointJournal,
+    FaultPlan,
+    PoolBroken,
+    RetryPolicy,
+    RuntimePolicy,
+    TileCrash,
+    TileError,
+    TileInfeasible,
+    TileOutcome,
+    TileTimeout,
+)
 from repro.fracture.tiling import Tile, TilePlan, plan_tiles
 from repro.fracture.windowed import LegacyWindowedFracturer, WindowedFracturer
 
 __all__ = [
+    "CheckpointJournal",
     "CornerType",
+    "FaultPlan",
     "FractureResult",
     "Fracturer",
     "GraphColoringFracturer",
     "LegacyWindowedFracturer",
     "ModelBasedFracturer",
+    "PoolBroken",
     "RefineConfig",
+    "RetryPolicy",
+    "RuntimePolicy",
     "ShotCornerPoint",
     "Tile",
+    "TileCrash",
+    "TileError",
+    "TileInfeasible",
+    "TileOutcome",
     "TilePlan",
+    "TileTimeout",
     "WindowedFracturer",
     "build_compatibility_graph",
     "extract_corner_points",

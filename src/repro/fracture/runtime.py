@@ -1,0 +1,876 @@
+"""Fault-tolerant execution layer for the tiled fracturing executor.
+
+A full-chip run covers thousands of tiles and hours of wall time; one
+worker crash, hang or infeasible tile must not abort the run and lose
+every completed tile.  This module wraps the per-tile work of
+:class:`repro.fracture.windowed.WindowedFracturer` with:
+
+* an **error taxonomy** — :class:`TileCrash` (worker process died),
+  :class:`TileTimeout` (per-tile deadline exceeded),
+  :class:`TileInfeasible` (the tile computation raised) and
+  :class:`PoolBroken` (the pool could not be kept alive) — every error
+  carries the tile identity it belongs to;
+* **per-tile retry** with capped exponential backoff
+  (:class:`RetryPolicy`) and **per-tile deadlines** enforced by
+  ``submit``-based scheduling with tile-identity-preserving result
+  envelopes (``pool.map``'s order/all-success assumption is gone);
+* **pool recovery** — a ``BrokenProcessPool`` respawns the pool,
+  requeues the tiles that were in flight and *quarantines* the suspects
+  to inline (in-parent) execution for their next attempt, so one
+  poisonous tile cannot kill worker after worker;
+* a **degradation ladder** — a tile that exhausts its retries falls
+  back to the deterministic geometric :class:`PartitionFracturer`
+  baseline for that tile and is flagged (``windowed.tile_fallbacks``,
+  the run manifest, :attr:`TileOutcome.fallback`) instead of failing
+  the run;
+* an **atomic JSONL checkpoint journal** (:class:`CheckpointJournal`):
+  every completed tile is appended (write + flush + fsync) as one JSON
+  line, so an interrupted run resumed with ``--resume`` replays the
+  completed tiles from disk bit-identically and re-executes only the
+  rest;
+* a **deterministic failure-injection hook** (:class:`FaultPlan`):
+  crash / hang / raise on named tiles, armed per attempt, with a
+  seeded random-subset constructor — usable from tests and the CLI
+  (``--inject-fault``).
+
+Determinism: tile jobs are pure, so a retried attempt reproduces the
+original result exactly, and outcomes are merged in row-major job
+order regardless of completion order.  Retries, resume and any worker
+count therefore keep the merged shot list bit-identical to a
+fault-free single-worker run; only fallback tiles deviate, and those
+are explicitly flagged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from repro.geometry.rect import Rect
+from repro.mask.constraints import FractureSpec
+from repro.mask.shape import MaskShape
+from repro.obs import TelemetryRecorder, get_recorder, recording
+
+__all__ = [
+    "CheckpointJournal",
+    "CheckpointMismatch",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrash",
+    "InjectedFault",
+    "InjectedHang",
+    "PoolBroken",
+    "RetryPolicy",
+    "RunStats",
+    "RuntimePolicy",
+    "TileCrash",
+    "TileError",
+    "TileInfeasible",
+    "TileOutcome",
+    "TileTimeout",
+    "fracture_tile",
+    "partition_fallback",
+    "run_tiles",
+]
+
+
+# -- error taxonomy ----------------------------------------------------------
+
+
+class TileError(RuntimeError):
+    """Base of the per-tile error taxonomy; carries the tile identity."""
+
+    def __init__(self, tile_name: str, message: str):
+        super().__init__(f"tile {tile_name}: {message}")
+        self.tile_name = tile_name
+
+
+class TileCrash(TileError):
+    """The worker process executing the tile died (e.g. SIGKILL/OOM)."""
+
+
+class TileTimeout(TileError):
+    """The tile exceeded its per-tile deadline."""
+
+
+class TileInfeasible(TileError):
+    """The tile computation raised — the sub-problem could not be solved."""
+
+
+class PoolBroken(RuntimeError):
+    """The process pool could not be kept alive within the respawn budget."""
+
+
+class InjectedFault(RuntimeError):
+    """Raised by :class:`FaultPlan` for the ``raise`` action."""
+
+
+class InjectedCrash(InjectedFault):
+    """Inline stand-in for a worker hard-crash (see :meth:`FaultPlan.fire`)."""
+
+
+class InjectedHang(InjectedFault):
+    """Inline stand-in for a worker hang / surfaced after a survived hang."""
+
+
+# -- policies ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry, backoff, deadline and pool-respawn budget for tile execution.
+
+    ``max_attempts`` counts the first execution: 3 means one run plus
+    two retries before the degradation ladder engages.  Backoff for the
+    retry after attempt *k* is ``backoff_s * backoff_factor**(k-1)``
+    capped at ``backoff_cap_s``.  ``tile_deadline_s`` is enforced by
+    killing and respawning the pool, so it requires ``workers > 1``;
+    inline (serial) execution cannot be preempted.
+    """
+
+    max_attempts: int = 3
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_cap_s: float = 2.0
+    tile_deadline_s: float | None = None
+    max_pool_respawns: int = 8
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before the retry that follows failed attempt ``attempt``."""
+        raw = self.backoff_s * self.backoff_factor ** max(0, attempt - 1)
+        return min(raw, self.backoff_cap_s)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: ``action`` fires on the first ``times`` attempts."""
+
+    action: str  # "crash" | "hang" | "raise"
+    times: int = 1
+
+
+_FAULT_ACTIONS = ("crash", "hang", "raise")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Deterministic failure injection for named tiles.
+
+    ``faults`` maps tile names to :class:`FaultSpec`; a fault is armed
+    for attempts ``1..times`` of its tile, so retried attempts succeed.
+    In a pool worker ``crash`` hard-kills the process (``os._exit``) and
+    ``hang`` sleeps ``hang_s`` seconds; executed inline (serial path or
+    quarantined attempt) both are simulated by raising
+    :class:`InjectedCrash` / :class:`InjectedHang` instead — a real
+    SIGKILL or hang in the parent would take down the run the layer is
+    protecting.
+    """
+
+    faults: dict[str, FaultSpec] = field(default_factory=dict)
+    hang_s: float = 3600.0
+
+    @classmethod
+    def parse(cls, specs: Sequence[str], hang_s: float = 3600.0) -> "FaultPlan":
+        """Build a plan from CLI specs ``TILE:ACTION[:TIMES]``.
+
+        Example: ``t0,0:crash`` or ``t1,2:raise:2``.
+        """
+        faults: dict[str, FaultSpec] = {}
+        for spec in specs:
+            parts = spec.rsplit(":", 2)
+            if len(parts) >= 2 and parts[-1].isdigit() and parts[-2] in _FAULT_ACTIONS:
+                tile, action, times = ":".join(parts[:-2]), parts[-2], int(parts[-1])
+            elif len(parts) >= 2 and parts[-1] in _FAULT_ACTIONS:
+                tile, action, times = ":".join(parts[:-1]), parts[-1], 1
+            else:
+                raise ValueError(
+                    f"bad fault spec {spec!r}: expected TILE:ACTION[:TIMES] "
+                    f"with ACTION one of {_FAULT_ACTIONS}"
+                )
+            if not tile:
+                raise ValueError(f"bad fault spec {spec!r}: empty tile name")
+            faults[tile] = FaultSpec(action, times)
+        return cls(faults=faults, hang_s=hang_s)
+
+    @classmethod
+    def seeded(
+        cls,
+        tile_names: Sequence[str],
+        seed: int,
+        action: str = "crash",
+        fraction: float = 0.3,
+        times: int = 1,
+        hang_s: float = 3600.0,
+    ) -> "FaultPlan":
+        """Inject ``action`` on a seeded random subset of ``tile_names``."""
+        if action not in _FAULT_ACTIONS:
+            raise ValueError(f"unknown fault action {action!r}")
+        rng = random.Random(seed)
+        chosen = [name for name in tile_names if rng.random() < fraction]
+        return cls(
+            faults={name: FaultSpec(action, times) for name in chosen},
+            hang_s=hang_s,
+        )
+
+    def fire(self, tile_name: str, attempt: int, inline: bool) -> None:
+        """Execute the fault armed for ``(tile_name, attempt)``, if any."""
+        spec = self.faults.get(tile_name)
+        if spec is None or attempt > spec.times:
+            return
+        detail = f"injected {spec.action} on tile {tile_name} (attempt {attempt})"
+        if spec.action == "raise":
+            raise InjectedFault(detail)
+        if spec.action == "crash":
+            if inline:
+                raise InjectedCrash(detail)
+            os._exit(13)
+        if spec.action == "hang":
+            if inline:
+                raise InjectedHang(detail)
+            time.sleep(self.hang_s)
+            # Only reached when no deadline killed the worker: surface
+            # the hang as a retryable failure rather than fake success.
+            raise InjectedHang(detail)
+
+
+@dataclass
+class RuntimePolicy:
+    """Everything the tiled executor needs beyond the happy path."""
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    fault_plan: FaultPlan | None = None
+    checkpoint_dir: str | Path | None = None
+    resume: bool = False
+
+
+# -- outcomes ----------------------------------------------------------------
+
+
+@dataclass
+class TileOutcome:
+    """Tile-identity-preserving result envelope of one tile's execution."""
+
+    index: int
+    tile_name: str
+    ok: bool
+    shots: list[Rect]
+    attempts: int
+    fallback: bool = False
+    replayed: bool = False
+    error: str | None = None
+    telemetry: dict | None = None
+
+    def to_record(self) -> dict[str, Any]:
+        """JSON-serializable per-tile outcome (manifest / events)."""
+        record: dict[str, Any] = {
+            "tile": self.tile_name,
+            "ok": self.ok,
+            "attempts": self.attempts,
+            "shots": len(self.shots),
+            "fallback": self.fallback,
+            "replayed": self.replayed,
+        }
+        if self.error:
+            record["error"] = self.error
+        return record
+
+
+@dataclass
+class RunStats:
+    """Aggregate fault-layer activity of one :func:`run_tiles` call."""
+
+    tile_retries: int = 0
+    tile_timeouts: int = 0
+    pool_respawns: int = 0
+    tile_fallbacks: int = 0
+    tiles_replayed: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "tile_retries": self.tile_retries,
+            "tile_timeouts": self.tile_timeouts,
+            "pool_respawns": self.pool_respawns,
+            "tile_fallbacks": self.tile_fallbacks,
+            "tiles_replayed": self.tiles_replayed,
+        }
+
+
+# -- checkpoint journal ------------------------------------------------------
+
+
+class CheckpointMismatch(ValueError):
+    """An existing journal belongs to a different run configuration."""
+
+
+class CheckpointJournal:
+    """Atomic per-tile JSONL checkpoint of one tiled run.
+
+    Line 1 is a header carrying the *run key* (shape, spec, window size,
+    tile fingerprint); every further line is one completed tile with its
+    exact shot list.  Appends write one full line, flush and fsync, so a
+    crash mid-write loses at most the trailing partial line — which the
+    loader ignores.  JSON round-trips Python floats exactly, so replayed
+    tiles are bit-identical to their original execution.
+    """
+
+    SCHEMA = "repro.checkpoint/v1"
+
+    def __init__(self, path: Path, run_key: dict[str, Any]):
+        self.path = Path(path)
+        self.run_key = run_key
+        self.completed: dict[str, dict[str, Any]] = {}
+
+    @classmethod
+    def open(
+        cls, path: str | Path, run_key: dict[str, Any], resume: bool = False
+    ) -> "CheckpointJournal":
+        """Open (resuming) or start (overwriting) a journal at ``path``.
+
+        With ``resume`` an existing journal is loaded and validated
+        against ``run_key`` (:class:`CheckpointMismatch` on conflict); a
+        missing file simply starts a fresh run.  Without ``resume`` any
+        existing journal is truncated.
+        """
+        journal = cls(Path(path), run_key)
+        journal.path.parent.mkdir(parents=True, exist_ok=True)
+        if resume and journal.path.exists():
+            journal._load()
+        else:
+            journal._write_header()
+        return journal
+
+    def _write_header(self) -> None:
+        header = {"kind": "header", "schema": self.SCHEMA, "run_key": self.run_key}
+        with open(self.path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(header) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def _load(self) -> None:
+        lines = self.path.read_text(encoding="utf-8").splitlines()
+        if not lines:
+            self._write_header()
+            return
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            raise CheckpointMismatch(
+                f"{self.path}: first line is not a journal header"
+            ) from None
+        if header.get("kind") != "header" or header.get("schema") != self.SCHEMA:
+            raise CheckpointMismatch(f"{self.path}: not a {self.SCHEMA} journal")
+        if header.get("run_key") != self.run_key:
+            raise CheckpointMismatch(
+                f"{self.path}: journal belongs to a different run "
+                f"(shape/spec/window/tiling changed); delete it or drop --resume"
+            )
+        for line in lines[1:]:
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                # Trailing partial line from an interrupted append.
+                continue
+            if record.get("kind") == "tile" and "tile" in record:
+                self.completed[record["tile"]] = record
+
+    def record(self, outcome: TileOutcome) -> None:
+        """Append one completed tile — atomically, then fsync."""
+        record = {
+            "kind": "tile",
+            "tile": outcome.tile_name,
+            "status": "fallback" if outcome.fallback else "ok",
+            "attempts": outcome.attempts,
+            "shots": [list(shot.as_tuple()) for shot in outcome.shots],
+        }
+        if outcome.error:
+            record["error"] = outcome.error
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(record) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def replay(self, index: int, tile_name: str) -> TileOutcome | None:
+        """Outcome of ``tile_name`` from the journal, or ``None``."""
+        record = self.completed.get(tile_name)
+        if record is None:
+            return None
+        return TileOutcome(
+            index=index,
+            tile_name=tile_name,
+            ok=True,
+            shots=[Rect(*vals) for vals in record.get("shots", ())],
+            attempts=int(record.get("attempts", 1)),
+            fallback=record.get("status") == "fallback",
+            replayed=True,
+            error=record.get("error"),
+        )
+
+
+def run_key_fingerprint(run_key: dict[str, Any]) -> str:
+    """Short stable digest of a run key (manifest/debug convenience)."""
+    blob = json.dumps(run_key, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+# -- tile work ---------------------------------------------------------------
+
+
+def fracture_tile(
+    inner: Any, tile: Any, subs: list[MaskShape], spec: FractureSpec
+) -> list[Rect]:
+    """Fracture one tile's sub-shapes, keeping centre-owned shots only."""
+    owned: list[Rect] = []
+    for sub in subs:
+        for shot in inner.fracture_shots(sub, spec):
+            centre = shot.center
+            if tile.owns(centre.x, centre.y):
+                owned.append(shot)
+    return owned
+
+
+def partition_fallback(
+    tile: Any, subs: list[MaskShape], spec: FractureSpec
+) -> list[Rect]:
+    """Degradation-ladder terminal: deterministic geometric fracturing.
+
+    The :class:`PartitionFracturer` baseline is model-free and cannot
+    hang or diverge, so a tile whose model-based attempts are exhausted
+    still ships *valid coverage* — at a shot-count premium the run
+    manifest flags.
+    """
+    from repro.baselines.partition_fracture import PartitionFracturer
+
+    return fracture_tile(PartitionFracturer(), tile, subs, spec)
+
+
+# -- worker side -------------------------------------------------------------
+
+_WORKER_CTX: tuple | None = None
+
+
+def _worker_init(
+    inner: Any,
+    spec: FractureSpec,
+    telemetry_enabled: bool,
+    fault_plan: FaultPlan | None,
+) -> None:
+    """Pool initializer: ship the inner fracturer once per worker process.
+
+    Payloads then carry only ``(tile, subs, attempt)`` — the inner
+    method (with whatever caches/config it holds) is not re-pickled
+    into every tile job.
+    """
+    global _WORKER_CTX
+    _WORKER_CTX = (inner, spec, telemetry_enabled, fault_plan)
+
+
+def _kind_of(error: BaseException) -> str:
+    if isinstance(error, InjectedHang):
+        return "hang"
+    if isinstance(error, InjectedCrash):
+        return "crash"
+    return "error"
+
+
+def _tile_task(tile: Any, subs: list[MaskShape], attempt: int) -> tuple:
+    """Worker entry point: returns a tile-identity-preserving envelope.
+
+    ``("ok", tile_name, shots, telemetry | None)`` on success;
+    ``("error", tile_name, kind, message)`` when the computation raised
+    (the pool stays healthy and the parent knows exactly which tile and
+    how many sub-shapes were involved).  A hard crash (injected or
+    real) never returns — the parent sees ``BrokenProcessPool``.
+    """
+    inner, spec, telemetry_enabled, fault_plan = _WORKER_CTX
+    try:
+        if fault_plan is not None:
+            fault_plan.fire(tile.name, attempt, inline=False)
+        if not telemetry_enabled:
+            return ("ok", tile.name, fracture_tile(inner, tile, subs, spec), None)
+        recorder = TelemetryRecorder()
+        with recording(recorder):
+            with recorder.span("tile", tile=tile.name, sub_shapes=len(subs)):
+                owned = fracture_tile(inner, tile, subs, spec)
+        return ("ok", tile.name, owned, recorder.export())
+    except Exception as error:  # noqa: BLE001 — envelope, not policy
+        message = (
+            f"tile {tile.name} ({len(subs)} sub-shapes, attempt {attempt}): "
+            f"{type(error).__name__}: {error}"
+        )
+        if not isinstance(error, InjectedFault):
+            message += "\n" + traceback.format_exc()
+        return ("error", tile.name, _kind_of(error), message)
+
+
+# -- the runner --------------------------------------------------------------
+
+
+@dataclass
+class _Pending:
+    """One tile attempt waiting to run."""
+
+    idx: int
+    attempt: int
+    eligible_at: float
+    inline: bool = False  # quarantined to in-parent execution
+
+
+class _TileRunner:
+    """Shared state of one :func:`run_tiles` call (serial or pooled)."""
+
+    def __init__(
+        self,
+        jobs: list[tuple[Any, list[MaskShape]]],
+        *,
+        inner: Any,
+        spec: FractureSpec,
+        workers: int,
+        retry: RetryPolicy,
+        fault_plan: FaultPlan | None,
+        journal: CheckpointJournal | None,
+        telemetry_enabled: bool,
+        fallback: Callable[[Any, list[MaskShape], FractureSpec], list[Rect]],
+    ):
+        self.jobs = jobs
+        self.inner = inner
+        self.spec = spec
+        self.workers = workers
+        self.retry = retry
+        self.fault_plan = fault_plan
+        self.journal = journal
+        self.telemetry_enabled = telemetry_enabled
+        self.fallback = fallback
+        self.obs = get_recorder()
+        self.stats = RunStats()
+        self.outcomes: list[TileOutcome | None] = [None] * len(jobs)
+        self.pending: list[_Pending] = []
+        for idx, (tile, _subs) in enumerate(jobs):
+            replayed = journal.replay(idx, tile.name) if journal else None
+            if replayed is not None:
+                self.outcomes[idx] = replayed
+                self.stats.tiles_replayed += 1
+                self.obs.incr("windowed.tiles_replayed")
+            else:
+                self.pending.append(_Pending(idx, 1, 0.0))
+
+    # -- settlement ---------------------------------------------------------
+
+    def _settle_ok(
+        self, p: _Pending, shots: list[Rect], telemetry: dict | None
+    ) -> None:
+        outcome = TileOutcome(
+            index=p.idx,
+            tile_name=self.jobs[p.idx][0].name,
+            ok=True,
+            shots=shots,
+            attempts=p.attempt,
+            telemetry=telemetry,
+        )
+        self.outcomes[p.idx] = outcome
+        if self.journal is not None:
+            self.journal.record(outcome)
+        if p.attempt > 1:
+            self.obs.event("tile_recovered", **outcome.to_record())
+
+    def _settle_failure(self, p: _Pending, kind: str, message: str) -> None:
+        """Retry with backoff, or engage the degradation ladder."""
+        if kind == "hang":
+            self.stats.tile_timeouts += 1
+            self.obs.incr("windowed.tile_timeouts")
+        if p.attempt < self.retry.max_attempts:
+            self.stats.tile_retries += 1
+            self.obs.incr("windowed.tile_retries")
+            self.obs.event(
+                "tile_retry",
+                tile=self.jobs[p.idx][0].name,
+                attempt=p.attempt,
+                kind=kind,
+                error=message.splitlines()[0],
+            )
+            quarantine = p.inline or kind == "crash"
+            self.pending.append(
+                _Pending(
+                    p.idx,
+                    p.attempt + 1,
+                    time.monotonic() + self.retry.backoff(p.attempt),
+                    inline=quarantine,
+                )
+            )
+            return
+        self._run_fallback(p, message)
+
+    def _run_fallback(self, p: _Pending, reason: str) -> None:
+        tile, subs = self.jobs[p.idx]
+        self.stats.tile_fallbacks += 1
+        self.obs.incr("windowed.tile_fallbacks")
+        with self.obs.span("tile_fallback", tile=tile.name):
+            shots = self.fallback(tile, subs, self.spec)
+        outcome = TileOutcome(
+            index=p.idx,
+            tile_name=tile.name,
+            ok=True,
+            shots=shots,
+            attempts=p.attempt,
+            fallback=True,
+            error=reason.splitlines()[0],
+        )
+        self.outcomes[p.idx] = outcome
+        if self.journal is not None:
+            self.journal.record(outcome)
+        self.obs.event("tile_fallback", **outcome.to_record())
+
+    def _attempt_inline(self, p: _Pending) -> None:
+        """One in-parent attempt (serial path or quarantined tile)."""
+        tile, subs = self.jobs[p.idx]
+        try:
+            if self.fault_plan is not None:
+                self.fault_plan.fire(tile.name, p.attempt, inline=True)
+            with self.obs.span("tile", tile=tile.name, sub_shapes=len(subs)):
+                owned = fracture_tile(self.inner, tile, subs, self.spec)
+        except Exception as error:  # noqa: BLE001 — taxonomy boundary
+            message = (
+                f"tile {tile.name} ({len(subs)} sub-shapes, attempt "
+                f"{p.attempt}): {type(error).__name__}: {error}"
+            )
+            self._settle_failure(p, _kind_of(error), message)
+            return
+        self._settle_ok(p, owned, telemetry=None)
+
+    def _settle_envelope(self, p: _Pending, envelope: tuple) -> None:
+        if envelope[0] == "ok":
+            _tag, _name, shots, telemetry = envelope
+            self._settle_ok(p, shots, telemetry)
+        else:
+            _tag, _name, kind, message = envelope
+            self._settle_failure(p, kind, message)
+
+    # -- serial path --------------------------------------------------------
+
+    def run_serial(self) -> None:
+        while self.pending:
+            p = self.pending.pop(0)
+            delay = p.eligible_at - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            self._attempt_inline(p)
+
+    # -- pooled path --------------------------------------------------------
+
+    def run_pool(self) -> None:
+        from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+        from concurrent.futures.process import BrokenProcessPool
+
+        def spawn() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_worker_init,
+                initargs=(
+                    self.inner, self.spec,
+                    self.telemetry_enabled, self.fault_plan,
+                ),
+            )
+
+        def kill(pool: ProcessPoolExecutor) -> None:
+            for proc in list(getattr(pool, "_processes", {}).values()):
+                proc.kill()
+            pool.shutdown(wait=False, cancel_futures=True)
+
+        pool = spawn()
+        respawns = 0
+        inflight: dict[Any, tuple[_Pending, float]] = {}
+
+        def respawn_pool(reason: str) -> ProcessPoolExecutor:
+            nonlocal respawns
+            respawns += 1
+            self.stats.pool_respawns += 1
+            self.obs.incr("windowed.pool_respawns")
+            self.obs.event("pool_respawn", reason=reason, respawns=respawns)
+            if respawns > self.retry.max_pool_respawns:
+                raise PoolBroken(
+                    f"process pool died {respawns} times "
+                    f"(budget {self.retry.max_pool_respawns}); giving up: {reason}"
+                )
+            return spawn()
+
+        try:
+            while self.pending or inflight:
+                now = time.monotonic()
+                later: list[_Pending] = []
+                due_inline: list[_Pending] = []
+                submit: list[_Pending] = []
+                next_eligible: float | None = None
+                for p in self.pending:
+                    if p.eligible_at > now:
+                        later.append(p)
+                        if next_eligible is None or p.eligible_at < next_eligible:
+                            next_eligible = p.eligible_at
+                    elif p.inline:
+                        due_inline.append(p)
+                    elif len(inflight) + len(submit) < self.workers:
+                        submit.append(p)
+                    else:
+                        later.append(p)
+                self.pending = later
+                broken: list[_Pending] = []
+                pool_is_broken = False
+                for p in submit:
+                    tile, subs = self.jobs[p.idx]
+                    try:
+                        future = pool.submit(_tile_task, tile, subs, p.attempt)
+                    except Exception:  # BrokenProcessPool / RuntimeError
+                        pool_is_broken = True
+                        broken.append(p)
+                        continue
+                    inflight[future] = (p, time.monotonic())
+                for p in due_inline:
+                    self._attempt_inline(p)
+                if pool_is_broken:
+                    broken.extend(p for p, _t in inflight.values())
+                    inflight.clear()
+                    pool = respawn_pool("submit failed: pool already broken")
+                    for p in broken:
+                        self._settle_failure(
+                            p, "crash", "worker process died (BrokenProcessPool)"
+                        )
+                    continue
+                if not inflight:
+                    if self.pending and next_eligible is not None:
+                        time.sleep(max(0.0, next_eligible - time.monotonic()))
+                    continue
+                timeouts: list[float] = []
+                now = time.monotonic()
+                if self.retry.tile_deadline_s is not None:
+                    for _p, started in inflight.values():
+                        timeouts.append(
+                            started + self.retry.tile_deadline_s - now
+                        )
+                if next_eligible is not None:
+                    timeouts.append(next_eligible - now)
+                timeout = max(0.0, min(timeouts)) if timeouts else None
+                done, _not_done = wait(
+                    set(inflight), timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                failed_with_pool: list[_Pending] = []
+                for future in done:
+                    p, _started = inflight.pop(future)
+                    try:
+                        envelope = future.result()
+                    except BrokenProcessPool:
+                        pool_is_broken = True
+                        failed_with_pool.append(p)
+                        continue
+                    except Exception as error:  # noqa: BLE001
+                        self._settle_failure(
+                            p, "error",
+                            f"tile result unavailable: "
+                            f"{type(error).__name__}: {error}",
+                        )
+                        continue
+                    self._settle_envelope(p, envelope)
+                if pool_is_broken:
+                    # Everything still in flight died with the pool;
+                    # requeue it all — suspects are quarantined inline by
+                    # the "crash" settlement path.
+                    failed_with_pool.extend(p for p, _t in inflight.values())
+                    inflight.clear()
+                    pool = respawn_pool("worker process died abruptly")
+                    for p in failed_with_pool:
+                        self._settle_failure(
+                            p, "crash", "worker process died (BrokenProcessPool)"
+                        )
+                    continue
+                if self.retry.tile_deadline_s is not None and inflight:
+                    now = time.monotonic()
+                    overdue = [
+                        future
+                        for future, (_p, started) in inflight.items()
+                        if now - started >= self.retry.tile_deadline_s
+                    ]
+                    if overdue:
+                        # A hung worker cannot be preempted individually:
+                        # kill the pool, respawn, requeue the innocent
+                        # in-flight tiles without penalty and charge the
+                        # overdue ones a timeout.
+                        overdue_set = set(overdue)
+                        victims = list(inflight.items())
+                        inflight.clear()
+                        kill(pool)
+                        pool = respawn_pool("tile deadline exceeded")
+                        for future, (p, started) in victims:
+                            if future in overdue_set:
+                                tile = self.jobs[p.idx][0]
+                                self._settle_failure(
+                                    p, "hang",
+                                    f"tile {tile.name} exceeded deadline "
+                                    f"{self.retry.tile_deadline_s:.3g}s "
+                                    f"(attempt {p.attempt})",
+                                )
+                            else:
+                                self.pending.append(
+                                    _Pending(p.idx, p.attempt, 0.0, p.inline)
+                                )
+        finally:
+            if inflight:
+                kill(pool)  # hung/dead workers: do not wait on them
+            else:
+                pool.shutdown(wait=True, cancel_futures=True)
+
+    # -- finish -------------------------------------------------------------
+
+    def finish(self) -> list[TileOutcome]:
+        outcomes: list[TileOutcome] = []
+        for idx, outcome in enumerate(self.outcomes):
+            if outcome is None:  # pragma: no cover — defensive
+                tile = self.jobs[idx][0]
+                raise PoolBroken(f"tile {tile.name} never produced an outcome")
+            if outcome.telemetry is not None:
+                self.obs.merge_child(outcome.telemetry, label=outcome.tile_name)
+                outcome.telemetry = None
+            self.obs.event("tile_outcome", **outcome.to_record())
+            outcomes.append(outcome)
+        return outcomes
+
+
+def run_tiles(
+    jobs: list[tuple[Any, list[MaskShape]]],
+    *,
+    inner: Any,
+    spec: FractureSpec,
+    workers: int = 1,
+    retry: RetryPolicy | None = None,
+    fault_plan: FaultPlan | None = None,
+    journal: CheckpointJournal | None = None,
+    telemetry_enabled: bool = False,
+    fallback: Callable[[Any, list[MaskShape], FractureSpec], list[Rect]]
+    | None = None,
+) -> tuple[list[TileOutcome], RunStats]:
+    """Execute tile ``jobs`` fault-tolerantly; outcomes in job order.
+
+    The contract the tiled executor's determinism rests on: outcomes are
+    returned (and their telemetry merged) in row-major job order no
+    matter the worker count, completion order, retries or resume — and
+    each job is pure, so any successful attempt yields the same shots.
+    """
+    runner = _TileRunner(
+        jobs,
+        inner=inner,
+        spec=spec,
+        workers=workers,
+        retry=retry if retry is not None else RetryPolicy(),
+        fault_plan=fault_plan,
+        journal=journal,
+        telemetry_enabled=telemetry_enabled,
+        fallback=fallback if fallback is not None else partition_fallback,
+    )
+    if workers == 1 or len(runner.pending) <= 1:
+        runner.run_serial()
+    else:
+        runner.run_pool()
+    return runner.finish(), runner.stats

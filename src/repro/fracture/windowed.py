@@ -19,6 +19,13 @@ the tiled execution architecture of :mod:`repro.fracture.tiling`:
    any mutation whose dose reach would leave the bands is forbidden —
    so the stitch costs ~O(seam area), not O(chip area).
 
+Tile execution is fault-tolerant (:mod:`repro.fracture.runtime`): a
+worker crash, hang or infeasible tile is retried with backoff, the
+pool is respawned when it breaks, a tile that exhausts its retries
+degrades to the deterministic partition baseline (flagged, never
+fatal), and an optional JSONL checkpoint journal lets an interrupted
+run resume bit-identically (``--checkpoint`` / ``--resume``).
+
 :class:`LegacyWindowedFracturer` preserves the pre-tiling behaviour —
 serial 1-D slabs and a full-grid stitch over the whole shape — verbatim
 as the benchmark baseline (``benchmarks/bench_windowed.py`` measures the
@@ -27,10 +34,18 @@ refactor against it).
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 
 from repro.fracture.base import Fracturer
 from repro.fracture.refine import RefineParams, refine
+from repro.fracture.runtime import (
+    CheckpointJournal,
+    RuntimePolicy,
+    fracture_tile,
+    run_tiles,
+)
 from repro.fracture.tiling import (
     Tile,
     TilePlan,
@@ -46,7 +61,7 @@ from repro.geometry.raster import PixelGrid
 from repro.geometry.rect import Rect
 from repro.mask.constraints import FractureSpec, check_solution
 from repro.mask.shape import MaskShape
-from repro.obs import TelemetryRecorder, get_recorder, recording
+from repro.obs import get_recorder
 
 
 class WindowedFracturer(Fracturer):
@@ -59,6 +74,14 @@ class WindowedFracturer(Fracturer):
     safety net when the stitched solution still has failing pixels
     outside the seam bands (rare; the final verdict always comes from
     the independent :meth:`Fracturer.fracture` check either way).
+
+    ``runtime`` configures the fault-tolerant execution layer
+    (:mod:`repro.fracture.runtime`): per-tile retry/backoff, per-tile
+    deadlines, pool recovery, the partition-baseline degradation
+    ladder, fault injection and the JSONL checkpoint journal behind
+    the CLI's ``--checkpoint``/``--resume``.  ``None`` means the
+    default :class:`~repro.fracture.runtime.RetryPolicy` with no
+    checkpointing and no injected faults.
     """
 
     name = "WINDOWED"
@@ -70,6 +93,7 @@ class WindowedFracturer(Fracturer):
         stitch_params: RefineParams | None = None,
         workers: int = 1,
         full_repair: bool = True,
+        runtime: RuntimePolicy | None = None,
     ):
         if window_nm <= 0.0:
             raise ValueError("window size must be positive")
@@ -86,6 +110,7 @@ class WindowedFracturer(Fracturer):
         )
         self.workers = workers
         self.full_repair = full_repair
+        self.runtime = runtime if runtime is not None else RuntimePolicy()
         self._last_extra: dict = {}
 
     # -- execution ----------------------------------------------------------
@@ -107,18 +132,17 @@ class WindowedFracturer(Fracturer):
             tiles_y=plan.tiles_y, workers=self.workers,
         ):
             jobs = self._plan_jobs(shape, spec, plan)
-            collected, tiles_used, sub_shapes = self._execute(jobs, spec)
+            collected, exec_info = self._execute(shape, spec, plan, jobs)
             obs.incr("windowed.tiles", len(plan))
-            obs.incr("windowed.tiles_used", tiles_used)
+            obs.incr("windowed.tiles_used", exec_info["tiles_used"])
             stitched, stitch_info = self._stitch(shape, spec, plan, collected)
         self._last_extra = {
             "tiles": len(plan),
             "tiles_x": plan.tiles_x,
             "tiles_y": plan.tiles_y,
-            "tiles_used": tiles_used,
-            "tile_sub_shapes": sub_shapes,
             "workers": self.workers,
             "pre_stitch_shots": len(collected),
+            **exec_info,
             **stitch_info,
         }
         return stitched
@@ -140,36 +164,84 @@ class WindowedFracturer(Fracturer):
         return jobs
 
     def _execute(
-        self, jobs: list[tuple[Tile, list[MaskShape]]], spec: FractureSpec
-    ) -> tuple[list[Rect], int, int]:
+        self,
+        shape: MaskShape,
+        spec: FractureSpec,
+        plan: TilePlan,
+        jobs: list[tuple[Tile, list[MaskShape]]],
+    ) -> tuple[list[Rect], dict]:
         """Fracture all tile jobs and merge owned shots in tile order.
 
-        The merge is deterministic regardless of worker count: jobs are
-        issued and results consumed in row-major tile order (``pool.map``
-        preserves input order), and each tile's output depends only on
-        its own sub-shapes.
+        Execution goes through the fault-tolerant runtime layer
+        (:func:`repro.fracture.runtime.run_tiles`): per-tile retries,
+        deadlines, pool recovery, fallback degradation and the
+        checkpoint journal all live there.  The merge is deterministic
+        regardless of worker count, retries or resume: outcomes come
+        back in row-major tile order and each tile's output depends
+        only on its own sub-shapes.
         """
         obs = get_recorder()
+        journal = None
+        if self.runtime.checkpoint_dir is not None:
+            journal = CheckpointJournal.open(
+                Path(self.runtime.checkpoint_dir) / f"{shape.name}.tiles.jsonl",
+                run_key=self._run_key(shape, spec, plan, jobs),
+                resume=self.runtime.resume,
+            )
+        outcomes, stats = run_tiles(
+            jobs,
+            inner=self.inner,
+            spec=spec,
+            workers=self.workers,
+            retry=self.runtime.retry,
+            fault_plan=self.runtime.fault_plan,
+            journal=journal,
+            telemetry_enabled=obs.enabled,
+        )
         collected: list[Rect] = []
-        sub_shapes = sum(len(subs) for _, subs in jobs)
-        if self.workers == 1 or len(jobs) <= 1:
-            for tile, subs in jobs:
-                with obs.span("tile", tile=tile.name, sub_shapes=len(subs)):
-                    owned = _fracture_tile(self.inner, tile, subs, spec)
-                collected.extend(owned)
-            return collected, len(jobs), sub_shapes
-        from concurrent.futures import ProcessPoolExecutor
+        for outcome in outcomes:
+            collected.extend(outcome.shots)
+        fallback_tiles = [o.tile_name for o in outcomes if o.fallback]
+        retried = {o.tile_name: o.attempts for o in outcomes if o.attempts > 1}
+        info = {
+            "tiles_used": len(jobs),
+            "tile_sub_shapes": sum(len(subs) for _, subs in jobs),
+            "fallback_tiles": fallback_tiles,
+            **stats.as_dict(),
+        }
+        manifest = getattr(obs, "manifest", None)
+        if manifest is not None:
+            entries = manifest.setdefault("fault_tolerance", [])
+            entries.append({
+                "shape": shape.name,
+                "tiles": len(jobs),
+                "fallback_tiles": fallback_tiles,
+                "retried": retried,
+                "replayed": [o.tile_name for o in outcomes if o.replayed],
+                **stats.as_dict(),
+            })
+        return collected, info
 
-        payloads = [
-            (self.inner, tile, subs, spec, obs.enabled) for tile, subs in jobs
-        ]
-        with ProcessPoolExecutor(max_workers=self.workers) as pool:
-            outcomes = list(pool.map(_tile_job, payloads))
-        for (tile, _subs), (owned, telemetry) in zip(jobs, outcomes):
-            if telemetry is not None:
-                obs.merge_child(telemetry, label=tile.name)
-            collected.extend(owned)
-        return collected, len(jobs), sub_shapes
+    def _run_key(
+        self,
+        shape: MaskShape,
+        spec: FractureSpec,
+        plan: TilePlan,
+        jobs: list[tuple[Tile, list[MaskShape]]],
+    ) -> dict:
+        """Checkpoint-compatibility key: same key ⇒ same tile results."""
+        return {
+            "shape": shape.name,
+            "inner": self.inner.name,
+            "window_nm": self.window_nm,
+            "spec": [spec.sigma, spec.gamma, spec.pitch, spec.rho, spec.lmin],
+            "tiles_x": plan.tiles_x,
+            "tiles_y": plan.tiles_y,
+            "jobs": [
+                [tile.name, len(subs), list(tile.core.as_tuple())]
+                for tile, subs in jobs
+            ],
+        }
 
     # -- stitching ----------------------------------------------------------
 
@@ -238,34 +310,9 @@ class WindowedFracturer(Fracturer):
         return stitched, info
 
 
-def _fracture_tile(
-    inner: Fracturer, tile: Tile, subs: list[MaskShape], spec: FractureSpec
-) -> list[Rect]:
-    """Fracture one tile's sub-shapes, keeping centre-owned shots only."""
-    owned: list[Rect] = []
-    for sub in subs:
-        for shot in inner.fracture_shots(sub, spec):
-            centre = shot.center
-            if tile.owns(centre.x, centre.y):
-                owned.append(shot)
-    return owned
-
-
-def _tile_job(job: tuple) -> tuple[list[Rect], dict | None]:
-    """Module-level worker so ProcessPoolExecutor can pickle the call.
-
-    Mirrors the MDP batch worker: when the parent records telemetry the
-    worker collects into a fresh per-process buffer shipped back with
-    the shots for the parent to :meth:`~TelemetryRecorder.merge_child`.
-    """
-    inner, tile, subs, spec, telemetry_enabled = job
-    if not telemetry_enabled:
-        return _fracture_tile(inner, tile, subs, spec), None
-    recorder = TelemetryRecorder()
-    with recording(recorder):
-        with recorder.span("tile", tile=tile.name, sub_shapes=len(subs)):
-            owned = _fracture_tile(inner, tile, subs, spec)
-    return owned, recorder.export()
+# Back-compat alias: the per-tile work moved to the runtime layer so
+# the pool workers and the fault machinery share one implementation.
+_fracture_tile = fracture_tile
 
 
 class LegacyWindowedFracturer(Fracturer):

@@ -5,7 +5,10 @@ The measurement substrate for the fracturing pipeline:
 * hierarchical **spans** (wall + CPU time, nestable, thread- and
   process-safe) — :class:`TelemetryRecorder`, :func:`get_recorder`;
 * **counters / gauges / histograms** (``refine.moves_accepted``,
-  ``intensity.lut_hits``, ``coloring.colors_used``, …);
+  ``intensity.lut_hits``, ``coloring.colors_used``, and the tiled
+  fault-layer counters ``windowed.tile_retries``,
+  ``windowed.tile_timeouts``, ``windowed.pool_respawns``,
+  ``windowed.tile_fallbacks``, ``windowed.tiles_replayed``, …);
 * a per-iteration **convergence recorder** for Algorithm 1;
 * a **run manifest** (γ/σ/Δp/ρ/L_min, seed, git SHA, host) with
   JSON / JSONL / CSV exporters and a ``trace summarize`` renderer.

@@ -1,0 +1,252 @@
+"""Integration tests: fault-tolerant tiled execution end to end.
+
+The acceptance bar of the fault layer: an injected hard crash (worker
+``os._exit``), hang (deadline exceeded) or raised exception on any tile
+neither fails the run nor changes the final shot list — retries, pool
+respawns, resume and any worker count reproduce the fault-free
+single-worker result bit for bit (fallback tiles excepted and flagged).
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.fracture.pipeline import ModelBasedFracturer, RefineConfig
+from repro.fracture.refine import RefineParams
+from repro.fracture.runtime import (
+    FaultPlan,
+    PoolBroken,
+    RetryPolicy,
+    RuntimePolicy,
+)
+from repro.fracture.tiling import plan_tiles
+from repro.fracture.windowed import WindowedFracturer
+from repro.geometry.raster import PixelGrid
+from repro.mask.constraints import FractureSpec
+from repro.mask.shape import MaskShape
+from repro.obs import TelemetryRecorder, recording
+
+
+@pytest.fixture(scope="module")
+def spec_module():
+    return FractureSpec()
+
+
+@pytest.fixture(scope="module")
+def bar_field(spec_module):
+    """Three rectangular components over a 3×1 tile grid (see
+    test_windowed.py): every sub-problem is easy, so these tests
+    exercise the fault machinery, not the inner method."""
+    grid = PixelGrid(0.0, 0.0, 1.0, 760, 160)
+    mask = np.zeros(grid.shape, dtype=bool)
+    mask[60:100, 50:340] = True
+    mask[60:100, 380:710] = True
+    mask[115:145, 330:410] = True
+    return MaskShape.from_mask(mask, grid, name="bar-field")
+
+
+def _inner():
+    return ModelBasedFracturer(
+        config=RefineConfig(params=RefineParams(nmax=120, nh=3))
+    )
+
+
+def _windowed(workers=1, runtime=None):
+    return WindowedFracturer(
+        _inner(), window_nm=250.0, workers=workers, runtime=runtime
+    )
+
+
+@pytest.fixture(scope="module")
+def clean_shots(bar_field, spec_module):
+    """The fault-free single-worker reference every test compares to."""
+    return _windowed(workers=1).fracture_shots(bar_field, spec_module)
+
+
+@pytest.fixture(scope="module")
+def tile_names(bar_field, spec_module):
+    return [t.name for t in plan_tiles(bar_field, spec_module, 250.0).tiles]
+
+
+_FAST_RETRY = RetryPolicy(max_attempts=3, backoff_s=0.0, backoff_cap_s=0.0)
+
+
+class TestCrashRecovery:
+    def test_real_worker_crash_is_bit_identical(
+        self, bar_field, spec_module, clean_shots
+    ):
+        """A worker hard-killed mid-tile (os._exit): the pool respawns,
+        the tile retries, and the final shot list is unchanged."""
+        runtime = RuntimePolicy(
+            retry=_FAST_RETRY,
+            fault_plan=FaultPlan.parse(["t1,0:crash"]),
+        )
+        recorder = TelemetryRecorder()
+        with recording(recorder):
+            shots = _windowed(workers=4, runtime=runtime).fracture_shots(
+                bar_field, spec_module
+            )
+        assert shots == clean_shots
+        assert recorder.counters.get("windowed.pool_respawns", 0) >= 1
+        assert recorder.counters.get("windowed.tile_retries", 0) >= 1
+        assert recorder.counters.get("windowed.tile_fallbacks", 0) == 0
+
+    def test_inline_crash_simulation_is_bit_identical(
+        self, bar_field, spec_module, clean_shots
+    ):
+        """workers=1 simulates the crash as an exception (a real
+        SIGKILL would take down the run itself) — same result."""
+        runtime = RuntimePolicy(
+            retry=_FAST_RETRY,
+            fault_plan=FaultPlan.parse(["t1,0:crash"]),
+        )
+        shots = _windowed(workers=1, runtime=runtime).fracture_shots(
+            bar_field, spec_module
+        )
+        assert shots == clean_shots
+
+    def test_pool_respawn_budget_exhaustion_raises(
+        self, bar_field, spec_module
+    ):
+        """When the pool cannot be kept alive, the failure is explicit —
+        PoolBroken, not a bare BrokenProcessPool traceback."""
+        runtime = RuntimePolicy(
+            retry=RetryPolicy(
+                max_attempts=9, backoff_s=0.0, backoff_cap_s=0.0,
+                max_pool_respawns=0,
+            ),
+            fault_plan=FaultPlan.parse(["t1,0:crash:99"]),
+        )
+        with pytest.raises(PoolBroken):
+            _windowed(workers=2, runtime=runtime).fracture_shots(
+                bar_field, spec_module
+            )
+
+
+class TestHangRecovery:
+    def test_deadline_kills_hung_worker_and_retries(
+        self, bar_field, spec_module, clean_shots
+    ):
+        runtime = RuntimePolicy(
+            retry=RetryPolicy(
+                max_attempts=3, backoff_s=0.0, backoff_cap_s=0.0,
+                tile_deadline_s=2.0,
+            ),
+            fault_plan=FaultPlan.parse(["t1,0:hang"], hang_s=60.0),
+        )
+        recorder = TelemetryRecorder()
+        with recording(recorder):
+            shots = _windowed(workers=2, runtime=runtime).fracture_shots(
+                bar_field, spec_module
+            )
+        assert shots == clean_shots
+        assert recorder.counters.get("windowed.tile_timeouts", 0) >= 1
+        assert recorder.counters.get("windowed.pool_respawns", 0) >= 1
+
+
+class TestDegradationLadder:
+    def test_persistent_failure_falls_back_not_fails(
+        self, bar_field, spec_module, clean_shots
+    ):
+        """A tile that fails every attempt degrades to the partition
+        baseline: the run completes, the tile is flagged, the other
+        tiles are untouched."""
+        runtime = RuntimePolicy(
+            retry=RetryPolicy(max_attempts=2, backoff_s=0.0, backoff_cap_s=0.0),
+            fault_plan=FaultPlan.parse(["t1,0:raise:99"]),
+        )
+        recorder = TelemetryRecorder()
+        fracturer = _windowed(workers=1, runtime=runtime)
+        with recording(recorder):
+            shots = fracturer.fracture_shots(bar_field, spec_module)
+        assert shots  # the run survived
+        assert fracturer._last_extra["fallback_tiles"] == ["t1,0"]
+        assert recorder.counters.get("windowed.tile_fallbacks", 0) == 1
+        manifest_entries = recorder.manifest.get("fault_tolerance")
+        assert manifest_entries and manifest_entries[0]["fallback_tiles"] == ["t1,0"]
+        # Degradation is deliberately *not* bit-identical on the failed
+        # tile — but it must still deliver coverage there.
+        assert len(shots) >= len(clean_shots)
+
+
+class TestCheckpointResume:
+    def test_mid_run_interrupt_and_resume(
+        self, bar_field, spec_module, clean_shots, tmp_path
+    ):
+        """Kill the run after one tile (simulated by truncating the
+        journal), resume: bit-identical result, only the unfinished
+        tiles re-execute."""
+        ckpt = tmp_path / "ckpt"
+        full = _windowed(
+            workers=1, runtime=RuntimePolicy(checkpoint_dir=ckpt)
+        ).fracture_shots(bar_field, spec_module)
+        assert full == clean_shots
+        journal_path = ckpt / "bar-field.tiles.jsonl"
+        lines = journal_path.read_text().splitlines()
+        assert len(lines) == 4  # header + 3 tiles
+        journal_path.write_text("\n".join(lines[:2]) + "\n")
+        recorder = TelemetryRecorder()
+        with recording(recorder):
+            resumed = _windowed(
+                workers=1,
+                runtime=RuntimePolicy(checkpoint_dir=ckpt, resume=True),
+            ).fracture_shots(bar_field, spec_module)
+        assert resumed == clean_shots
+        assert recorder.counters.get("windowed.tiles_replayed") == 1
+
+    def test_journal_records_are_loadable_json(
+        self, bar_field, spec_module, tmp_path
+    ):
+        ckpt = tmp_path / "ckpt"
+        _windowed(
+            workers=1, runtime=RuntimePolicy(checkpoint_dir=ckpt)
+        ).fracture_shots(bar_field, spec_module)
+        lines = (ckpt / "bar-field.tiles.jsonl").read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[0]["kind"] == "header"
+        assert all(r["kind"] == "tile" for r in records[1:])
+        assert all(r["status"] == "ok" for r in records[1:])
+
+
+class TestBitIdentityProperty:
+    @settings(
+        max_examples=4,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        workers=st.sampled_from([1, 4]),
+        keep=st.integers(min_value=0, max_value=3),
+    )
+    def test_faulted_and_resumed_runs_reproduce_clean_run(
+        self, bar_field, spec_module, clean_shots, tile_names, tmp_path_factory,
+        seed, workers, keep,
+    ):
+        """Property: a crash injected on a seeded random tile subset
+        (then retried), and a --resume from a mid-run checkpoint, are
+        both bit-identical to the clean run at workers ∈ {1, 4}."""
+        plan = FaultPlan.seeded(tile_names, seed=seed, action="crash", fraction=0.5)
+        shots = _windowed(
+            workers=workers,
+            runtime=RuntimePolicy(retry=_FAST_RETRY, fault_plan=plan),
+        ).fracture_shots(bar_field, spec_module)
+        assert shots == clean_shots
+
+        # Mid-run checkpoint: keep a prefix of completed tiles, resume.
+        ckpt = tmp_path_factory.mktemp("ckpt")
+        _windowed(
+            workers=1, runtime=RuntimePolicy(checkpoint_dir=ckpt)
+        ).fracture_shots(bar_field, spec_module)
+        journal_path = ckpt / "bar-field.tiles.jsonl"
+        lines = journal_path.read_text().splitlines()
+        journal_path.write_text("\n".join(lines[: 1 + keep]) + "\n")
+        resumed = _windowed(
+            workers=workers,
+            runtime=RuntimePolicy(checkpoint_dir=ckpt, resume=True),
+        ).fracture_shots(bar_field, spec_module)
+        assert resumed == clean_shots

@@ -1,0 +1,269 @@
+"""Unit tests for the fault-tolerant tile execution layer.
+
+Fast by construction: stub tiles and a stub inner fracturer make every
+``run_tiles`` call a few milliseconds, so retry/backoff/fallback/journal
+logic is exercised without real fracturing.
+"""
+
+import json
+
+import pytest
+
+from repro.fracture.runtime import (
+    CheckpointJournal,
+    CheckpointMismatch,
+    FaultPlan,
+    FaultSpec,
+    InjectedCrash,
+    InjectedFault,
+    InjectedHang,
+    RetryPolicy,
+    TileCrash,
+    TileError,
+    TileInfeasible,
+    TileOutcome,
+    TileTimeout,
+    run_tiles,
+)
+from repro.geometry.rect import Rect
+from repro.mask.constraints import FractureSpec
+
+
+class StubTile:
+    """Minimal tile: a name and an accept-everything ownership rule."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def owns(self, x: float, y: float) -> bool:
+        return True
+
+
+class StubInner:
+    """Inner fracturer stub: one fixed shot per sub-shape."""
+
+    name = "STUB"
+
+    def fracture_shots(self, sub, spec):
+        return [Rect(0.0, 0.0, 10.0, 10.0)]
+
+
+def _jobs(n: int = 3, subs_per_tile: int = 1):
+    return [
+        (StubTile(f"t{i},0"), [object()] * subs_per_tile) for i in range(n)
+    ]
+
+
+def _fast_retry(**overrides) -> RetryPolicy:
+    defaults = dict(max_attempts=3, backoff_s=0.0, backoff_cap_s=0.0)
+    defaults.update(overrides)
+    return RetryPolicy(**defaults)
+
+
+def _stub_fallback(tile, subs, spec):
+    return [Rect(1.0, 1.0, 2.0, 2.0)]
+
+
+SPEC = FractureSpec()
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(backoff_s=0.1, backoff_factor=2.0, backoff_cap_s=0.3)
+        assert policy.backoff(1) == pytest.approx(0.1)
+        assert policy.backoff(2) == pytest.approx(0.2)
+        assert policy.backoff(3) == pytest.approx(0.3)  # capped
+        assert policy.backoff(10) == pytest.approx(0.3)
+
+
+class TestErrorTaxonomy:
+    def test_tile_errors_carry_identity(self):
+        for cls in (TileCrash, TileTimeout, TileInfeasible):
+            error = cls("t3,7", "boom")
+            assert isinstance(error, TileError)
+            assert error.tile_name == "t3,7"
+            assert "t3,7" in str(error)
+
+
+class TestFaultPlan:
+    def test_parse_variants(self):
+        plan = FaultPlan.parse(["t0,0:crash", "t1,2:raise:2", "t2,0:hang"])
+        assert plan.faults["t0,0"] == FaultSpec("crash", 1)
+        assert plan.faults["t1,2"] == FaultSpec("raise", 2)
+        assert plan.faults["t2,0"] == FaultSpec("hang", 1)
+
+    @pytest.mark.parametrize("bad", ["", "t0,0", "t0,0:explode", ":crash"])
+    def test_parse_rejects_bad_specs(self, bad):
+        with pytest.raises(ValueError):
+            FaultPlan.parse([bad])
+
+    def test_seeded_is_deterministic(self):
+        names = [f"t{i},0" for i in range(20)]
+        a = FaultPlan.seeded(names, seed=7, fraction=0.4)
+        b = FaultPlan.seeded(names, seed=7, fraction=0.4)
+        assert a.faults == b.faults
+        assert set(a.faults) <= set(names)
+
+    def test_fire_arms_per_attempt(self):
+        plan = FaultPlan(faults={"t0,0": FaultSpec("raise", 2)})
+        with pytest.raises(InjectedFault):
+            plan.fire("t0,0", attempt=1, inline=True)
+        with pytest.raises(InjectedFault):
+            plan.fire("t0,0", attempt=2, inline=True)
+        plan.fire("t0,0", attempt=3, inline=True)  # disarmed
+        plan.fire("t9,9", attempt=1, inline=True)  # unnamed tile: no-op
+
+    def test_inline_crash_and_hang_are_simulated(self):
+        plan = FaultPlan(faults={"a": FaultSpec("crash"), "b": FaultSpec("hang")})
+        with pytest.raises(InjectedCrash):
+            plan.fire("a", attempt=1, inline=True)
+        with pytest.raises(InjectedHang):
+            plan.fire("b", attempt=1, inline=True)
+
+
+class TestCheckpointJournal:
+    RUN_KEY = {"shape": "s", "window_nm": 100.0}
+
+    def _outcome(self, idx=0, name="t0,0", fallback=False):
+        return TileOutcome(
+            index=idx, tile_name=name, ok=True,
+            shots=[Rect(0.25, 0.5, 10.125, 20.0625)],
+            attempts=2, fallback=fallback,
+        )
+
+    def test_roundtrip_replays_exact_shots(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CheckpointJournal.open(path, self.RUN_KEY)
+        journal.record(self._outcome())
+        resumed = CheckpointJournal.open(path, self.RUN_KEY, resume=True)
+        replayed = resumed.replay(0, "t0,0")
+        assert replayed is not None
+        assert replayed.replayed
+        assert replayed.shots == [Rect(0.25, 0.5, 10.125, 20.0625)]
+        assert replayed.attempts == 2
+        assert resumed.replay(1, "t1,0") is None
+
+    def test_fallback_flag_survives_resume(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CheckpointJournal.open(path, self.RUN_KEY)
+        journal.record(self._outcome(fallback=True))
+        resumed = CheckpointJournal.open(path, self.RUN_KEY, resume=True)
+        assert resumed.replay(0, "t0,0").fallback
+
+    def test_partial_trailing_line_ignored(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CheckpointJournal.open(path, self.RUN_KEY)
+        journal.record(self._outcome())
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"kind": "tile", "tile": "t1,0", "sho')  # torn write
+        resumed = CheckpointJournal.open(path, self.RUN_KEY, resume=True)
+        assert set(resumed.completed) == {"t0,0"}
+
+    def test_run_key_mismatch_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        CheckpointJournal.open(path, self.RUN_KEY)
+        with pytest.raises(CheckpointMismatch):
+            CheckpointJournal.open(
+                path, {"shape": "s", "window_nm": 200.0}, resume=True
+            )
+
+    def test_open_without_resume_truncates(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = CheckpointJournal.open(path, self.RUN_KEY)
+        journal.record(self._outcome())
+        fresh = CheckpointJournal.open(path, self.RUN_KEY, resume=False)
+        assert not fresh.completed
+        assert len(path.read_text().splitlines()) == 1  # header only
+
+    def test_resume_with_missing_file_starts_fresh(self, tmp_path):
+        path = tmp_path / "new.jsonl"
+        journal = CheckpointJournal.open(path, self.RUN_KEY, resume=True)
+        assert not journal.completed
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["kind"] == "header"
+
+
+class TestRunTilesSerial:
+    def test_clean_run_in_job_order(self):
+        outcomes, stats = run_tiles(
+            _jobs(3), inner=StubInner(), spec=SPEC, retry=_fast_retry()
+        )
+        assert [o.tile_name for o in outcomes] == ["t0,0", "t1,0", "t2,0"]
+        assert all(o.ok and not o.fallback for o in outcomes)
+        assert stats.as_dict() == {
+            "tile_retries": 0, "tile_timeouts": 0, "pool_respawns": 0,
+            "tile_fallbacks": 0, "tiles_replayed": 0,
+        }
+
+    def test_injected_raise_is_retried_then_succeeds(self):
+        outcomes, stats = run_tiles(
+            _jobs(3), inner=StubInner(), spec=SPEC, retry=_fast_retry(),
+            fault_plan=FaultPlan(faults={"t1,0": FaultSpec("raise", 1)}),
+        )
+        assert all(o.ok and not o.fallback for o in outcomes)
+        assert outcomes[1].attempts == 2
+        assert stats.tile_retries == 1
+
+    def test_inline_hang_counts_as_timeout(self):
+        outcomes, stats = run_tiles(
+            _jobs(2), inner=StubInner(), spec=SPEC, retry=_fast_retry(),
+            fault_plan=FaultPlan(faults={"t0,0": FaultSpec("hang", 1)}),
+        )
+        assert all(o.ok for o in outcomes)
+        assert stats.tile_timeouts == 1
+        assert stats.tile_retries == 1
+
+    def test_exhausted_retries_degrade_to_fallback(self):
+        outcomes, stats = run_tiles(
+            _jobs(3, subs_per_tile=2), inner=StubInner(), spec=SPEC,
+            retry=_fast_retry(max_attempts=2),
+            fault_plan=FaultPlan(faults={"t2,0": FaultSpec("raise", 99)}),
+            fallback=_stub_fallback,
+        )
+        assert outcomes[2].fallback
+        assert outcomes[2].shots == [Rect(1.0, 1.0, 2.0, 2.0)]
+        # The enriched error keeps tile identity and sub-shape count.
+        assert "t2,0" in outcomes[2].error
+        assert "2 sub-shapes" in outcomes[2].error
+        assert stats.tile_fallbacks == 1
+        assert stats.tile_retries == 1
+        # The healthy tiles are untouched.
+        assert not outcomes[0].fallback and not outcomes[1].fallback
+
+    def test_zero_retries_goes_straight_to_fallback(self):
+        outcomes, stats = run_tiles(
+            _jobs(1), inner=StubInner(), spec=SPEC,
+            retry=_fast_retry(max_attempts=1),
+            fault_plan=FaultPlan(faults={"t0,0": FaultSpec("raise", 1)}),
+            fallback=_stub_fallback,
+        )
+        assert outcomes[0].fallback
+        assert stats.tile_retries == 0
+
+    def test_journal_resume_skips_completed_tiles(self, tmp_path):
+        run_key = {"k": 1}
+        journal = CheckpointJournal.open(tmp_path / "j.jsonl", run_key)
+        first, _ = run_tiles(
+            _jobs(3), inner=StubInner(), spec=SPEC, retry=_fast_retry(),
+            journal=journal,
+        )
+        resumed_journal = CheckpointJournal.open(
+            tmp_path / "j.jsonl", run_key, resume=True
+        )
+        second, stats = run_tiles(
+            _jobs(3), inner=StubInner(), spec=SPEC, retry=_fast_retry(),
+            journal=resumed_journal,
+        )
+        assert stats.tiles_replayed == 3
+        assert [o.shots for o in second] == [o.shots for o in first]
+        assert all(o.replayed for o in second)
+
+    def test_outcome_record_shape(self):
+        outcomes, _stats = run_tiles(
+            _jobs(1), inner=StubInner(), spec=SPEC, retry=_fast_retry()
+        )
+        record = outcomes[0].to_record()
+        assert record == {
+            "tile": "t0,0", "ok": True, "attempts": 1, "shots": 1,
+            "fallback": False, "replayed": False,
+        }

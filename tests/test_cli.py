@@ -26,6 +26,43 @@ class TestParser:
         with pytest.raises(SystemExit):
             main(["fracture", "--method", "magic"])
 
+    @pytest.mark.parametrize(
+        "argv",
+        [
+            ["fracture", "--workers", "0"],
+            ["fracture", "--workers", "-2"],
+            ["fracture", "--workers", "two"],
+            ["fracture", "--window-nm", "0"],
+            ["fracture", "--window-nm", "-5"],
+            ["mdp", "clips.json", "--workers", "0"],
+            ["mdp", "clips.json", "--window-nm", "-1"],
+        ],
+    )
+    def test_invalid_window_and_workers_rejected_at_parse(self, argv, capsys):
+        """Bad --workers/--window-nm fail in argparse with a friendly
+        message, not a ValueError traceback from the constructor."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(argv)
+        err = capsys.readouterr().err
+        assert "must be" in err or "expected a" in err
+
+    def test_resume_requires_checkpoint(self, capsys):
+        with pytest.raises(SystemExit, match="--resume requires --checkpoint"):
+            main(["fracture", "--clip", "ILT-1", "--window-nm", "300", "--resume"])
+
+    def test_runtime_flags_require_window(self, capsys):
+        with pytest.raises(SystemExit, match="--window-nm"):
+            main(["fracture", "--clip", "ILT-1", "--checkpoint", "ckpt"])
+
+    def test_bad_fault_spec_rejected(self, capsys):
+        with pytest.raises(SystemExit, match="bad fault spec"):
+            main(
+                [
+                    "fracture", "--clip", "ILT-1", "--window-nm", "300",
+                    "--inject-fault", "t0,0:explode",
+                ]
+            )
+
 
 class TestCommands:
     def test_generate_writes_clip_files(self, tmp_path, capsys):

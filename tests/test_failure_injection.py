@@ -142,3 +142,60 @@ class TestRandomizedStress:
         recheck = check_solution(result.shots, shape, spec)
         assert recheck.total_failing == result.report.total_failing
         assert all(s.meets_min_size(spec.lmin - 1e-9) for s in result.shots)
+
+
+class TestTiledFaultInjection:
+    """The tiled executor's fault layer under injected failures.
+
+    Deeper coverage lives in tests/fracture/test_runtime.py and
+    tests/fracture/test_fault_tolerance.py; this class keeps one
+    crash-and-recover and one degrade-don't-die scenario in the
+    failure-injection suite CI runs under pytest-timeout.
+    """
+
+    @pytest.fixture(scope="class")
+    def two_bars(self):
+        grid = PixelGrid(0.0, 0.0, 1.0, 560, 140)
+        mask = np.zeros(grid.shape, dtype=bool)
+        mask[55:95, 45:260] = True
+        mask[55:95, 300:515] = True
+        return MaskShape.from_mask(mask, grid, name="two-bars")
+
+    def _windowed(self, runtime=None):
+        from repro.fracture.refine import RefineParams
+        from repro.fracture.windowed import WindowedFracturer
+
+        inner = ModelBasedFracturer(
+            config=RefineConfig(params=RefineParams(nmax=100, nh=3))
+        )
+        return WindowedFracturer(
+            inner, window_nm=250.0, workers=1, runtime=runtime
+        )
+
+    def test_injected_crash_recovers_bit_identically(self, two_bars, spec):
+        from repro.fracture.runtime import FaultPlan, RetryPolicy, RuntimePolicy
+
+        clean = self._windowed().fracture_shots(two_bars, spec)
+        runtime = RuntimePolicy(
+            retry=RetryPolicy(max_attempts=3, backoff_s=0.0, backoff_cap_s=0.0),
+            fault_plan=FaultPlan.parse(["t0,0:crash", "t1,0:raise"]),
+        )
+        faulted = self._windowed(runtime).fracture_shots(two_bars, spec)
+        assert faulted == clean
+
+    def test_persistent_failure_degrades_not_dies(self, two_bars, spec):
+        from repro.fracture.runtime import FaultPlan, RetryPolicy, RuntimePolicy
+
+        runtime = RuntimePolicy(
+            retry=RetryPolicy(max_attempts=2, backoff_s=0.0, backoff_cap_s=0.0),
+            fault_plan=FaultPlan.parse(["t1,0:raise:99"]),
+        )
+        fracturer = self._windowed(runtime)
+        shots = fracturer.fracture_shots(two_bars, spec)
+        assert shots
+        assert fracturer._last_extra["fallback_tiles"] == ["t1,0"]
+        report = check_solution(shots, two_bars, spec)
+        # The partition fallback still covers its tile: failures, if
+        # any, stay a sliver of the target.
+        pixels = two_bars.pixels(spec.gamma)
+        assert report.count_on <= 0.02 * pixels.count_on
