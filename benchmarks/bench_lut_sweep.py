@@ -1,0 +1,198 @@
+"""LUT-resolution sweep: erf table size vs accuracy vs refinement cost.
+
+The refinement loop evaluates every candidate edge move through the
+shared :class:`ErfLookupTable` (paper §4.1), memoized per (axis, lo, hi,
+window) by the :class:`IntensityMap` profile cache.  This sweep re-runs
+the same refinement under tables of decreasing resolution and reports,
+per ``(bound, samples)`` config:
+
+* the table's worst interpolation error (``max_abs_error``);
+* refinement wall time, final shot count and cost;
+* whether the shot list is bit-identical to the reference table's
+  (20001 samples — the production default);
+* the ``intensity.profile_cache_hits`` / ``_misses`` / ``lut_hits``
+  counters, which show how the profile cache shields the LUT: the
+  number of *table interpolations* per run is set by cache misses, not
+  by candidates priced, so table resolution is a memory/accuracy trade
+  rather than a throughput one.
+
+Every config result is also emitted as a ``lut_config`` event through a
+live :class:`TelemetryStream` (``--stream``, default alongside the JSON
+output), so ``trace tail`` can watch the sweep and ``trace diff`` can
+compare two sweeps.
+
+    PYTHONPATH=src python benchmarks/bench_lut_sweep.py \
+        --out benchmarks/output/BENCH_lut_sweep.json
+    PYTHONPATH=src python benchmarks/bench_lut_sweep.py --reduced ...
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+from repro.bench.shapes import ilt_suite
+from repro.ebeam.lut import ErfLookupTable, set_default_lut
+from repro.fracture.graph_color import approximate_fracture
+from repro.fracture.refine import RefineParams, refine
+from repro.mask.constraints import FractureSpec
+from repro.obs import TelemetryRecorder, TelemetryStream, recording
+
+# (bound, samples) configs, coarsest first; the last is the production
+# default and serves as the bit-identity reference.
+FULL_SWEEP = [
+    (5.0, 51),
+    (5.0, 201),
+    (5.0, 1001),
+    (5.0, 5001),
+    (4.0, 20001),
+    (5.0, 20001),
+]
+REDUCED_SWEEP = [(5.0, 201), (5.0, 2001), (5.0, 20001)]
+
+
+def _run_config(
+    shape, spec: FractureSpec, nmax: int, bound: float, samples: int
+) -> dict:
+    """One refinement run under a freshly installed default LUT."""
+    lut = ErfLookupTable(bound=bound, samples=samples)
+    previous = set_default_lut(lut)
+    recorder = TelemetryRecorder()
+    try:
+        initial, _ = approximate_fracture(shape, spec)
+        start = time.perf_counter()
+        with recording(recorder):
+            shots, trace = refine(
+                shape, spec, initial, RefineParams(nmax=nmax)
+            )
+        wall = time.perf_counter() - start
+    finally:
+        set_default_lut(previous)
+    counters = recorder.counters
+    return {
+        "bound": bound,
+        "samples": samples,
+        "table_bytes": samples * 8,
+        "max_abs_error": lut.max_abs_error(),
+        "refine_wall_s": wall,
+        "final_shots": len(shots),
+        "final_cost": trace.cost_history[-1] if trace.cost_history else None,
+        "iterations": trace.iterations,
+        "profile_cache_hits": int(
+            counters.get("intensity.profile_cache_hits", 0)
+        ),
+        "profile_cache_misses": int(
+            counters.get("intensity.profile_cache_misses", 0)
+        ),
+        "lut_evaluations": int(counters.get("intensity.lut_hits", 0)),
+        "_shots": shots,  # stripped before serialization
+    }
+
+
+def run(sweep: list[tuple[float, int]], nmax: int, clips: list[int],
+        stream: TelemetryStream) -> dict:
+    spec = FractureSpec()
+    suite = ilt_suite()
+    shapes = [suite[i] for i in clips]
+    reference = sweep[-1]
+    results = []
+    for shape in shapes:
+        print(f"== {shape.name} ==")
+        configs = []
+        reference_shots = None
+        for bound, samples in sweep:
+            entry = _run_config(shape, spec, nmax, bound, samples)
+            entry["clip"] = shape.name
+            if (bound, samples) == reference:
+                reference_shots = entry["_shots"]
+            configs.append(entry)
+        for entry in configs:
+            entry["bit_identical_to_reference"] = (
+                entry.pop("_shots") == reference_shots
+            )
+            hits, misses = (
+                entry["profile_cache_hits"], entry["profile_cache_misses"]
+            )
+            entry["cache_hit_rate"] = (
+                hits / (hits + misses) if hits + misses else None
+            )
+            stream.emit({"type": "event", "name": "lut_config", **{
+                k: v for k, v in entry.items() if not k.startswith("_")
+            }})
+            print(
+                f"   bound={entry['bound']} samples={entry['samples']:>6}: "
+                f"err {entry['max_abs_error']:.2e}, "
+                f"{entry['refine_wall_s']:.2f}s, "
+                f"{entry['final_shots']} shots"
+                f"{' (=ref)' if entry['bit_identical_to_reference'] else ''}, "
+                f"cache hit rate {entry['cache_hit_rate']:.1%}, "
+                f"{entry['lut_evaluations']} LUT evals"
+            )
+        results.append({"clip": shape.name, "configs": configs})
+    # The coarsest table whose shots match the reference on every clip.
+    identical = [
+        cfg["samples"]
+        for cfg in results[0]["configs"]
+        if all(
+            c["bit_identical_to_reference"]
+            for lay in results
+            for c in lay["configs"]
+            if (c["bound"], c["samples"]) == (cfg["bound"], cfg["samples"])
+        )
+    ]
+    aggregate = {
+        "reference": {"bound": reference[0], "samples": reference[1]},
+        "min_samples_bit_identical": min(identical) if identical else None,
+    }
+    print(
+        f"aggregate: coarsest bit-identical table "
+        f"{aggregate['min_samples_bit_identical']} samples"
+    )
+    return {
+        "benchmark": "lut_resolution_sweep",
+        "baseline": "ErfLookupTable(bound=5.0, samples=20001) — the default",
+        "nmax": nmax,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "clips": results,
+        "aggregate": aggregate,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--reduced", action="store_true",
+        help="CI-sized sweep: one clip, three table sizes",
+    )
+    parser.add_argument("--nmax", type=int, default=60)
+    parser.add_argument(
+        "--clips", type=int, nargs="*", default=None,
+        help="ilt_suite indices (default: 0 1 reduced, 0 1 2 full)",
+    )
+    parser.add_argument(
+        "--out", type=Path,
+        default=Path("benchmarks/output/BENCH_lut_sweep.json"),
+    )
+    parser.add_argument(
+        "--stream", type=Path, default=None,
+        help="telemetry stream path (default: <out>.jsonl)",
+    )
+    args = parser.parse_args()
+    sweep = REDUCED_SWEEP if args.reduced else FULL_SWEEP
+    clips = args.clips if args.clips is not None else (
+        [0] if args.reduced else [0, 1, 2]
+    )
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    stream_path = args.stream or args.out.with_suffix(".jsonl")
+    with TelemetryStream(stream_path) as stream:
+        payload = run(sweep, args.nmax, clips, stream)
+    args.out.write_text(json.dumps(payload, indent=2))
+    print(f"wrote {args.out} (stream: {stream_path})")
+
+
+if __name__ == "__main__":
+    main()

@@ -8,12 +8,21 @@ Sub-commands:
 * ``bench`` — regenerate the paper's Table 2 or Table 3.
 * ``generate`` — write the benchmark suites to clip files.
 * ``figure`` — render one of the paper's Figures 1–5 as SVG.
-* ``trace`` — inspect a telemetry file written via ``--telemetry``.
+* ``trace`` — inspect telemetry: ``summarize`` a recorded file,
+  ``tail`` a live stream (``--follow``), ``diff`` two runs with a
+  threshold-based regression verdict (nonzero exit on regression).
 
 ``fracture``, ``bench`` and ``mdp`` accept ``--telemetry PATH``: a
 :class:`repro.obs.TelemetryRecorder` is installed for the run and the
 manifest + span tree + metrics + convergence records are written to
 ``PATH`` (format by extension: ``.json`` / ``.jsonl`` / ``.csv``).
+They also accept ``--stream PATH``: the same recorder additionally
+emits every span/event/convergence record *live* into an append-only
+JSONL stream (:mod:`repro.obs.stream`) that ``trace tail --follow``
+renders while the run executes.  ``--heartbeat SECONDS`` (tiled
+executor) turns on the worker heartbeat channel: per-worker liveness,
+current tile and RSS/CPU samples, with stalled workers flagged before
+the per-tile deadline fires.
 
 With ``--window-nm`` the tiled executor additionally accepts the
 fault-tolerance flags ``--tile-retries`` / ``--tile-timeout`` /
@@ -27,6 +36,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import sys
 from pathlib import Path
 
@@ -100,6 +110,7 @@ def _runtime_policy(args: argparse.Namespace):
         ("--resume", args.resume),
         ("--inject-fault", args.inject_fault),
         ("--tile-timeout", args.tile_timeout),
+        ("--heartbeat", getattr(args, "heartbeat", None)),
     ):
         if value and not args.window_nm:
             raise SystemExit(
@@ -121,6 +132,7 @@ def _runtime_policy(args: argparse.Namespace):
         fault_plan=fault_plan,
         checkpoint_dir=args.checkpoint,
         resume=args.resume,
+        heartbeat_s=getattr(args, "heartbeat", None),
     )
 
 
@@ -179,6 +191,12 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
         help="deterministic failure injection for testing, e.g. "
              "'t0,0:crash' or 't1,2:raise:2' (actions: crash, hang, raise)",
     )
+    parser.add_argument(
+        "--heartbeat", type=_positive_float, metavar="SECONDS",
+        help="worker heartbeat interval: pool workers publish liveness/"
+             "tile/RSS/CPU and stalled workers are flagged before the "
+             "tile deadline (needs --workers > 1)",
+    )
 
 
 def _spec_from_args(args: argparse.Namespace) -> FractureSpec:
@@ -202,22 +220,45 @@ def _add_telemetry_argument(parser: argparse.ArgumentParser) -> None:
         help="record spans/metrics/convergence and write them here "
              "(.json, .jsonl or .csv)",
     )
+    parser.add_argument(
+        "--stream", metavar="PATH",
+        help="additionally stream telemetry records live to this "
+             "append-only JSONL file (watch with 'trace tail --follow')",
+    )
 
 
 @contextlib.contextmanager
 def _telemetry(args: argparse.Namespace, spec: FractureSpec):
-    """Install a TelemetryRecorder for the command when requested."""
+    """Install a TelemetryRecorder for the command when requested.
+
+    ``--telemetry`` writes the full payload after the run;
+    ``--stream`` additionally (or on its own) emits records live.
+    """
     path = getattr(args, "telemetry", None)
-    if not path:
+    stream_path = getattr(args, "stream", None)
+    if not path and not stream_path:
         yield None
         return
-    recorder = obs.TelemetryRecorder(
-        manifest=obs.run_manifest(spec=spec, argv=sys.argv[1:])
-    )
-    with obs.recording(recorder):
-        yield recorder
-    obs.write_telemetry(recorder.export(), path)
-    print(f"wrote telemetry to {path}")
+    manifest = obs.run_manifest(spec=spec, argv=sys.argv[1:])
+    stream = obs.TelemetryStream(stream_path) if stream_path else None
+    recorder = obs.TelemetryRecorder(manifest=manifest, stream=stream)
+    if stream is not None:
+        stream.emit({"type": "manifest", **manifest})
+    status = "ok"
+    try:
+        with obs.recording(recorder):
+            yield recorder
+    except BaseException:
+        status = "error"
+        raise
+    finally:
+        if stream is not None:
+            recorder.emit_metrics()
+            stream.close(status)
+            print(f"wrote telemetry stream to {stream_path}")
+    if path:
+        obs.write_telemetry(recorder.export(), path)
+        print(f"wrote telemetry to {path}")
 
 
 def _cmd_fracture(args: argparse.Namespace) -> int:
@@ -410,6 +451,72 @@ def _cmd_trace_summarize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _record_matches(record: dict, filters: list[str]) -> bool:
+    """Substring match of any filter against the record type/event name."""
+    text = f"{record.get('type', '')} {record.get('name', '')}"
+    return any(needle in text for needle in filters)
+
+
+def _cmd_trace_tail(args: argparse.Namespace) -> int:
+    """Render a telemetry stream line by line, optionally following it."""
+    formatter = obs.StreamFormatter()
+    filters = args.filter or []
+    try:
+        for record in obs.follow_stream(
+            args.path, follow=args.follow, timeout_s=args.timeout
+        ):
+            if filters and not _record_matches(record, filters):
+                continue
+            print(formatter.format(record), flush=True)
+    except FileNotFoundError:
+        raise SystemExit(f"no telemetry stream at {args.path!r}") from None
+    except KeyboardInterrupt:
+        return 130
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; silence the interpreter's
+        # shutdown flush of the dead stdout and exit cleanly.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    return 0
+
+
+def _load_diffable(path: str) -> dict:
+    """Load one ``trace diff`` input: payload, stream or benchmark JSON."""
+    p = Path(path)
+    if not p.exists():
+        raise SystemExit(f"no such file: {path!r}")
+    if p.suffix.lower() == ".jsonl":
+        records = obs.read_stream(p)
+        if records and records[0].get("type") == "stream_header":
+            return obs.stream_to_payload(records)
+        return obs.records_to_payload(records)
+    try:
+        return json.loads(p.read_text())
+    except json.JSONDecodeError as error:
+        raise SystemExit(f"{path}: not valid JSON ({error})") from None
+
+
+def _cmd_trace_diff(args: argparse.Namespace) -> int:
+    """Compare two runs; exit nonzero when a metric regresses."""
+    base = _load_diffable(args.base)
+    head = _load_diffable(args.head)
+    thresholds = obs.DiffThresholds(
+        time_rel=args.time_rel,
+        time_abs_floor_s=args.time_abs,
+        count_rel=args.count_rel,
+    )
+    result = obs.diff_payloads(base, head, thresholds)
+    print(obs.format_diff(
+        result,
+        base_label=Path(args.base).name,
+        head_label=Path(args.head).name,
+        show_all=args.all,
+    ))
+    return 1 if result.regressed else 0
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     from repro.bench.figures import render_figure
 
@@ -489,6 +596,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the per-clip phase table (bench telemetry)",
     )
     p_summarize.set_defaults(func=_cmd_trace_summarize)
+    p_tail = trace_sub.add_parser(
+        "tail", help="render a --stream telemetry file line by line"
+    )
+    p_tail.add_argument("path", help="telemetry stream (.jsonl)")
+    p_tail.add_argument(
+        "--follow", "-f", action="store_true",
+        help="keep reading appended records until the stream ends",
+    )
+    p_tail.add_argument(
+        "--filter", action="append", metavar="SUBSTRING",
+        help="only show records whose type/event name contains SUBSTRING "
+             "(repeatable; e.g. --filter progress --filter stalled)",
+    )
+    p_tail.add_argument(
+        "--timeout", type=_positive_float, metavar="SECONDS",
+        help="with --follow, stop waiting after SECONDS of run time",
+    )
+    p_tail.set_defaults(func=_cmd_trace_tail)
+    p_diff = trace_sub.add_parser(
+        "diff", help="compare two telemetry/benchmark runs for regressions"
+    )
+    p_diff.add_argument("base", help="baseline file (.json/.jsonl)")
+    p_diff.add_argument("head", help="candidate file (.json/.jsonl)")
+    p_diff.add_argument(
+        "--time-rel", type=_positive_float, default=0.30, metavar="FRAC",
+        help="relative wall-time increase that gates (default 0.30)",
+    )
+    p_diff.add_argument(
+        "--time-abs", type=_positive_float, default=0.05, metavar="SECONDS",
+        help="absolute wall-time floor below which deltas never gate "
+             "(default 0.05)",
+    )
+    p_diff.add_argument(
+        "--count-rel", type=_positive_float, default=0.01, metavar="FRAC",
+        help="relative increase gating quality counts like shot totals "
+             "(default 0.01)",
+    )
+    p_diff.add_argument(
+        "--all", action="store_true",
+        help="list every shared metric, not just the changed ones",
+    )
+    p_diff.set_defaults(func=_cmd_trace_diff)
 
     p_generate = sub.add_parser("generate", help="write benchmark clip files")
     p_generate.add_argument("--output", default="clips")

@@ -91,3 +91,18 @@ def default_lut() -> ErfLookupTable:
     if _DEFAULT_LUT is None:
         _DEFAULT_LUT = ErfLookupTable()
     return _DEFAULT_LUT
+
+
+def set_default_lut(lut: ErfLookupTable | None) -> ErfLookupTable | None:
+    """Swap the process-wide table; returns the previous one.
+
+    The LUT-resolution sweep benchmark uses this to re-run the same
+    fracture under tables of different ``(bound, samples)`` without
+    threading a table through every constructor.  Pass ``None`` to reset
+    to lazy default construction.  Existing :class:`IntensityMap`
+    instances keep the table they captured at construction.
+    """
+    global _DEFAULT_LUT
+    previous = _DEFAULT_LUT
+    _DEFAULT_LUT = lut
+    return previous

@@ -47,6 +47,8 @@ import hashlib
 import json
 import os
 import random
+import shutil
+import tempfile
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -57,6 +59,7 @@ from repro.geometry.rect import Rect
 from repro.mask.constraints import FractureSpec
 from repro.mask.shape import MaskShape
 from repro.obs import TelemetryRecorder, get_recorder, recording
+from repro.obs.resources import HeartbeatMonitor, HeartbeatWriter
 
 __all__ = [
     "CheckpointJournal",
@@ -242,12 +245,24 @@ class FaultPlan:
 
 @dataclass
 class RuntimePolicy:
-    """Everything the tiled executor needs beyond the happy path."""
+    """Everything the tiled executor needs beyond the happy path.
+
+    ``heartbeat_s`` enables the worker heartbeat channel
+    (:mod:`repro.obs.resources`) on the pooled path: each worker
+    publishes liveness/tile/RSS/CPU every ``heartbeat_s`` seconds and
+    the parent folds the beats into ``windowed.*`` gauges, emitting
+    ``worker_stalled`` events for workers that stop beating
+    (``stall_after_s``, default 3 heartbeats) or sit on one tile
+    suspiciously long (half the tile deadline, when one is set).
+    ``None`` disables the channel entirely (zero overhead).
+    """
 
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     fault_plan: FaultPlan | None = None
     checkpoint_dir: str | Path | None = None
     resume: bool = False
+    heartbeat_s: float | None = None
+    stall_after_s: float | None = None
 
 
 # -- outcomes ----------------------------------------------------------------
@@ -266,6 +281,7 @@ class TileOutcome:
     replayed: bool = False
     error: str | None = None
     telemetry: dict | None = None
+    worker_pid: int | None = None
 
     def to_record(self) -> dict[str, Any]:
         """JSON-serializable per-tile outcome (manifest / events)."""
@@ -279,6 +295,8 @@ class TileOutcome:
         }
         if self.error:
             record["error"] = self.error
+        if self.worker_pid is not None:
+            record["worker_pid"] = self.worker_pid
         return record
 
 
@@ -460,15 +478,26 @@ def _worker_init(
     spec: FractureSpec,
     telemetry_enabled: bool,
     fault_plan: FaultPlan | None,
+    heartbeat_dir: str | None = None,
+    heartbeat_s: float = 1.0,
 ) -> None:
     """Pool initializer: ship the inner fracturer once per worker process.
 
     Payloads then carry only ``(tile, subs, attempt)`` — the inner
     method (with whatever caches/config it holds) is not re-pickled
-    into every tile job.
+    into every tile job.  With ``heartbeat_dir`` the worker also starts
+    a :class:`HeartbeatWriter` daemon thread that publishes liveness,
+    the current tile/attempt and an RSS/CPU sample every
+    ``heartbeat_s`` seconds for the parent's stall monitor.
     """
     global _WORKER_CTX
-    _WORKER_CTX = (inner, spec, telemetry_enabled, fault_plan)
+    heartbeat = None
+    if heartbeat_dir is not None:
+        try:
+            heartbeat = HeartbeatWriter(heartbeat_dir, heartbeat_s).start()
+        except OSError:
+            heartbeat = None  # liveness publishing is best effort
+    _WORKER_CTX = (inner, spec, telemetry_enabled, fault_plan, heartbeat)
 
 
 def _kind_of(error: BaseException) -> str:
@@ -482,23 +511,31 @@ def _kind_of(error: BaseException) -> str:
 def _tile_task(tile: Any, subs: list[MaskShape], attempt: int) -> tuple:
     """Worker entry point: returns a tile-identity-preserving envelope.
 
-    ``("ok", tile_name, shots, telemetry | None)`` on success;
-    ``("error", tile_name, kind, message)`` when the computation raised
-    (the pool stays healthy and the parent knows exactly which tile and
-    how many sub-shapes were involved).  A hard crash (injected or
-    real) never returns — the parent sees ``BrokenProcessPool``.
+    ``("ok", tile_name, shots, telemetry | None, meta)`` on success;
+    ``("error", tile_name, kind, message, meta)`` when the computation
+    raised (the pool stays healthy and the parent knows exactly which
+    tile and how many sub-shapes were involved).  ``meta`` carries the
+    worker pid so outcomes can be attributed to the heartbeat channel.
+    A hard crash (injected or real) never returns — the parent sees
+    ``BrokenProcessPool``.
     """
-    inner, spec, telemetry_enabled, fault_plan = _WORKER_CTX
+    inner, spec, telemetry_enabled, fault_plan, heartbeat = _WORKER_CTX
+    meta = {"pid": os.getpid()}
+    if heartbeat is not None:
+        # Mark the tile *before* any injected fault fires, so a crash or
+        # hang leaves a heartbeat file attributing the stall to it.
+        heartbeat.set_task(tile.name, attempt)
     try:
         if fault_plan is not None:
             fault_plan.fire(tile.name, attempt, inline=False)
         if not telemetry_enabled:
-            return ("ok", tile.name, fracture_tile(inner, tile, subs, spec), None)
+            owned = fracture_tile(inner, tile, subs, spec)
+            return ("ok", tile.name, owned, None, meta)
         recorder = TelemetryRecorder()
         with recording(recorder):
             with recorder.span("tile", tile=tile.name, sub_shapes=len(subs)):
                 owned = fracture_tile(inner, tile, subs, spec)
-        return ("ok", tile.name, owned, recorder.export())
+        return ("ok", tile.name, owned, recorder.export(), meta)
     except Exception as error:  # noqa: BLE001 — envelope, not policy
         message = (
             f"tile {tile.name} ({len(subs)} sub-shapes, attempt {attempt}): "
@@ -506,7 +543,10 @@ def _tile_task(tile: Any, subs: list[MaskShape], attempt: int) -> tuple:
         )
         if not isinstance(error, InjectedFault):
             message += "\n" + traceback.format_exc()
-        return ("error", tile.name, _kind_of(error), message)
+        return ("error", tile.name, _kind_of(error), message, meta)
+    finally:
+        if heartbeat is not None:
+            heartbeat.clear_task()
 
 
 # -- the runner --------------------------------------------------------------
@@ -520,6 +560,7 @@ class _Pending:
     attempt: int
     eligible_at: float
     inline: bool = False  # quarantined to in-parent execution
+    started: float = 0.0  # monotonic start of the current attempt
 
 
 class _TileRunner:
@@ -537,6 +578,8 @@ class _TileRunner:
         journal: CheckpointJournal | None,
         telemetry_enabled: bool,
         fallback: Callable[[Any, list[MaskShape], FractureSpec], list[Rect]],
+        heartbeat_s: float | None = None,
+        stall_after_s: float | None = None,
     ):
         self.jobs = jobs
         self.inner = inner
@@ -547,6 +590,8 @@ class _TileRunner:
         self.journal = journal
         self.telemetry_enabled = telemetry_enabled
         self.fallback = fallback
+        self.heartbeat_s = heartbeat_s
+        self.stall_after_s = stall_after_s
         self.obs = get_recorder()
         self.stats = RunStats()
         self.outcomes: list[TileOutcome | None] = [None] * len(jobs)
@@ -559,11 +604,62 @@ class _TileRunner:
                 self.obs.incr("windowed.tiles_replayed")
             else:
                 self.pending.append(_Pending(idx, 1, 0.0))
+        # Progress/ETA tracking: replayed tiles count as done up front so
+        # a resumed run's ETA covers only the work actually remaining.
+        self._t0 = time.monotonic()
+        self._done = self.stats.tiles_replayed
+        self._done_at_start = self._done
+        self._shots_done = sum(
+            len(o.shots) for o in self.outcomes if o is not None
+        )
+        self._tile_wall_ewma: float | None = None
+
+    # -- progress -----------------------------------------------------------
+
+    def _note_progress(self, outcome: TileOutcome, wall_s: float | None) -> None:
+        """Fold one settled tile into the progress/ETA picture."""
+        self._done += 1
+        self._shots_done += len(outcome.shots)
+        if wall_s is not None and wall_s > 0:
+            # EWMA over per-tile wall time; alpha=0.2 smooths transient
+            # slow tiles without hiding a sustained slowdown.
+            if self._tile_wall_ewma is None:
+                self._tile_wall_ewma = wall_s
+            else:
+                self._tile_wall_ewma = 0.2 * wall_s + 0.8 * self._tile_wall_ewma
+        total = len(self.jobs)
+        elapsed = max(1e-9, time.monotonic() - self._t0)
+        fresh = self._done - self._done_at_start
+        eta_s: float | None = None
+        if fresh > 0 and self._done < total:
+            # Throughput-based ETA: done/elapsed already folds worker
+            # parallelism in, unlike ewma * remaining.
+            eta_s = (total - self._done) / (fresh / elapsed)
+        self.obs.gauge("windowed.tiles_done", self._done)
+        self.obs.gauge("windowed.shots_done", self._shots_done)
+        if self._tile_wall_ewma is not None:
+            self.obs.gauge(
+                "windowed.tile_wall_ewma_s", round(self._tile_wall_ewma, 4)
+            )
+        fields: dict[str, Any] = {
+            "tiles_done": self._done,
+            "tiles_total": total,
+            "shots": self._shots_done,
+        }
+        if self._tile_wall_ewma is not None:
+            fields["tile_wall_ewma_s"] = round(self._tile_wall_ewma, 4)
+        if eta_s is not None:
+            fields["eta_s"] = round(eta_s, 2)
+        self.obs.event("progress", **fields)
 
     # -- settlement ---------------------------------------------------------
 
     def _settle_ok(
-        self, p: _Pending, shots: list[Rect], telemetry: dict | None
+        self,
+        p: _Pending,
+        shots: list[Rect],
+        telemetry: dict | None,
+        worker_pid: int | None = None,
     ) -> None:
         outcome = TileOutcome(
             index=p.idx,
@@ -572,12 +668,15 @@ class _TileRunner:
             shots=shots,
             attempts=p.attempt,
             telemetry=telemetry,
+            worker_pid=worker_pid,
         )
         self.outcomes[p.idx] = outcome
         if self.journal is not None:
             self.journal.record(outcome)
         if p.attempt > 1:
             self.obs.event("tile_recovered", **outcome.to_record())
+        wall_s = time.monotonic() - p.started if p.started else None
+        self._note_progress(outcome, wall_s)
 
     def _settle_failure(self, p: _Pending, kind: str, message: str) -> None:
         """Retry with backoff, or engage the degradation ladder."""
@@ -610,6 +709,7 @@ class _TileRunner:
         tile, subs = self.jobs[p.idx]
         self.stats.tile_fallbacks += 1
         self.obs.incr("windowed.tile_fallbacks")
+        started = time.monotonic()
         with self.obs.span("tile_fallback", tile=tile.name):
             shots = self.fallback(tile, subs, self.spec)
         outcome = TileOutcome(
@@ -625,10 +725,12 @@ class _TileRunner:
         if self.journal is not None:
             self.journal.record(outcome)
         self.obs.event("tile_fallback", **outcome.to_record())
+        self._note_progress(outcome, time.monotonic() - started)
 
     def _attempt_inline(self, p: _Pending) -> None:
         """One in-parent attempt (serial path or quarantined tile)."""
         tile, subs = self.jobs[p.idx]
+        p.started = time.monotonic()
         try:
             if self.fault_plan is not None:
                 self.fault_plan.fire(tile.name, p.attempt, inline=True)
@@ -644,11 +746,12 @@ class _TileRunner:
         self._settle_ok(p, owned, telemetry=None)
 
     def _settle_envelope(self, p: _Pending, envelope: tuple) -> None:
+        meta = envelope[4] if len(envelope) > 4 else {}
         if envelope[0] == "ok":
-            _tag, _name, shots, telemetry = envelope
-            self._settle_ok(p, shots, telemetry)
+            shots, telemetry = envelope[2], envelope[3]
+            self._settle_ok(p, shots, telemetry, worker_pid=meta.get("pid"))
         else:
-            _tag, _name, kind, message = envelope
+            kind, message = envelope[2], envelope[3]
             self._settle_failure(p, kind, message)
 
     # -- serial path --------------------------------------------------------
@@ -667,6 +770,26 @@ class _TileRunner:
         from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
         from concurrent.futures.process import BrokenProcessPool
 
+        hb_dir: Path | None = None
+        monitor: HeartbeatMonitor | None = None
+        if self.heartbeat_s is not None and self.heartbeat_s > 0:
+            hb_dir = Path(tempfile.mkdtemp(prefix="repro-hb-"))
+            # A hung worker's heartbeat *thread* keeps beating, so file
+            # age alone cannot catch hangs; the slow-task check fires at
+            # half the tile deadline — strictly before the deadline kill.
+            slow_task_after = (
+                0.5 * self.retry.tile_deadline_s
+                if self.retry.tile_deadline_s is not None
+                else None
+            )
+            monitor = HeartbeatMonitor(
+                hb_dir,
+                self.obs,
+                interval_s=self.heartbeat_s,
+                stall_after_s=self.stall_after_s,
+                slow_task_after_s=slow_task_after,
+            )
+
         def spawn() -> ProcessPoolExecutor:
             return ProcessPoolExecutor(
                 max_workers=self.workers,
@@ -674,15 +797,29 @@ class _TileRunner:
                 initargs=(
                     self.inner, self.spec,
                     self.telemetry_enabled, self.fault_plan,
+                    str(hb_dir) if hb_dir is not None else None,
+                    self.heartbeat_s if self.heartbeat_s else 1.0,
                 ),
             )
 
         def kill(pool: ProcessPoolExecutor) -> None:
-            for proc in list(getattr(pool, "_processes", {}).values()):
+            procs = list(getattr(pool, "_processes", {}).values())
+            for proc in procs:
                 proc.kill()
             pool.shutdown(wait=False, cancel_futures=True)
+            if hb_dir is not None:
+                # Deliberately killed workers are not stalls: retire
+                # their heartbeat files so the monitor does not flag
+                # the parent's own deadline enforcement.
+                for proc in procs:
+                    try:
+                        (hb_dir / f"hb-{proc.pid}.json").unlink()
+                    except OSError:
+                        pass
 
         pool = spawn()
+        if monitor is not None:
+            monitor.start()
         respawns = 0
         inflight: dict[Any, tuple[_Pending, float]] = {}
 
@@ -728,7 +865,8 @@ class _TileRunner:
                         pool_is_broken = True
                         broken.append(p)
                         continue
-                    inflight[future] = (p, time.monotonic())
+                    p.started = time.monotonic()
+                    inflight[future] = (p, p.started)
                 for p in due_inline:
                     self._attempt_inline(p)
                 if pool_is_broken:
@@ -817,10 +955,14 @@ class _TileRunner:
                                     _Pending(p.idx, p.attempt, 0.0, p.inline)
                                 )
         finally:
+            if monitor is not None:
+                monitor.stop(final_tick=False)
             if inflight:
                 kill(pool)  # hung/dead workers: do not wait on them
             else:
                 pool.shutdown(wait=True, cancel_futures=True)
+            if hb_dir is not None:
+                shutil.rmtree(hb_dir, ignore_errors=True)
 
     # -- finish -------------------------------------------------------------
 
@@ -850,6 +992,8 @@ def run_tiles(
     telemetry_enabled: bool = False,
     fallback: Callable[[Any, list[MaskShape], FractureSpec], list[Rect]]
     | None = None,
+    heartbeat_s: float | None = None,
+    stall_after_s: float | None = None,
 ) -> tuple[list[TileOutcome], RunStats]:
     """Execute tile ``jobs`` fault-tolerantly; outcomes in job order.
 
@@ -857,6 +1001,8 @@ def run_tiles(
     returned (and their telemetry merged) in row-major job order no
     matter the worker count, completion order, retries or resume — and
     each job is pure, so any successful attempt yields the same shots.
+    The heartbeat channel and the progress events are observational
+    only, so enabling them cannot change the merged shot list.
     """
     runner = _TileRunner(
         jobs,
@@ -868,6 +1014,8 @@ def run_tiles(
         journal=journal,
         telemetry_enabled=telemetry_enabled,
         fallback=fallback if fallback is not None else partition_fallback,
+        heartbeat_s=heartbeat_s,
+        stall_after_s=stall_after_s,
     )
     if workers == 1 or len(runner.pending) <= 1:
         runner.run_serial()

@@ -197,6 +197,8 @@ class WindowedFracturer(Fracturer):
             fault_plan=self.runtime.fault_plan,
             journal=journal,
             telemetry_enabled=obs.enabled,
+            heartbeat_s=self.runtime.heartbeat_s,
+            stall_after_s=self.runtime.stall_after_s,
         )
         collected: list[Rect] = []
         for outcome in outcomes:

@@ -25,7 +25,19 @@ Dependency-free by design (standard library only) so every other
 package may import it without layering concerns.
 """
 
-from repro.obs.export import load_telemetry, payload_to_records, write_telemetry
+from repro.obs.diff import (
+    DiffResult,
+    DiffThresholds,
+    diff_payloads,
+    format_diff,
+    payload_metrics,
+)
+from repro.obs.export import (
+    load_telemetry,
+    payload_to_records,
+    records_to_payload,
+    write_telemetry,
+)
 from repro.obs.logs import enable_console_logging, get_logger
 from repro.obs.manifest import git_sha, run_manifest
 from repro.obs.recorder import (
@@ -36,6 +48,21 @@ from repro.obs.recorder import (
     recording,
     set_recorder,
 )
+from repro.obs.resources import (
+    HeartbeatMonitor,
+    HeartbeatWriter,
+    read_heartbeats,
+    rss_bytes,
+    sample_resources,
+)
+from repro.obs.stream import (
+    STREAM_SCHEMA,
+    StreamFormatter,
+    TelemetryStream,
+    follow_stream,
+    read_stream,
+    stream_to_payload,
+)
 from repro.obs.summarize import (
     format_clip_breakdown,
     format_summary,
@@ -43,20 +70,37 @@ from repro.obs.summarize import (
 )
 
 __all__ = [
+    "DiffResult",
+    "DiffThresholds",
+    "HeartbeatMonitor",
+    "HeartbeatWriter",
     "NullRecorder",
+    "STREAM_SCHEMA",
     "SpanNode",
+    "StreamFormatter",
     "TelemetryRecorder",
+    "TelemetryStream",
+    "diff_payloads",
     "enable_console_logging",
+    "follow_stream",
     "format_clip_breakdown",
+    "format_diff",
     "format_summary",
     "get_logger",
     "get_recorder",
     "git_sha",
     "load_telemetry",
+    "payload_metrics",
     "payload_to_records",
     "phase_breakdown",
+    "read_heartbeats",
+    "read_stream",
+    "records_to_payload",
     "recording",
+    "rss_bytes",
     "run_manifest",
+    "sample_resources",
     "set_recorder",
+    "stream_to_payload",
     "write_telemetry",
 ]

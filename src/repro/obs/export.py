@@ -18,15 +18,33 @@ from __future__ import annotations
 import csv
 import io
 import json
+import os
 from pathlib import Path
 from typing import Any, Iterator
 
-__all__ = ["load_telemetry", "payload_to_records", "write_telemetry"]
+__all__ = [
+    "load_telemetry",
+    "payload_to_records",
+    "records_to_payload",
+    "write_telemetry",
+]
 
 _CONVERGENCE_COLUMNS = (
     "seq", "span", "worker", "iteration", "cost", "failing", "shots",
     "operator",
 )
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` via tmp + fsync + rename so a crash mid-export can
+    never leave a torn file at ``path`` (the checkpoint-journal durability
+    contract, applied to the telemetry export)."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
 
 
 def write_telemetry(payload: dict[str, Any], path: str | Path) -> Path:
@@ -37,11 +55,13 @@ def write_telemetry(payload: dict[str, Any], path: str | Path) -> Path:
     suffix = path.suffix.lower()
     if suffix == ".jsonl":
         lines = (json.dumps(record) for record in payload_to_records(payload))
-        path.write_text("\n".join(lines) + "\n")
+        _atomic_write_text(path, "\n".join(lines) + "\n")
     elif suffix == ".csv":
-        path.write_text(_convergence_csv(payload))
+        _atomic_write_text(path, _convergence_csv(payload))
     else:
-        path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+        _atomic_write_text(
+            path, json.dumps(payload, indent=2, default=str) + "\n"
+        )
     return path
 
 
@@ -49,12 +69,17 @@ def load_telemetry(path: str | Path) -> dict[str, Any]:
     """Load a ``.json`` or ``.jsonl`` telemetry file back into a payload."""
     path = Path(path)
     if path.suffix.lower() == ".jsonl":
-        records = [
-            json.loads(line)
-            for line in path.read_text().splitlines()
-            if line.strip()
-        ]
-        return _records_to_payload(records)
+        records = []
+        for line in path.read_text().splitlines():
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                # Torn trailing line of an interrupted writer — same
+                # tolerance as the checkpoint journal and the stream.
+                continue
+        return records_to_payload(records)
     if path.suffix.lower() == ".csv":
         raise ValueError(
             "CSV telemetry holds only the convergence table and cannot be "
@@ -105,8 +130,13 @@ def _flatten_spans(
         yield from _flatten_spans(child, span_id, counter)
 
 
-def _records_to_payload(records: list[dict[str, Any]]) -> dict[str, Any]:
-    """Rebuild the nested payload from a JSONL record stream."""
+def records_to_payload(records: list[dict[str, Any]]) -> dict[str, Any]:
+    """Rebuild the nested payload from a JSONL record stream.
+
+    Tolerant of partial streams: a span record whose parent is missing
+    (lost to a torn write) reattaches under the root instead of raising,
+    and records without an ``id`` are skipped.
+    """
     payload: dict[str, Any] = {
         "schema": "repro.obs/v1",
         "manifest": {},
@@ -119,11 +149,15 @@ def _records_to_payload(records: list[dict[str, Any]]) -> dict[str, Any]:
     }
     nodes: dict[int, dict[str, Any]] = {}
     for record in records:
+        if not isinstance(record, dict):
+            continue
         kind = record.get("type")
         body = {k: v for k, v in record.items() if k != "type"}
         if kind == "manifest":
             payload["manifest"] = body
         elif kind == "span":
+            if "id" not in body:
+                continue
             node = {
                 "name": body.get("name", "?"),
                 "wall_s": body.get("wall_s", 0.0),
@@ -135,20 +169,31 @@ def _records_to_payload(records: list[dict[str, Any]]) -> dict[str, Any]:
             parent = body.get("parent")
             if parent is None:
                 payload["spans"] = node
-            else:
+            elif parent in nodes:
                 nodes[parent].setdefault("children", []).append(node)
+            else:
+                # Orphaned by a lost parent record: keep the timing data
+                # visible under the root rather than dropping it.
+                payload["spans"].setdefault("children", []).append(node)
         elif kind == "counter":
-            payload["counters"][body["name"]] = body["value"]
+            if "name" in body:
+                payload["counters"][body["name"]] = body.get("value", 0)
         elif kind == "gauge":
-            payload["gauges"][body["name"]] = body["value"]
+            if "name" in body:
+                payload["gauges"][body["name"]] = body.get("value", 0)
         elif kind == "histogram":
-            name = body.pop("name")
-            payload["histograms"][name] = body
+            name = body.pop("name", None)
+            if name is not None:
+                payload["histograms"][name] = body
         elif kind == "event":
             payload["events"].append(body)
         elif kind == "convergence":
             payload["convergence"].append(body)
     return payload
+
+
+# Back-compat alias for the pre-publication private name.
+_records_to_payload = records_to_payload
 
 
 def _convergence_csv(payload: dict[str, Any]) -> str:

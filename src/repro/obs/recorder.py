@@ -64,6 +64,7 @@ class NullRecorder:
     __slots__ = ()
 
     enabled = False
+    stream = None
 
     def span(self, name: str, **attrs: Any) -> _NullSpan:
         return _NULL_SPAN
@@ -143,6 +144,15 @@ class _SpanContext:
         with self._rec._lock:
             parent.children.append(self.node)
         stack.append(self)
+        if self._rec.stream is not None:
+            record = {
+                "type": "span_open",
+                "name": self.node.name,
+                "path": "/".join(ctx.node.name for ctx in stack),
+            }
+            if self.node.attrs:
+                record["attrs"] = dict(self.node.attrs)
+            self._rec._stream_emit(record)
         self._t0 = time.perf_counter()
         self._c0 = time.process_time()
         return self
@@ -153,6 +163,13 @@ class _SpanContext:
         stack = self._rec._stack()
         if stack and stack[-1] is self:
             stack.pop()
+        if self._rec.stream is not None:
+            self._rec._stream_emit({
+                "type": "span_close",
+                "name": self.node.name,
+                "wall_s": self.node.wall_s,
+                "cpu_s": self.node.cpu_s,
+            })
         return False
 
     def annotate(self, **attrs: Any) -> None:
@@ -165,8 +182,13 @@ class TelemetryRecorder:
 
     enabled = True
 
-    def __init__(self, manifest: dict[str, Any] | None = None):
+    def __init__(
+        self,
+        manifest: dict[str, Any] | None = None,
+        stream: Any | None = None,
+    ):
         self.manifest: dict[str, Any] = dict(manifest) if manifest else {}
+        self.stream = stream  # live TelemetryStream sink, or None
         self.root = SpanNode("run")
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
@@ -175,6 +197,12 @@ class TelemetryRecorder:
         self.convergence_records: list[dict[str, Any]] = []
         self._lock = threading.Lock()
         self._local = threading.local()
+
+    def _stream_emit(self, record: dict[str, Any]) -> None:
+        """Forward one record to the live stream (no-op without one)."""
+        stream = self.stream
+        if stream is not None:
+            stream.emit(record)
 
     # -- span context --------------------------------------------------------
 
@@ -227,6 +255,8 @@ class TelemetryRecorder:
         record = {"name": name, "span": self.current_path(), **fields}
         with self._lock:
             self.events.append(record)
+        if self.stream is not None:
+            self._stream_emit({"type": "event", **record})
 
     def convergence(self, **fields: Any) -> None:
         """Append one per-iteration record of the refinement loop."""
@@ -234,6 +264,21 @@ class TelemetryRecorder:
         with self._lock:
             record["seq"] = len(self.convergence_records)
             self.convergence_records.append(record)
+        if self.stream is not None:
+            self._stream_emit({"type": "convergence", **record})
+
+    def snapshot_metrics(self) -> dict[str, Any]:
+        """A consistent copy of the current counters and gauges."""
+        with self._lock:
+            return {
+                "counters": dict(self.counters),
+                "gauges": dict(self.gauges),
+            }
+
+    def emit_metrics(self) -> None:
+        """Push a counters/gauges snapshot into the live stream, if any."""
+        if self.stream is not None:
+            self._stream_emit({"type": "metrics", **self.snapshot_metrics()})
 
     # -- export / merge ------------------------------------------------------
 
@@ -289,6 +334,13 @@ class TelemetryRecorder:
                 merged = {**record, "worker": label}
                 merged["seq"] = len(self.convergence_records)
                 self.convergence_records.append(merged)
+        if self.stream is not None:
+            self._stream_emit({
+                "type": "worker_merged",
+                "label": label,
+                "wall_s": wrapper.wall_s,
+                "events": len(payload.get("events", ())),
+            })
 
 
 _RECORDER: NullRecorder | TelemetryRecorder = NullRecorder()

@@ -1,0 +1,294 @@
+"""Resource sampling and worker heartbeats (standard library only).
+
+Two halves of the live-telemetry picture:
+
+* :func:`sample_resources` — a cheap RSS/CPU sample of the calling
+  process (``/proc/self/status`` on Linux, ``resource.getrusage`` peak
+  RSS as the fallback; ``None`` where neither exists).
+* the **heartbeat channel** between pool workers and the parent of the
+  tiled executor.  Each worker runs a :class:`HeartbeatWriter` daemon
+  thread that publishes a small JSON file (atomic tmp + rename, so the
+  parent never reads a torn record) with its pid, liveness timestamp,
+  current tile/attempt and resource sample.  The parent runs a
+  :class:`HeartbeatMonitor` thread that folds the beats into
+  ``windowed.*`` gauges, emits ``worker_heartbeat`` events through the
+  active recorder (and therefore into the live stream), and flags
+  stalled workers: a worker whose file stops refreshing (killed or
+  frozen — ``no_heartbeat``) or whose current tile has been running
+  suspiciously long (hung worker whose heartbeat thread still beats —
+  ``slow_task``).  Both fire *before* the per-tile deadline, which is
+  the point: the deadline is the rescue, the stall event is the alarm.
+
+The channel is files-on-disk rather than a queue so a SIGKILLed or
+SIGSTOPped worker — precisely the case worth observing — needs no
+cooperation to be noticed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "HeartbeatMonitor",
+    "HeartbeatWriter",
+    "read_heartbeats",
+    "rss_bytes",
+    "sample_resources",
+]
+
+
+def rss_bytes() -> int | None:
+    """Resident set size of this process in bytes (best effort)."""
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # ru_maxrss is KiB on Linux, bytes on macOS.
+        return peak_kb * 1024 if peak_kb < 1 << 40 else peak_kb
+    except (ImportError, OSError, ValueError):
+        return None
+
+
+def sample_resources() -> dict[str, Any]:
+    """One RSS/CPU sample: ``{"t", "rss_bytes", "cpu_s"}``."""
+    return {
+        "t": time.time(),
+        "rss_bytes": rss_bytes(),
+        "cpu_s": time.process_time(),
+    }
+
+
+class HeartbeatWriter:
+    """Worker-side heartbeat publisher (one JSON file per process).
+
+    ``start()`` writes an immediate first beat, then a daemon thread
+    re-publishes every ``interval_s``.  :meth:`set_task` /
+    :meth:`clear_task` bracket the tile currently being executed so the
+    parent can attribute a stall to a specific tile and attempt.
+    """
+
+    def __init__(self, directory: str | Path, interval_s: float = 1.0):
+        self.directory = Path(directory)
+        self.interval_s = max(0.01, float(interval_s))
+        self.path = self.directory / f"hb-{os.getpid()}.json"
+        self._tmp = self.directory / f"hb-{os.getpid()}.tmp"
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._task: dict[str, Any] | None = None
+        self._beats = 0
+
+    def set_task(self, tile: str, attempt: int) -> None:
+        with self._lock:
+            self._task = {
+                "tile": tile,
+                "attempt": attempt,
+                "task_started_t": time.time(),
+            }
+        self.beat()
+
+    def clear_task(self) -> None:
+        with self._lock:
+            self._task = None
+        self.beat()
+
+    def beat(self) -> None:
+        """Publish one heartbeat record atomically (tmp + rename)."""
+        with self._lock:
+            self._beats += 1
+            record: dict[str, Any] = {
+                "pid": os.getpid(),
+                "beats": self._beats,
+                **sample_resources(),
+            }
+            if self._task is not None:
+                record.update(self._task)
+            try:
+                self._tmp.write_text(json.dumps(record), encoding="utf-8")
+                os.replace(self._tmp, self.path)
+            except OSError:
+                # The parent may have torn the directory down already
+                # (run finished); liveness publishing is best effort.
+                pass
+
+    def start(self) -> "HeartbeatWriter":
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.beat()
+        self._thread = threading.Thread(
+            target=self._run, name="heartbeat", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.beat()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+
+
+def read_heartbeats(directory: str | Path) -> list[dict[str, Any]]:
+    """All readable heartbeat records under ``directory`` (pid order)."""
+    directory = Path(directory)
+    beats = []
+    try:
+        files = sorted(directory.glob("hb-*.json"))
+    except OSError:
+        return []
+    for path in files:
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(record, dict) and "pid" in record:
+            beats.append(record)
+    return beats
+
+
+class HeartbeatMonitor:
+    """Parent-side heartbeat reader / stall detector.
+
+    Every ``interval_s`` the monitor reads the heartbeat directory and:
+
+    * sets the gauges ``windowed.workers_alive``,
+      ``windowed.workers_stalled``, ``windowed.worker_rss_peak_bytes``
+      and ``windowed.worker_cpu_s_total``;
+    * emits one ``worker_heartbeat`` event per live worker (these reach
+      the live stream via the recorder's stream hook);
+    * emits a ``worker_stalled`` event (once per episode, counted by
+      ``windowed.worker_stalls``) when a worker's file stops refreshing
+      for ``stall_after_s`` (``no_heartbeat``) or its current tile has
+      run longer than ``slow_task_after_s`` (``slow_task``);
+    * asks the recorder for a metrics snapshot so the stream shows
+      counters/gauges moving while the run is alive.
+
+    ``tick()`` is separable from the thread for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        recorder: Any,
+        *,
+        interval_s: float = 1.0,
+        stall_after_s: float | None = None,
+        slow_task_after_s: float | None = None,
+        heartbeat_events: bool = True,
+    ):
+        self.directory = Path(directory)
+        self.recorder = recorder
+        self.interval_s = max(0.01, float(interval_s))
+        self.stall_after_s = (
+            stall_after_s if stall_after_s is not None else 3.0 * self.interval_s
+        )
+        self.slow_task_after_s = (
+            slow_task_after_s
+            if slow_task_after_s is not None
+            else 10.0 * self.interval_s
+        )
+        self.heartbeat_events = heartbeat_events
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._stalled: dict[int, str] = {}  # pid -> stall kind
+        self._rss_peak = 0
+
+    def tick(self, now: float | None = None) -> list[dict[str, Any]]:
+        """One monitoring pass; returns the stall events it emitted."""
+        now = time.time() if now is None else now
+        rec = self.recorder
+        stalls: list[dict[str, Any]] = []
+        alive = 0
+        cpu_total = 0.0
+        for hb in read_heartbeats(self.directory):
+            pid = hb.get("pid")
+            age = max(0.0, now - float(hb.get("t", now)))
+            fresh = age <= self.stall_after_s
+            task_age = None
+            if hb.get("tile") is not None:
+                task_age = max(0.0, now - float(hb.get("task_started_t", now)))
+            if fresh:
+                alive += 1
+                cpu_total += float(hb.get("cpu_s") or 0.0)
+                rss = hb.get("rss_bytes")
+                if isinstance(rss, (int, float)):
+                    self._rss_peak = max(self._rss_peak, int(rss))
+                if self.heartbeat_events:
+                    rec.event(
+                        "worker_heartbeat",
+                        pid=pid,
+                        tile=hb.get("tile"),
+                        attempt=hb.get("attempt"),
+                        rss_bytes=hb.get("rss_bytes"),
+                        cpu_s=hb.get("cpu_s"),
+                        age_s=round(age, 3),
+                    )
+            kind = None
+            if not fresh:
+                kind = "no_heartbeat"
+            elif task_age is not None and task_age > self.slow_task_after_s:
+                kind = "slow_task"
+            if kind is None:
+                self._stalled.pop(pid, None)
+                continue
+            if self._stalled.get(pid) == kind:
+                continue  # already flagged this episode
+            self._stalled[pid] = kind
+            stall = {
+                "pid": pid,
+                "kind": kind,
+                "tile": hb.get("tile"),
+                "attempt": hb.get("attempt"),
+                "age_s": round(age if kind == "no_heartbeat" else task_age, 3),
+            }
+            stalls.append(stall)
+            rec.incr("windowed.worker_stalls")
+            rec.event("worker_stalled", **stall)
+        rec.gauge("windowed.workers_alive", alive)
+        rec.gauge("windowed.workers_stalled", len(self._stalled))
+        if self._rss_peak:
+            rec.gauge("windowed.worker_rss_peak_bytes", self._rss_peak)
+        if cpu_total:
+            rec.gauge("windowed.worker_cpu_s_total", round(cpu_total, 3))
+        emit_metrics = getattr(rec, "emit_metrics", None)
+        if emit_metrics is not None:
+            emit_metrics()
+        return stalls
+
+    def start(self) -> "HeartbeatMonitor":
+        self._thread = threading.Thread(
+            target=self._run, name="heartbeat-monitor", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.tick()
+            except Exception:  # pragma: no cover — monitoring must not kill runs
+                pass
+
+    def stop(self, final_tick: bool = True) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+        if final_tick:
+            try:
+                self.tick()
+            except Exception:  # pragma: no cover — same contract as _run
+                pass

@@ -1,0 +1,357 @@
+"""Streaming telemetry: an append-only JSONL event bus for live runs.
+
+The post-hoc exporters (:mod:`repro.obs.export`) only help once a run
+has finished; a multi-hour tiled ``fracture --window-nm --workers`` job
+needs to be observable *while it runs*.  :class:`TelemetryStream` is the
+write side: an append-only JSONL file to which the recorder emits one
+self-describing record per line — span open/close, events, convergence
+records, metric snapshots, worker heartbeats — as they happen.
+
+Durability contract (same as the checkpoint journal): every record is
+serialized to one full line and written with a single ``write`` call
+followed by a flush, so concurrent writer threads interleave at line
+granularity and a crash tears at most the trailing line.  Readers
+(:func:`read_stream`, :func:`follow_stream`) skip torn or undecodable
+lines instead of raising.  The stream is *observational only* — nothing
+in the fracturing pipeline reads it back, so enabling it cannot change
+results (the determinism contract of the tiled executor is preserved).
+
+Record types (``"type"`` field, schema ``repro.obs.stream/v1``):
+
+==================  =====================================================
+``stream_header``   first line: schema, pid, creation time
+``manifest``        the run manifest (params, git SHA, host)
+``span_open``       a span started (``name``, ``path``, ``attrs``)
+``span_close``      a span finished (``name``, ``wall_s``, ``cpu_s``)
+``event``           a recorder event (``tile_outcome``, ``progress``,
+                    ``worker_heartbeat``, ``worker_stalled``, …)
+``convergence``     one per-iteration refinement record
+``metrics``         a counters/gauges snapshot
+``worker_merged``   a child-process payload was merged into the parent
+``resources``       a resource sample (RSS / CPU) of the parent process
+``stream_end``      last line: run status
+==================  =====================================================
+
+Every record carries ``seq`` (monotonic per stream) and ``t`` (unix
+time).  :func:`stream_to_payload` folds a finished stream back into an
+approximate ``repro.obs/v1`` payload (spans flattened, last metrics
+snapshot adopted) so ``trace diff`` can compare streams directly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "STREAM_SCHEMA",
+    "StreamFormatter",
+    "TelemetryStream",
+    "follow_stream",
+    "read_stream",
+    "stream_to_payload",
+]
+
+STREAM_SCHEMA = "repro.obs.stream/v1"
+
+
+class TelemetryStream:
+    """Append-only JSONL event sink with atomic line writes.
+
+    ``fsync`` per line is off by default: the stream is an observability
+    artifact, not a recovery journal, and the torn-tail-tolerant readers
+    make the flush-only mode safe for everything but a full OS crash.
+    """
+
+    def __init__(self, path: str | Path, *, fsync: bool = False):
+        self.path = Path(path)
+        if self.path.parent != Path():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fsync = fsync
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._closed = False
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self.emit({
+            "type": "stream_header",
+            "schema": STREAM_SCHEMA,
+            "pid": os.getpid(),
+            "created_unix": time.time(),
+        })
+
+    def emit(self, record: dict[str, Any]) -> None:
+        """Append one record as a single atomic line (no-op when closed)."""
+        with self._lock:
+            if self._closed:
+                return
+            record = {**record, "seq": self._seq, "t": round(time.time(), 6)}
+            self._seq += 1
+            try:
+                line = json.dumps(record, default=str)
+            except (TypeError, ValueError):
+                line = json.dumps({
+                    "type": "stream_error",
+                    "seq": record["seq"],
+                    "t": record["t"],
+                    "error": "unserializable record dropped",
+                })
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            if self._fsync:
+                os.fsync(self._fh.fileno())
+
+    def close(self, status: str = "ok") -> None:
+        """Emit the terminal ``stream_end`` record and close the file."""
+        self.emit({"type": "stream_end", "status": status})
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                self._fh.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "TelemetryStream":
+        return self
+
+    def __exit__(self, exc_type: object, *exc: object) -> bool:
+        self.close(status="ok" if exc_type is None else "error")
+        return False
+
+
+def follow_stream(
+    path: str | Path,
+    *,
+    follow: bool = False,
+    poll_s: float = 0.2,
+    timeout_s: float | None = None,
+    stop: Callable[[], bool] | None = None,
+) -> Iterator[dict[str, Any]]:
+    """Yield records from a stream file, torn-tail and torn-line tolerant.
+
+    Without ``follow`` the generator drains the file and returns (a
+    trailing partial line is silently dropped).  With ``follow`` it
+    keeps polling for appended records until it sees ``stream_end``,
+    ``stop()`` returns true, or ``timeout_s`` elapses — the behaviour
+    behind ``trace tail --follow``.
+    """
+    path = Path(path)
+    deadline = time.monotonic() + timeout_s if timeout_s is not None else None
+
+    def expired() -> bool:
+        if stop is not None and stop():
+            return True
+        return deadline is not None and time.monotonic() >= deadline
+
+    while not path.exists():
+        if not follow:
+            raise FileNotFoundError(f"no telemetry stream at {path}")
+        if expired():
+            return
+        time.sleep(poll_s)
+    buffer = ""
+    with open(path, "r", encoding="utf-8") as fh:
+        while True:
+            chunk = fh.readline()
+            if chunk:
+                buffer += chunk
+                if not buffer.endswith("\n"):
+                    # Torn mid-record: wait for the writer to finish the
+                    # line (or drop it at EOF in non-follow mode).
+                    continue
+                line, buffer = buffer.strip(), ""
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(record, dict):
+                    continue
+                yield record
+                if follow and record.get("type") == "stream_end":
+                    return
+            else:
+                if not follow or expired():
+                    return
+                time.sleep(poll_s)
+
+
+def read_stream(path: str | Path) -> list[dict[str, Any]]:
+    """All complete records of a (possibly torn) stream file."""
+    return list(follow_stream(path, follow=False))
+
+
+def stream_to_payload(records: list[dict[str, Any]]) -> dict[str, Any]:
+    """Fold a record stream into an approximate ``repro.obs/v1`` payload.
+
+    Spans become a flat list of children under the root (one per
+    ``span_close``), counters/gauges come from the *last* metrics
+    snapshot, and events / convergence records carry over verbatim — a
+    lossy but diffable reconstruction for ``trace diff`` on streams.
+    """
+    payload: dict[str, Any] = {
+        "schema": "repro.obs/v1",
+        "manifest": {},
+        "spans": {"name": "run", "wall_s": 0.0, "cpu_s": 0.0, "children": []},
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+        "events": [],
+        "convergence": [],
+    }
+    for record in records:
+        kind = record.get("type")
+        body = {
+            k: v for k, v in record.items()
+            if k not in ("type", "seq", "t")
+        }
+        if kind == "manifest":
+            payload["manifest"] = body
+        elif kind == "span_close":
+            payload["spans"]["children"].append({
+                "name": body.get("name", "?"),
+                "wall_s": body.get("wall_s", 0.0),
+                "cpu_s": body.get("cpu_s", 0.0),
+            })
+        elif kind == "metrics":
+            payload["counters"] = dict(body.get("counters", {}))
+            payload["gauges"] = dict(body.get("gauges", {}))
+        elif kind == "event":
+            payload["events"].append(body)
+        elif kind == "convergence":
+            payload["convergence"].append(body)
+    return payload
+
+
+# -- human-readable rendering (``trace tail``) -------------------------------
+
+
+def _kv(fields: dict[str, Any], skip: tuple[str, ...] = ()) -> str:
+    parts = []
+    for key, value in fields.items():
+        if key in skip or value is None:
+            continue
+        if isinstance(value, float):
+            value = f"{value:.4g}"
+        parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def _mb(n_bytes: Any) -> str:
+    try:
+        return f"{float(n_bytes) / 1e6:.0f}MB"
+    except (TypeError, ValueError):
+        return "?"
+
+
+class StreamFormatter:
+    """One-line-per-record rendering of a telemetry stream.
+
+    Stateful: the first record anchors ``t=0`` so every line leads with
+    the relative run time.
+    """
+
+    def __init__(self) -> None:
+        self._t0: float | None = None
+
+    def format(self, record: dict[str, Any]) -> str:
+        t = record.get("t")
+        if self._t0 is None and isinstance(t, (int, float)):
+            self._t0 = float(t)
+        rel = (
+            f"{float(t) - self._t0:10.3f}s"
+            if isinstance(t, (int, float)) and self._t0 is not None
+            else " " * 11
+        )
+        kind = str(record.get("type", "?"))
+        return f"{rel}  {self._body(kind, record)}"
+
+    def _body(self, kind: str, record: dict[str, Any]) -> str:
+        skip = ("type", "seq", "t")
+        if kind == "stream_header":
+            return (
+                f"stream {record.get('schema', '?')} "
+                f"pid={record.get('pid', '?')}"
+            )
+        if kind == "stream_end":
+            return f"stream end status={record.get('status', '?')}"
+        if kind == "manifest":
+            params = record.get("params") or {}
+            return f"manifest {_kv(params)}".rstrip()
+        if kind == "span_open":
+            attrs = record.get("attrs") or {}
+            return f"span  > {record.get('path', record.get('name', '?'))} {_kv(attrs)}".rstrip()
+        if kind == "span_close":
+            return (
+                f"span  < {record.get('name', '?')} "
+                f"wall={record.get('wall_s', 0.0):.3f}s "
+                f"cpu={record.get('cpu_s', 0.0):.3f}s"
+            )
+        if kind == "convergence":
+            return f"conv  {_kv(record, skip + ('span',))}"
+        if kind == "metrics":
+            counters = record.get("counters") or {}
+            gauges = record.get("gauges") or {}
+            return f"metrics  {len(counters)} counters, {len(gauges)} gauges"
+        if kind == "worker_merged":
+            return f"merged worker:{record.get('label', '?')}"
+        if kind == "resources":
+            return (
+                f"rsrc  rss={_mb(record.get('rss_bytes'))} "
+                f"cpu={record.get('cpu_s', 0.0):.1f}s"
+            )
+        if kind == "event":
+            return self._event_body(record)
+        return f"{kind}  {_kv(record, skip)}".rstrip()
+
+    def _event_body(self, record: dict[str, Any]) -> str:
+        name = str(record.get("name", "?"))
+        skip = ("type", "seq", "t", "name", "span", "worker")
+        if name == "progress":
+            done = record.get("tiles_done", "?")
+            total = record.get("tiles_total", "?")
+            eta = record.get("eta_s")
+            eta_txt = f" eta={eta:.0f}s" if isinstance(eta, (int, float)) else ""
+            ewma = record.get("tile_wall_ewma_s")
+            ewma_txt = (
+                f" ewma={ewma:.2f}s" if isinstance(ewma, (int, float)) else ""
+            )
+            return (
+                f"prog  {done}/{total} tiles "
+                f"{record.get('shots', '?')} shots{ewma_txt}{eta_txt}"
+            )
+        if name == "worker_heartbeat":
+            tile = record.get("tile")
+            task = f" tile={tile} attempt={record.get('attempt')}" if tile else " idle"
+            return (
+                f"hb    pid={record.get('pid', '?')}"
+                f"{task} rss={_mb(record.get('rss_bytes'))} "
+                f"cpu={record.get('cpu_s', 0.0):.1f}s"
+            )
+        if name == "worker_stalled":
+            return (
+                f"STALL pid={record.get('pid', '?')} "
+                f"kind={record.get('kind', '?')} "
+                f"tile={record.get('tile', '-')} "
+                f"age={record.get('age_s', 0.0):.1f}s"
+            )
+        if name == "tile_outcome":
+            flags = []
+            if record.get("fallback"):
+                flags.append("fallback")
+            if record.get("replayed"):
+                flags.append("replayed")
+            suffix = f" [{','.join(flags)}]" if flags else ""
+            return (
+                f"tile  {record.get('tile', '?')} "
+                f"ok={record.get('ok', '?')} "
+                f"shots={record.get('shots', '?')} "
+                f"attempts={record.get('attempts', '?')}{suffix}"
+            )
+        return f"event {name} {_kv(record, skip)}".rstrip()

@@ -23,7 +23,7 @@ __all__ = ["format_clip_breakdown", "format_summary", "phase_breakdown"]
 
 def phase_breakdown(payload: dict[str, Any]) -> list[dict[str, Any]]:
     """Aggregate the span tree by span name, heaviest wall time first."""
-    root = SpanNode.from_dict(payload.get("spans", {"name": "run"}))
+    root = SpanNode.from_dict(payload.get("spans") or {"name": "run"})
     phases: dict[str, dict[str, Any]] = {}
     for node in root.walk():
         if node is root:
@@ -41,13 +41,20 @@ def phase_breakdown(payload: dict[str, Any]) -> list[dict[str, Any]]:
 
 
 def format_summary(payload: dict[str, Any]) -> str:
-    """The full ``trace summarize`` report as plain text."""
+    """The full ``trace summarize`` report as plain text.
+
+    Tolerant of partial payloads (an interrupted export, a stream fold,
+    a merged-child-only trace): every section degrades to an informative
+    placeholder instead of raising.
+    """
     lines: list[str] = []
-    lines += _manifest_lines(payload.get("manifest", {}))
+    lines += _manifest_lines(payload.get("manifest") or {})
     phases = phase_breakdown(payload)
+    spans = payload.get("spans") or {}
     total_wall = sum(
         child.get("wall_s", 0.0)
-        for child in payload.get("spans", {}).get("children", ())
+        for child in spans.get("children", ())
+        if isinstance(child, dict)
     )
     lines.append("")
     lines.append(f"per-phase breakdown (run wall time {total_wall:.3f}s):")
@@ -63,8 +70,11 @@ def format_summary(payload: dict[str, Any]) -> str:
             f"{share:.1f}",
         ])
     lines += _render_rows(rows)
+    if not phases:
+        lines.append("  (no spans recorded)")
     lines += _metric_lines(payload)
-    lines += _convergence_lines(payload.get("convergence", ()))
+    convergence = payload.get("convergence")
+    lines += _convergence_lines(convergence if isinstance(convergence, list) else ())
     return "\n".join(lines)
 
 
@@ -75,7 +85,7 @@ def format_clip_breakdown(payload: dict[str, Any]) -> str:
     init / refine / polish / verify wall time plus the total.  Methods
     without internal phases (the baselines) fill only the total column.
     """
-    root = SpanNode.from_dict(payload.get("spans", {"name": "run"}))
+    root = SpanNode.from_dict(payload.get("spans") or {"name": "run"})
     rows = [["clip", "method", "init s", "refine s", "polish s",
              "verify s", "total s"]]
     for clip_node in root.walk():
@@ -103,9 +113,9 @@ def format_clip_breakdown(payload: dict[str, Any]) -> str:
     return "\n".join(_render_rows(rows))
 
 
-def _manifest_lines(manifest: dict[str, Any]) -> list[str]:
+def _manifest_lines(manifest: Any) -> list[str]:
     lines = ["manifest:"]
-    if not manifest:
+    if not manifest or not isinstance(manifest, dict):
         return lines + ["  (empty)"]
     simple = {
         key: value
@@ -117,11 +127,11 @@ def _manifest_lines(manifest: dict[str, Any]) -> list[str]:
     if "argv" in manifest:
         lines.append(f"  argv: {' '.join(map(str, manifest['argv']))}")
     params = manifest.get("params")
-    if params:
+    if isinstance(params, dict) and params:
         rendered = ", ".join(f"{k}={v}" for k, v in params.items())
         lines.append(f"  params: {rendered}")
     host = manifest.get("host")
-    if host:
+    if isinstance(host, dict) and host:
         rendered = ", ".join(f"{k}={v}" for k, v in host.items())
         lines.append(f"  host: {rendered}")
     return lines
@@ -141,21 +151,23 @@ def _metric_lines(payload: dict[str, Any]) -> list[str]:
         lines.append("gauges:")
         for name in sorted(gauges):
             lines.append(f"  {name}: {gauges[name]}")
-    histograms = payload.get("histograms", {})
+    histograms = payload.get("histograms") or {}
     if histograms:
         lines.append("")
         lines.append("histograms:")
         for name in sorted(histograms):
-            hist = histograms[name]
-            mean = hist["sum"] / hist["count"] if hist["count"] else 0.0
+            hist = histograms[name] or {}
+            count = hist.get("count", 0)
+            mean = hist.get("sum", 0.0) / count if count else 0.0
             lines.append(
-                f"  {name}: n={hist['count']} mean={mean:.4g} "
-                f"min={hist['min']:.4g} max={hist['max']:.4g}"
+                f"  {name}: n={count} mean={mean:.4g} "
+                f"min={hist.get('min', 0.0):.4g} max={hist.get('max', 0.0):.4g}"
             )
     return lines
 
 
 def _convergence_lines(records: Any) -> list[str]:
+    records = [record for record in records if isinstance(record, dict)]
     if not records:
         return []
     series: dict[tuple, list[dict]] = {}

@@ -267,3 +267,135 @@ class TestRunTilesSerial:
             "tile": "t0,0", "ok": True, "attempts": 1, "shots": 1,
             "fallback": False, "replayed": False,
         }
+
+
+class TestProgressTelemetry:
+    def test_progress_events_count_up_with_eta(self):
+        import repro.obs as obs
+
+        rec = obs.TelemetryRecorder()
+        with obs.recording(rec):
+            run_tiles(_jobs(4), inner=StubInner(), spec=SPEC,
+                      retry=_fast_retry())
+        progress = [e for e in rec.events if e["name"] == "progress"]
+        assert [e["tiles_done"] for e in progress] == [1, 2, 3, 4]
+        assert all(e["tiles_total"] == 4 for e in progress)
+        assert progress[-1]["shots"] == 4
+        assert progress[-1]["tile_wall_ewma_s"] >= 0.0
+        # The last tile has nothing remaining, so no ETA; earlier ones
+        # carry a non-negative estimate.
+        assert "eta_s" not in progress[-1]
+        assert all(e["eta_s"] >= 0.0 for e in progress[:-1])
+        assert rec.gauges["windowed.tiles_done"] == 4
+        assert rec.gauges["windowed.shots_done"] == 4
+
+    def test_replayed_tiles_count_as_done_up_front(self, tmp_path):
+        import repro.obs as obs
+
+        run_key = {"k": 1}
+        journal = CheckpointJournal.open(tmp_path / "j.jsonl", run_key)
+        run_tiles(_jobs(3), inner=StubInner(), spec=SPEC,
+                  retry=_fast_retry(), journal=journal)
+        resumed = CheckpointJournal.open(
+            tmp_path / "j.jsonl", run_key, resume=True
+        )
+        rec = obs.TelemetryRecorder()
+        with obs.recording(rec):
+            run_tiles(_jobs(4), inner=StubInner(), spec=SPEC,
+                      retry=_fast_retry(), journal=resumed)
+        progress = [e for e in rec.events if e["name"] == "progress"]
+        # Only the one fresh tile produces a progress event, starting
+        # from the replayed baseline of 3.
+        assert [e["tiles_done"] for e in progress] == [4]
+
+    def test_fallback_tiles_still_advance_progress(self):
+        import repro.obs as obs
+
+        rec = obs.TelemetryRecorder()
+        with obs.recording(rec):
+            run_tiles(
+                _jobs(2), inner=StubInner(), spec=SPEC,
+                retry=_fast_retry(max_attempts=1),
+                fault_plan=FaultPlan(faults={"t0,0": FaultSpec("raise", 1)}),
+                fallback=_stub_fallback,
+            )
+        progress = [e for e in rec.events if e["name"] == "progress"]
+        assert [e["tiles_done"] for e in progress] == [1, 2]
+
+
+class TestHeartbeatIntegration:
+    def test_pooled_outcomes_carry_worker_pid(self):
+        import os
+
+        outcomes, _stats = run_tiles(
+            _jobs(4), inner=StubInner(), spec=SPEC, workers=2,
+            retry=_fast_retry(),
+        )
+        pids = {o.worker_pid for o in outcomes}
+        assert None not in pids
+        assert os.getpid() not in pids  # pool workers, not the parent
+        assert all("worker_pid" in o.to_record() for o in outcomes)
+
+    def test_heartbeats_fold_into_events_and_gauges(self):
+        import time
+
+        import repro.obs as obs
+
+        class SlowInner(StubInner):
+            def fracture_shots(self, sub, spec):
+                time.sleep(0.05)
+                return super().fracture_shots(sub, spec)
+
+        rec = obs.TelemetryRecorder()
+        with obs.recording(rec):
+            outcomes, _stats = run_tiles(
+                _jobs(8), inner=SlowInner(), spec=SPEC, workers=2,
+                retry=_fast_retry(), heartbeat_s=0.05,
+            )
+        assert all(o.ok for o in outcomes)
+        beats = [e for e in rec.events if e["name"] == "worker_heartbeat"]
+        assert beats, "heartbeat events must reach the parent recorder"
+        assert all("rss_bytes" in b and "cpu_s" in b for b in beats)
+        assert rec.gauges.get("windowed.workers_alive", 0) >= 1
+
+    def test_hang_is_flagged_as_slow_task_before_deadline(self):
+        import repro.obs as obs
+
+        rec = obs.TelemetryRecorder()
+        with obs.recording(rec):
+            outcomes, stats = run_tiles(
+                _jobs(3), inner=StubInner(), spec=SPEC, workers=2,
+                retry=_fast_retry(tile_deadline_s=2.0),
+                fault_plan=FaultPlan(
+                    faults={"t1,0": FaultSpec("hang", 1)}, hang_s=60.0
+                ),
+                heartbeat_s=0.1,
+            )
+        assert all(o.ok for o in outcomes)
+        assert stats.tile_timeouts == 1
+        stalls = [e for e in rec.events if e["name"] == "worker_stalled"]
+        # The stall alarm fires at half the deadline — before the
+        # deadline kill rescues the tile.
+        assert stalls and stalls[0]["kind"] == "slow_task"
+        assert stalls[0]["tile"] == "t1,0"
+        assert stalls[0]["age_s"] < 2.0
+        assert rec.counters["windowed.worker_stalls"] >= 1
+
+    def test_merged_shots_identical_with_and_without_observability(
+        self, tmp_path
+    ):
+        import repro.obs as obs
+
+        baseline, _ = run_tiles(
+            _jobs(6), inner=StubInner(), spec=SPEC, retry=_fast_retry()
+        )
+        stream = obs.TelemetryStream(tmp_path / "s.jsonl")
+        rec = obs.TelemetryRecorder(stream=stream)
+        with obs.recording(rec):
+            observed, _ = run_tiles(
+                _jobs(6), inner=StubInner(), spec=SPEC, workers=2,
+                retry=_fast_retry(), telemetry_enabled=True,
+                heartbeat_s=0.05,
+            )
+        stream.close()
+        assert [o.shots for o in observed] == [o.shots for o in baseline]

@@ -112,3 +112,88 @@ class TestExporters:
             _sample_payload(), tmp_path / "deep" / "dir" / "t.json"
         )
         assert path.exists()
+
+
+class TestAtomicWrites:
+    def test_no_tmp_file_survives_any_format(self, tmp_path):
+        for name in ("t.json", "t.jsonl", "t.csv"):
+            write_telemetry(_sample_payload(), tmp_path / name)
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_overwrite_is_all_or_nothing(self, tmp_path):
+        # Overwriting an existing export goes through tmp+rename, so the
+        # destination always holds a complete document.
+        path = tmp_path / "t.json"
+        write_telemetry(_sample_payload(), path)
+        first = path.read_text()
+        write_telemetry(_sample_payload(), path)
+        assert json.loads(path.read_text())  # complete JSON either way
+        assert path.read_text().count('"schema"') == first.count('"schema"')
+
+
+class TestRecordsRoundTrip:
+    def test_payload_records_payload_identity(self):
+        from repro.obs import records_to_payload
+
+        payload = _sample_payload()
+        back = records_to_payload(list(payload_to_records(payload)))
+        assert back["manifest"]["params"] == payload["manifest"]["params"]
+        assert back["counters"] == payload["counters"]
+        assert back["gauges"] == payload["gauges"]
+        assert back["histograms"] == payload["histograms"]
+        assert back["events"] == payload["events"]
+        assert back["convergence"] == payload["convergence"]
+        assert back["spans"] == payload["spans"]
+
+    def test_merged_multi_worker_payload_round_trips(self):
+        from repro.obs import records_to_payload
+
+        parent = TelemetryRecorder(manifest={"run_id": "merge"})
+        for label in ("t0,0", "t1,0"):
+            child = TelemetryRecorder()
+            with child.span("tile", tile=label):
+                child.incr("refine.moves", 2)
+                child.event("tile_note", tile=label)
+                child.convergence(iteration=0, cost=1.0)
+            parent.merge_child(child.export(), label=label)
+        payload = parent.export()
+        back = records_to_payload(list(payload_to_records(payload)))
+        assert back["spans"] == payload["spans"]
+        workers = [c["name"] for c in back["spans"]["children"]]
+        assert workers == ["worker:t0,0", "worker:t1,0"]
+        assert back["counters"]["refine.moves"] == 4
+        assert [e["worker"] for e in back["events"]] == ["t0,0", "t1,0"]
+        assert len(back["convergence"]) == 2
+
+    def test_torn_jsonl_line_is_skipped_on_load(self, tmp_path):
+        path = write_telemetry(_sample_payload(), tmp_path / "t.jsonl")
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"type": "event", "name": "to')  # torn tail
+        back = load_telemetry(path)
+        assert all(e.get("name") != "to" for e in back["events"])
+
+    def test_orphaned_span_reattaches_under_root(self):
+        from repro.obs import records_to_payload
+
+        records = [
+            {"type": "span", "id": 0, "parent": None, "name": "run",
+             "wall_s": 0.0, "cpu_s": 0.0},
+            # Parent record 7 was lost to a torn write.
+            {"type": "span", "id": 8, "parent": 7, "name": "orphan",
+             "wall_s": 1.0, "cpu_s": 0.5},
+        ]
+        payload = records_to_payload(records)
+        assert payload["spans"]["children"][0]["name"] == "orphan"
+
+    def test_malformed_records_are_skipped(self):
+        from repro.obs import records_to_payload
+
+        payload = records_to_payload([
+            "not-a-dict",
+            {"type": "span", "name": "no-id"},
+            {"type": "counter", "value": 3},  # no name
+            {"type": "counter", "name": "ok"},  # no value -> defaults to 0
+            {"type": "histogram"},  # no name
+        ])
+        assert payload["counters"] == {"ok": 0}
+        assert payload["histograms"] == {}

@@ -87,3 +87,50 @@ class TestClipBreakdown:
         with rec.span("fracture", method="OURS"):
             pass
         assert "no bench.clip spans" in format_clip_breakdown(rec.export())
+
+
+class TestPartialPayloads:
+    """``trace summarize`` must degrade, not raise, on partial payloads."""
+
+    def test_totally_empty_payload(self):
+        text = format_summary({})
+        assert "(empty)" in text
+        assert "(no spans recorded)" in text
+
+    def test_none_sections(self):
+        text = format_summary({
+            "manifest": None, "spans": None, "counters": None,
+            "gauges": None, "histograms": None, "convergence": None,
+        })
+        assert "per-phase breakdown" in text
+
+    def test_merged_child_only_trace(self):
+        # A parent that only ever merged worker payloads: the root has
+        # worker:* children but no spans of its own.
+        child = TelemetryRecorder()
+        with child.span("tile", tile="t0,0"):
+            child.convergence(iteration=0, cost=1.0)
+        parent = TelemetryRecorder()
+        parent.merge_child(child.export(), label="t0,0")
+        text = format_summary(parent.export())
+        assert "worker:t0,0" in text
+        assert "convergence (1 records" in text
+
+    def test_missing_convergence_fields_render_defaults(self):
+        payload = {
+            "spans": {"name": "run"},
+            "convergence": [{"span": "refine"}, "not-a-dict", None],
+        }
+        text = format_summary(payload)
+        assert "convergence (1 records" in text
+
+    def test_histogram_with_missing_fields(self):
+        payload = {
+            "spans": {"name": "run"},
+            "histograms": {"h": {}, "h2": None},
+        }
+        text = format_summary(payload)
+        assert "h: n=0" in text
+
+    def test_clip_breakdown_on_spanless_payload(self):
+        assert "no bench.clip spans" in format_clip_breakdown({})

@@ -320,3 +320,138 @@ class TestMdpCommand:
         parallel_out = capsys.readouterr().out
         assert serial == parallel
         assert serial_out.splitlines()[-1] == parallel_out.splitlines()[-1]
+
+
+class TestStreamFlag:
+    def _clips(self, tmp_path):
+        from repro.geometry.polygon import Polygon
+        from repro.mask.io import save_clips
+
+        save_clips(
+            {"sq": Polygon([(0, 0), (40, 0), (40, 30), (0, 30)])},
+            tmp_path / "clips.json",
+        )
+        return tmp_path / "clips.json"
+
+    def test_fracture_stream_is_a_parseable_bracketed_stream(
+        self, tmp_path, capsys
+    ):
+        from repro.obs import read_stream
+
+        stream = tmp_path / "run.jsonl"
+        code = main(
+            ["fracture", "--method", "partition",
+             "--clip-file", str(self._clips(tmp_path)),
+             "--stream", str(stream)]
+        )
+        assert code == 0
+        assert "wrote telemetry stream" in capsys.readouterr().out
+        records = read_stream(stream)
+        assert records[0]["type"] == "stream_header"
+        assert records[-1]["type"] == "stream_end"
+        assert records[-1]["status"] == "ok"
+        types = {r["type"] for r in records}
+        assert {"manifest", "span_open", "span_close", "metrics"} <= types
+
+    def test_stream_works_without_telemetry_flag(self, tmp_path, capsys):
+        stream = tmp_path / "run.jsonl"
+        assert main(
+            ["fracture", "--method", "partition",
+             "--clip-file", str(self._clips(tmp_path)),
+             "--stream", str(stream)]
+        ) == 0
+        assert stream.exists()
+
+    def test_heartbeat_requires_window(self, tmp_path):
+        with pytest.raises(SystemExit, match="--window-nm"):
+            main(
+                ["fracture", "--clip-file", str(self._clips(tmp_path)),
+                 "--clip", "sq", "--heartbeat", "0.5"]
+            )
+
+    def test_heartbeat_must_be_positive(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fracture", "--heartbeat", "0"])
+
+
+class TestTraceTail:
+    def _stream(self, tmp_path):
+        from repro.obs import TelemetryStream
+
+        path = tmp_path / "run.jsonl"
+        with TelemetryStream(path) as stream:
+            stream.emit({"type": "event", "name": "progress",
+                         "tiles_done": 1, "tiles_total": 4, "shots": 12})
+            stream.emit({"type": "event", "name": "tile_outcome",
+                         "tile": "t0,0", "ok": True, "shots": 12,
+                         "attempts": 1})
+        return path
+
+    def test_tail_renders_each_record(self, tmp_path, capsys):
+        assert main(["trace", "tail", str(self._stream(tmp_path))]) == 0
+        out = capsys.readouterr().out
+        assert "1/4 tiles" in out
+        assert "t0,0" in out
+        assert "status=ok" in out
+
+    def test_tail_filter_narrows_output(self, tmp_path, capsys):
+        path = self._stream(tmp_path)
+        assert main(
+            ["trace", "tail", str(path), "--filter", "tile_outcome"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "t0,0" in out
+        assert "1/4 tiles" not in out
+
+    def test_tail_missing_file(self, tmp_path):
+        with pytest.raises(SystemExit, match="no telemetry stream"):
+            main(["trace", "tail", str(tmp_path / "absent.jsonl")])
+
+
+class TestTraceDiff:
+    def _write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_clean_diff_exits_zero(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", {"total_shots": 100})
+        head = self._write(tmp_path, "head.json", {"total_shots": 100})
+        assert main(["trace", "diff", base, head]) == 0
+        assert "verdict: OK" in capsys.readouterr().out
+
+    def test_regression_exits_nonzero(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", {"total_shots": 100})
+        head = self._write(tmp_path, "head.json", {"total_shots": 150})
+        assert main(["trace", "diff", base, head]) == 1
+        out = capsys.readouterr().out
+        assert "verdict: REGRESSED" in out
+
+    def test_thresholds_are_adjustable(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", {"a": {"wall_s": 1.0}})
+        head = self._write(tmp_path, "head.json", {"a": {"wall_s": 1.5}})
+        assert main(["trace", "diff", base, head]) == 1
+        capsys.readouterr()
+        assert main(
+            ["trace", "diff", base, head, "--time-rel", "0.6"]
+        ) == 0
+
+    def test_diff_accepts_stream_jsonl_inputs(self, tmp_path, capsys):
+        from repro.obs import TelemetryStream
+
+        def write_stream(name, shots):
+            path = tmp_path / name
+            with TelemetryStream(path) as stream:
+                stream.emit({"type": "event", "name": "tile_outcome",
+                             "tile": "t0,0", "ok": True, "shots": shots})
+            return str(path)
+
+        base = write_stream("base.jsonl", 100)
+        head = write_stream("head.jsonl", 200)
+        assert main(["trace", "diff", base, head]) == 1
+        assert "tiles.shots" in capsys.readouterr().out
+
+    def test_missing_input_is_a_friendly_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such file"):
+            main(["trace", "diff", str(tmp_path / "a.json"),
+                  str(tmp_path / "b.json")])
