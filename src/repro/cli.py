@@ -9,8 +9,14 @@ Sub-commands:
 * ``generate`` — write the benchmark suites to clip files.
 * ``figure`` — render one of the paper's Figures 1–5 as SVG.
 * ``trace`` — inspect telemetry: ``summarize`` a recorded file,
-  ``tail`` a live stream (``--follow``), ``diff`` two runs with a
-  threshold-based regression verdict (nonzero exit on regression).
+  ``tail`` a live stream or a service job id (``--follow``), ``diff``
+  two runs with a threshold-based regression verdict (nonzero exit on
+  regression).
+* ``serve`` — run the fracture-as-a-service daemon: a priority job
+  queue over a Unix socket with warm shared caches and per-job live
+  telemetry (:mod:`repro.service`).
+* ``job`` — client of a running daemon: ``submit`` / ``status`` /
+  ``result`` / ``cancel`` / ``list`` / ``stats`` / ``shutdown``.
 
 ``fracture``, ``bench`` and ``mdp`` accept ``--telemetry PATH``: a
 :class:`repro.obs.TelemetryRecorder` is installed for the run and the
@@ -37,38 +43,50 @@ from __future__ import annotations
 import argparse
 import contextlib
 import json
+import os
+import signal
 import sys
+import threading
 from pathlib import Path
 
 from repro import obs
-from repro.baselines import (
-    GreedySetCoverFracturer,
-    MatchingPursuitFracturer,
-    PartitionFracturer,
-    ProtoEdaFracturer,
-)
 from repro.fracture.base import Fracturer
-from repro.fracture.pipeline import ModelBasedFracturer
 from repro.mask.constraints import FractureSpec
 from repro.mask.io import load_clips, save_clips, save_solution
 from repro.mask.shape import MaskShape
-
-_METHODS = {
-    "ours": ModelBasedFracturer,
-    "gsc": GreedySetCoverFracturer,
-    "mp": MatchingPursuitFracturer,
-    "proto-eda": ProtoEdaFracturer,
-    "partition": PartitionFracturer,
-}
+from repro.methods import make_fracturer, method_names
 
 
 def _make_fracturer(name: str) -> Fracturer:
     try:
-        return _METHODS[name]()
-    except KeyError:
-        raise SystemExit(
-            f"unknown method {name!r}; choose from {sorted(_METHODS)}"
-        ) from None
+        return make_fracturer(name)
+    except ValueError as error:
+        raise SystemExit(str(error)) from None
+
+
+@contextlib.contextmanager
+def _graceful_signals():
+    """Convert SIGTERM into KeyboardInterrupt for the command's duration.
+
+    Long ``fracture`` / ``mdp`` runs then share one shutdown path for
+    Ctrl-C and ``kill``: the exception unwinds through ``_telemetry``,
+    which closes the live stream with ``status="interrupted"``, and
+    past the checkpoint journal, whose completed-tile lines are already
+    fsynced — so a re-run with ``--resume`` continues bit-identically.
+    Restores the previous handler; a no-op off the main thread.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _handler(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _handler)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
 
 
 def _positive_int(value: str) -> int:
@@ -248,6 +266,12 @@ def _telemetry(args: argparse.Namespace, spec: FractureSpec):
     try:
         with obs.recording(recorder):
             yield recorder
+    except (KeyboardInterrupt, SystemExit):
+        # Graceful shutdown (Ctrl-C or SIGTERM via _graceful_signals):
+        # the stream records *why* it ends, and followers see a clean
+        # terminal record instead of a torn tail.
+        status = "interrupted"
+        raise
     except BaseException:
         status = "error"
         raise
@@ -280,8 +304,13 @@ def _cmd_fracture(args: argparse.Namespace) -> int:
         shapes = [s for s in ilt_suite(spec.pitch) if not args.clip or s.name == args.clip]
         if not shapes:
             raise SystemExit(f"no suite clip named {args.clip!r}")
-    with _telemetry(args, spec):
-        _fracture_shapes(args, spec, fracturer, shapes)
+    try:
+        with _graceful_signals(), _telemetry(args, spec):
+            _fracture_shapes(args, spec, fracturer, shapes)
+    except KeyboardInterrupt:
+        print("interrupted — telemetry closed, checkpoints flushed",
+              file=sys.stderr)
+        return 130
     return 0
 
 
@@ -399,10 +428,16 @@ def _cmd_mdp(args: argparse.Namespace) -> int:
     # (parallelism across tiles of each large shape); without it, the
     # pool parallelizes across shapes as before.
     batch_workers = 1 if args.window_nm else args.workers
-    with _telemetry(args, spec):
-        report = pipeline.run(
-            shapes, output_dir=args.output, workers=batch_workers, verbose=True
-        )
+    try:
+        with _graceful_signals(), _telemetry(args, spec):
+            report = pipeline.run(
+                shapes, output_dir=args.output, workers=batch_workers,
+                verbose=True,
+            )
+    except KeyboardInterrupt:
+        print("interrupted — telemetry closed, checkpoints flushed",
+              file=sys.stderr)
+        return 130
     print(
         f"batch: {report.total_shots} shots over {len(report.results)} shapes, "
         f"{report.feasible_count} feasible"
@@ -458,25 +493,32 @@ def _record_matches(record: dict, filters: list[str]) -> bool:
 
 
 def _cmd_trace_tail(args: argparse.Namespace) -> int:
-    """Render a telemetry stream line by line, optionally following it."""
+    """Render a telemetry stream line by line, optionally following it.
+
+    ``path`` may also be a service job id (``job-xxxxxxxx``): it
+    resolves to the job's live stream inside the daemon state directory
+    (``--state-dir``), so ``trace tail job-ab12cd34 --follow`` watches
+    a daemon job exactly like a ``--stream`` file.
+    """
+    from repro.service.jobs import resolve_stream_path
+
+    path = resolve_stream_path(args.path, args.state_dir)
     formatter = obs.StreamFormatter()
     filters = args.filter or []
     try:
         for record in obs.follow_stream(
-            args.path, follow=args.follow, timeout_s=args.timeout
+            path, follow=args.follow, timeout_s=args.timeout
         ):
             if filters and not _record_matches(record, filters):
                 continue
             print(formatter.format(record), flush=True)
     except FileNotFoundError:
-        raise SystemExit(f"no telemetry stream at {args.path!r}") from None
+        raise SystemExit(f"no telemetry stream at {str(path)!r}") from None
     except KeyboardInterrupt:
         return 130
     except BrokenPipeError:
         # Downstream pager/head closed the pipe; silence the interpreter's
         # shutdown flush of the dead stdout and exit cleanly.
-        import os
-
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
     return 0
@@ -517,6 +559,222 @@ def _cmd_trace_diff(args: argparse.Namespace) -> int:
     return 1 if result.regressed else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the fracture-as-a-service daemon until SIGTERM/SIGINT."""
+    import asyncio
+
+    from repro.service.server import FractureService
+
+    service = FractureService(
+        args.state_dir,
+        workers=args.workers,
+        max_queue_depth=args.queue_depth,
+    )
+
+    async def _serve() -> None:
+        await service.start()
+        recovered = service.recovered
+        print(
+            f"fracture daemon pid={os.getpid()} "
+            f"listening on {service.socket_path} "
+            f"(workers={service.workers}, "
+            f"recovered {recovered['queued']} queued / "
+            f"{recovered['resumed']} resumed)",
+            flush=True,
+        )
+        await service.run_until_shutdown()
+
+    try:
+        asyncio.run(_serve())
+    except RuntimeError as error:
+        raise SystemExit(str(error)) from None
+    print("fracture daemon stopped", flush=True)
+    return 0
+
+
+def _service_client(args: argparse.Namespace):
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(args.state_dir)
+
+
+def _job_clips(args: argparse.Namespace) -> dict[str, list[list[float]]]:
+    """Clip geometry for a submission: a clip file or built-in suite clips."""
+    if args.clip_file:
+        clips = load_clips(args.clip_file)
+        if args.clip and args.clip not in clips:
+            raise SystemExit(f"clip {args.clip!r} not in {args.clip_file}")
+        selected = {args.clip: clips[args.clip]} if args.clip else clips
+        return {
+            name: [[p.x, p.y] for p in poly.vertices]
+            for name, poly in selected.items()
+        }
+    from repro.bench.shapes import ilt_suite
+
+    shapes = [
+        s for s in ilt_suite(args.pitch)
+        if not args.clip or s.name == args.clip
+    ]
+    if not shapes:
+        raise SystemExit(f"no suite clip named {args.clip!r}")
+    return {
+        s.name: [[p.x, p.y] for p in s.polygon.vertices] for s in shapes
+    }
+
+
+def _run_client_op(args: argparse.Namespace, op) -> int:
+    """Run one client operation with uniform daemon-error reporting."""
+    from repro.service.client import ServiceError
+
+    try:
+        return op(_service_client(args))
+    except ServiceError as error:
+        raise SystemExit(f"service error [{error.code}]: {error}") from None
+
+
+def _cmd_job_submit(args: argparse.Namespace) -> int:
+    clips = _job_clips(args)
+    spec = {
+        "sigma": args.sigma, "gamma": args.gamma, "pitch": args.pitch,
+        "rho": args.rho, "lmin": args.lmin,
+    }
+
+    def run(client) -> int:
+        job_id = client.submit(
+            clips,
+            name=args.name,
+            method=args.method,
+            priority=args.priority,
+            window_nm=args.window_nm,
+            tile_workers=args.workers,
+            spec=spec,
+            use_result_cache=not args.no_cache,
+            checkpoint=not args.no_checkpoint,
+        )
+        print(job_id)
+        print(
+            f"  {len(clips)} clips, method={args.method}, "
+            f"priority={args.priority}; "
+            f"watch: trace tail {job_id} --follow "
+            f"--state-dir {args.state_dir}",
+            file=sys.stderr,
+        )
+        if args.wait:
+            job = client.wait(job_id, timeout_s=args.wait)
+            print(
+                f"  {job['state']}: {job.get('summary', {})}",
+                file=sys.stderr,
+            )
+            return 0 if job["state"] == "done" else 1
+        return 0
+
+    return _run_client_op(args, run)
+
+
+def _cmd_job_status(args: argparse.Namespace) -> int:
+    def run(client) -> int:
+        job = client.status(args.job_id)
+        print(json.dumps(job, indent=1))
+        return 0
+
+    return _run_client_op(args, run)
+
+
+def _cmd_job_result(args: argparse.Namespace) -> int:
+    def run(client) -> int:
+        result = client.result(args.job_id)
+        if args.output:
+            from repro.mask.io import rect_from_list, spec_from_dict
+
+            out = Path(args.output)
+            out.mkdir(parents=True, exist_ok=True)
+            spec = spec_from_dict(result["spec"])
+            for name, clip in result["clips"].items():
+                save_solution(
+                    [rect_from_list(s) for s in clip["shots"]],
+                    spec, out / f"{name}.solution.json", clip_name=name,
+                    metadata={
+                        "method": result["method"],
+                        "job_id": result["job_id"],
+                        "cached": clip["cached"],
+                    },
+                )
+            print(f"wrote {len(result['clips'])} solutions to {out}",
+                  file=sys.stderr)
+        if args.json:
+            print(json.dumps(result, indent=1))
+        else:
+            totals = result["totals"]
+            cached = totals["cached_clips"]
+            print(
+                f"{result['job_id']}: {totals['clips']} clips, "
+                f"{totals['shots']} shots, "
+                f"feasible={totals['feasible']}"
+                + (f", {cached} from warm cache" if cached else "")
+            )
+        return 0
+
+    return _run_client_op(args, run)
+
+
+def _cmd_job_cancel(args: argparse.Namespace) -> int:
+    def run(client) -> int:
+        response = client.cancel(args.job_id)
+        state = response["state"]
+        suffix = " (stop requested)" if response.get("cancelling") else ""
+        print(f"{args.job_id}: {state}{suffix}")
+        return 0
+
+    return _run_client_op(args, run)
+
+
+def _cmd_job_list(args: argparse.Namespace) -> int:
+    def run(client) -> int:
+        jobs = client.list_jobs()
+        if args.json:
+            print(json.dumps(jobs, indent=1))
+            return 0
+        for job in jobs:
+            summary = job.get("summary") or {}
+            shots = summary.get("shots", "-")
+            print(
+                f"{job['job_id']}  {job['state']:<9s}  "
+                f"prio={job['priority']:<3d} "
+                f"clips={len(job['spec'].get('clip_names', []))} "
+                f"shots={shots}"
+            )
+        return 0
+
+    return _run_client_op(args, run)
+
+
+def _cmd_job_stats(args: argparse.Namespace) -> int:
+    def run(client) -> int:
+        print(json.dumps(client.stats(), indent=1))
+        return 0
+
+    return _run_client_op(args, run)
+
+
+def _cmd_job_shutdown(args: argparse.Namespace) -> int:
+    def run(client) -> int:
+        response = client.shutdown(args.mode)
+        print(
+            f"shutdown requested (mode={response['mode']}, "
+            f"{response['running']} running)"
+        )
+        return 0
+
+    return _run_client_op(args, run)
+
+
+def _add_state_dir_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--state-dir", default=".repro-service", metavar="DIR",
+        help="daemon state directory (default .repro-service)",
+    )
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     from repro.bench.figures import render_figure
 
@@ -536,7 +794,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_fracture = sub.add_parser("fracture", help="fracture clips")
-    p_fracture.add_argument("--method", default="ours", help=str(sorted(_METHODS)))
+    p_fracture.add_argument("--method", default="ours", help=str(method_names()))
     p_fracture.add_argument("--clip-file", help="clip JSON (default: built-in ILT suite)")
     p_fracture.add_argument("--clip", help="single clip name")
     p_fracture.add_argument("--output", help="directory for solution JSON files")
@@ -599,7 +857,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_tail = trace_sub.add_parser(
         "tail", help="render a --stream telemetry file line by line"
     )
-    p_tail.add_argument("path", help="telemetry stream (.jsonl)")
+    p_tail.add_argument(
+        "path",
+        help="telemetry stream (.jsonl) or a service job id (job-xxxxxxxx)",
+    )
+    _add_state_dir_argument(p_tail)
     p_tail.add_argument(
         "--follow", "-f", action="store_true",
         help="keep reading appended records until the stream ends",
@@ -638,6 +900,95 @@ def build_parser() -> argparse.ArgumentParser:
         help="list every shared metric, not just the changed ones",
     )
     p_diff.set_defaults(func=_cmd_trace_diff)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the fracture job daemon (fracture-as-a-service)"
+    )
+    _add_state_dir_argument(p_serve)
+    p_serve.add_argument(
+        "--workers", type=_positive_int, default=2,
+        help="concurrent job slots (default 2)",
+    )
+    p_serve.add_argument(
+        "--queue-depth", type=_positive_int, default=64,
+        help="bounded queue depth; submissions beyond it are rejected "
+             "with a queue_full error (default 64)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_job = sub.add_parser("job", help="talk to a running fracture daemon")
+    job_sub = p_job.add_subparsers(dest="job_command", required=True)
+
+    p_submit = job_sub.add_parser("submit", help="enqueue a fracture job")
+    _add_state_dir_argument(p_submit)
+    p_submit.add_argument("--clip-file", help="clip JSON (default: built-in ILT suite)")
+    p_submit.add_argument("--clip", help="single clip name")
+    p_submit.add_argument("--name", default="", help="free-form job label")
+    p_submit.add_argument("--method", default="ours", help=str(method_names()))
+    p_submit.add_argument(
+        "--priority", type=int, default=0,
+        help="higher runs first; FIFO within a priority (default 0)",
+    )
+    p_submit.add_argument(
+        "--window-nm", type=_positive_float, metavar="NM",
+        help="tile large shapes into NM-sized windows (tiled executor)",
+    )
+    p_submit.add_argument(
+        "--workers", type=_positive_int, default=1,
+        help="tile-executor pool width inside the job (with --window-nm)",
+    )
+    p_submit.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the daemon's content-addressed result cache",
+    )
+    p_submit.add_argument(
+        "--no-checkpoint", action="store_true",
+        help="skip the per-job tile checkpoint journal",
+    )
+    p_submit.add_argument(
+        "--wait", type=_positive_float, nargs="?", const=3600.0,
+        metavar="SECONDS",
+        help="block until the job settles (optionally capped at SECONDS)",
+    )
+    _add_spec_arguments(p_submit)
+    p_submit.set_defaults(func=_cmd_job_submit)
+
+    p_status = job_sub.add_parser("status", help="one job's full record")
+    _add_state_dir_argument(p_status)
+    p_status.add_argument("job_id")
+    p_status.set_defaults(func=_cmd_job_status)
+
+    p_result = job_sub.add_parser("result", help="fetch a finished job")
+    _add_state_dir_argument(p_result)
+    p_result.add_argument("job_id")
+    p_result.add_argument("--json", action="store_true", help="full payload")
+    p_result.add_argument("--output", help="write per-clip solution JSON here")
+    p_result.set_defaults(func=_cmd_job_result)
+
+    p_cancel = job_sub.add_parser("cancel", help="cancel a queued/running job")
+    _add_state_dir_argument(p_cancel)
+    p_cancel.add_argument("job_id")
+    p_cancel.set_defaults(func=_cmd_job_cancel)
+
+    p_list = job_sub.add_parser("list", help="all known jobs, newest first")
+    _add_state_dir_argument(p_list)
+    p_list.add_argument("--json", action="store_true")
+    p_list.set_defaults(func=_cmd_job_list)
+
+    p_stats = job_sub.add_parser(
+        "stats", help="daemon gauges: queue, workers, warm caches"
+    )
+    _add_state_dir_argument(p_stats)
+    p_stats.set_defaults(func=_cmd_job_stats)
+
+    p_shutdown = job_sub.add_parser("shutdown", help="stop the daemon")
+    _add_state_dir_argument(p_shutdown)
+    p_shutdown.add_argument(
+        "--mode", choices=("drain", "interrupt"), default="drain",
+        help="drain finishes running jobs; interrupt checkpoints and "
+             "requeues them for the next daemon (default drain)",
+    )
+    p_shutdown.set_defaults(func=_cmd_job_shutdown)
 
     p_generate = sub.add_parser("generate", help="write benchmark clip files")
     p_generate.add_argument("--output", default="clips")

@@ -20,6 +20,7 @@ needs no invalidation: a profile depends only on the grid, σ and the LUT
 
 from __future__ import annotations
 
+import threading
 from typing import Iterable
 
 import numpy as np
@@ -35,6 +36,101 @@ ProfileKey = tuple[str, float, float, int, int]
 
 _PROFILE_CACHE_DEFAULT = True
 _PROFILE_CACHE_LIMIT = 20_000
+
+
+class ProfileBank:
+    """Process-level store of 1-D profile caches, shared across jobs.
+
+    A profile depends only on (grid geometry, σ, LUT tabulation) — never
+    on the current shot list — so two fracture runs over the *same
+    layout* recompute identical profiles from scratch when each builds a
+    private :class:`IntensityMap`.  The service daemon installs a bank
+    (:func:`set_profile_bank`); every map constructed while it is
+    installed adopts the bank's shared cache dict for its key instead of
+    a private one, so a resubmitted layout starts with every profile of
+    the previous run already warm.
+
+    Thread safety: ``cache_for`` is guarded by a lock (it runs once per
+    map construction, never on the pricing hot path); the per-key dicts
+    themselves are mutated only through single ``dict`` operations,
+    which are atomic under the GIL — concurrent jobs sharing a cache can
+    at worst duplicate a profile computation, never corrupt one.
+    """
+
+    def __init__(self, max_caches: int = 64):
+        if max_caches < 1:
+            raise ValueError("max_caches must be at least 1")
+        self.max_caches = max_caches
+        self._lock = threading.Lock()
+        self._caches: dict[tuple, dict[ProfileKey, np.ndarray]] = {}
+        self.attach_count = 0
+        self.warm_attach_count = 0
+
+    @staticmethod
+    def bank_key(grid, sigma: float, lut: ErfLookupTable) -> tuple:
+        """Cache identity: grid geometry + σ + LUT tabulation."""
+        return (
+            grid.x0, grid.y0, grid.pitch, grid.nx, grid.ny,
+            sigma, lut.key,
+        )
+
+    def cache_for(self, key: tuple) -> dict[ProfileKey, np.ndarray]:
+        """The shared cache dict for ``key`` (created on first use).
+
+        When the bank is full the oldest cache is dropped whole — a
+        layout-granular LRU keeps the memory bound without touching the
+        per-profile hot path.
+        """
+        with self._lock:
+            cache = self._caches.pop(key, None)
+            if cache is not None:
+                self._caches[key] = cache  # re-insert: most recently used
+                self.attach_count += 1
+                if cache:
+                    self.warm_attach_count += 1
+                return cache
+            while len(self._caches) >= self.max_caches:
+                oldest = next(iter(self._caches))
+                del self._caches[oldest]
+            cache = {}
+            self._caches[key] = cache
+            self.attach_count += 1
+            return cache
+
+    @property
+    def layouts(self) -> int:
+        return len(self._caches)
+
+    @property
+    def profiles(self) -> int:
+        with self._lock:
+            return sum(len(c) for c in self._caches.values())
+
+    def clear(self) -> None:
+        with self._lock:
+            self._caches.clear()
+
+
+_PROFILE_BANK: ProfileBank | None = None
+_PROFILE_BANK_LOCK = threading.Lock()
+
+
+def set_profile_bank(bank: ProfileBank | None) -> ProfileBank | None:
+    """Install (or, with ``None``, remove) the process profile bank.
+
+    Returns the previously installed bank.  Maps constructed while a
+    bank is installed share its caches; existing maps are unaffected
+    (copy-on-swap: they keep whatever cache dict they already hold).
+    """
+    global _PROFILE_BANK
+    with _PROFILE_BANK_LOCK:
+        previous = _PROFILE_BANK
+        _PROFILE_BANK = bank
+        return previous
+
+
+def get_profile_bank() -> ProfileBank | None:
+    return _PROFILE_BANK
 
 
 class profile_caching:
@@ -93,11 +189,19 @@ class IntensityMap:
         self._total = np.zeros(grid.shape, dtype=np.float64)
         self._x_centers = grid.x_centers()
         self._y_centers = grid.y_centers()
-        self._profile_cache: dict[ProfileKey, np.ndarray] = {}
         self._profile_cache_limit = profile_cache_limit
         self._cache_profiles = (
             _PROFILE_CACHE_DEFAULT if profile_cache is None else profile_cache
         )
+        bank = _PROFILE_BANK
+        if bank is not None and self._cache_profiles:
+            # Adopt the process bank's shared cache for this geometry:
+            # a rerun of the same layout starts fully warm.
+            self._profile_cache = bank.cache_for(
+                ProfileBank.bank_key(grid, sigma, self._lut)
+            )
+        else:
+            self._profile_cache: dict[ProfileKey, np.ndarray] = {}
 
     # -- queries -------------------------------------------------------------
 

@@ -10,6 +10,7 @@ resolution used by the refinement loop's improvement test.
 
 from __future__ import annotations
 
+import threading
 from typing import Sequence
 
 import numpy as np
@@ -81,16 +82,40 @@ class ErfLookupTable:
         xs = np.linspace(-self.bound, self.bound, samples)
         return float(np.max(np.abs(self(xs) - erf(xs))))
 
+    @property
+    def key(self) -> tuple[float, int]:
+        """Identity of the tabulation: ``(bound, samples)``.
+
+        Two tables with the same key interpolate identically, so caches
+        of values derived from a LUT (the 1-D profile bank of the
+        service daemon) may key on this instead of object identity.
+        """
+        return (self.bound, len(self._table))
+
 
 _DEFAULT_LUT: ErfLookupTable | None = None
+# Concurrent jobs in the service daemon share the default table; the
+# lock makes the lazy build and the swap race-free.  The fast path
+# (table already built) reads one reference without locking — atomic
+# under the GIL — so per-evaluation cost is unchanged.
+_DEFAULT_LUT_LOCK = threading.Lock()
 
 
 def default_lut() -> ErfLookupTable:
-    """Process-wide shared table (construction costs ~1 ms, reuse is free)."""
+    """Process-wide shared table (construction costs ~1 ms, reuse is free).
+
+    Thread-safe: concurrent first calls build the table exactly once
+    (double-checked under a module lock), so parallel service jobs never
+    observe a half-initialized default or build duplicate tables.
+    """
     global _DEFAULT_LUT
-    if _DEFAULT_LUT is None:
-        _DEFAULT_LUT = ErfLookupTable()
-    return _DEFAULT_LUT
+    lut = _DEFAULT_LUT
+    if lut is not None:
+        return lut
+    with _DEFAULT_LUT_LOCK:
+        if _DEFAULT_LUT is None:
+            _DEFAULT_LUT = ErfLookupTable()
+        return _DEFAULT_LUT
 
 
 def set_default_lut(lut: ErfLookupTable | None) -> ErfLookupTable | None:
@@ -100,9 +125,12 @@ def set_default_lut(lut: ErfLookupTable | None) -> ErfLookupTable | None:
     fracture under tables of different ``(bound, samples)`` without
     threading a table through every constructor.  Pass ``None`` to reset
     to lazy default construction.  Existing :class:`IntensityMap`
-    instances keep the table they captured at construction.
+    instances keep the table they captured at construction.  The swap is
+    serialized against concurrent :func:`default_lut` builds, so readers
+    always observe either the old or the new table, never a torn state.
     """
     global _DEFAULT_LUT
-    previous = _DEFAULT_LUT
-    _DEFAULT_LUT = lut
-    return previous
+    with _DEFAULT_LUT_LOCK:
+        previous = _DEFAULT_LUT
+        _DEFAULT_LUT = lut
+        return previous

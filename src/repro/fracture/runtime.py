@@ -71,6 +71,7 @@ __all__ = [
     "InjectedHang",
     "PoolBroken",
     "RetryPolicy",
+    "RunInterrupted",
     "RunStats",
     "RuntimePolicy",
     "TileCrash",
@@ -109,6 +110,25 @@ class TileInfeasible(TileError):
 
 class PoolBroken(RuntimeError):
     """The process pool could not be kept alive within the respawn budget."""
+
+
+class RunInterrupted(RuntimeError):
+    """A graceful-shutdown hook stopped the run between tile settlements.
+
+    Raised when :attr:`RuntimePolicy.stop_check` returns true.  The run
+    stops at a *clean* point: every settled tile has its checkpoint
+    journal line flushed and fsynced, no tile is half-recorded, and the
+    pool is torn down by the normal cleanup path — so re-running with
+    ``resume`` replays the completed tiles bit-identically and executes
+    only the rest.  ``done`` / ``total`` report how far the run got.
+    """
+
+    def __init__(self, done: int, total: int):
+        super().__init__(
+            f"run interrupted by shutdown hook after {done}/{total} tiles"
+        )
+        self.done = done
+        self.total = total
 
 
 class InjectedFault(RuntimeError):
@@ -255,6 +275,13 @@ class RuntimePolicy:
     (``stall_after_s``, default 3 heartbeats) or sit on one tile
     suspiciously long (half the tile deadline, when one is set).
     ``None`` disables the channel entirely (zero overhead).
+
+    ``stop_check`` is the graceful-shutdown hook: a zero-argument
+    callable polled between tile settlements.  When it returns true the
+    runner raises :class:`RunInterrupted` at the next clean point —
+    after the in-flight settlements are journaled, before new work is
+    started — so a daemon draining on SIGTERM can requeue the job and
+    resume it bit-identically later.
     """
 
     retry: RetryPolicy = field(default_factory=RetryPolicy)
@@ -263,6 +290,7 @@ class RuntimePolicy:
     resume: bool = False
     heartbeat_s: float | None = None
     stall_after_s: float | None = None
+    stop_check: Callable[[], bool] | None = None
 
 
 # -- outcomes ----------------------------------------------------------------
@@ -580,6 +608,7 @@ class _TileRunner:
         fallback: Callable[[Any, list[MaskShape], FractureSpec], list[Rect]],
         heartbeat_s: float | None = None,
         stall_after_s: float | None = None,
+        stop_check: Callable[[], bool] | None = None,
     ):
         self.jobs = jobs
         self.inner = inner
@@ -592,6 +621,7 @@ class _TileRunner:
         self.fallback = fallback
         self.heartbeat_s = heartbeat_s
         self.stall_after_s = stall_after_s
+        self.stop_check = stop_check
         self.obs = get_recorder()
         self.stats = RunStats()
         self.outcomes: list[TileOutcome | None] = [None] * len(jobs)
@@ -754,10 +784,25 @@ class _TileRunner:
             kind, message = envelope[2], envelope[3]
             self._settle_failure(p, kind, message)
 
+    # -- graceful shutdown --------------------------------------------------
+
+    def _check_interrupt(self) -> None:
+        """Raise :class:`RunInterrupted` when the shutdown hook fires.
+
+        Only called between settlements, so every completed tile is
+        already journaled and no partial state escapes.
+        """
+        if self.stop_check is not None and self.stop_check():
+            self.obs.event(
+                "run_interrupted", done=self._done, total=len(self.jobs)
+            )
+            raise RunInterrupted(self._done, len(self.jobs))
+
     # -- serial path --------------------------------------------------------
 
     def run_serial(self) -> None:
         while self.pending:
+            self._check_interrupt()
             p = self.pending.pop(0)
             delay = p.eligible_at - time.monotonic()
             if delay > 0:
@@ -838,6 +883,7 @@ class _TileRunner:
 
         try:
             while self.pending or inflight:
+                self._check_interrupt()
                 now = time.monotonic()
                 later: list[_Pending] = []
                 due_inline: list[_Pending] = []
@@ -892,6 +938,10 @@ class _TileRunner:
                 if next_eligible is not None:
                     timeouts.append(next_eligible - now)
                 timeout = max(0.0, min(timeouts)) if timeouts else None
+                if self.stop_check is not None:
+                    # Poll the shutdown hook even while every worker is
+                    # deep inside a long tile.
+                    timeout = 0.2 if timeout is None else min(timeout, 0.2)
                 done, _not_done = wait(
                     set(inflight), timeout=timeout, return_when=FIRST_COMPLETED
                 )
@@ -994,6 +1044,7 @@ def run_tiles(
     | None = None,
     heartbeat_s: float | None = None,
     stall_after_s: float | None = None,
+    stop_check: Callable[[], bool] | None = None,
 ) -> tuple[list[TileOutcome], RunStats]:
     """Execute tile ``jobs`` fault-tolerantly; outcomes in job order.
 
@@ -1016,6 +1067,7 @@ def run_tiles(
         fallback=fallback if fallback is not None else partition_fallback,
         heartbeat_s=heartbeat_s,
         stall_after_s=stall_after_s,
+        stop_check=stop_check,
     )
     if workers == 1 or len(runner.pending) <= 1:
         runner.run_serial()

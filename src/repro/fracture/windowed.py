@@ -199,6 +199,7 @@ class WindowedFracturer(Fracturer):
             telemetry_enabled=obs.enabled,
             heartbeat_s=self.runtime.heartbeat_s,
             stall_after_s=self.runtime.stall_after_s,
+            stop_check=self.runtime.stop_check,
         )
         collected: list[Rect] = []
         for outcome in outcomes:

@@ -1,0 +1,43 @@
+"""Fracturing-method registry shared by the CLI and the service daemon.
+
+One canonical mapping from the short method names used everywhere
+(benchmark tables, CLI flags, job submissions) to the classes that
+implement them, so the CLI and :mod:`repro.service` cannot drift apart
+on what ``"ours"`` or ``"partition"`` means.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    GreedySetCoverFracturer,
+    MatchingPursuitFracturer,
+    PartitionFracturer,
+    ProtoEdaFracturer,
+)
+from repro.fracture.base import Fracturer
+from repro.fracture.pipeline import ModelBasedFracturer
+
+__all__ = ["METHODS", "make_fracturer", "method_names"]
+
+METHODS: dict[str, type[Fracturer]] = {
+    "ours": ModelBasedFracturer,
+    "gsc": GreedySetCoverFracturer,
+    "mp": MatchingPursuitFracturer,
+    "proto-eda": ProtoEdaFracturer,
+    "partition": PartitionFracturer,
+}
+
+
+def method_names() -> list[str]:
+    return sorted(METHODS)
+
+
+def make_fracturer(name: str) -> Fracturer:
+    """Instantiate a registered method; ``ValueError`` on unknown names."""
+    try:
+        cls = METHODS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown method {name!r}; choose from {method_names()}"
+        ) from None
+    return cls()

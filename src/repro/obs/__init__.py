@@ -47,10 +47,12 @@ from repro.obs.recorder import (
     get_recorder,
     recording,
     set_recorder,
+    thread_recording,
 )
 from repro.obs.resources import (
     HeartbeatMonitor,
     HeartbeatWriter,
+    pid_alive,
     read_heartbeats,
     rss_bytes,
     sample_resources,
@@ -93,6 +95,7 @@ __all__ = [
     "payload_metrics",
     "payload_to_records",
     "phase_breakdown",
+    "pid_alive",
     "read_heartbeats",
     "read_stream",
     "records_to_payload",
@@ -101,6 +104,7 @@ __all__ = [
     "run_manifest",
     "sample_resources",
     "set_recorder",
+    "thread_recording",
     "stream_to_payload",
     "write_telemetry",
 ]

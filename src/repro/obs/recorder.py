@@ -37,6 +37,7 @@ __all__ = [
     "get_recorder",
     "recording",
     "set_recorder",
+    "thread_recording",
 ]
 
 
@@ -345,16 +346,26 @@ class TelemetryRecorder:
 
 _RECORDER: NullRecorder | TelemetryRecorder = NullRecorder()
 
+# Per-thread recorder override.  The service daemon runs several jobs
+# concurrently in worker threads of one process; each job installs its
+# own recorder for its thread only, so two jobs' spans, counters and
+# streams never mix.  Library code keeps calling get_recorder() and is
+# oblivious to which scope the recorder came from.
+_THREAD_RECORDER = threading.local()
+
 
 def get_recorder() -> NullRecorder | TelemetryRecorder:
-    """The process-wide active recorder (null unless one was installed)."""
+    """The active recorder: this thread's override, else the process one."""
+    override = getattr(_THREAD_RECORDER, "recorder", None)
+    if override is not None:
+        return override
     return _RECORDER
 
 
 def set_recorder(
     recorder: NullRecorder | TelemetryRecorder | None,
 ) -> NullRecorder | TelemetryRecorder:
-    """Install ``recorder`` (``None`` restores the null default)."""
+    """Install ``recorder`` process-wide (``None`` restores the null default)."""
     global _RECORDER
     _RECORDER = recorder if recorder is not None else NullRecorder()
     return _RECORDER
@@ -372,4 +383,26 @@ class recording:
 
     def __exit__(self, *exc: object) -> bool:
         set_recorder(self._previous)
+        return False
+
+
+class thread_recording:
+    """Install a recorder for the *current thread* only.
+
+    ``with thread_recording(rec): ...`` — concurrent job threads of the
+    service daemon each get an isolated recorder while the process-wide
+    default stays untouched for everyone else.  Nestable; restores the
+    previous thread override (or none) on exit.
+    """
+
+    def __init__(self, recorder: NullRecorder | TelemetryRecorder | None):
+        self._recorder = recorder if recorder is not None else NullRecorder()
+
+    def __enter__(self) -> NullRecorder | TelemetryRecorder:
+        self._previous = getattr(_THREAD_RECORDER, "recorder", None)
+        _THREAD_RECORDER.recorder = self._recorder
+        return self._recorder
+
+    def __exit__(self, *exc: object) -> bool:
+        _THREAD_RECORDER.recorder = self._previous
         return False

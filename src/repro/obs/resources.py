@@ -36,10 +36,31 @@ from typing import Any
 __all__ = [
     "HeartbeatMonitor",
     "HeartbeatWriter",
+    "pid_alive",
     "read_heartbeats",
     "rss_bytes",
     "sample_resources",
 ]
+
+
+def pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process (signal-0 probe, best effort).
+
+    Used by the service daemon to detect a stale state directory: a
+    ``daemon.json`` whose pid is gone means the previous daemon died
+    without cleanup and its socket/lease can be reclaimed.
+    """
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return False
+    return True
 
 
 def rss_bytes() -> int | None:

@@ -67,7 +67,18 @@ class TelemetryStream:
     make the flush-only mode safe for everything but a full OS crash.
     """
 
-    def __init__(self, path: str | Path, *, fsync: bool = False):
+    def __init__(
+        self, path: str | Path, *, fsync: bool = False, append: bool = False
+    ):
+        """Open a stream at ``path``; ``append`` continues an earlier one.
+
+        Append mode is the per-job stream routing of the service daemon:
+        a resumed job attempt keeps writing the *same* stream file, so a
+        ``trace tail --follow`` attached across a daemon restart sees the
+        whole job history.  Each attempt contributes its own
+        ``stream_header`` (readers tolerate repeats), and an interrupted
+        attempt's torn tail is skipped by the torn-line-tolerant readers.
+        """
         self.path = Path(path)
         if self.path.parent != Path():
             self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -75,12 +86,18 @@ class TelemetryStream:
         self._lock = threading.Lock()
         self._seq = 0
         self._closed = False
-        self._fh = open(self.path, "w", encoding="utf-8")
+        mode = "a" if append else "w"
+        self._fh = open(self.path, mode, encoding="utf-8")
+        if append and self._fh.tell() > 0:
+            # An interrupted writer may have torn the trailing line;
+            # start our records on a fresh line so they stay parseable.
+            self._fh.write("\n")
         self.emit({
             "type": "stream_header",
             "schema": STREAM_SCHEMA,
             "pid": os.getpid(),
             "created_unix": time.time(),
+            "resumed": bool(append),
         })
 
     def emit(self, record: dict[str, Any]) -> None:
@@ -107,6 +124,20 @@ class TelemetryStream:
     def close(self, status: str = "ok") -> None:
         """Emit the terminal ``stream_end`` record and close the file."""
         self.emit({"type": "stream_end", "status": status})
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                self._fh.close()
+
+    def detach(self) -> None:
+        """Close the file *without* the terminal record.
+
+        The graceful-interrupt path of the service daemon: the job will
+        resume and append to this same stream, so the one ``stream_end``
+        must come from the attempt that actually finishes — otherwise a
+        ``trace tail --follow`` attached across the restart would stop
+        at a mid-file terminal record.
+        """
         with self._lock:
             if not self._closed:
                 self._closed = True

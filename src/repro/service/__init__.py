@@ -1,0 +1,53 @@
+"""``repro.service`` — fracture-as-a-service: a long-lived job daemon.
+
+PRs 1–5 built every hard piece of a service as library code: a
+streaming JSONL event bus, worker heartbeats with stall detection,
+checkpoint/resume journals, retry/degradation ladders.  This package
+composes them behind a persistent asyncio daemon so a batch MDP
+workload stops paying process startup and cold caches per clip:
+
+* :class:`FractureService` (:mod:`repro.service.server`) — accepts
+  concurrent job submissions over a Unix-domain socket, runs them on a
+  managed worker pool behind a bounded priority queue (FIFO within
+  priority, backpressure when full), and survives restarts: queued and
+  in-flight jobs are recovered from the state directory and resumed
+  from their checkpoint journals bit-identically.
+* :class:`ServiceClient` (:mod:`repro.service.client`) — the thin
+  synchronous client behind ``repro job submit/status/result/cancel``.
+* :class:`WarmCaches` (:mod:`repro.service.caches`) — daemon-lifetime
+  shared state: the default erf LUT, the keyed 1-D profile bank and a
+  content-addressed result cache, so the second submission of a layout
+  costs a hash lookup instead of a refinement loop.
+
+Every job owns a directory under ``<state>/jobs/<id>/`` holding its
+manifest (``job.json``), live telemetry stream (``stream.jsonl``,
+viewable with ``trace tail <job-id> --follow``), checkpoint journals
+and the final ``result.json``.
+"""
+
+from repro.service.caches import ResultCache, WarmCaches
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.jobs import (
+    JobPaths,
+    JobRecord,
+    JobState,
+    job_id_like,
+    resolve_stream_path,
+)
+from repro.service.queue import PriorityJobQueue, QueueFull
+from repro.service.server import FractureService
+
+__all__ = [
+    "FractureService",
+    "JobPaths",
+    "JobRecord",
+    "JobState",
+    "PriorityJobQueue",
+    "QueueFull",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceError",
+    "WarmCaches",
+    "job_id_like",
+    "resolve_stream_path",
+]

@@ -1,0 +1,180 @@
+"""Thin synchronous client of the fracture daemon.
+
+One blocking request/response per call over the daemon's Unix socket
+(connection per request: the daemon is local, connects are ~50 µs, and
+statelessness means a daemon restart never strands a client socket).
+Protocol errors come back as :class:`ServiceError` carrying the
+machine-readable ``code`` (``queue_full``, ``unknown_job``, …) so
+callers can branch without parsing messages.
+
+This is the layer behind ``repro job submit/status/...`` and the
+service benchmark; tests use it directly against in-process daemons.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.service.jobs import JobPaths
+from repro.service.protocol import MAX_LINE_BYTES, decode_line, encode_line
+
+__all__ = ["ServiceClient", "ServiceError", "wait_for_daemon"]
+
+
+class ServiceError(RuntimeError):
+    """An error response from the daemon (or a dead daemon socket)."""
+
+    def __init__(self, message: str, code: str = "internal"):
+        super().__init__(message)
+        self.code = code
+
+
+class ServiceClient:
+    """Blocking client bound to one daemon state directory."""
+
+    def __init__(
+        self, state_dir: str | Path = ".repro-service",
+        *, timeout_s: float = 120.0,
+    ):
+        self.state_dir = Path(state_dir)
+        self.socket_path = self.state_dir / "daemon.sock"
+        self.timeout_s = timeout_s
+
+    # -- transport ----------------------------------------------------------
+
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """One request → the daemon's ``ok`` payload; raises on errors."""
+        try:
+            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+                sock.settimeout(self.timeout_s)
+                sock.connect(str(self.socket_path))
+                sock.sendall(encode_line(payload))
+                line = self._read_line(sock)
+        except (OSError, socket.timeout) as error:
+            raise ServiceError(
+                f"no daemon at {self.socket_path}: {error}", "no_daemon"
+            ) from None
+        response = decode_line(line)
+        if not response.get("ok"):
+            raise ServiceError(
+                str(response.get("error", "unknown error")),
+                str(response.get("code", "internal")),
+            )
+        return response
+
+    @staticmethod
+    def _read_line(sock: socket.socket) -> bytes:
+        chunks: list[bytes] = []
+        total = 0
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            total += len(chunk)
+            if chunk.endswith(b"\n") or total > MAX_LINE_BYTES:
+                break
+        return b"".join(chunks)
+
+    # -- operations ---------------------------------------------------------
+
+    def ping(self) -> dict[str, Any]:
+        return self.request({"op": "ping"})
+
+    def submit(
+        self,
+        clips: dict[str, list[list[float]]],
+        *,
+        name: str = "",
+        method: str = "ours",
+        priority: int = 0,
+        window_nm: float | None = None,
+        tile_workers: int = 1,
+        spec: dict[str, float] | None = None,
+        use_result_cache: bool = True,
+        checkpoint: bool = True,
+    ) -> str:
+        """Enqueue a job; returns its id (``ServiceError`` on backpressure)."""
+        response = self.request({"op": "submit", "job": {
+            "name": name,
+            "clips": clips,
+            "method": method,
+            "priority": priority,
+            "window_nm": window_nm,
+            "tile_workers": tile_workers,
+            "spec": spec or {},
+            "use_result_cache": use_result_cache,
+            "checkpoint": checkpoint,
+        }})
+        return response["job_id"]
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self.request({"op": "status", "job_id": job_id})["job"]
+
+    def list_jobs(self) -> list[dict[str, Any]]:
+        return self.request({"op": "list"})["jobs"]
+
+    def result(self, job_id: str) -> dict[str, Any]:
+        return self.request({"op": "result", "job_id": job_id})["result"]
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self.request({"op": "cancel", "job_id": job_id})
+
+    def wait(self, job_id: str, timeout_s: float = 60.0) -> dict[str, Any]:
+        """Block until the job settles (server-side wait); returns status."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ServiceError(
+                    f"timed out waiting for {job_id}", "timeout"
+                )
+            # Chunked server-side waits: each survives a daemon restart
+            # window because the reconnect happens per request.
+            chunk = min(remaining, 10.0)
+            try:
+                response = self.request(
+                    {"op": "wait", "job_id": job_id, "timeout_s": chunk}
+                )
+            except ServiceError as error:
+                if error.code == "no_daemon":
+                    time.sleep(0.1)
+                    continue
+                raise
+            if not response.get("timed_out"):
+                return response["job"]
+
+    def stats(self) -> dict[str, Any]:
+        return self.request({"op": "stats"})
+
+    def shutdown(self, mode: str = "interrupt") -> dict[str, Any]:
+        return self.request({"op": "shutdown", "mode": mode})
+
+    # -- conveniences -------------------------------------------------------
+
+    def stream_path(self, job_id: str) -> Path:
+        return JobPaths.for_job(self.state_dir, job_id).stream
+
+
+def wait_for_daemon(
+    state_dir: str | Path, timeout_s: float = 20.0, poll_s: float = 0.05
+) -> ServiceClient:
+    """Poll until a daemon answers ``ping`` on ``state_dir``; returns a
+    client.  Used by the CLI (after forking ``repro serve``), the smoke
+    test and the benchmark."""
+    client = ServiceClient(state_dir)
+    deadline = time.monotonic() + timeout_s
+    while True:
+        try:
+            client.ping()
+            return client
+        except ServiceError:
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"no daemon came up on {state_dir} "
+                    f"within {timeout_s:.0f}s", "no_daemon",
+                ) from None
+            time.sleep(poll_s)

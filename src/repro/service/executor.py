@@ -1,0 +1,272 @@
+"""Job execution: one job, one worker thread, isolated telemetry.
+
+:func:`execute_job` is the bridge between the asyncio server and the
+synchronous fracturing library.  It runs inside a thread-pool worker
+and composes the pieces the earlier PRs built:
+
+* a per-job :class:`~repro.obs.TelemetryRecorder` installed via
+  ``thread_recording`` — thread-scoped, so concurrent jobs never mix
+  spans or counters — streaming live to the job's ``stream.jsonl``
+  (append mode on resumed attempts: one stream tells the whole story);
+* the shared :class:`~repro.service.caches.WarmCaches` — each clip is
+  first looked up in the content-addressed result cache (a hit skips
+  fracture *and* verification: the stored verdict was computed from
+  scratch on identical inputs), and every ``IntensityMap`` built on a
+  miss attaches to the warm profile bank automatically;
+* the fault-tolerant tiled runtime — windowed jobs get a checkpoint
+  journal under the job directory and a ``stop_check`` wired to the
+  daemon's shutdown/cancel events, so SIGTERM checkpoints mid-clip and
+  the resumed attempt replays settled tiles bit-identically.
+
+Cancellation and interruption surface as typed exceptions
+(:class:`JobCancelled`, :class:`JobInterrupted`) so the server can map
+them onto the job state machine without string matching.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any
+
+from repro.fracture.runtime import RunInterrupted, RuntimePolicy
+from repro.fracture.windowed import WindowedFracturer
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.mask.constraints import FractureSpec
+from repro.mask.io import rect_to_list, spec_from_dict, spec_to_dict
+from repro.mask.shape import MaskShape
+from repro.methods import make_fracturer
+from repro.obs import TelemetryRecorder, TelemetryStream, thread_recording
+from repro.service.caches import WarmCaches, fingerprint_request
+from repro.service.jobs import JobPaths, JobRecord
+
+__all__ = [
+    "JobCancelled",
+    "JobControl",
+    "JobInterrupted",
+    "execute_job",
+]
+
+
+class JobCancelled(Exception):
+    """The job was cancelled by a client while running."""
+
+
+class JobInterrupted(Exception):
+    """The daemon is shutting down; the job checkpointed and can resume."""
+
+
+class JobControl:
+    """Stop flags the server shares with a running job's thread.
+
+    ``cancel`` targets one job (client ``cancel`` op); ``stop`` is the
+    daemon-wide shutdown flag (SIGTERM with interrupt semantics).  Both
+    are polled by the tiled runtime between tile settlements and by the
+    executor between clips, so reaction latency is one tile / one clip.
+    """
+
+    def __init__(self, stop: threading.Event | None = None):
+        self.cancel = threading.Event()
+        self.stop = stop if stop is not None else threading.Event()
+
+    def should_stop(self) -> bool:
+        return self.cancel.is_set() or self.stop.is_set()
+
+    def raise_if_stopped(self) -> None:
+        if self.cancel.is_set():
+            raise JobCancelled()
+        if self.stop.is_set():
+            raise JobInterrupted()
+
+
+def _build_spec(fields: dict[str, float]) -> FractureSpec:
+    base = spec_to_dict(FractureSpec())
+    base.update(fields)
+    return spec_from_dict(base)
+
+
+def _make_runner(
+    job: dict[str, Any],
+    paths: JobPaths,
+    resume: bool,
+    control: JobControl,
+):
+    """Instantiate the fracturer a job asked for (windowed when sized)."""
+    inner = make_fracturer(job["method"])
+    window_nm = job.get("window_nm")
+    if window_nm is None:
+        return inner
+    runtime = RuntimePolicy(
+        checkpoint_dir=paths.checkpoint_dir if job.get("checkpoint") else None,
+        resume=resume,
+        stop_check=control.should_stop,
+    )
+    return WindowedFracturer(
+        inner,
+        window_nm=float(window_nm),
+        workers=int(job.get("tile_workers", 1)),
+        runtime=runtime,
+    )
+
+
+def _atomic_write_json(path, payload: dict[str, Any]) -> None:
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def execute_job(
+    record: JobRecord,
+    paths: JobPaths,
+    caches: WarmCaches | None = None,
+    control: JobControl | None = None,
+) -> dict[str, Any]:
+    """Run one job to completion; returns the ``result.json`` payload.
+
+    Raises :class:`JobCancelled` / :class:`JobInterrupted` when stopped
+    (telemetry stream detached, checkpoints flushed) and propagates any
+    other exception as a job failure after closing the stream with
+    ``status="error"``.
+    """
+    control = control if control is not None else JobControl()
+    job = record.spec
+    paths.ensure()
+    resume = bool(record.resume)
+    stream = TelemetryStream(paths.stream, append=resume)
+    recorder = TelemetryRecorder(
+        manifest={
+            "job_id": record.job_id,
+            "attempt": record.attempts,
+            "resume": resume,
+            "method": job["method"],
+            "priority": record.priority,
+        },
+        stream=stream,
+    )
+    status = "error"
+    try:
+        with thread_recording(recorder):
+            payload = _run_clips(record, paths, caches, control, recorder)
+        status = "ok"
+        return payload
+    except JobCancelled:
+        status = "cancelled"
+        raise
+    except JobInterrupted:
+        status = "interrupted"
+        raise
+    finally:
+        recorder.emit_metrics()
+        if status == "interrupted":
+            # The resumed attempt appends to this stream; the terminal
+            # record must come from the attempt that finishes the job.
+            stream.emit({"type": "event", "name": "job_interrupted"})
+            stream.detach()
+        else:
+            stream.close(status)
+        _atomic_write_json(paths.telemetry_json, recorder.export())
+
+
+def _run_clips(
+    record: JobRecord,
+    paths: JobPaths,
+    caches: WarmCaches | None,
+    control: JobControl,
+    recorder: TelemetryRecorder,
+) -> dict[str, Any]:
+    job = record.spec
+    spec = _build_spec(job.get("spec", {}))
+    use_cache = caches is not None and job.get("use_result_cache", True)
+    runner = _make_runner(job, paths, bool(record.resume), control)
+    recorder.event(
+        "job_start",
+        job_id=record.job_id,
+        attempt=record.attempts,
+        resume=bool(record.resume),
+        clips=len(job["clips"]),
+        method=job["method"],
+    )
+    clips_out: dict[str, dict[str, Any]] = {}
+    started = time.perf_counter()
+    for name in sorted(job["clips"]):
+        control.raise_if_stopped()
+        vertices = job["clips"][name]
+        fingerprint = fingerprint_request(
+            vertices, job.get("spec", {}), job["method"], job.get("window_nm")
+        )
+        cached = caches.results.get(fingerprint) if use_cache else None
+        if cached is not None:
+            recorder.incr("service.result_cache_hits")
+            recorder.event("clip_done", clip=name, cached=True,
+                           shots=cached["shot_count"])
+            clips_out[name] = {**cached, "cached": True}
+            continue
+        if use_cache:
+            recorder.incr("service.result_cache_misses")
+        recorder.event("clip_start", clip=name, cached=False)
+        polygon = Polygon(Point(x, y) for x, y in vertices)
+        shape = MaskShape.from_polygon(
+            polygon, pitch=spec.pitch, margin=spec.grid_margin, name=name
+        )
+        try:
+            result = runner.fracture(shape, spec)
+        except RunInterrupted as stopped:
+            # The tiled runtime stops for either flag; map back to the
+            # one that fired (cancel wins: it is job-specific intent).
+            recorder.event(
+                "clip_interrupted", clip=name,
+                tiles_done=stopped.done, tiles_total=stopped.total,
+            )
+            control.raise_if_stopped()
+            raise  # stop_check stale trip with no flag set: real error
+        clip_payload = {
+            "shots": [rect_to_list(s) for s in result.shots],
+            "shot_count": result.shot_count,
+            "feasible": result.feasible,
+            "failing_px": result.report.total_failing,
+            "runtime_s": result.runtime_s,
+            "extra": result.extra,
+        }
+        if use_cache:
+            caches.results.put(fingerprint, clip_payload)
+        recorder.event("clip_done", clip=name, cached=False,
+                       shots=result.shot_count, feasible=result.feasible)
+        clips_out[name] = {**clip_payload, "cached": False}
+    wall_s = time.perf_counter() - started
+    if caches is not None:
+        stats = caches.stats()
+        recorder.gauge(
+            "service.profile_bank.layouts", stats["profile_bank"]["layouts"]
+        )
+        recorder.gauge(
+            "service.profile_bank.profiles", stats["profile_bank"]["profiles"]
+        )
+        recorder.gauge(
+            "service.result_cache.entries", stats["result_cache"]["entries"]
+        )
+    payload = {
+        "schema": "repro.service.result/v1",
+        "job_id": record.job_id,
+        "name": job.get("name", ""),
+        "method": job["method"],
+        "spec": spec_to_dict(spec),
+        "window_nm": job.get("window_nm"),
+        "attempts": record.attempts,
+        "resumed": bool(record.resume),
+        "wall_s": wall_s,
+        "clips": clips_out,
+        "totals": {
+            "clips": len(clips_out),
+            "shots": sum(c["shot_count"] for c in clips_out.values()),
+            "feasible": all(c["feasible"] for c in clips_out.values()),
+            "cached_clips": sum(1 for c in clips_out.values() if c["cached"]),
+        },
+    }
+    _atomic_write_json(paths.result_json, payload)
+    return payload

@@ -1,0 +1,106 @@
+"""Bounded priority job queue: higher priority first, FIFO within.
+
+A tiny heap wrapper rather than ``asyncio.PriorityQueue`` because the
+service needs three things the stdlib queue does not give cleanly:
+
+* **strict FIFO within a priority level** — entries carry a monotonic
+  submission sequence so two equal-priority jobs never reorder (heapq
+  alone is not stable);
+* **backpressure as an error, not a block** — ``push`` raises
+  :class:`QueueFull` when the bounded depth is reached, which the
+  server turns into a ``queue_full`` protocol error the client can see
+  and retry, instead of silently parking the connection;
+* **lazy cancellation** — ``remove`` marks an entry dead in O(1) and
+  ``pop`` skips dead entries, so cancelling a queued job never needs a
+  heap rebuild.
+
+The queue stores job ids only; the server owns the id → record map.
+All methods run on the daemon's event-loop thread, so no lock.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+__all__ = ["PriorityJobQueue", "QueueFull"]
+
+
+class QueueFull(Exception):
+    """The bounded queue rejected a submission (backpressure)."""
+
+    def __init__(self, depth: int):
+        super().__init__(f"job queue is full ({depth} queued)")
+        self.depth = depth
+
+
+class PriorityJobQueue:
+    """Heap of ``(-priority, seq, job_id)`` with lazy removal."""
+
+    def __init__(self, max_depth: int = 64):
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        self.max_depth = max_depth
+        self._heap: list[tuple[int, int, str]] = []
+        self._live: set[str] = set()
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._live)
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._live
+
+    def next_seq(self) -> int:
+        """Allocate a submission sequence number (monotonic)."""
+        return next(self._seq)
+
+    def advance_seq(self, floor: int) -> None:
+        """Never hand out sequence numbers at or below ``floor``.
+
+        Restart recovery re-pushes recovered jobs with their *original*
+        sequence numbers so the pre-crash FIFO order survives; advancing
+        the counter past the highest recovered seq keeps post-restart
+        submissions ordered after them.
+        """
+        current = next(self._seq)
+        if floor >= current:
+            self._seq = itertools.count(floor + 1)
+        else:
+            self._seq = itertools.count(current)
+
+    def push(self, job_id: str, priority: int, seq: int) -> None:
+        """Enqueue; :class:`QueueFull` at the depth bound.
+
+        Higher ``priority`` values pop first; ties pop in ``seq`` order.
+        """
+        if job_id in self._live:
+            raise ValueError(f"{job_id} is already queued")
+        if len(self._live) >= self.max_depth:
+            raise QueueFull(len(self._live))
+        heapq.heappush(self._heap, (-priority, seq, job_id))
+        self._live.add(job_id)
+
+    def pop(self) -> str | None:
+        """Highest-priority live job id, or ``None`` when empty."""
+        while self._heap:
+            _, _, job_id = heapq.heappop(self._heap)
+            if job_id in self._live:
+                self._live.discard(job_id)
+                return job_id
+        return None
+
+    def remove(self, job_id: str) -> bool:
+        """Lazily remove a queued job (cancellation); False if absent."""
+        if job_id not in self._live:
+            return False
+        self._live.discard(job_id)
+        return True
+
+    def snapshot(self) -> list[str]:
+        """Live job ids in pop order (non-destructive; for ``stats``)."""
+        return [
+            job_id
+            for _, _, job_id in sorted(self._heap)
+            if job_id in self._live
+        ]

@@ -1,0 +1,523 @@
+"""The fracture daemon: asyncio front end, threaded fracturing back end.
+
+:class:`FractureService` is a single-process, single-event-loop daemon:
+
+* **Front end** — a Unix-domain socket server speaking the JSON-lines
+  protocol of :mod:`repro.service.protocol`.  Every connection is one
+  coroutine; all daemon state (job map, queue, running set) is touched
+  only on the event-loop thread, so there are no locks on the control
+  plane.
+* **Back end** — a small ``ThreadPoolExecutor``.  Each admitted job
+  runs :func:`repro.service.executor.execute_job` on a worker thread
+  with a thread-scoped recorder, the shared warm caches, and a
+  :class:`~repro.service.executor.JobControl` whose events the control
+  plane flips for cancel / shutdown.
+* **Durability** — every job state transition is persisted to the
+  job's ``job.json`` *before* it takes effect in memory.  On startup
+  the daemon scans ``<state>/jobs/*/job.json``: settled jobs are
+  indexed for ``status``/``result``, queued jobs re-enter the queue
+  with their original (priority, seq) so pre-crash FIFO order
+  survives, and jobs found ``running`` (the daemon died under them)
+  are requeued with ``resume`` — their checkpoint journals replay the
+  settled tiles bit-identically.
+
+Shutdown modes: ``drain`` stops admissions and finishes running jobs;
+``interrupt`` (the SIGTERM/SIGINT default) additionally flips the
+stop event so running jobs checkpoint at the next tile boundary and
+go back to ``queued`` with ``resume`` set.  Either way queued jobs
+stay queued on disk for the next daemon.
+
+A stale ``daemon.json`` (pid no longer alive — SIGKILL, OOM) is
+reclaimed automatically; a live one refuses the second daemon.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.obs import pid_alive, sample_resources
+from repro.service.caches import WarmCaches
+from repro.service.executor import (
+    JobCancelled,
+    JobControl,
+    JobInterrupted,
+    execute_job,
+)
+from repro.service.jobs import (
+    JobPaths,
+    JobRecord,
+    JobState,
+    new_job_id,
+    validate_submission,
+)
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    OPS,
+    PROTOCOL_SCHEMA,
+    ProtocolError,
+    decode_line,
+    encode_line,
+    error_response,
+    ok_response,
+)
+from repro.service.queue import PriorityJobQueue, QueueFull
+
+__all__ = ["DEFAULT_STATE_DIR", "FractureService", "daemon_info"]
+
+DEFAULT_STATE_DIR = ".repro-service"
+
+
+def daemon_info(state_dir: str | Path) -> dict[str, Any] | None:
+    """The ``daemon.json`` of a *live* daemon under ``state_dir``.
+
+    Returns ``None`` when there is no daemon file, it is unreadable, or
+    the recorded pid is dead (a stale file from a killed daemon).
+    """
+    path = Path(state_dir) / "daemon.json"
+    try:
+        info = json.loads(path.read_text("utf-8"))
+    except (OSError, ValueError):
+        return None
+    if not isinstance(info, dict) or not pid_alive(int(info.get("pid", 0))):
+        return None
+    return info
+
+
+class FractureService:
+    """See module docstring.  All public state lives on the loop thread.
+
+    ``job_runner`` is injectable for tests: anything with the signature
+    of :func:`~repro.service.executor.execute_job` — stub runners let
+    the queue/lifecycle tests exercise the control plane in
+    milliseconds without fracturing anything.
+    """
+
+    def __init__(
+        self,
+        state_dir: str | Path = DEFAULT_STATE_DIR,
+        *,
+        workers: int = 2,
+        max_queue_depth: int = 64,
+        caches: WarmCaches | None = None,
+        job_runner: Callable[..., dict[str, Any]] | None = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.state_dir = Path(state_dir)
+        self.workers = workers
+        self.socket_path = self.state_dir / "daemon.sock"
+        self.daemon_json = self.state_dir / "daemon.json"
+        self.caches = caches if caches is not None else WarmCaches()
+        self.job_runner = job_runner if job_runner is not None else execute_job
+        self.queue = PriorityJobQueue(max_depth=max_queue_depth)
+        self.jobs: dict[str, JobRecord] = {}
+        self.running: set[str] = set()
+        self.controls: dict[str, JobControl] = {}
+        self.started_unix = time.time()
+        self._settled: dict[str, asyncio.Event] = {}
+        self._tasks: set[asyncio.Task] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._executor: ThreadPoolExecutor | None = None
+        self._server: asyncio.AbstractServer | None = None
+        self._stopping = False
+        self._stop_threads = None  # threading.Event, shared by JobControls
+        self._shutdown_mode: str | None = None
+        self._shutdown_requested: asyncio.Event | None = None
+        self.recovered: dict[str, int] = {"queued": 0, "resumed": 0}
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Claim the state directory, recover jobs, open the socket."""
+        import threading
+
+        info = daemon_info(self.state_dir)
+        if info is not None:
+            raise RuntimeError(
+                f"a daemon is already running (pid {info['pid']}) "
+                f"on {self.state_dir}"
+            )
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        (self.state_dir / "jobs").mkdir(exist_ok=True)
+        self.socket_path.unlink(missing_ok=True)  # stale socket reclaim
+        self._stop_threads = threading.Event()
+        self._shutdown_requested = asyncio.Event()
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="fracture-job"
+        )
+        self.caches.install()
+        self._recover_jobs()
+        self._server = await asyncio.start_unix_server(
+            self._handle_connection, path=str(self.socket_path),
+            limit=MAX_LINE_BYTES,
+        )
+        self.started_unix = time.time()
+        self.daemon_json.write_text(json.dumps({
+            "schema": PROTOCOL_SCHEMA,
+            "pid": os.getpid(),
+            "socket": str(self.socket_path),
+            "started_unix": self.started_unix,
+        }, indent=1))
+        self._install_signal_handlers()
+        self._pump()
+
+    def _install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → interrupt-mode shutdown (best effort).
+
+        ``add_signal_handler`` only works on a main-thread loop; tests
+        run daemons on side threads, so failures are silently accepted
+        (the test drives shutdown through the protocol instead).
+        """
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(
+                    sig, self.request_shutdown, "interrupt"
+                )
+            except (NotImplementedError, RuntimeError, ValueError):
+                return
+
+    def _recover_jobs(self) -> None:
+        """Rebuild the job map and queue from ``<state>/jobs/*/job.json``."""
+        max_seq = -1
+        recovered: list[JobRecord] = []
+        for job_json in sorted(self.state_dir.glob("jobs/*/job.json")):
+            try:
+                record = JobRecord.load(JobPaths(job_json.parent))
+            except (OSError, ValueError, KeyError):
+                continue  # torn write of a crashed daemon; job dir remains
+            self.jobs[record.job_id] = record
+            max_seq = max(max_seq, record.seq)
+            if record.state is JobState.QUEUED:
+                recovered.append(record)
+                self.recovered["queued"] += 1
+            elif record.state is JobState.RUNNING:
+                # The previous daemon died mid-job.  Its checkpoint
+                # journal is intact (fsync per tile), so requeue with
+                # resume; the next attempt replays settled tiles.
+                record.state = JobState.QUEUED
+                record.resume = True
+                record.started_unix = None
+                record.save(JobPaths(job_json.parent))
+                recovered.append(record)
+                self.recovered["resumed"] += 1
+        self.queue.advance_seq(max_seq)
+        # Original (priority, seq) order — pre-crash FIFO survives.
+        for record in sorted(recovered, key=lambda r: (-r.priority, r.seq)):
+            self.queue.push(record.job_id, record.priority, record.seq)
+
+    async def run_until_shutdown(self) -> None:
+        """Serve until a signal or ``shutdown`` op, then stop cleanly."""
+        assert self._shutdown_requested is not None
+        await self._shutdown_requested.wait()
+        await self.stop(self._shutdown_mode or "interrupt")
+
+    def request_shutdown(self, mode: str = "interrupt") -> None:
+        """Flag shutdown from a signal handler or protocol op."""
+        self._shutdown_mode = mode
+        self._stopping = True
+        if mode == "interrupt" and self._stop_threads is not None:
+            self._stop_threads.set()
+        if self._shutdown_requested is not None:
+            self._shutdown_requested.set()
+
+    async def stop(self, mode: str = "interrupt") -> None:
+        """Stop the daemon: ``drain`` finishes running jobs, ``interrupt``
+        checkpoints and requeues them.  Queued jobs stay queued on disk."""
+        self._stopping = True
+        if mode == "interrupt" and self._stop_threads is not None:
+            self._stop_threads.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Hang up on idle connections so their handler coroutines exit
+        # cleanly before the loop closes (a blocked readline sees EOF);
+        # cancel any still parked in a long server-side ``wait`` op.
+        for writer in list(self._connections):
+            writer.close()
+        if self._conn_tasks:
+            _, pending = await asyncio.wait(
+                list(self._conn_tasks), timeout=2.0
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        if self._tasks:
+            await asyncio.gather(*list(self._tasks), return_exceptions=True)
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+        self.caches.uninstall()
+        self.socket_path.unlink(missing_ok=True)
+        self.daemon_json.unlink(missing_ok=True)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _pump(self) -> None:
+        """Start queued jobs while worker capacity remains."""
+        if self._stopping:
+            return
+        while len(self.running) < self.workers:
+            job_id = self.queue.pop()
+            if job_id is None:
+                return
+            record = self.jobs[job_id]
+            record.state = JobState.RUNNING
+            record.started_unix = time.time()
+            record.attempts += 1
+            record.save(self._paths(job_id))
+            control = JobControl(stop=self._stop_threads)
+            self.controls[job_id] = control
+            self.running.add(job_id)
+            task = asyncio.get_running_loop().create_task(
+                self._run_one(record, control)
+            )
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+
+    async def _run_one(self, record: JobRecord, control: JobControl) -> None:
+        loop = asyncio.get_running_loop()
+        paths = self._paths(record.job_id)
+        settled = True
+        try:
+            payload = await loop.run_in_executor(
+                self._executor,
+                self.job_runner, record, paths, self.caches, control,
+            )
+            record.state = JobState.DONE
+            record.summary = dict(payload.get("totals", {}))
+        except JobCancelled:
+            record.state = JobState.CANCELLED
+        except JobInterrupted:
+            # Back to the queue with resume; the *next* daemon (or a
+            # later pump, if this was a lone cancelled-stop) replays
+            # the checkpoints.  Not settled: waiters keep waiting.
+            record.state = JobState.QUEUED
+            record.resume = True
+            record.started_unix = None
+            settled = False
+        except Exception as error:  # job bug or bad geometry — never fatal
+            record.state = JobState.FAILED
+            record.error = f"{type(error).__name__}: {error}"
+        if settled:
+            record.finished_unix = time.time()
+        record.save(paths)
+        self.running.discard(record.job_id)
+        self.controls.pop(record.job_id, None)
+        if settled:
+            self._settled_event(record.job_id).set()
+        self._pump()
+
+    def _paths(self, job_id: str) -> JobPaths:
+        return JobPaths.for_job(self.state_dir, job_id)
+
+    def _settled_event(self, job_id: str) -> asyncio.Event:
+        event = self._settled.get(job_id)
+        if event is None:
+            event = asyncio.Event()
+            self._settled[job_id] = event
+            if self.jobs[job_id].state.settled:
+                event.set()
+        return event
+
+    # -- protocol front end -------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+            task.add_done_callback(self._conn_tasks.discard)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(encode_line(error_response(
+                        "request line too long", "bad_request")))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                try:
+                    request = decode_line(line)
+                except ProtocolError as error:
+                    response = error_response(str(error), "bad_request")
+                else:
+                    response = await self._dispatch(request)
+                writer.write(encode_line(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _dispatch(self, request: dict[str, Any]) -> dict[str, Any]:
+        op = request.get("op")
+        if op not in OPS:
+            return error_response(f"unknown op {op!r}", "unknown_op")
+        handler = getattr(self, f"_op_{op}")
+        try:
+            return await handler(request)
+        except Exception as error:  # daemon must survive any request
+            return error_response(
+                f"{type(error).__name__}: {error}", "internal"
+            )
+
+    def _get_job(self, request: dict[str, Any]) -> JobRecord:
+        job_id = request.get("job_id")
+        record = self.jobs.get(job_id) if isinstance(job_id, str) else None
+        if record is None:
+            raise KeyError(job_id)
+        return record
+
+    async def _op_ping(self, request: dict[str, Any]) -> dict[str, Any]:
+        return ok_response(
+            schema=PROTOCOL_SCHEMA,
+            pid=os.getpid(),
+            uptime_s=time.time() - self.started_unix,
+            state_dir=str(self.state_dir),
+        )
+
+    async def _op_submit(self, request: dict[str, Any]) -> dict[str, Any]:
+        if self._stopping:
+            return error_response(
+                "daemon is shutting down", "shutting_down"
+            )
+        try:
+            spec = validate_submission(request.get("job"))
+        except ValueError as error:
+            return error_response(str(error), "bad_request")
+        record = JobRecord(
+            job_id=new_job_id(),
+            spec=spec,
+            priority=spec["priority"],
+            seq=self.queue.next_seq(),
+        )
+        try:
+            self.queue.push(record.job_id, record.priority, record.seq)
+        except QueueFull as full:
+            return error_response(str(full), "queue_full")
+        # Persist before acknowledging: an acked job survives a crash.
+        record.save(self._paths(record.job_id))
+        self.jobs[record.job_id] = record
+        self._pump()
+        return ok_response(
+            job_id=record.job_id,
+            state=record.state.value,
+            queued=len(self.queue),
+            stream=str(self._paths(record.job_id).stream),
+        )
+
+    async def _op_status(self, request: dict[str, Any]) -> dict[str, Any]:
+        try:
+            record = self._get_job(request)
+        except KeyError:
+            return error_response("no such job", "unknown_job")
+        return ok_response(job=record.public_view())
+
+    async def _op_list(self, request: dict[str, Any]) -> dict[str, Any]:
+        records = sorted(
+            self.jobs.values(), key=lambda r: r.seq, reverse=True
+        )
+        return ok_response(jobs=[r.public_view() for r in records])
+
+    async def _op_result(self, request: dict[str, Any]) -> dict[str, Any]:
+        try:
+            record = self._get_job(request)
+        except KeyError:
+            return error_response("no such job", "unknown_job")
+        if record.state is not JobState.DONE:
+            detail = f" ({record.error})" if record.error else ""
+            return error_response(
+                f"job is {record.state.value}{detail}", "not_done"
+            )
+        paths = self._paths(record.job_id)
+        payload = json.loads(paths.result_json.read_text("utf-8"))
+        return ok_response(result=payload)
+
+    async def _op_cancel(self, request: dict[str, Any]) -> dict[str, Any]:
+        try:
+            record = self._get_job(request)
+        except KeyError:
+            return error_response("no such job", "unknown_job")
+        if record.state is JobState.QUEUED and self.queue.remove(record.job_id):
+            record.state = JobState.CANCELLED
+            record.finished_unix = time.time()
+            record.save(self._paths(record.job_id))
+            self._settled_event(record.job_id).set()
+            return ok_response(job_id=record.job_id, state=record.state.value)
+        if record.state is JobState.RUNNING:
+            control = self.controls.get(record.job_id)
+            if control is not None:
+                control.cancel.set()
+            # Still 'running' until the worker reaches a stop point.
+            return ok_response(
+                job_id=record.job_id, state=record.state.value,
+                cancelling=True,
+            )
+        return ok_response(job_id=record.job_id, state=record.state.value)
+
+    async def _op_wait(self, request: dict[str, Any]) -> dict[str, Any]:
+        try:
+            record = self._get_job(request)
+        except KeyError:
+            return error_response("no such job", "unknown_job")
+        timeout_s = request.get("timeout_s", 60.0)
+        event = self._settled_event(record.job_id)
+        timed_out = False
+        try:
+            await asyncio.wait_for(event.wait(), timeout=float(timeout_s))
+        except asyncio.TimeoutError:
+            timed_out = True
+        return ok_response(job=record.public_view(), timed_out=timed_out)
+
+    async def _op_stats(self, request: dict[str, Any]) -> dict[str, Any]:
+        by_state: dict[str, int] = {}
+        for record in self.jobs.values():
+            by_state[record.state.value] = by_state.get(record.state.value, 0) + 1
+        return ok_response(
+            uptime_s=time.time() - self.started_unix,
+            queued=len(self.queue),
+            queue_order=self.queue.snapshot(),
+            running=sorted(self.running),
+            workers=self.workers,
+            jobs_by_state=by_state,
+            recovered=dict(self.recovered),
+            caches=self.caches.stats(),
+            resources=sample_resources(),
+        )
+
+    async def _op_shutdown(self, request: dict[str, Any]) -> dict[str, Any]:
+        mode = request.get("mode", "interrupt")
+        if mode not in ("drain", "interrupt"):
+            return error_response(
+                "shutdown mode must be 'drain' or 'interrupt'", "bad_request"
+            )
+        # Acknowledge first; the connection handler flushes the reply
+        # before the server socket closes underneath it.
+        asyncio.get_running_loop().call_soon(self.request_shutdown, mode)
+        return ok_response(mode=mode, running=len(self.running))
+
+
+# Re-exported for callers that only need to know whether a daemon is up
+# without importing the asyncio machinery.
+def socket_path_for(state_dir: str | Path) -> Path:
+    return Path(state_dir) / "daemon.sock"

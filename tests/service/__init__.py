@@ -1,0 +1,1 @@
+"""Tests of the fracture-as-a-service daemon (repro.service)."""

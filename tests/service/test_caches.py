@@ -1,0 +1,94 @@
+"""Warm caches: fingerprints, result cache bounds, profile-bank wiring."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import PartitionFracturer
+from repro.ebeam.intensity_map import IntensityMap, get_profile_bank
+from repro.mask.constraints import FractureSpec
+from repro.service.caches import ResultCache, WarmCaches, fingerprint_request
+
+CLIP = [[0.0, 0.0], [40.0, 0.0], [40.0, 40.0], [0.0, 40.0]]
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        a = fingerprint_request(CLIP, {"sigma": 6.25}, "ours", None)
+        b = fingerprint_request(CLIP, {"sigma": 6.25}, "ours", None)
+        assert a == b
+
+    def test_sensitive_to_every_result_affecting_input(self):
+        base = fingerprint_request(CLIP, {}, "ours", None)
+        moved = [[0.0, 0.0], [41.0, 0.0], [41.0, 40.0], [0.0, 40.0]]
+        assert fingerprint_request(moved, {}, "ours", None) != base
+        assert fingerprint_request(CLIP, {"sigma": 7.0}, "ours", None) != base
+        assert fingerprint_request(CLIP, {}, "partition", None) != base
+        assert fingerprint_request(CLIP, {}, "ours", 300.0) != base
+
+    def test_spec_key_order_irrelevant(self):
+        a = fingerprint_request(CLIP, {"sigma": 6.25, "rho": 0.5}, "ours", None)
+        b = fingerprint_request(CLIP, {"rho": 0.5, "sigma": 6.25}, "ours", None)
+        assert a == b
+
+
+class TestResultCache:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        assert cache.get("k") is None
+        cache.put("k", {"shots": []})
+        assert cache.get("k") == {"shots": []}
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+
+    def test_eviction_is_oldest_first(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", {"n": 1})
+        cache.put("b", {"n": 2})
+        cache.put("c", {"n": 3})
+        assert cache.get("a") is None  # evicted
+        assert cache.get("b") is not None
+        assert cache.get("c") is not None
+
+    def test_put_is_idempotent(self):
+        cache = ResultCache()
+        cache.put("k", {"first": True})
+        cache.put("k", {"second": True})
+        assert cache.get("k") == {"first": True}
+
+
+class TestWarmCaches:
+    def test_install_publishes_profile_bank(self):
+        warm = WarmCaches()
+        assert get_profile_bank() is None
+        with warm:
+            assert get_profile_bank() is warm.profiles
+        assert get_profile_bank() is None
+
+    def test_second_fracture_attaches_warm(self, spec, rect_shape):
+        warm = WarmCaches()
+        with warm:
+            PartitionFracturer().fracture(rect_shape, spec)
+            first = warm.stats()["profile_bank"]
+            assert first["attaches"] >= 1
+            assert first["profiles"] > 0
+            PartitionFracturer().fracture(rect_shape, spec)
+            second = warm.stats()["profile_bank"]
+            assert second["warm_attaches"] >= 1
+            assert second["layouts"] == first["layouts"]
+
+    def test_shared_cache_gives_identical_intensity(self, spec, rect_shape):
+        """Warm profiles must not change the physics, only skip work."""
+        shots = PartitionFracturer().fracture_shots(rect_shape, spec)
+        cold = IntensityMap(rect_shape.grid, spec.sigma)
+        for shot in shots:
+            cold.add(shot)
+        with WarmCaches():
+            warm_a = IntensityMap(rect_shape.grid, spec.sigma)
+            for shot in shots:
+                warm_a.add(shot)
+            # Second map attaches to the already-warm shared cache.
+            warm_b = IntensityMap(rect_shape.grid, spec.sigma)
+            for shot in shots:
+                warm_b.add(shot)
+        np.testing.assert_array_equal(cold.total, warm_a.total)
+        np.testing.assert_array_equal(cold.total, warm_b.total)

@@ -1,0 +1,120 @@
+"""Priority queue semantics: ordering, FIFO, backpressure, lazy removal."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.queue import PriorityJobQueue, QueueFull
+
+
+def _push(queue: PriorityJobQueue, job_id: str, priority: int) -> None:
+    queue.push(job_id, priority, queue.next_seq())
+
+
+def drain(queue: PriorityJobQueue) -> list[str]:
+    out = []
+    while True:
+        job_id = queue.pop()
+        if job_id is None:
+            return out
+        out.append(job_id)
+
+
+class TestOrdering:
+    def test_higher_priority_pops_first(self):
+        queue = PriorityJobQueue()
+        _push(queue, "low", 0)
+        _push(queue, "high", 5)
+        _push(queue, "mid", 2)
+        assert drain(queue) == ["high", "mid", "low"]
+
+    def test_fifo_within_priority(self):
+        queue = PriorityJobQueue()
+        for name in ("a", "b", "c", "d"):
+            _push(queue, name, 1)
+        assert drain(queue) == ["a", "b", "c", "d"]
+
+    def test_fifo_survives_interleaved_priorities(self):
+        queue = PriorityJobQueue()
+        _push(queue, "a0", 0)
+        _push(queue, "a1", 1)
+        _push(queue, "b0", 0)
+        _push(queue, "b1", 1)
+        _push(queue, "c0", 0)
+        assert drain(queue) == ["a1", "b1", "a0", "b0", "c0"]
+
+    def test_negative_priority_runs_last(self):
+        queue = PriorityJobQueue()
+        _push(queue, "bulk", -1)
+        _push(queue, "normal", 0)
+        assert drain(queue) == ["normal", "bulk"]
+
+    def test_snapshot_is_pop_order_and_non_destructive(self):
+        queue = PriorityJobQueue()
+        _push(queue, "low", 0)
+        _push(queue, "high", 3)
+        assert queue.snapshot() == ["high", "low"]
+        assert len(queue) == 2
+        assert drain(queue) == ["high", "low"]
+
+
+class TestBackpressure:
+    def test_push_beyond_depth_raises_queue_full(self):
+        queue = PriorityJobQueue(max_depth=2)
+        _push(queue, "a", 0)
+        _push(queue, "b", 0)
+        with pytest.raises(QueueFull) as excinfo:
+            _push(queue, "c", 9)  # priority does not bypass the bound
+        assert excinfo.value.depth == 2
+
+    def test_pop_frees_capacity(self):
+        queue = PriorityJobQueue(max_depth=1)
+        _push(queue, "a", 0)
+        assert queue.pop() == "a"
+        _push(queue, "b", 0)  # no raise
+        assert drain(queue) == ["b"]
+
+    def test_remove_frees_capacity(self):
+        queue = PriorityJobQueue(max_depth=1)
+        _push(queue, "a", 0)
+        assert queue.remove("a")
+        _push(queue, "b", 0)
+        assert drain(queue) == ["b"]
+
+    def test_duplicate_push_rejected(self):
+        queue = PriorityJobQueue()
+        _push(queue, "a", 0)
+        with pytest.raises(ValueError):
+            _push(queue, "a", 0)
+
+
+class TestRemoval:
+    def test_removed_job_never_pops(self):
+        queue = PriorityJobQueue()
+        _push(queue, "a", 0)
+        _push(queue, "b", 0)
+        assert queue.remove("a")
+        assert "a" not in queue
+        assert drain(queue) == ["b"]
+
+    def test_remove_absent_is_false(self):
+        queue = PriorityJobQueue()
+        assert not queue.remove("ghost")
+
+
+class TestRecoverySeq:
+    def test_advance_seq_orders_new_submissions_after_recovered(self):
+        queue = PriorityJobQueue()
+        # Recovery pushes original sequence numbers back.
+        queue.push("old-1", 0, 7)
+        queue.push("old-2", 0, 9)
+        queue.advance_seq(9)
+        _push(queue, "new", 0)
+        assert drain(queue) == ["old-1", "old-2", "new"]
+
+    def test_advance_seq_never_goes_backwards(self):
+        queue = PriorityJobQueue()
+        for _ in range(5):
+            queue.next_seq()
+        queue.advance_seq(1)  # below current counter: no-op
+        assert queue.next_seq() > 4
