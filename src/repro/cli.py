@@ -51,6 +51,12 @@ from pathlib import Path
 
 from repro import obs
 from repro.fracture.base import Fracturer
+from repro.kernels import (
+    BackendUnavailable,
+    available_backends,
+    kernels_manifest,
+    set_backend,
+)
 from repro.mask.constraints import FractureSpec
 from repro.mask.io import load_clips, save_clips, save_solution
 from repro.mask.shape import MaskShape
@@ -232,6 +238,31 @@ def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--lmin", type=float, default=10.0, help="min shot size (nm)")
 
 
+def _add_kernels_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernels", metavar="BACKEND",
+        help="array/kernel backend: 'numpy' (vectorized, default), "
+             "'scalar' (pure-Python oracle paths), 'cupy' (GPU, needs "
+             "cupy installed); overrides $REPRO_KERNELS",
+    )
+
+
+def _apply_kernels(args: argparse.Namespace) -> None:
+    """Install the ``--kernels`` backend before any kernel dispatch."""
+    name = getattr(args, "kernels", None)
+    if not name:
+        return
+    try:
+        set_backend(name)
+    except ValueError:
+        raise SystemExit(
+            f"unknown kernel backend {name!r}; "
+            f"available: {', '.join(available_backends())}"
+        ) from None
+    except BackendUnavailable as error:
+        raise SystemExit(str(error)) from None
+
+
 def _add_telemetry_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--telemetry", metavar="PATH",
@@ -257,7 +288,10 @@ def _telemetry(args: argparse.Namespace, spec: FractureSpec):
     if not path and not stream_path:
         yield None
         return
-    manifest = obs.run_manifest(spec=spec, argv=sys.argv[1:])
+    manifest = obs.run_manifest(
+        spec=spec, argv=sys.argv[1:],
+        extra={"kernels": kernels_manifest()},
+    )
     stream = obs.TelemetryStream(stream_path) if stream_path else None
     recorder = obs.TelemetryRecorder(manifest=manifest, stream=stream)
     if stream is not None:
@@ -804,6 +838,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runtime_arguments(p_fracture)
     _add_spec_arguments(p_fracture)
     _add_telemetry_argument(p_fracture)
+    _add_kernels_argument(p_fracture)
     p_fracture.set_defaults(func=_cmd_fracture)
 
     p_verify = sub.add_parser("verify", help="re-check a stored solution")
@@ -821,6 +856,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--quiet", action="store_true")
     _add_spec_arguments(p_bench)
     _add_telemetry_argument(p_bench)
+    _add_kernels_argument(p_bench)
     p_bench.set_defaults(func=_cmd_bench)
 
     p_mdp = sub.add_parser("mdp", help="batch fracture a clip file")
@@ -841,6 +877,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_mdp.add_argument("--output", help="directory for solution JSON files")
     _add_spec_arguments(p_mdp)
     _add_telemetry_argument(p_mdp)
+    _add_kernels_argument(p_mdp)
     p_mdp.set_defaults(func=_cmd_mdp)
 
     p_trace = sub.add_parser("trace", help="inspect a telemetry file")
@@ -914,6 +951,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="bounded queue depth; submissions beyond it are rejected "
              "with a queue_full error (default 64)",
     )
+    _add_kernels_argument(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 
     p_job = sub.add_parser("job", help="talk to a running fracture daemon")
@@ -1008,6 +1046,7 @@ def main(argv: list[str] | None = None) -> int:
     # default silent) logging so progress lands on stderr.
     obs.enable_console_logging()
     args = build_parser().parse_args(argv)
+    _apply_kernels(args)
     return args.func(args)
 
 

@@ -36,6 +36,7 @@ ProfileKey = tuple[str, float, float, int, int]
 
 _PROFILE_CACHE_DEFAULT = True
 _PROFILE_CACHE_LIMIT = 20_000
+_DELTA_CACHE_LIMIT = 4096
 
 
 class ProfileBank:
@@ -169,6 +170,7 @@ class IntensityMap:
         "_profile_cache",
         "_profile_cache_limit",
         "_cache_profiles",
+        "_delta_cache",
     )
 
     def __init__(
@@ -202,6 +204,7 @@ class IntensityMap:
             )
         else:
             self._profile_cache: dict[ProfileKey, np.ndarray] = {}
+        self._delta_cache: dict[tuple[ProfileKey, ProfileKey], np.ndarray] = {}
 
     # -- queries -------------------------------------------------------------
 
@@ -301,8 +304,44 @@ class IntensityMap:
             return cached
         return self.axis_profile(key[0], key[1], key[2], slice(key[3], key[4]))
 
+    def cached_profile(self, key: ProfileKey) -> np.ndarray:
+        """:meth:`profile` without the tuple packing of a cache miss.
+
+        Identical values; used by the pricing hot loops, which have
+        usually pre-warmed the cache via :meth:`ensure_profiles`.
+        """
+        cached = self._profile_cache.get(key)
+        if cached is not None:
+            return cached
+        return self.profile(key)
+
+    def delta_profile(
+        self, k_old: ProfileKey, k_new: ProfileKey, cache: bool = True
+    ) -> np.ndarray:
+        """Moved-axis difference profile ``profile(k_new) − profile(k_old)``.
+
+        Memoized when ``cache`` is true: the difference is a
+        deterministic function of two immutable cached profiles, so the
+        memo needs no invalidation — recomputing reproduces the exact
+        same bits.  The ``profile_caching(False)`` baseline passes
+        ``cache=False`` and must not retain anything.
+        """
+        if not cache:
+            return self.profile(k_new) - self.profile(k_old)
+        memo = self._delta_cache
+        dkey = (k_old, k_new)
+        delta = memo.get(dkey)
+        if delta is None:
+            if len(memo) >= _DELTA_CACHE_LIMIT:
+                memo.clear()
+            delta = self.cached_profile(k_new) - self.cached_profile(k_old)
+            delta.flags.writeable = False
+            memo[dkey] = delta
+        return delta
+
     def clear_profile_cache(self) -> None:
         self._profile_cache.clear()
+        self._delta_cache.clear()
 
     def _profile_args(self, key: ProfileKey) -> np.ndarray:
         """The ``2n`` erf arguments of one profile: (t−lo)/σ then (t−hi)/σ."""
@@ -518,4 +557,5 @@ class IntensityMap:
         clone._profile_cache = dict(self._profile_cache)
         clone._profile_cache_limit = self._profile_cache_limit
         clone._cache_profiles = self._cache_profiles
+        clone._delta_cache = dict(self._delta_cache)
         return clone

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.ebeam.intensity_map import IntensityMap, ProfileKey
 from repro.geometry.rect import Rect
+from repro.kernels import get_backend
 from repro.mask.constraints import FailureReport, FractureSpec, failure_report
 from repro.mask.pixels import PixelSets
 from repro.mask.shape import MaskShape
@@ -57,7 +58,7 @@ class RefinementState:
         "active_mask",
         "_cost_sign", "_cost_bias", "_cost_base", "_scratch",
         "_gather_memo", "_delta_memo", "_cost_integral", "_active_integral",
-        "_field_scratch", "_active_scratch",
+        "_field_scratch", "_active_scratch", "_crop",
     )
 
     def __init__(
@@ -103,18 +104,48 @@ class RefinementState:
         # with no boolean masking.
         self._cost_sign = self.pixels.off.astype(np.float64) - self.pixels.on
         self._cost_bias = self._cost_sign * spec.rho
-        self._cost_base = np.empty_like(self._cost_sign)
+        # Region-restricted refinements confine every nonzero cost-field
+        # entry to the active mask's bounding box (S is 0 outside the
+        # mask, so S·I − S·ρ is exactly 0.0 there).  When the kernel
+        # backend opts in, the per-iteration field work — base refresh,
+        # report, cost/active prefix sums — runs on that box only, so
+        # stitch cost scales with the seam area instead of the grid.
+        # ``_crop`` is ``(r0, r1, c0, c1)`` half-open pixel bounds, or
+        # None for full-grid behaviour (the scalar oracle path).
+        self._crop: tuple[int, int, int, int] | None = None
+        if active_mask is not None and get_backend().crop_stitch_field:
+            rows = np.flatnonzero(active_mask.any(axis=1))
+            cols = np.flatnonzero(active_mask.any(axis=0))
+            if rows.size and cols.size:
+                self._crop = (
+                    int(rows[0]), int(rows[-1]) + 1,
+                    int(cols[0]), int(cols[-1]) + 1,
+                )
+        ny, nx = self._cost_sign.shape
+        if self._crop is not None:
+            # Out-of-box entries are never rewritten, so they must start
+            # at their exact value: 0.0 (see above).
+            self._cost_base = np.zeros_like(self._cost_sign)
+            r0, r1, c0, c1 = self._crop
+            self._field_scratch = np.empty((r1 - r0, c1 - c0), dtype=np.float64)
+            self._active_scratch = np.empty((r1 - r0, c1 - c0), dtype=bool)
+            obs = get_recorder()
+            obs.gauge("kernels.stitch_grid_px", float(ny * nx))
+            obs.gauge(
+                "kernels.stitch_bbox_px", float((r1 - r0) * (c1 - c0))
+            )
+        else:
+            self._cost_base = np.empty_like(self._cost_sign)
+            self._field_scratch = np.empty_like(self._cost_sign)
+            self._active_scratch = np.empty((ny, nx), dtype=bool)
         self._scratch = np.empty(0, dtype=np.float64)
         # Candidate geometry memo (windows + profile keys per shot rect)
         # and reused prefix-sum buffers — rebuilt contents every greedy
         # pass, but the allocations are paid once.
         self._gather_memo: dict[tuple, tuple] = {}
         self._delta_memo: dict[tuple, np.ndarray] = {}
-        ny, nx = self._cost_sign.shape
         self._cost_integral = np.zeros((ny + 1, nx + 1), dtype=np.float64)
         self._active_integral = np.zeros((ny + 1, nx + 1), dtype=np.int32)
-        self._field_scratch = np.empty_like(self._cost_sign)
-        self._active_scratch = np.empty((ny, nx), dtype=bool)
         self._refresh_cost_base()
 
     def _refresh_cost_base(
@@ -122,9 +153,17 @@ class RefinementState:
     ) -> None:
         """Recompute ``S·I − S·ρ`` where I_tot changed (or everywhere)."""
         if window is None:
-            np.multiply(self._cost_sign, self.imap.total, out=self._cost_base)
-            self._cost_base -= self._cost_bias
-            return
+            if self._crop is not None:
+                # Everything outside the crop box is exactly 0.0 and was
+                # initialized so; refresh the box only.
+                r0, r1, c0, c1 = self._crop
+                window = (slice(r0, r1), slice(c0, c1))
+            else:
+                np.multiply(
+                    self._cost_sign, self.imap.total, out=self._cost_base
+                )
+                self._cost_base -= self._cost_bias
+                return
         base = self._cost_sign[window] * self.imap.total[window]
         base -= self._cost_bias[window]
         self._cost_base[window] = base
@@ -142,13 +181,34 @@ class RefinementState:
         :func:`~repro.mask.constraints.failure_report` bit for bit), and
         the Eq. 5 cost is the sum of the clamped base field.
         """
-        base = self._cost_base
-        fail_on = self.pixels.on & (base > 0.0)
-        fail_off = self.pixels.off & (base >= 0.0)
+        if self._crop is not None:
+            # Cropped evaluation: pixels outside the active-mask box are
+            # don't-care (S = 0), so they can neither fail nor carry
+            # cost; the returned masks are still full-size for the
+            # add/remove consumers.  The cost sum runs over the box only
+            # — the excluded terms are exact zeros, and NumPy's pairwise
+            # summation of the box slice is the documented accumulation
+            # order for cropped states (gated against the full-grid
+            # oracle at the shot level, not the ULP level).
+            r0, r1, c0, c1 = self._crop
+            box = (slice(r0, r1), slice(c0, c1))
+            base_box = self._cost_base[box]
+            fail_on = np.zeros(self._cost_base.shape, dtype=bool)
+            fail_off = np.zeros(self._cost_base.shape, dtype=bool)
+            fail_on[box] = self.pixels.on[box] & (base_box > 0.0)
+            fail_off[box] = self.pixels.off[box] & (base_box >= 0.0)
+            cost = float(
+                np.maximum(base_box, 0.0, out=self._field_scratch).sum()
+            )
+        else:
+            base = self._cost_base
+            fail_on = self.pixels.on & (base > 0.0)
+            fail_off = self.pixels.off & (base >= 0.0)
+            cost = float(np.maximum(base, 0.0).sum())
         return FailureReport(
             fail_on=fail_on,
             fail_off=fail_off,
-            cost=float(np.maximum(base, 0.0).sum()),
+            cost=cost,
             _count_on=int(np.count_nonzero(fail_on)),
             _count_off=int(np.count_nonzero(fail_off)),
         )
@@ -214,14 +274,35 @@ class RefinementState:
         contour — before the per-pixel scoring runs.  Rebuild per greedy
         pass, like :meth:`cost_integral`.
         """
+        # int32 is plenty (counts are bounded by the pixel count) and
+        # halves the cumsum traffic; the buffer (zero first row/column,
+        # interior fully overwritten — box interior only when cropped,
+        # the rest stays at its exact initial value) is reused across
+        # passes and only valid until the next call.
+        integral = self._active_integral
+        if self._crop is not None:
+            # Outside the box, base ≡ 0 > −patch_bound: those pixels
+            # count as "active", but crop_to_active consumes only
+            # *differences* of the prefix counts, and every candidate
+            # window lies inside the active mask (gather/mutation
+            # guards), where box-local and full prefix counts differ by
+            # a constant per row/column that cancels.
+            r0, r1, c0, c1 = self._crop
+            box = (slice(r0, r1), slice(c0, c1))
+            interior = integral[r0 + 1 : r1 + 1, c0 + 1 : c1 + 1]
+            active = np.greater(
+                self._cost_base[box], -self.patch_bound(),
+                out=self._active_scratch,
+            )
+            np.cumsum(active, axis=0, out=interior)
+            np.cumsum(interior, axis=1, out=interior)
+            # The box's leading guard row/column and everything outside
+            # the box stay at the buffer's initial zeros (they are never
+            # written in cropped mode), which is their exact value.
+            return integral
         active = np.greater(
             self._cost_base, -self.patch_bound(), out=self._active_scratch
         )
-        # int32 is plenty (counts are bounded by the pixel count) and
-        # halves the cumsum traffic; the buffer (zero first row/column,
-        # interior fully overwritten) is reused across passes and only
-        # valid until the next call.
-        integral = self._active_integral
         np.cumsum(active, axis=0, out=integral[1:, 1:])
         np.cumsum(integral[1:, 1:], axis=1, out=integral[1:, 1:])
         return integral
@@ -265,24 +346,50 @@ class RefinementState:
         side.  Rebuild after every committed change (one per refinement
         iteration is enough; GreedyShotEdgeAdjustment does so itself).
         """
+        integral = self._cost_integral
+        if self._crop is not None:
+            # Cost is exactly 0.0 outside the crop box (S = 0 there), so
+            # the prefix sums only have to cover the box: entries above
+            # or left of it are exact zeros from the buffer's init, and
+            # any lookup whose corner lands beyond the box is clamped to
+            # the box edge (same value — nothing accumulates past it).
+            # Work per iteration scales with the seam-band bounding box,
+            # not the grid.
+            r0, r1, c0, c1 = self._crop
+            box = (slice(r0, r1), slice(c0, c1))
+            interior = integral[r0 + 1 : r1 + 1, c0 + 1 : c1 + 1]
+            cost_field = np.maximum(
+                self._cost_base[box], 0.0, out=self._field_scratch
+            )
+            np.cumsum(cost_field, axis=0, out=interior)
+            np.cumsum(interior, axis=1, out=interior)
+            return integral
         cost_field = np.maximum(self._cost_base, 0.0, out=self._field_scratch)
         # Reused buffer: zero first row/column, interior fully
         # overwritten; only valid until the next call.
-        integral = self._cost_integral
         np.cumsum(cost_field, axis=0, out=integral[1:, 1:])
         np.cumsum(integral[1:, 1:], axis=1, out=integral[1:, 1:])
         return integral
 
-    @staticmethod
     def window_cost_from_integral(
-        integral: np.ndarray, window: tuple[slice, slice]
+        self, integral: np.ndarray, window: tuple[slice, slice]
     ) -> float:
         ys, xs = window
+        y0, y1 = ys.start, ys.stop
+        x0, x1 = xs.start, xs.stop
+        if self._crop is not None:
+            # Clamp to the crop box: the cost field is exactly zero past
+            # it, so the true prefix value at any outside corner equals
+            # the value at the clamped edge (which the cropped buffer
+            # holds; beyond it the buffer is stale zeros).
+            r1, c1 = self._crop[1], self._crop[3]
+            y0, y1 = min(y0, r1), min(y1, r1)
+            x0, x1 = min(x0, c1), min(x1, c1)
         return float(
-            integral[ys.stop, xs.stop]
-            - integral[ys.start, xs.stop]
-            - integral[ys.stop, xs.start]
-            + integral[ys.start, xs.start]
+            integral[y1, x1]
+            - integral[y0, x1]
+            - integral[y1, x0]
+            + integral[y0, x0]
         )
 
     def edge_move_delta_cost(
@@ -556,6 +663,7 @@ class RefinementState:
         """
         memo = self._gather_memo
         mask = self.active_mask
+        crop = self._crop
         candidates: list[EdgeMoveCandidate] = []
         append = candidates.append
         for index, shot in enumerate(self.shots):
@@ -566,11 +674,18 @@ class RefinementState:
                     memo.clear()
                 groups = memo[key] = self._build_move_geometry(shot)
             for edge, (ys, xs), moves in groups:
+                y0, y1, x0, x1 = ys.start, ys.stop, xs.start, xs.stop
+                if crop is not None:
+                    # Pricing regions reach one pitch + blur outside the
+                    # shot and can leave the crop box; clamp like
+                    # window_cost_from_integral (zero cost past the box).
+                    y0, y1 = min(y0, crop[1]), min(y1, crop[1])
+                    x0, x1 = min(x0, crop[3]), min(x1, crop[3])
                 if (
-                    cost_integral[ys.stop, xs.stop]
-                    - cost_integral[ys.start, xs.stop]
-                    - cost_integral[ys.stop, xs.start]
-                    + cost_integral[ys.start, xs.start]
+                    cost_integral[y1, x1]
+                    - cost_integral[y0, x1]
+                    - cost_integral[y1, x0]
+                    + cost_integral[y0, x0]
                 ) <= 0.0:
                     continue
                 for delta, window, keys in moves:
@@ -592,9 +707,185 @@ class RefinementState:
         profile arguments of the sweep are concatenated and interpolated
         in a single LUT evaluation (via the profile cache), and each
         candidate's windowed Eq. 5 Δcost is then scored from cached
-        profiles with one outer product.  Bit-identical to the scalar
+        profiles.  When the kernel backend provides fused pricing, the
+        scoring itself runs as one gather/scatter clamped-sum kernel
+        over all candidates' contour bands
+        (:meth:`~repro.kernels.backend.KernelBackend.clamped_band_sums`);
+        otherwise (the ``scalar`` backend) each candidate is scored by
+        the per-candidate loop.  Both are bit-identical to the scalar
         path — the profiles, patches and window costs go through the
-        same elementwise operations.
+        same elementwise operations and per-candidate pairwise sums.
+        """
+        backend = get_backend()
+        if (
+            backend.fused_pricing
+            and cost_integral is not None
+            and active_integral is not None
+        ):
+            return self._price_edge_moves_fused(
+                candidates, cost_integral, active_integral, backend
+            )
+        return self._price_edge_moves_loop(
+            candidates, cost_integral, active_integral
+        )
+
+    def _price_edge_moves_fused(
+        self,
+        candidates: list[EdgeMoveCandidate],
+        cost_integral: np.ndarray,
+        active_integral: np.ndarray,
+        backend,
+    ) -> np.ndarray:
+        """Batch scoring via the backend's fused clamped-sum kernel.
+
+        The per-candidate Python work shrinks to gathering geometry:
+        crop each window to its active sub-band and collect the two 1-D
+        profile factors whose outer product is the candidate's patch.
+        The entire elementwise Eq. 5 pipeline — patch, sign gather, base
+        gather, clamp — then runs once over one contiguous buffer
+        holding every candidate's contour band.
+
+        The gather/scatter layout pays per-element index arithmetic to
+        eliminate per-candidate call overhead, so it wins when the
+        cropped bands are thin (the seam-stitch/contour regime, where
+        the loop's ~6 NumPy calls per candidate dominate) and loses to
+        in-place slice scoring when bands are bulky.  The batch knows
+        its exact element count after cropping, so it picks per batch:
+        mean band size ≤ ``backend.fused_band_limit`` → fused kernel,
+        larger → in-place scoring of the already-gathered factors.
+        Both score with identical elementwise ops and per-candidate
+        pairwise sums, so the choice never changes a single bit.
+        """
+        imap = self.imap
+        ncand = len(candidates)
+        get_recorder().incr("intensity.edge_deltas", ncand)
+        costs = np.zeros(ncand, dtype=np.float64)
+        if not ncand:
+            return costs
+        caching = imap.profile_cache_enabled
+        if caching:
+            imap.ensure_profiles(key for c in candidates for key in c.keys)
+        delta_profile = imap.delta_profile
+        profile = imap.profile
+        # Per-candidate geometry of the cropped windows, plus the 1-D
+        # row/column factors, laid out candidate-major for the kernel.
+        rows = np.zeros(ncand, dtype=np.int64)
+        cols = np.zeros(ncand, dtype=np.int64)
+        y0s = np.zeros(ncand, dtype=np.int64)
+        x0s = np.zeros(ncand, dtype=np.int64)
+        wr0 = np.zeros(ncand, dtype=np.intp)
+        wr1 = np.zeros(ncand, dtype=np.intp)
+        wc0 = np.zeros(ncand, dtype=np.intp)
+        wc1 = np.zeros(ncand, dtype=np.intp)
+        kept: list[int] = []
+        row_parts: list[np.ndarray] = []
+        col_parts: list[np.ndarray] = []
+        for i, cand in enumerate(candidates):
+            _, edge, _, (ys, xs), (k_old, k_new, k_fixed) = cand
+            y_lo = ys.start
+            x_lo = xs.start
+            # crop_to_active, inlined (see _price_edge_moves_loop).
+            rowcum = (
+                active_integral[y_lo : ys.stop + 1, xs.stop]
+                - active_integral[y_lo : ys.stop + 1, x_lo]
+            )
+            if rowcum[-1] == rowcum[0]:
+                continue
+            r0 = int(rowcum.searchsorted(rowcum[0], side="right")) - 1
+            r1 = int(rowcum.searchsorted(rowcum[-1], side="left"))
+            colcum = (
+                active_integral[ys.stop, x_lo : xs.stop + 1]
+                - active_integral[y_lo, x_lo : xs.stop + 1]
+            )
+            c0 = int(colcum.searchsorted(colcum[0], side="right")) - 1
+            c1 = int(colcum.searchsorted(colcum[-1], side="left"))
+            delta = delta_profile(k_old, k_new, caching)
+            p_fixed = profile(k_fixed) if not caching else imap.cached_profile(
+                k_fixed
+            )
+            if edge in ("left", "right"):
+                row_parts.append(p_fixed[r0:r1])
+                col_parts.append(delta[c0:c1])
+            else:
+                row_parts.append(delta[r0:r1])
+                col_parts.append(p_fixed[c0:c1])
+            kept.append(i)
+            rows[i] = r1 - r0
+            cols[i] = c1 - c0
+            y0s[i] = y_lo + r0
+            x0s[i] = x_lo + c0
+            wr0[i] = y_lo + r0
+            wr1[i] = y_lo + r1
+            wc0[i] = x_lo + c0
+            wc1[i] = x_lo + c1
+        counts = rows * cols
+        total = int(counts.sum())
+        limit = backend.fused_band_limit
+        if kept and (limit is None or total <= limit * len(kept)):
+            col_lens = cols[cols > 0]
+            col_off = np.zeros(ncand, dtype=np.int64)
+            col_off[cols > 0] = np.cumsum(col_lens) - col_lens
+            costs = backend.clamped_band_sums(
+                np.concatenate(row_parts),
+                np.concatenate(col_parts),
+                rows,
+                cols,
+                y0s,
+                x0s,
+                col_off,
+                self._cost_sign,
+                self._cost_base,
+            )
+        elif kept:
+            # Bulky bands: per-element index math would cost more than
+            # it saves — score each gathered factor pair in place, with
+            # the exact operation sequence of the scoring loop.
+            get_recorder().incr("kernels.band_loop_batches")
+            sign = self._cost_sign
+            base = self._cost_base
+            maximum = np.maximum
+            multiply = np.multiply
+            scratch = self._scratch
+            if scratch.size < int(counts.max()):
+                scratch = np.empty(int(counts.max()), dtype=np.float64)
+                self._scratch = scratch
+            for j, i in enumerate(kept):
+                r = int(rows[i])
+                c = int(cols[i])
+                seg = scratch[: r * c].reshape(r, c)
+                window = (
+                    slice(int(y0s[i]), int(y0s[i]) + r),
+                    slice(int(x0s[i]), int(x0s[i]) + c),
+                )
+                multiply(
+                    row_parts[j][:, None], col_parts[j][None, :], out=seg
+                )
+                seg *= sign[window]
+                seg += base[window]
+                maximum(seg, 0.0, out=seg)
+                costs[i] = seg.sum()
+        # Deferred old-cost lookup, same A − B − C + D order as
+        # window_cost_from_integral; all-zero corners (skipped
+        # candidates) contribute a zero old cost by construction.
+        costs -= (
+            cost_integral[wr1, wc1]
+            - cost_integral[wr0, wc1]
+            - cost_integral[wr1, wc0]
+            + cost_integral[wr0, wc0]
+        )
+        return costs
+
+    def _price_edge_moves_loop(
+        self,
+        candidates: list[EdgeMoveCandidate],
+        cost_integral: np.ndarray | None = None,
+        active_integral: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Per-candidate scoring loop (the pre-kernel batched engine).
+
+        Kept verbatim as the selectable oracle the fused kernel is gated
+        against, and as the fallback when pricing runs without the
+        prefix-sum integrals.
         """
         imap = self.imap
         get_recorder().incr("intensity.edge_deltas", len(candidates))

@@ -58,6 +58,7 @@ from repro.fracture.tiling import (
 )
 from repro.geometry.labeling import largest_component
 from repro.geometry.raster import PixelGrid
+from repro.kernels import kernels_manifest
 from repro.geometry.rect import Rect
 from repro.mask.constraints import FractureSpec, check_solution
 from repro.mask.shape import MaskShape
@@ -269,9 +270,19 @@ class WindowedFracturer(Fracturer):
         movable, frozen = split_seam_shots(collected, plan, movable_nm)
         obs.incr("windowed.seam_shots", len(movable))
         obs.incr("windowed.frozen_shots", len(frozen))
+        # Stitch cost-field work scales with the seam-band bounding box
+        # (kernel backends with crop_stitch_field), not the grid; record
+        # both areas so the scaling is visible in traces and manifests.
+        seam_px = int(np.count_nonzero(active_mask))
+        grid_px = int(active_mask.size)
+        obs.gauge("windowed.seam_px", float(seam_px))
+        obs.gauge("windowed.grid_px", float(grid_px))
         info: dict = {
             "seam_shots": len(movable),
             "frozen_shots": len(frozen),
+            "seam_px": seam_px,
+            "grid_px": grid_px,
+            "kernels": kernels_manifest(),
             "stitch_iterations": 0,
             "stitch_converged": True,
             "stitch_candidates_priced": 0,

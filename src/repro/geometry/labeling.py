@@ -2,8 +2,16 @@
 
 The AddShot refinement move (paper §4.3) merges neighbouring failing
 pixels into polygons with a boolean OR and takes the bounding box of each
-component.  We implement 4-connected labeling with a two-pass union–find —
-no scipy.ndimage dependency so the geometry kernel stays self-contained.
+component.  Labeling is 4-connected with components numbered in
+raster-scan order of their first pixel — tile extraction, AddShot, and
+the GSC baseline all consume that ordering, so it is part of the
+contract, not an implementation detail.
+
+Two implementations live behind the :mod:`repro.kernels` backend seam:
+the vectorized run-length/row-merge kernel (default ``numpy`` backend)
+and :func:`label_components_scalar`, the original per-pixel two-pass
+union–find, kept as the oracle the vectorized path is gated
+bit-identical against.
 """
 
 from __future__ import annotations
@@ -12,6 +20,7 @@ import numpy as np
 
 from repro.geometry.raster import PixelGrid
 from repro.geometry.rect import Rect
+from repro.kernels import get_backend
 
 
 class _UnionFind:
@@ -39,11 +48,22 @@ class _UnionFind:
 
 
 def label_components(mask: np.ndarray) -> tuple[np.ndarray, int]:
-    """4-connected component labeling.
+    """4-connected component labeling via the active kernel backend.
 
     Returns ``(labels, count)`` where ``labels`` holds 0 for background and
     1..count for components, numbered in raster-scan order of their first
-    pixel.
+    pixel.  Every backend must match :func:`label_components_scalar`
+    exactly — labels AND numbering.
+    """
+    return get_backend().label_components(mask)
+
+
+def label_components_scalar(mask: np.ndarray) -> tuple[np.ndarray, int]:
+    """Per-pixel two-pass union–find labeling (the scalar oracle).
+
+    Same contract as :func:`label_components`; this is the reference
+    implementation the vectorized kernels are gated against, and the
+    code path the ``scalar`` backend selects.
     """
     ny, nx = mask.shape
     labels = np.zeros((ny, nx), dtype=np.int32)
@@ -112,19 +132,22 @@ def bounding_boxes(
 
     Boxes are in mask-plane coordinates and cover the full pixel cells of
     the component.  Sorted by descending pixel count so AddShot can pick
-    the component covering the most failing pixels first.
+    the component covering the most failing pixels first; ties keep
+    ascending label order (Python's stable sort), matching the original
+    per-label scan.  All boxes and counts come from a single pass over
+    the label array via the backend's ``component_stats`` kernel.
     """
+    present, counts, ymin, ymax, xmin, xmax = get_backend().component_stats(
+        labels, count
+    )
     out: list[tuple[Rect, int]] = []
-    for label in range(1, count + 1):
-        ys, xs = np.nonzero(labels == label)
-        if len(ys) == 0:
-            continue
+    for i in range(present.shape[0]):
         rect = Rect(
-            grid.x0 + float(xs.min()) * grid.pitch,
-            grid.y0 + float(ys.min()) * grid.pitch,
-            grid.x0 + (float(xs.max()) + 1.0) * grid.pitch,
-            grid.y0 + (float(ys.max()) + 1.0) * grid.pitch,
+            grid.x0 + float(xmin[i]) * grid.pitch,
+            grid.y0 + float(ymin[i]) * grid.pitch,
+            grid.x0 + (float(xmax[i]) + 1.0) * grid.pitch,
+            grid.y0 + (float(ymax[i]) + 1.0) * grid.pitch,
         )
-        out.append((rect, int(len(ys))))
+        out.append((rect, int(counts[i])))
     out.sort(key=lambda item: -item[1])
     return out

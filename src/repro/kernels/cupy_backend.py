@@ -1,0 +1,91 @@
+"""Experimental CuPy backend (gated: requires an installed cupy).
+
+The kernels in :mod:`repro.kernels.numpy_backend` are deliberately
+written as contiguous index arithmetic so the same code runs under
+CuPy's NumPy-compatible API.  This backend mirrors the fused pricing
+pipeline on the GPU and falls back to the NumPy implementations for
+labeling (whose run merge is latency- not bandwidth-bound).
+
+Caveat: GPU reductions are not pairwise-identical to NumPy's, so this
+backend is *not* oracle-gated bit-identical — it is excluded from the
+equivalence gates and exists to keep the seam honest (a second array
+module exercising the contract).  Selecting it without cupy installed
+raises :class:`~repro.kernels.backend.BackendUnavailable` with an
+actionable message rather than an ImportError deep in a hot loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.backend import BackendUnavailable
+from repro.kernels.numpy_backend import NumpyBackend
+
+
+class CupyBackend(NumpyBackend):
+    name = "cupy"
+    # Pricing sums on GPU are not pairwise-identical; keep the
+    # bit-exact paths for anything consumed by determinism contracts.
+    fused_pricing = True
+    crop_stitch_field = True
+    fused_band_limit = None
+
+    def __init__(self) -> None:
+        try:
+            import cupy
+        except ImportError as exc:  # pragma: no cover - env dependent
+            raise BackendUnavailable(
+                "kernel backend 'cupy' requires the cupy package; "
+                "install cupy-cuda* or select --kernels numpy"
+            ) from exc
+        self._cp = cupy
+
+    def clamped_band_sums(  # pragma: no cover - requires a GPU
+        self,
+        row_vals: np.ndarray,
+        col_vals: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray,
+        y0: np.ndarray,
+        x0: np.ndarray,
+        col_off: np.ndarray,
+        sign: np.ndarray,
+        base: np.ndarray,
+    ) -> np.ndarray:
+        cp = self._cp
+        n_cand = rows.shape[0]
+        if n_cand == 0 or row_vals.size == 0:
+            return np.zeros(n_cand, dtype=np.float64)
+        nx = sign.shape[1]
+        rows_d = cp.asarray(rows)
+        cols_d = cp.asarray(cols)
+        block_len = cp.repeat(cp.asarray(cols), rows_d.get().tolist())
+        row_in_cand = cp.arange(row_vals.size) - cp.repeat(
+            cp.cumsum(rows_d) - rows_d, rows_d.get().tolist()
+        )
+        block_flat0 = (
+            cp.repeat(cp.asarray(y0), rows_d.get().tolist()) + row_in_cand
+        ) * nx + cp.repeat(cp.asarray(x0), rows_d.get().tolist())
+        block_col0 = cp.repeat(cp.asarray(col_off), rows_d.get().tolist())
+        lens = block_len.get().tolist()
+        total = int(block_len.sum().get())
+        within = cp.arange(total) - cp.repeat(
+            cp.cumsum(block_len) - block_len, lens
+        )
+        flat_idx = cp.repeat(block_flat0, lens) + within
+        col_idx = cp.repeat(block_col0, lens) + within
+        vals = cp.repeat(cp.asarray(row_vals), lens)
+        vals *= cp.asarray(col_vals)[col_idx]
+        vals *= cp.asarray(sign).ravel()[flat_idx]
+        vals += cp.asarray(base).ravel()[flat_idx]
+        cp.maximum(vals, 0.0, out=vals)
+        counts = rows_d * cols_d
+        seg = cp.cumsum(counts) - counts
+        out = cp.zeros(n_cand, dtype=cp.float64)
+        cp.add.reduceat(vals, seg, out=out)
+        return cp.asnumpy(out)
+
+    def describe(self) -> dict[str, str]:
+        info = super().describe()
+        info["pricing"] = "fused_gather_scatter_cupy"
+        return info

@@ -56,6 +56,7 @@ from repro.obs.resources import (
     read_heartbeats,
     rss_bytes,
     sample_resources,
+    summarize_heartbeats,
 )
 from repro.obs.stream import (
     STREAM_SCHEMA,
@@ -103,6 +104,7 @@ __all__ = [
     "rss_bytes",
     "run_manifest",
     "sample_resources",
+    "summarize_heartbeats",
     "set_recorder",
     "thread_recording",
     "stream_to_payload",

@@ -40,6 +40,7 @@ __all__ = [
     "read_heartbeats",
     "rss_bytes",
     "sample_resources",
+    "summarize_heartbeats",
 ]
 
 
@@ -98,13 +99,27 @@ class HeartbeatWriter:
     re-publishes every ``interval_s``.  :meth:`set_task` /
     :meth:`clear_task` bracket the tile currently being executed so the
     parent can attribute a stall to a specific tile and attempt.
+
+    ``name`` overrides the pid in the file name (one file per *job*
+    instead of per process — the service daemon's executor threads all
+    share a pid); ``meta`` is a dict merged into every record (e.g.
+    ``{"job_id": ...}``) so a reader can attribute the beat.
     """
 
-    def __init__(self, directory: str | Path, interval_s: float = 1.0):
+    def __init__(
+        self,
+        directory: str | Path,
+        interval_s: float = 1.0,
+        *,
+        name: str | None = None,
+        meta: dict[str, Any] | None = None,
+    ):
         self.directory = Path(directory)
         self.interval_s = max(0.01, float(interval_s))
-        self.path = self.directory / f"hb-{os.getpid()}.json"
-        self._tmp = self.directory / f"hb-{os.getpid()}.tmp"
+        stem = f"hb-{name}" if name else f"hb-{os.getpid()}"
+        self.path = self.directory / f"{stem}.json"
+        self._tmp = self.directory / f"{stem}.tmp"
+        self._meta = dict(meta) if meta else {}
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
@@ -132,6 +147,7 @@ class HeartbeatWriter:
             record: dict[str, Any] = {
                 "pid": os.getpid(),
                 "beats": self._beats,
+                **self._meta,
                 **sample_resources(),
             }
             if self._task is not None:
@@ -157,10 +173,18 @@ class HeartbeatWriter:
         while not self._stop.wait(self.interval_s):
             self.beat()
 
-    def stop(self) -> None:
+    def stop(self, unlink: bool = False) -> None:
+        """Stop beating; ``unlink=True`` also removes the file (a clean
+        finish should not linger as a ``no_heartbeat`` corpse)."""
         self._stop.set()
         if self._thread is not None:
             self._thread.join(timeout=2.0)
+        if unlink:
+            for path in (self.path, self._tmp):
+                try:
+                    path.unlink(missing_ok=True)
+                except OSError:
+                    pass
 
 
 def read_heartbeats(directory: str | Path) -> list[dict[str, Any]]:
@@ -179,6 +203,65 @@ def read_heartbeats(directory: str | Path) -> list[dict[str, Any]]:
         if isinstance(record, dict) and "pid" in record:
             beats.append(record)
     return beats
+
+
+def summarize_heartbeats(
+    directory: str | Path,
+    *,
+    stall_after_s: float = 10.0,
+    slow_task_after_s: float | None = None,
+    now: float | None = None,
+) -> dict[str, Any]:
+    """Fold the heartbeat files under ``directory`` into one status dict.
+
+    The stateless counterpart of :class:`HeartbeatMonitor` for pull-style
+    surfaces (the service daemon's ``stats`` op): one call, no recorder,
+    no episode tracking.  Per writer the status is ``alive`` (fresh
+    beat), ``slow_task`` (fresh beat but the current task has run longer
+    than ``slow_task_after_s`` — a *wedged* job: the writer's daemon
+    thread keeps beating while the work loop is stuck, so only the task
+    age gives it away) or ``no_heartbeat`` (stale file: killed/frozen
+    process or a crashed executor thread that never unlinked).
+    """
+    now = time.time() if now is None else now
+    workers: list[dict[str, Any]] = []
+    alive = 0
+    stalled = 0
+    for hb in read_heartbeats(directory):
+        age = max(0.0, now - float(hb.get("t", now)))
+        fresh = age <= stall_after_s
+        task = hb.get("tile")
+        task_age = None
+        if task is not None:
+            task_age = max(0.0, now - float(hb.get("task_started_t", now)))
+        if not fresh:
+            status = "no_heartbeat"
+        elif (
+            slow_task_after_s is not None
+            and task_age is not None
+            and task_age > slow_task_after_s
+        ):
+            status = "slow_task"
+        else:
+            status = "alive"
+        if status == "alive":
+            alive += 1
+        else:
+            stalled += 1
+        entry: dict[str, Any] = {
+            "pid": hb.get("pid"),
+            "status": status,
+            "age_s": round(age, 3),
+            "task": task,
+            "rss_bytes": hb.get("rss_bytes"),
+            "cpu_s": hb.get("cpu_s"),
+        }
+        if task_age is not None:
+            entry["task_age_s"] = round(task_age, 3)
+        if "job_id" in hb:
+            entry["job_id"] = hb["job_id"]
+        workers.append(entry)
+    return {"workers": workers, "alive": alive, "stalled": stalled}
 
 
 class HeartbeatMonitor:

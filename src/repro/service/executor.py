@@ -34,21 +34,32 @@ from typing import Any
 from repro.fracture.runtime import RunInterrupted, RuntimePolicy
 from repro.fracture.windowed import WindowedFracturer
 from repro.geometry.point import Point
+from repro.kernels import kernels_manifest
 from repro.geometry.polygon import Polygon
 from repro.mask.constraints import FractureSpec
 from repro.mask.io import rect_to_list, spec_from_dict, spec_to_dict
 from repro.mask.shape import MaskShape
 from repro.methods import make_fracturer
-from repro.obs import TelemetryRecorder, TelemetryStream, thread_recording
+from repro.obs import (
+    HeartbeatWriter,
+    TelemetryRecorder,
+    TelemetryStream,
+    thread_recording,
+)
 from repro.service.caches import WarmCaches, fingerprint_request
 from repro.service.jobs import JobPaths, JobRecord
 
 __all__ = [
+    "JOB_HEARTBEAT_INTERVAL_S",
     "JobCancelled",
     "JobControl",
     "JobInterrupted",
     "execute_job",
 ]
+
+#: Per-job heartbeat publish interval; the daemon's ``stats`` op treats
+#: a file older than a few intervals as ``no_heartbeat``.
+JOB_HEARTBEAT_INTERVAL_S = 2.0
 
 
 class JobCancelled(Exception):
@@ -146,13 +157,27 @@ def execute_job(
             "resume": resume,
             "method": job["method"],
             "priority": record.priority,
+            "kernels": kernels_manifest(),
         },
         stream=stream,
     )
+    # Per-job heartbeat: the writer's daemon thread keeps publishing
+    # even when the work loop wedges inside one clip, so the daemon's
+    # ``stats`` op can tell a *stuck* job (fresh beat, ancient task)
+    # from a *dead* one (stale file).  Unlinked on every exit path —
+    # a lingering file means the executor thread itself died.
+    heartbeat = HeartbeatWriter(
+        paths.heartbeats_dir,
+        interval_s=JOB_HEARTBEAT_INTERVAL_S,
+        name=record.job_id,
+        meta={"job_id": record.job_id, "attempt": record.attempts},
+    ).start()
     status = "error"
     try:
         with thread_recording(recorder):
-            payload = _run_clips(record, paths, caches, control, recorder)
+            payload = _run_clips(
+                record, paths, caches, control, recorder, heartbeat
+            )
         status = "ok"
         return payload
     except JobCancelled:
@@ -162,6 +187,7 @@ def execute_job(
         status = "interrupted"
         raise
     finally:
+        heartbeat.stop(unlink=True)
         recorder.emit_metrics()
         if status == "interrupted":
             # The resumed attempt appends to this stream; the terminal
@@ -179,6 +205,7 @@ def _run_clips(
     caches: WarmCaches | None,
     control: JobControl,
     recorder: TelemetryRecorder,
+    heartbeat: HeartbeatWriter | None = None,
 ) -> dict[str, Any]:
     job = record.spec
     spec = _build_spec(job.get("spec", {}))
@@ -210,6 +237,8 @@ def _run_clips(
         if use_cache:
             recorder.incr("service.result_cache_misses")
         recorder.event("clip_start", clip=name, cached=False)
+        if heartbeat is not None:
+            heartbeat.set_task(name, record.attempts)
         polygon = Polygon(Point(x, y) for x, y in vertices)
         shape = MaskShape.from_polygon(
             polygon, pitch=spec.pitch, margin=spec.grid_margin, name=name
@@ -238,6 +267,8 @@ def _run_clips(
         recorder.event("clip_done", clip=name, cached=False,
                        shots=result.shot_count, feasible=result.feasible)
         clips_out[name] = {**clip_payload, "cached": False}
+    if heartbeat is not None:
+        heartbeat.clear_task()
     wall_s = time.perf_counter() - started
     if caches is not None:
         stats = caches.stats()

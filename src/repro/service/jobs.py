@@ -110,6 +110,15 @@ class JobPaths:
     def checkpoint_dir(self) -> Path:
         return self.root / "ckpt"
 
+    @property
+    def heartbeats_dir(self) -> Path:
+        """Shared per-job heartbeat directory (``state_dir/heartbeats``).
+
+        One level above ``jobs/``: the daemon's ``stats`` op reads the
+        whole directory to flag wedged jobs without knowing their ids.
+        """
+        return self.root.parent.parent / "heartbeats"
+
     def ensure(self) -> "JobPaths":
         self.root.mkdir(parents=True, exist_ok=True)
         return self

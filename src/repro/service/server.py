@@ -42,9 +42,10 @@ from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Any, Callable
 
-from repro.obs import pid_alive, sample_resources
+from repro.obs import pid_alive, sample_resources, summarize_heartbeats
 from repro.service.caches import WarmCaches
 from repro.service.executor import (
+    JOB_HEARTBEAT_INTERVAL_S,
     JobCancelled,
     JobControl,
     JobInterrupted,
@@ -107,10 +108,14 @@ class FractureService:
         max_queue_depth: int = 64,
         caches: WarmCaches | None = None,
         job_runner: Callable[..., dict[str, Any]] | None = None,
+        stall_clip_s: float = 120.0,
     ):
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self.state_dir = Path(state_dir)
+        # A running job whose current clip exceeds this age is reported
+        # as ``slow_task`` by the stats op: wedged, not merely slow.
+        self.stall_clip_s = float(stall_clip_s)
         self.workers = workers
         self.socket_path = self.state_dir / "daemon.sock"
         self.daemon_json = self.state_dir / "daemon.json"
@@ -503,6 +508,11 @@ class FractureService:
             recovered=dict(self.recovered),
             caches=self.caches.stats(),
             resources=sample_resources(),
+            heartbeats=summarize_heartbeats(
+                self.state_dir / "heartbeats",
+                stall_after_s=5.0 * JOB_HEARTBEAT_INTERVAL_S,
+                slow_task_after_s=self.stall_clip_s,
+            ),
         )
 
     async def _op_shutdown(self, request: dict[str, Any]) -> dict[str, Any]:

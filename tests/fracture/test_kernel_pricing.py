@@ -1,0 +1,101 @@
+"""Bit-identity gates for the fused pricing kernel.
+
+The fused gather/scatter ``clamped_band_sums`` path — and both sides of
+its adaptive band-size dispatch — must reproduce the per-candidate loop
+engine bit for bit: same elementwise operation sequence, same pairwise
+per-candidate sums, so ``np.array_equal`` (not approximate closeness)
+is the bar.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fracture.graph_color import approximate_fracture
+from repro.fracture.refine import RefineParams, refine
+from repro.fracture.state import RefinementState
+from repro.kernels import use_backend
+from repro.kernels.numpy_backend import NumpyBackend
+
+
+@pytest.fixture()
+def priced_inputs(l_shape, spec):
+    shots, _ = approximate_fracture(l_shape, spec)
+    state = RefinementState(l_shape, spec, shots)
+    cost_integral = state.cost_integral().copy()
+    active_integral = state.active_integral().copy()
+    candidates = state.gather_edge_moves(cost_integral)
+    assert candidates, "expected candidates on an unrefined fracture"
+    return state, candidates, cost_integral, active_integral
+
+
+class TestFusedBitIdentity:
+    def test_fused_kernel_equals_loop(self, priced_inputs):
+        state, candidates, cost_integral, active_integral = priced_inputs
+        backend = NumpyBackend()
+        backend.fused_band_limit = None  # force the fused kernel
+        fused = state._price_edge_moves_fused(
+            candidates, cost_integral, active_integral, backend
+        )
+        loop = state._price_edge_moves_loop(
+            candidates, cost_integral, active_integral
+        )
+        assert np.array_equal(fused, loop)
+
+    def test_adaptive_fallback_equals_loop(self, priced_inputs):
+        state, candidates, cost_integral, active_integral = priced_inputs
+        backend = NumpyBackend()
+        backend.fused_band_limit = 0  # force the in-place scoring branch
+        fallback = state._price_edge_moves_fused(
+            candidates, cost_integral, active_integral, backend
+        )
+        loop = state._price_edge_moves_loop(
+            candidates, cost_integral, active_integral
+        )
+        assert np.array_equal(fallback, loop)
+
+    def test_public_dispatch_identical_across_backends(self, priced_inputs):
+        state, candidates, cost_integral, active_integral = priced_inputs
+        prices = {}
+        for name in ("numpy", "scalar"):
+            with use_backend(name):
+                prices[name] = state.price_edge_moves(
+                    candidates, cost_integral, active_integral
+                )
+        assert np.array_equal(prices["numpy"], prices["scalar"])
+
+    def test_fused_matches_scalar_oracle(self, priced_inputs):
+        state, candidates, cost_integral, active_integral = priced_inputs
+        with use_backend("numpy"):
+            priced = state.price_edge_moves(
+                candidates, cost_integral, active_integral
+            )
+        for candidate, value in zip(candidates, priced):
+            oracle = state.edge_move_delta_cost(
+                candidate.index,
+                candidate.edge,
+                candidate.delta,
+                cost_integral,
+                active_integral,
+            )
+            assert oracle is not None
+            assert abs(value - oracle) <= 1e-12
+
+
+class TestEndToEndAcrossBackends:
+    @pytest.mark.parametrize("fixture", ["rect_shape", "l_shape", "blob_shape"])
+    def test_refine_shots_identical(self, fixture, spec, request):
+        shape = request.getfixturevalue(fixture)
+        initial, _ = approximate_fracture(shape, spec)
+        results = {}
+        for name in ("numpy", "scalar"):
+            with use_backend(name):
+                shots, trace = refine(
+                    shape, spec, initial, RefineParams(nmax=8)
+                )
+            results[name] = (
+                [s.as_tuple() for s in shots],
+                trace.iterations,
+            )
+        assert results["numpy"] == results["scalar"]

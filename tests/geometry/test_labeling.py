@@ -79,3 +79,102 @@ class TestBoundingBoxes:
         labels, count = label_components(mask)
         boxes = bounding_boxes(labels, count, grid)
         assert [pixels for _, pixels in boxes] == [36, 4]
+
+
+# -- vectorized backend vs the pure-Python oracle ---------------------------
+#
+# The kernel contract is exact: labels AND numbering (components in
+# raster-scan order of their first pixel) must match the union-find
+# oracle bit for bit, because tile extraction, AddShot and the GSC
+# baseline all consume the ordering.
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.labeling import label_components_scalar
+from repro.kernels import use_backend
+
+
+def _assert_labeling_identical(mask: np.ndarray) -> None:
+    with use_backend("numpy") as backend:
+        labels_v, count_v = backend.label_components(mask)
+    labels_s, count_s = label_components_scalar(mask)
+    assert count_v == count_s
+    assert np.array_equal(labels_v, labels_s)
+
+
+def _spiral_mask(n: int) -> np.ndarray:
+    """One-pixel-wide square spiral: the longest merge chains per pixel."""
+    mask = np.zeros((n, n), dtype=bool)
+    y, x = n // 2, n // 2
+    mask[y, x] = True
+    step, d = 1, 0
+    moves = ((0, 1), (1, 0), (0, -1), (-1, 0))
+    while step < n:
+        for _ in range(2):
+            dy, dx = moves[d % 4]
+            for _ in range(step):
+                y += dy
+                x += dx
+                if 0 <= y < n and 0 <= x < n:
+                    mask[y, x] = True
+            d += 1
+        step += 2  # gap between arms: a genuine winding component
+    return mask
+
+
+class TestBackendBitIdentity:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        ny=st.integers(1, 28),
+        nx=st.integers(1, 28),
+        density=st.floats(0.05, 0.95),
+    )
+    def test_random_masks(self, seed, ny, nx, density):
+        rng = np.random.default_rng(seed)
+        _assert_labeling_identical(rng.random((ny, nx)) < density)
+
+    @pytest.mark.parametrize(
+        "name,mask",
+        [
+            ("empty", np.zeros((9, 9), dtype=bool)),
+            ("all_true", np.ones((9, 13), dtype=bool)),
+            ("single_pixel", np.eye(1, dtype=bool)),
+            ("single_row", np.array([[1, 1, 0, 1, 0, 0, 1]], dtype=bool)),
+            ("single_column", np.array([[1], [0], [1], [1], [0]], dtype=bool)),
+            (
+                "checkerboard",
+                (np.indices((16, 17)).sum(axis=0) % 2 == 0),
+            ),
+            ("spiral", _spiral_mask(25)),
+            ("spiral_even", _spiral_mask(32)),
+        ],
+    )
+    def test_adversarial_structures(self, name, mask):
+        _assert_labeling_identical(mask)
+
+    def test_numbering_is_raster_order_of_first_pixels(self):
+        rng = np.random.default_rng(2015)
+        mask = rng.random((40, 40)) < 0.45
+        with use_backend("numpy"):
+            labels, count = label_components(mask)
+        firsts = [
+            int(np.flatnonzero(labels.ravel() == lab)[0])
+            for lab in range(1, count + 1)
+        ]
+        assert firsts == sorted(firsts)
+
+    def test_bounding_boxes_identical_across_backends(self):
+        rng = np.random.default_rng(99)
+        mask = rng.random((35, 30)) < 0.35
+        grid = PixelGrid(0.0, 0.0, 1.0, 30, 35)
+        labels, count = label_components_scalar(mask)
+        results = {}
+        for name in ("numpy", "scalar"):
+            with use_backend(name):
+                results[name] = [
+                    (rect.as_tuple(), pixels)
+                    for rect, pixels in bounding_boxes(labels, count, grid)
+                ]
+        assert results["numpy"] == results["scalar"]

@@ -6,6 +6,8 @@ import json
 import os
 import time
 
+import pytest
+
 from repro.obs import (
     HeartbeatMonitor,
     HeartbeatWriter,
@@ -173,3 +175,61 @@ class TestHeartbeatMonitor:
         types = [r["type"] for r in read_stream(stream_path)]
         assert "metrics" in types
         assert "event" in types  # the worker_heartbeat event
+
+
+class TestNamedWriterAndSummary:
+    def test_named_writer_with_meta_and_unlink(self, tmp_path):
+        writer = HeartbeatWriter(
+            tmp_path, interval_s=60.0, name="job-ab12cd34",
+            meta={"job_id": "job-ab12cd34"},
+        )
+        writer.directory.mkdir(exist_ok=True)
+        writer.beat()
+        assert writer.path.name == "hb-job-ab12cd34.json"
+        record = json.loads(writer.path.read_text())
+        assert record["job_id"] == "job-ab12cd34"
+        writer.stop(unlink=True)
+        assert not writer.path.exists()
+
+    def test_summarize_classifies_alive_slow_and_dead(self, tmp_path):
+        from repro.obs import summarize_heartbeats
+
+        now = 1000.0
+        (tmp_path / "hb-a.json").write_text(
+            json.dumps({"pid": 1, "t": now - 1.0, "job_id": "job-a"})
+        )
+        (tmp_path / "hb-b.json").write_text(json.dumps({
+            "pid": 2, "t": now - 1.0, "tile": "CLIP-9",
+            "task_started_t": now - 500.0, "job_id": "job-b",
+        }))
+        (tmp_path / "hb-c.json").write_text(
+            json.dumps({"pid": 3, "t": now - 60.0})
+        )
+        summary = summarize_heartbeats(
+            tmp_path, stall_after_s=10.0, slow_task_after_s=120.0, now=now,
+        )
+        assert summary["alive"] == 1 and summary["stalled"] == 2
+        by_pid = {w["pid"]: w for w in summary["workers"]}
+        assert by_pid[1]["status"] == "alive"
+        assert by_pid[2]["status"] == "slow_task"
+        assert by_pid[2]["task"] == "CLIP-9"
+        assert by_pid[2]["task_age_s"] == pytest.approx(500.0)
+        assert by_pid[2]["job_id"] == "job-b"
+        assert by_pid[3]["status"] == "no_heartbeat"
+
+    def test_summarize_without_slow_threshold(self, tmp_path):
+        from repro.obs import summarize_heartbeats
+
+        now = 1000.0
+        (tmp_path / "hb-b.json").write_text(json.dumps({
+            "pid": 2, "t": now - 1.0, "tile": "CLIP-9",
+            "task_started_t": now - 500.0,
+        }))
+        summary = summarize_heartbeats(tmp_path, stall_after_s=10.0, now=now)
+        assert summary["alive"] == 1 and summary["stalled"] == 0
+
+    def test_summarize_empty_or_missing_directory(self, tmp_path):
+        from repro.obs import summarize_heartbeats
+
+        summary = summarize_heartbeats(tmp_path / "missing")
+        assert summary == {"workers": [], "alive": 0, "stalled": 0}

@@ -384,3 +384,62 @@ class TestWaitOp:
                 await service.stop("drain")
 
         run(main())
+
+
+class TestStatsHeartbeats:
+    def test_stats_reports_wedged_and_dead_jobs(self, tmp_path):
+        """The stats op folds the per-job heartbeat files into a summary:
+        a fresh beat with an ancient task is a *wedged* job (slow_task),
+        a stale file a *dead* one (no_heartbeat) — flagged, not just
+        slow."""
+        import json as _json
+
+        hb_dir = tmp_path / "heartbeats"
+        hb_dir.mkdir()
+        now = time.time()
+        (hb_dir / "hb-job-wedged00.json").write_text(_json.dumps({
+            "pid": 11, "t": now, "tile": "CLIP-3",
+            "task_started_t": now - 10_000.0, "job_id": "job-wedged00",
+        }))
+        (hb_dir / "hb-job-dead0000.json").write_text(_json.dumps({
+            "pid": 12, "t": now - 10_000.0, "job_id": "job-dead0000",
+        }))
+        (hb_dir / "hb-job-alive000.json").write_text(_json.dumps({
+            "pid": 13, "t": now, "job_id": "job-alive000",
+        }))
+
+        async def main():
+            service = FractureService(
+                tmp_path, workers=1, job_runner=instant_runner
+            )
+            await service.start()
+            try:
+                stats = await request(service, {"op": "stats"})
+                summary = stats["heartbeats"]
+                assert summary["alive"] == 1 and summary["stalled"] == 2
+                by_job = {w["job_id"]: w["status"] for w in summary["workers"]}
+                assert by_job == {
+                    "job-wedged00": "slow_task",
+                    "job-dead0000": "no_heartbeat",
+                    "job-alive000": "alive",
+                }
+            finally:
+                await service.stop("drain")
+
+        run(main())
+
+    def test_real_job_beats_and_cleans_up(self, tmp_path):
+        """A real (non-stub) job run publishes a heartbeat while
+        executing and unlinks it on completion."""
+        from repro.service.executor import JobControl, execute_job
+        from repro.service.jobs import JobPaths, JobRecord, new_job_id
+
+        record = JobRecord(
+            job_id=new_job_id(),
+            spec={"clips": CLIPS, "method": "partition", "checkpoint": False},
+            attempts=1,
+        )
+        paths = JobPaths.for_job(tmp_path, record.job_id)
+        payload = execute_job(record, paths, None, JobControl())
+        assert payload["totals"]["clips"] == 1
+        assert not list((tmp_path / "heartbeats").glob("hb-*.json"))
