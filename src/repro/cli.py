@@ -123,19 +123,29 @@ def _positive_float(value: str) -> float:
     return parsed
 
 
-def _runtime_policy(args: argparse.Namespace):
-    """Build the tiled executor's fault-tolerance policy from CLI flags."""
+def _runtime_policy(args: argparse.Namespace, batch_checkpoint: bool = False):
+    """Build the tiled executor's fault-tolerance policy from CLI flags.
+
+    ``batch_checkpoint=True`` (the ``mdp`` command) allows
+    ``--checkpoint``/``--resume`` without ``--window-nm``: they then
+    drive the cross-shape batch journal instead of (or in addition to)
+    the per-tile journal.
+    """
     from repro.fracture.runtime import FaultPlan, RetryPolicy, RuntimePolicy
 
     if args.resume and not args.checkpoint:
         raise SystemExit("--resume requires --checkpoint DIR")
-    for flag, value in (
-        ("--checkpoint", args.checkpoint),
-        ("--resume", args.resume),
+    tile_only = [
         ("--inject-fault", args.inject_fault),
         ("--tile-timeout", args.tile_timeout),
         ("--heartbeat", getattr(args, "heartbeat", None)),
-    ):
+    ]
+    if not batch_checkpoint:
+        tile_only += [
+            ("--checkpoint", args.checkpoint),
+            ("--resume", args.resume),
+        ]
+    for flag, value in tile_only:
         if value and not args.window_nm:
             raise SystemExit(
                 f"{flag} applies to the tiled executor; add --window-nm"
@@ -160,9 +170,13 @@ def _runtime_policy(args: argparse.Namespace):
     )
 
 
-def _maybe_windowed(fracturer: Fracturer, args: argparse.Namespace) -> Fracturer:
+def _maybe_windowed(
+    fracturer: Fracturer,
+    args: argparse.Namespace,
+    batch_checkpoint: bool = False,
+) -> Fracturer:
     """Wrap the method in the tiled executor when ``--window-nm`` is set."""
-    runtime = _runtime_policy(args)
+    runtime = _runtime_policy(args, batch_checkpoint=batch_checkpoint)
     window_nm = getattr(args, "window_nm", None)
     if not window_nm:
         return fracturer
@@ -203,12 +217,14 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--checkpoint", metavar="DIR",
         help="journal completed tiles to DIR/<shape>.tiles.jsonl so an "
-             "interrupted run can be resumed",
+             "interrupted run can be resumed (mdp without --window-nm: "
+             "journal completed shapes to DIR/batch.index.jsonl instead)",
     )
     parser.add_argument(
         "--resume", action="store_true",
-        help="replay completed tiles from the --checkpoint journal and "
-             "re-execute only the rest (bit-identical result)",
+        help="replay completed tiles (or, for mdp batches, completed "
+             "shapes) from the --checkpoint journal and re-execute only "
+             "the rest (bit-identical result)",
     )
     parser.add_argument(
         "--inject-fault", action="append", metavar="TILE:ACTION[:TIMES]",
@@ -221,6 +237,95 @@ def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
              "tile/RSS/CPU and stalled workers are flagged before the "
              "tile deadline (needs --workers > 1)",
     )
+
+
+def _add_cache_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fracture-cache", metavar="DIR",
+        help="content-addressed on-disk fracture cache: results keyed by "
+             "canonical geometry + spec + method + window are reused "
+             "across shapes, runs and the service daemon",
+    )
+
+
+def _fracture_cache(args: argparse.Namespace):
+    """Build the on-disk fracture cache when ``--fracture-cache`` is set."""
+    path = getattr(args, "fracture_cache", None)
+    if not path:
+        return None
+    from repro.fracture.cache import FractureCache
+
+    return FractureCache(max_entries=4096, persist_dir=path)
+
+
+def _add_hierarchy_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "--hierarchy", dest="hierarchy", action="store_true", default=True,
+        help="GDSII input: fracture each unique cell geometry once and "
+             "instantiate per placement (default)",
+    )
+    group.add_argument(
+        "--flatten", dest="hierarchy", action="store_false",
+        help="GDSII input: flatten all placements and fracture each "
+             "polygon from scratch (reference path)",
+    )
+
+
+def _is_gds(path: str | None) -> bool:
+    return bool(path) and Path(path).suffix.lower() in (".gds", ".gdsii")
+
+
+def _run_layout(
+    args: argparse.Namespace, spec: FractureSpec, fracturer: Fracturer
+) -> int:
+    """Fracture a hierarchical GDSII layout (``fracture``/``mdp`` path)."""
+    from repro.mask.gds import GdsError, read_layout
+    from repro.mask.hierarchy import fracture_layout
+    from repro.mask.io import save_solution as _save
+
+    clip_file = args.clip_file
+    try:
+        layout = read_layout(clip_file)
+    except GdsError as error:
+        raise SystemExit(f"{clip_file}: {error}") from None
+    cache = _fracture_cache(args)
+    if cache is not None:
+        fracturer.cache = cache
+    try:
+        with _graceful_signals(), _telemetry(args, spec):
+            report = fracture_layout(
+                layout, fracturer, spec,
+                cache=cache, hierarchy=args.hierarchy, verbose=False,
+            )
+    except KeyboardInterrupt:
+        print("interrupted — telemetry closed, checkpoints flushed",
+              file=sys.stderr)
+        return 130
+    print(report.summary())
+    stats = report.stats
+    print(
+        f"cells={stats['cells']} instances={stats['polygon_instances']} "
+        f"unique={stats['unique_geometries']} "
+        f"cache_hits={stats['cache_hits']} "
+        f"hit_rate={stats['hit_rate']:.1%}"
+    )
+    if getattr(args, "output", None):
+        out = Path(args.output)
+        out.mkdir(parents=True, exist_ok=True)
+        _save(
+            report.shots, spec,
+            out / f"{layout.top or 'layout'}.solution.json",
+            clip_name=layout.top,
+            metadata={
+                "method": fracturer.name,
+                "hierarchy": {
+                    k: v for k, v in stats.items() if k != "cache"
+                },
+            },
+        )
+        print(f"wrote {out / (layout.top or 'layout')}.solution.json")
+    return 0 if report.all_feasible else 1
 
 
 def _spec_from_args(args: argparse.Namespace) -> FractureSpec:
@@ -322,6 +427,19 @@ def _telemetry(args: argparse.Namespace, spec: FractureSpec):
 def _cmd_fracture(args: argparse.Namespace) -> int:
     spec = _spec_from_args(args)
     fracturer = _maybe_windowed(_make_fracturer(args.method), args)
+    if _is_gds(args.clip_file):
+        if args.svg or args.gds:
+            raise SystemExit(
+                "--svg/--gds are per-clip outputs; not supported for "
+                "hierarchical GDSII input (use --output for the combined "
+                "solution)"
+            )
+        if args.clip:
+            raise SystemExit("--clip does not apply to GDSII layout input")
+        return _run_layout(args, spec, fracturer)
+    cache = _fracture_cache(args)
+    if cache is not None:
+        fracturer.cache = cache
     if args.clip_file:
         clips = load_clips(args.clip_file)
         if args.clip and args.clip not in clips:
@@ -450,7 +568,24 @@ def _cmd_mdp(args: argparse.Namespace) -> int:
     from repro.mask.mdp import MdpPipeline
 
     spec = _spec_from_args(args)
-    fracturer = _maybe_windowed(_make_fracturer(args.method), args)
+    fracturer = _maybe_windowed(
+        _make_fracturer(args.method), args, batch_checkpoint=True
+    )
+    if _is_gds(args.clip_file):
+        if args.baseline:
+            raise SystemExit(
+                "--baseline is not supported for hierarchical GDSII input"
+            )
+        if args.checkpoint and not args.window_nm:
+            raise SystemExit(
+                "the --checkpoint batch journal applies to clip JSON "
+                "batches; use --fracture-cache for resumable GDSII "
+                "layout runs"
+            )
+        return _run_layout(args, spec, fracturer)
+    cache = _fracture_cache(args)
+    if cache is not None:
+        fracturer.cache = cache
     clips = load_clips(args.clip_file)
     shapes = [
         MaskShape.from_polygon(poly, pitch=spec.pitch,
@@ -462,11 +597,18 @@ def _cmd_mdp(args: argparse.Namespace) -> int:
     # (parallelism across tiles of each large shape); without it, the
     # pool parallelizes across shapes as before.
     batch_workers = 1 if args.window_nm else args.workers
+    # Without --window-nm, --checkpoint drives the cross-shape batch
+    # journal instead of per-tile checkpoints: finished shapes are
+    # indexed by canonical fingerprint and --resume replays them.
+    journal = None
+    if args.checkpoint and not args.window_nm:
+        journal = Path(args.checkpoint) / "batch.index.jsonl"
     try:
         with _graceful_signals(), _telemetry(args, spec):
             report = pipeline.run(
                 shapes, output_dir=args.output, workers=batch_workers,
-                verbose=True,
+                verbose=True, journal=journal,
+                resume=args.resume if journal is not None else False,
             )
     except KeyboardInterrupt:
         print("interrupted — telemetry closed, checkpoints flushed",
@@ -597,12 +739,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the fracture-as-a-service daemon until SIGTERM/SIGINT."""
     import asyncio
 
+    from repro.service.caches import WarmCaches
     from repro.service.server import FractureService
 
+    caches = None
+    if getattr(args, "fracture_cache", None):
+        caches = WarmCaches(persist_dir=args.fracture_cache)
     service = FractureService(
         args.state_dir,
         workers=args.workers,
         max_queue_depth=args.queue_depth,
+        caches=caches,
     )
 
     async def _serve() -> None:
@@ -829,13 +976,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_fracture = sub.add_parser("fracture", help="fracture clips")
     p_fracture.add_argument("--method", default="ours", help=str(method_names()))
-    p_fracture.add_argument("--clip-file", help="clip JSON (default: built-in ILT suite)")
+    p_fracture.add_argument(
+        "--clip-file",
+        help="clip JSON, or a hierarchical GDSII layout (.gds) "
+             "(default: built-in ILT suite)",
+    )
     p_fracture.add_argument("--clip", help="single clip name")
     p_fracture.add_argument("--output", help="directory for solution JSON files")
     p_fracture.add_argument("--svg", help="directory for SVG renderings")
     p_fracture.add_argument("--gds", help="directory for GDSII solution files")
     _add_window_arguments(p_fracture)
     _add_runtime_arguments(p_fracture)
+    _add_cache_argument(p_fracture)
+    _add_hierarchy_arguments(p_fracture)
     _add_spec_arguments(p_fracture)
     _add_telemetry_argument(p_fracture)
     _add_kernels_argument(p_fracture)
@@ -860,7 +1013,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.set_defaults(func=_cmd_bench)
 
     p_mdp = sub.add_parser("mdp", help="batch fracture a clip file")
-    p_mdp.add_argument("clip_file", help="clip JSON file")
+    p_mdp.add_argument(
+        "clip_file", help="clip JSON file, or a hierarchical GDSII layout (.gds)"
+    )
     p_mdp.add_argument("--method", default="ours")
     p_mdp.add_argument("--baseline", help="compare economics against this method")
     p_mdp.add_argument(
@@ -874,6 +1029,8 @@ def build_parser() -> argparse.ArgumentParser:
              "executor; --workers then parallelizes tiles)",
     )
     _add_runtime_arguments(p_mdp)
+    _add_cache_argument(p_mdp)
+    _add_hierarchy_arguments(p_mdp)
     p_mdp.add_argument("--output", help="directory for solution JSON files")
     _add_spec_arguments(p_mdp)
     _add_telemetry_argument(p_mdp)
@@ -951,6 +1108,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="bounded queue depth; submissions beyond it are rejected "
              "with a queue_full error (default 64)",
     )
+    _add_cache_argument(p_serve)
     _add_kernels_argument(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 

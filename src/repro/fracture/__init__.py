@@ -16,6 +16,11 @@ which chains the two stages of the paper:
 """
 
 from repro.fracture.base import FractureResult, Fracturer
+from repro.fracture.cache import (
+    FractureCache,
+    canonical_fingerprint,
+    fingerprint_polygon,
+)
 from repro.fracture.corner_points import CornerType, ShotCornerPoint, extract_corner_points
 from repro.fracture.graph_color import GraphColoringFracturer, build_compatibility_graph
 from repro.fracture.pipeline import ModelBasedFracturer, RefineConfig
@@ -38,8 +43,11 @@ __all__ = [
     "CheckpointJournal",
     "CornerType",
     "FaultPlan",
+    "FractureCache",
     "FractureResult",
     "Fracturer",
+    "canonical_fingerprint",
+    "fingerprint_polygon",
     "GraphColoringFracturer",
     "LegacyWindowedFracturer",
     "ModelBasedFracturer",

@@ -53,12 +53,57 @@ class Fracturer(abc.ABC):
     #: Short name used in benchmark tables.
     name: str = "abstract"
 
+    #: Optional :class:`repro.fracture.cache.FractureCache`.  When set,
+    #: :meth:`fracture` serves placement-invariant hits without running
+    #: the method or re-verifying, and stores fresh results back.
+    cache = None
+
+    #: Registry name used in cache keys (falls back to ``name``) — set by
+    #: :func:`repro.methods.make_fracturer` so aliased registrations key
+    #: consistently.
+    cache_method: str | None = None
+
+    #: Window size folded into cache keys by windowed wrappers (a tiled
+    #: run is only interchangeable with an identically windowed one).
+    cache_window_nm: float | None = None
+
+    def _cache_key_method(self) -> str:
+        return self.cache_method or self.name
+
+    def fracture_cached(self, shape: MaskShape, spec: FractureSpec) -> FractureResult | None:
+        """Cache lookup for ``shape``; ``None`` when absent or missing."""
+        if self.cache is None:
+            return None
+        obs = get_recorder()
+        hit = self.cache.get_result(
+            shape.polygon,
+            spec,
+            method=self._cache_key_method(),
+            window_nm=self.cache_window_nm,
+            shape_name=shape.name,
+        )
+        if hit is None:
+            obs.incr("fracture.cache_misses")
+            return None
+        obs.incr("fracture.cache_hits")
+        obs.incr("fracture.shapes")
+        obs.observe("fracture.shots", hit.shot_count)
+        return hit
+
     @abc.abstractmethod
     def fracture_shots(self, shape: MaskShape, spec: FractureSpec) -> list[Rect]:
         """Produce the shot list for ``shape``.  Implemented by subclasses."""
 
     def fracture(self, shape: MaskShape, spec: FractureSpec) -> FractureResult:
-        """Run the method, time it, and verify the result independently."""
+        """Run the method, time it, and verify the result independently.
+
+        With :attr:`cache` set, a placement-invariant hit short-circuits
+        both the method and the verification (the stored verdict was
+        computed from scratch on identical geometry the first time).
+        """
+        cached = self.fracture_cached(shape, spec)
+        if cached is not None:
+            return cached
         obs = get_recorder()
         self._last_extra: dict[str, Any] = {}
         with obs.span("fracture", method=self.name, shape=shape.name) as span:
@@ -71,7 +116,7 @@ class Fracturer(abc.ABC):
         obs.incr("fracture.shapes")
         obs.observe("fracture.runtime_s", runtime)
         obs.observe("fracture.shots", len(shots))
-        return FractureResult(
+        result = FractureResult(
             method=self.name,
             shape_name=shape.name,
             shots=shots,
@@ -79,3 +124,12 @@ class Fracturer(abc.ABC):
             report=report,
             extra=dict(getattr(self, "_last_extra", {})),
         )
+        if self.cache is not None:
+            self.cache.put_result(
+                shape.polygon,
+                spec,
+                result,
+                window_nm=self.cache_window_nm,
+                method=self._cache_key_method(),
+            )
+        return result

@@ -1,0 +1,407 @@
+"""Content-addressed fracture result cache — one cache, three layers.
+
+The service's warm result cache (PR 6) proved the economics: batch MDP
+traffic resubmits near-identical work, and a verbatim resubmission
+should cost one hash.  This module promotes that cache out of
+:mod:`repro.service` into the library so the same object (and the same
+key format) backs
+
+* :class:`~repro.mask.mdp.MdpPipeline` — repeated clips inside one
+  batch run hit across shapes,
+* the hierarchy layer (:mod:`repro.mask.hierarchy`) — the thousandth
+  placement of a cell costs a lookup plus a translation,
+* the windowed/tiled executor — re-runs of a windowed layout reuse the
+  finished result wholesale, and
+* the service's :class:`~repro.service.caches.WarmCaches` — which now
+  holds a :class:`FractureCache` under its historical ``ResultCache``
+  name.
+
+**Key.**  :func:`canonical_fingerprint` is the single fingerprint
+function for every layer (the service delegates to it), hashing the
+version-tagged JSON of (clip vertices, spec, method, window).
+:func:`fingerprint_polygon` feeds it *canonical* geometry — the
+translation-normalized, ordering-canonical vertex loop from
+:func:`repro.geometry.polygon.canonical_form` — so a clip and its
+translate share one entry.
+
+**Frames.**  Entries remember the frame offset the stored shots were
+produced in (``payload["frame"]``, the canonical→stored translation).
+A hit for geometry at a different offset translates the stored shots by
+the offset *difference*; translation is exact for exactly representable
+coordinates, so instantiated shots are bit-identical to fracturing in
+place — and a verbatim resubmission (offset difference zero) replays the
+stored shots untouched.
+
+**Reports.**  A cached entry carries the feasibility digest (failing
+pixel counts, Eq. 5 cost, undersize shots), not the per-pixel arrays —
+enough to rebuild a :class:`~repro.mask.constraints.FailureReport` with
+exact counts via its count overrides, without re-verification.
+
+**Persistence.**  With ``persist_dir`` set, every entry is also written
+as ``<fingerprint>.json`` (atomic rename), and memory misses fall
+through to disk; corrupt or torn files read as misses.  A warm daemon
+restart — or a second CLI run pointed at the same ``--fracture-cache``
+directory — starts with the whole previous run's results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.geometry.polygon import Polygon, canonical_form
+from repro.geometry.rect import Rect
+from repro.mask.constraints import FailureReport, FractureSpec
+from repro.mask.io import rect_from_list, rect_to_list, spec_to_dict
+
+__all__ = [
+    "FractureCache",
+    "canonical_fingerprint",
+    "fingerprint_polygon",
+    "result_to_payload",
+    "result_from_payload",
+    "translate_shots",
+]
+
+
+def _spec_dict(spec: FractureSpec | dict[str, float]) -> dict[str, float]:
+    if isinstance(spec, FractureSpec):
+        return spec_to_dict(spec)
+    return spec
+
+
+def canonical_fingerprint(
+    clip_vertices: list[list[float]] | tuple[tuple[float, float], ...],
+    spec: FractureSpec | dict[str, float],
+    method: str,
+    window_nm: float | None,
+) -> str:
+    """Content address of one clip-level fracture request.
+
+    Everything that can change the shot list is in the key; everything
+    that cannot (priority, telemetry, worker count — the tiled merge is
+    worker-count-invariant) is out, so the cache hits exactly when a
+    recomputation would be bit-identical.  This is the only fingerprint
+    function in the tree — the service's ``fingerprint_request`` is an
+    alias — so library and service hashes can never drift.
+    """
+    spec = _spec_dict(spec)
+    # `c + 0.0` coerces integer coordinates to floats and collapses -0.0
+    # to 0.0, so 60 vs 60.0 (or a mirror-produced negative zero) cannot
+    # split what is numerically one geometry into two hashes.
+    payload = {
+        "v": 1,
+        "clip": [[c + 0.0 for c in v] for v in clip_vertices],
+        "spec": {k: spec[k] for k in sorted(spec)},
+        "method": method,
+        "window_nm": window_nm + 0.0 if window_nm is not None else None,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def fingerprint_polygon(
+    polygon: Polygon,
+    spec: FractureSpec | dict[str, float],
+    method: str,
+    window_nm: float | None = None,
+) -> tuple[str, tuple[float, float]]:
+    """Placement-invariant fingerprint of a target polygon.
+
+    Returns ``(fingerprint, offset)``: the fingerprint of the polygon's
+    canonical (translation-normalized) vertex loop, plus the offset that
+    places the canonical loop back at the polygon (``polygon =
+    canonical + offset``).  Two exact translates of the same geometry —
+    including the same loop entered at a different start vertex or
+    winding — share the fingerprint and differ only in offset.
+    """
+    vertices, offset = canonical_form(polygon)
+    return canonical_fingerprint(vertices, spec, method, window_nm), offset
+
+
+# -- payload conversion ------------------------------------------------------
+
+
+def result_to_payload(
+    result: "FractureResult",  # noqa: F821 — lazy import, see below
+    frame: tuple[float, float] = (0.0, 0.0),
+) -> dict[str, Any]:
+    """JSON-able cache entry for a finished fracture result.
+
+    ``frame`` is the canonical→stored offset: the translation that maps
+    the canonical geometry onto the instance these shots were produced
+    for.  Flat keys match the service's historical ``result.json``
+    payload; ``frame`` and the ``report`` digest are additive.
+    """
+    report = result.report
+    return {
+        "shots": [rect_to_list(s) for s in result.shots],
+        "shot_count": result.shot_count,
+        "feasible": result.feasible,
+        "failing_px": report.total_failing,
+        "runtime_s": result.runtime_s,
+        "extra": dict(result.extra),
+        "frame": [frame[0], frame[1]],
+        "method": result.method,
+        "report": {
+            "cost": report.cost,
+            "count_on": report.count_on,
+            "count_off": report.count_off,
+            "undersize_shots": report.undersize_shots,
+        },
+    }
+
+
+_EMPTY_MASK = np.zeros((0, 0), dtype=bool)
+
+
+def _digest_report(payload: dict[str, Any]) -> FailureReport:
+    """Rebuild a report from the cached digest (exact counts, no arrays)."""
+    digest = payload.get("report")
+    if digest is None:
+        # Pre-digest service payload: only the aggregate count survives.
+        failing = int(payload.get("failing_px", 0))
+        return FailureReport(
+            fail_on=_EMPTY_MASK,
+            fail_off=_EMPTY_MASK,
+            cost=0.0,
+            undersize_shots=0,
+            _count_on=failing,
+            _count_off=0,
+        )
+    return FailureReport(
+        fail_on=_EMPTY_MASK,
+        fail_off=_EMPTY_MASK,
+        cost=float(digest["cost"]),
+        undersize_shots=int(digest["undersize_shots"]),
+        _count_on=int(digest["count_on"]),
+        _count_off=int(digest["count_off"]),
+    )
+
+
+def translate_shots(
+    shots: list[Rect], dx: float, dy: float
+) -> list[Rect]:
+    """Shots shifted by an exact translation (identity short-circuits)."""
+    if dx == 0.0 and dy == 0.0:
+        return list(shots)
+    return [
+        Rect(s.xbl + dx, s.ybl + dy, s.xtr + dx, s.ytr + dy) for s in shots
+    ]
+
+
+def result_from_payload(
+    payload: dict[str, Any],
+    shape_name: str,
+    frame: tuple[float, float] = (0.0, 0.0),
+    lookup_s: float = 0.0,
+) -> "FractureResult":  # noqa: F821
+    """Instantiate a cached entry as a :class:`FractureResult`.
+
+    ``frame`` is the canonical→requested offset; stored shots are
+    translated by the difference from the stored frame (zero for a
+    verbatim resubmission, so the replay is untouched).  ``runtime_s``
+    is the lookup time — the honest cost of serving this instance — and
+    the original fracture time survives as ``extra["cached_runtime_s"]``.
+    """
+    from repro.fracture.base import FractureResult
+
+    stored = payload.get("frame", [0.0, 0.0])
+    dx = frame[0] - float(stored[0])
+    dy = frame[1] - float(stored[1])
+    shots = translate_shots(
+        [rect_from_list(v) for v in payload["shots"]], dx, dy
+    )
+    extra = dict(payload.get("extra", {}))
+    extra["cache_hit"] = True
+    extra["cached_runtime_s"] = float(payload.get("runtime_s", 0.0))
+    return FractureResult(
+        method=payload.get("method", "cached"),
+        shape_name=shape_name,
+        shots=shots,
+        runtime_s=lookup_s,
+        report=_digest_report(payload),
+        extra=extra,
+    )
+
+
+# -- the cache ---------------------------------------------------------------
+
+
+class FractureCache:
+    """Bounded in-memory map: request fingerprint → finished result.
+
+    Entries store plain JSON-able payloads (shot coordinate lists plus
+    the feasibility digest), not live objects, so a hit can be served
+    straight into ``result.json`` without touching numpy.  FIFO-ish
+    bound: when full, the oldest insertion is evicted (dict preserves
+    insertion order).  Thread-safe — job threads read while the next
+    job's thread writes.
+
+    With ``persist_dir`` the cache is also content-addressed on disk
+    (one ``<fingerprint>.json`` per entry, written atomically); memory
+    misses fall through to disk, and disk hits are pulled back into
+    memory.  Unreadable files are treated as misses, never as errors.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = 256,
+        persist_dir: str | Path | None = None,
+    ):
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = max_entries
+        self.persist_dir = Path(persist_dir) if persist_dir is not None else None
+        if self.persist_dir is not None:
+            self.persist_dir.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._entries: dict[str, dict[str, Any]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.disk_hits = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        # An *empty* cache must not read as "no cache": a warm disk store
+        # can back a cold memory map, and `if cache:` call sites would
+        # silently bypass it.
+        return True
+
+    # -- raw fingerprint interface (service-compatible) ----------------------
+
+    def get(self, fingerprint: str) -> dict[str, Any] | None:
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is not None:
+                self.hits += 1
+                return entry
+            entry = self._read_disk(fingerprint)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self.disk_hits += 1
+            self._insert(fingerprint, entry)
+            return entry
+
+    def put(self, fingerprint: str, payload: dict[str, Any]) -> None:
+        with self._lock:
+            if fingerprint not in self._entries:
+                self._insert(fingerprint, payload)
+            self._write_disk(fingerprint, payload)
+
+    def clear(self) -> None:
+        """Drop the in-memory entries (the disk store is left intact)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            stats = {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+            if self.persist_dir is not None:
+                stats["disk_hits"] = self.disk_hits
+                stats["disk_entries"] = sum(
+                    1 for _ in self.persist_dir.glob("*.json")
+                )
+            return stats
+
+    # -- result-level interface ----------------------------------------------
+
+    def get_result(
+        self,
+        polygon: Polygon,
+        spec: FractureSpec | dict[str, float],
+        method: str,
+        window_nm: float | None = None,
+        shape_name: str = "",
+    ) -> "FractureResult | None":  # noqa: F821
+        """Look up a finished result for ``polygon``, placement-invariant.
+
+        On a hit the stored template shots are translated onto the
+        polygon's frame; returns ``None`` on a miss.
+        """
+        start = time.perf_counter()
+        fingerprint, offset = fingerprint_polygon(
+            polygon, spec, method, window_nm
+        )
+        payload = self.get(fingerprint)
+        if payload is None:
+            return None
+        return result_from_payload(
+            payload,
+            shape_name=shape_name,
+            frame=offset,
+            lookup_s=time.perf_counter() - start,
+        )
+
+    def put_result(
+        self,
+        polygon: Polygon,
+        spec: FractureSpec | dict[str, float],
+        result: "FractureResult",  # noqa: F821
+        window_nm: float | None = None,
+        method: str | None = None,
+    ) -> str:
+        """Store a freshly fractured result keyed by canonical geometry.
+
+        ``method`` is the cache-key method name (the registry name, when
+        it differs from the class's display name); defaults to
+        ``result.method``.
+        """
+        fingerprint, offset = fingerprint_polygon(
+            polygon, spec, method or result.method, window_nm
+        )
+        self.put(fingerprint, result_to_payload(result, frame=offset))
+        return fingerprint
+
+    # -- disk store -----------------------------------------------------------
+
+    def _insert(self, fingerprint: str, payload: dict[str, Any]) -> None:
+        while len(self._entries) >= self.max_entries:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+        self._entries[fingerprint] = payload
+
+    def _disk_path(self, fingerprint: str) -> Path:
+        assert self.persist_dir is not None
+        return self.persist_dir / f"{fingerprint}.json"
+
+    def _read_disk(self, fingerprint: str) -> dict[str, Any] | None:
+        if self.persist_dir is None:
+            return None
+        path = self._disk_path(fingerprint)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or "shots" not in payload:
+            return None
+        return payload
+
+    def _write_disk(self, fingerprint: str, payload: dict[str, Any]) -> None:
+        if self.persist_dir is None:
+            return
+        path = self._disk_path(fingerprint)
+        if path.exists():
+            return
+        tmp = path.with_name(f".{fingerprint}.{os.getpid()}.tmp")
+        try:
+            tmp.write_text(json.dumps(payload))
+            os.replace(tmp, path)
+        except OSError:
+            # Persistence is best-effort; the in-memory entry stands.
+            tmp.unlink(missing_ok=True)

@@ -113,6 +113,11 @@ class WindowedFracturer(Fracturer):
         self.full_repair = full_repair
         self.runtime = runtime if runtime is not None else RuntimePolicy()
         self._last_extra: dict = {}
+        # Cache keys match the service's scheme: the *inner* method name
+        # plus the window size — a tiled result only substitutes for an
+        # identically windowed run of the same inner method.
+        self.cache_window_nm = window_nm
+        self.cache_method = getattr(inner, "cache_method", None) or inner.name
 
     # -- execution ----------------------------------------------------------
 

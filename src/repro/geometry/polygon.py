@@ -181,6 +181,34 @@ class Polygon:
         )
 
 
+def canonical_form(
+    polygon: "Polygon",
+) -> tuple[tuple[tuple[float, float], ...], tuple[float, float]]:
+    """Translation-normalized, ordering-canonical vertex loop.
+
+    Returns ``(vertices, offset)`` where ``vertices`` is the polygon's
+    vertex loop translated so its bounding-box minimum sits at the
+    origin, started at the lexicographically smallest ``(x, y)`` vertex
+    (winding is already CCW-normalized by the constructor), and
+    ``offset`` is the translation that maps the canonical loop back onto
+    the input: ``input = canonical + offset``.
+
+    Two polygons that are exact translates of each other — or the same
+    loop entered at a different starting vertex or winding — canonicalize
+    to the identical vertex tuple, which is what makes the content hash
+    of the fracture cache placement-invariant.  The normalizing
+    subtraction is exact for exactly representable coordinates (the
+    GDSII integer-nanometre case), so fracturing the canonical geometry
+    and translating the shots back by ``offset`` is bit-identical to
+    fracturing in place.
+    """
+    bbox = polygon.bounding_box()
+    dx, dy = bbox.xbl, bbox.ybl
+    verts = [(p.x - dx, p.y - dy) for p in polygon.vertices]
+    start = min(range(len(verts)), key=verts.__getitem__)
+    return tuple(verts[start:] + verts[:start]), (dx, dy)
+
+
 def _signed_area(vertices: Sequence[Point]) -> float:
     total = 0.0
     n = len(vertices)

@@ -1,0 +1,159 @@
+"""Exact placement transforms: the axis-parallel dihedral subgroup.
+
+GDSII structure references place a cell under a reflection about the
+x axis, a rotation, and a translation.  Mask fracturing only ever needs
+the subgroup that maps axis-parallel rectangles to axis-parallel
+rectangles — rotations by multiples of 90° with an optional mirror —
+so :class:`Transform` restricts itself to it and gains exactness in
+return: every coordinate map is a sign flip, a coordinate swap, or an
+addition, all of which are exact IEEE operations on exactly
+representable inputs.  That exactness is what lets the hierarchy layer
+instantiate a cached template's shot list per placement and stay
+bit-identical to fracturing the placed geometry directly.
+
+Conventions match the GDSII STRANS record: the mirror (reflection about
+the x axis, ``y → -y``) is applied *first*, then the counter-clockwise
+rotation, then the translation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (polygon uses rect)
+    from repro.geometry.polygon import Polygon
+
+__all__ = ["ROTATIONS", "Transform"]
+
+#: The four representable rotations, in degrees counter-clockwise.
+ROTATIONS = (0, 90, 180, 270)
+
+# cos/sin of each rotation as exact integers.
+_COS_SIN = {0: (1, 0), 90: (0, 1), 180: (-1, 0), 270: (0, -1)}
+
+
+@dataclass(frozen=True, slots=True)
+class Transform:
+    """Mirror-about-x, then rotate by ``rotation``°, then translate.
+
+    ``rotation`` must be one of 0/90/180/270.  All coordinate maps are
+    exact (sign flips, swaps and additions), so applying a transform and
+    its inverse round-trips bit-identically for exactly representable
+    coordinates.
+    """
+
+    rotation: int = 0
+    mirror_x: bool = False
+    dx: float = 0.0
+    dy: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rotation not in _COS_SIN:
+            raise ValueError(
+                f"rotation must be one of {ROTATIONS}, got {self.rotation}"
+            )
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def identity(cls) -> "Transform":
+        return cls()
+
+    @classmethod
+    def translation(cls, dx: float, dy: float) -> "Transform":
+        return cls(dx=dx, dy=dy)
+
+    @property
+    def is_identity(self) -> bool:
+        return (
+            self.rotation == 0
+            and not self.mirror_x
+            and self.dx == 0.0
+            and self.dy == 0.0
+        )
+
+    @property
+    def is_translation(self) -> bool:
+        return self.rotation == 0 and not self.mirror_x
+
+    # -- application ---------------------------------------------------------
+
+    def apply(self, x: float, y: float) -> tuple[float, float]:
+        """Map one coordinate pair."""
+        if self.mirror_x:
+            y = -y
+        c, s = _COS_SIN[self.rotation]
+        return (c * x - s * y + self.dx, s * x + c * y + self.dy)
+
+    def apply_point(self, p: Point) -> Point:
+        return Point(*self.apply(p.x, p.y))
+
+    def apply_polygon(self, polygon: "Polygon") -> "Polygon":
+        """Transformed polygon (winding re-normalized by the constructor)."""
+        from repro.geometry.polygon import Polygon
+
+        return Polygon(Point(*self.apply(p.x, p.y)) for p in polygon.vertices)
+
+    def apply_rect(self, rect: Rect) -> Rect:
+        """Axis-parallel image of an axis-parallel rectangle (exact)."""
+        a = self.apply(rect.xbl, rect.ybl)
+        b = self.apply(rect.xtr, rect.ytr)
+        return Rect(min(a[0], b[0]), min(a[1], b[1]),
+                    max(a[0], b[0]), max(a[1], b[1]))
+
+    def apply_rects(self, rects: Iterable[Rect]) -> list[Rect]:
+        if self.is_identity:
+            return list(rects)
+        return [self.apply_rect(r) for r in rects]
+
+    # -- algebra -------------------------------------------------------------
+
+    def compose(self, inner: "Transform") -> "Transform":
+        """``self ∘ inner``: apply ``inner`` first, then ``self``.
+
+        Used when walking nested structure references: the child ref's
+        transform composes under the parent's.
+        """
+        if self.mirror_x:
+            rotation = (self.rotation - inner.rotation) % 360
+        else:
+            rotation = (self.rotation + inner.rotation) % 360
+        dx, dy = self.apply(inner.dx, inner.dy)
+        return Transform(
+            rotation=rotation,
+            mirror_x=self.mirror_x != inner.mirror_x,
+            dx=dx,
+            dy=dy,
+        )
+
+    def inverse(self) -> "Transform":
+        """The transform undoing this one (exact round trip)."""
+        # Linear part inverse: M⁻¹R(−θ) = (R(θ)M)⁻¹; expressed back in
+        # mirror-first form: rotation θ' = θ if mirrored else −θ.
+        rotation = self.rotation if self.mirror_x else (-self.rotation) % 360
+        linear_inverse = Transform(rotation=rotation, mirror_x=self.mirror_x)
+        tx, ty = linear_inverse.apply(self.dx, self.dy)
+        return Transform(
+            rotation=rotation, mirror_x=self.mirror_x, dx=-tx, dy=-ty
+        )
+
+    def translated(self, dx: float, dy: float) -> "Transform":
+        """Same linear part, translation shifted by ``(dx, dy)``."""
+        return Transform(
+            rotation=self.rotation, mirror_x=self.mirror_x,
+            dx=self.dx + dx, dy=self.dy + dy,
+        )
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.mirror_x:
+            parts.append("mirror")
+        if self.rotation:
+            parts.append(f"rot{self.rotation}")
+        if self.dx or self.dy:
+            parts.append(f"({self.dx:g},{self.dy:g})")
+        return f"Transform({' '.join(parts) or 'identity'})"

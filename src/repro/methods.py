@@ -40,4 +40,8 @@ def make_fracturer(name: str) -> Fracturer:
         raise ValueError(
             f"unknown method {name!r}; choose from {method_names()}"
         ) from None
-    return cls()
+    fracturer = cls()
+    # Cache keys use the registry name, matching service job submissions,
+    # so library and service entries for the same method coincide.
+    fracturer.cache_method = name
+    return fracturer

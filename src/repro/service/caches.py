@@ -6,11 +6,15 @@ after a parameter nudge, the same layout at a different priority, or a
 verbatim retry after a client crash.  Three layers of warmth, cheapest
 check first:
 
-1. **Result cache** (:class:`ResultCache`) — content-addressed: the
-   sha256 of (clip vertices, spec, method, window) maps to the finished
-   shot list.  A verbatim resubmission costs one hash, skipping both
-   fracture and verification (the stored feasibility verdict was
-   computed from scratch the first time and the inputs are identical).
+1. **Result cache** — the library-level content-addressed
+   :class:`~repro.fracture.cache.FractureCache` (promoted out of this
+   module in the hierarchy PR; ``ResultCache`` is the historical name).
+   The sha256 of (canonical clip vertices, spec, method, window) maps
+   to the finished shot list plus its frame, so a resubmission — even a
+   *translated* one — costs one hash, skipping both fracture and
+   verification (the stored feasibility verdict was computed from
+   scratch on identical canonical geometry the first time).  With
+   ``persist_dir`` set, entries survive daemon restarts on disk.
 2. **Profile bank** (:class:`~repro.ebeam.intensity_map.ProfileBank`)
    — keyed 1-D edge profiles shared by every ``IntensityMap`` over the
    same (grid, σ, LUT).  A changed spec misses the result cache but a
@@ -22,96 +26,26 @@ check first:
 :class:`WarmCaches` owns layers 1–2, installs the bank process-wide on
 daemon startup, and answers the hit/miss counters that every job's
 telemetry and the ``stats`` op expose.
+
+``fingerprint_request`` is an alias of
+:func:`repro.fracture.cache.canonical_fingerprint` — the single
+fingerprint function in the tree, so service and library hashes can
+never drift.
 """
 
 from __future__ import annotations
 
-import hashlib
-import json
-import threading
+from pathlib import Path
 from typing import Any
 
 from repro.ebeam.intensity_map import ProfileBank, set_profile_bank
+from repro.fracture.cache import FractureCache, canonical_fingerprint
 
 __all__ = ["ResultCache", "WarmCaches", "fingerprint_request"]
 
-
-def fingerprint_request(
-    clip_vertices: list[list[float]],
-    spec: dict[str, float],
-    method: str,
-    window_nm: float | None,
-) -> str:
-    """Content address of one clip-level fracture request.
-
-    Everything that can change the shot list is in the key; everything
-    that cannot (priority, telemetry, worker count — the tiled merge is
-    worker-count-invariant) is out, so the cache hits exactly when a
-    recomputation would be bit-identical.
-    """
-    payload = {
-        "v": 1,
-        "clip": clip_vertices,
-        "spec": {k: spec[k] for k in sorted(spec)},
-        "method": method,
-        "window_nm": window_nm,
-    }
-    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
-
-
-class ResultCache:
-    """Bounded in-memory map: request fingerprint → finished result.
-
-    Entries store plain JSON-able payloads (shot coordinate lists plus
-    the feasibility summary), not live objects, so a hit can be served
-    straight into ``result.json`` without touching numpy.  FIFO-ish
-    bound: when full, the oldest insertion is evicted (dict preserves
-    insertion order).  Thread-safe — job threads read while the next
-    job's thread writes.
-    """
-
-    def __init__(self, max_entries: int = 256):
-        if max_entries < 1:
-            raise ValueError("max_entries must be at least 1")
-        self.max_entries = max_entries
-        self._lock = threading.Lock()
-        self._entries: dict[str, dict[str, Any]] = {}
-        self.hits = 0
-        self.misses = 0
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
-    def get(self, fingerprint: str) -> dict[str, Any] | None:
-        with self._lock:
-            entry = self._entries.get(fingerprint)
-            if entry is None:
-                self.misses += 1
-                return None
-            self.hits += 1
-            return entry
-
-    def put(self, fingerprint: str, payload: dict[str, Any]) -> None:
-        with self._lock:
-            if fingerprint in self._entries:
-                return
-            while len(self._entries) >= self.max_entries:
-                oldest = next(iter(self._entries))
-                del self._entries[oldest]
-            self._entries[fingerprint] = payload
-
-    def clear(self) -> None:
-        with self._lock:
-            self._entries.clear()
-
-    def stats(self) -> dict[str, int]:
-        with self._lock:
-            return {
-                "entries": len(self._entries),
-                "hits": self.hits,
-                "misses": self.misses,
-            }
+#: Historical service names for the promoted library primitives.
+ResultCache = FractureCache
+fingerprint_request = canonical_fingerprint
 
 
 class WarmCaches:
@@ -120,12 +54,20 @@ class WarmCaches:
     ``install()`` publishes the profile bank process-wide so every
     ``IntensityMap`` built by any job thread attaches to it;
     ``uninstall()`` detaches (tests use this to restore isolation).
+    ``persist_dir`` turns the result cache into an on-disk store shared
+    across daemon restarts (and with ``--fracture-cache`` CLI runs).
     """
 
     def __init__(
-        self, *, result_entries: int = 256, profile_layouts: int = 64
+        self,
+        *,
+        result_entries: int = 256,
+        profile_layouts: int = 64,
+        persist_dir: str | Path | None = None,
     ):
-        self.results = ResultCache(max_entries=result_entries)
+        self.results = FractureCache(
+            max_entries=result_entries, persist_dir=persist_dir
+        )
         self.profiles = ProfileBank(max_caches=profile_layouts)
         self._installed = False
 

@@ -31,13 +31,18 @@ import threading
 import time
 from typing import Any
 
+from repro.fracture.cache import (
+    fingerprint_polygon,
+    result_to_payload,
+    translate_shots,
+)
 from repro.fracture.runtime import RunInterrupted, RuntimePolicy
 from repro.fracture.windowed import WindowedFracturer
 from repro.geometry.point import Point
 from repro.kernels import kernels_manifest
 from repro.geometry.polygon import Polygon
 from repro.mask.constraints import FractureSpec
-from repro.mask.io import rect_to_list, spec_from_dict, spec_to_dict
+from repro.mask.io import rect_from_list, rect_to_list, spec_from_dict, spec_to_dict
 from repro.mask.shape import MaskShape
 from repro.methods import make_fracturer
 from repro.obs import (
@@ -46,7 +51,7 @@ from repro.obs import (
     TelemetryStream,
     thread_recording,
 )
-from repro.service.caches import WarmCaches, fingerprint_request
+from repro.service.caches import WarmCaches
 from repro.service.jobs import JobPaths, JobRecord
 
 __all__ = [
@@ -224,22 +229,41 @@ def _run_clips(
     for name in sorted(job["clips"]):
         control.raise_if_stopped()
         vertices = job["clips"][name]
-        fingerprint = fingerprint_request(
-            vertices, job.get("spec", {}), job["method"], job.get("window_nm")
+        polygon = Polygon(Point(x, y) for x, y in vertices)
+        # Canonical (translation-normalized) fingerprint: the resolved
+        # spec and registry method name match the library's cache keys
+        # exactly, so a clip fractured by an `mdp --fracture-cache` run
+        # warms the daemon and vice versa — and a *translated* clip of
+        # known geometry hits too, served by exact shot translation.
+        fingerprint, offset = fingerprint_polygon(
+            polygon, spec, job["method"], job.get("window_nm")
         )
         cached = caches.results.get(fingerprint) if use_cache else None
         if cached is not None:
+            stored = cached.get("frame", [0.0, 0.0])
+            shots = translate_shots(
+                [rect_from_list(v) for v in cached["shots"]],
+                offset[0] - float(stored[0]),
+                offset[1] - float(stored[1]),
+            )
             recorder.incr("service.result_cache_hits")
             recorder.event("clip_done", clip=name, cached=True,
                            shots=cached["shot_count"])
-            clips_out[name] = {**cached, "cached": True}
+            clips_out[name] = {
+                "shots": [rect_to_list(s) for s in shots],
+                "shot_count": cached["shot_count"],
+                "feasible": cached["feasible"],
+                "failing_px": cached["failing_px"],
+                "runtime_s": cached["runtime_s"],
+                "extra": cached.get("extra", {}),
+                "cached": True,
+            }
             continue
         if use_cache:
             recorder.incr("service.result_cache_misses")
         recorder.event("clip_start", clip=name, cached=False)
         if heartbeat is not None:
             heartbeat.set_task(name, record.attempts)
-        polygon = Polygon(Point(x, y) for x, y in vertices)
         shape = MaskShape.from_polygon(
             polygon, pitch=spec.pitch, margin=spec.grid_margin, name=name
         )
@@ -254,16 +278,16 @@ def _run_clips(
             )
             control.raise_if_stopped()
             raise  # stop_check stale trip with no flag set: real error
-        clip_payload = {
-            "shots": [rect_to_list(s) for s in result.shots],
-            "shot_count": result.shot_count,
-            "feasible": result.feasible,
-            "failing_px": result.report.total_failing,
-            "runtime_s": result.runtime_s,
-            "extra": result.extra,
-        }
+        stored_payload = result_to_payload(result, frame=offset)
         if use_cache:
-            caches.results.put(fingerprint, clip_payload)
+            caches.results.put(fingerprint, stored_payload)
+        clip_payload = {
+            key: stored_payload[key]
+            for key in (
+                "shots", "shot_count", "feasible", "failing_px",
+                "runtime_s", "extra",
+            )
+        }
         recorder.event("clip_done", clip=name, cached=False,
                        shots=result.shot_count, feasible=result.feasible)
         clips_out[name] = {**clip_payload, "cached": False}

@@ -1,0 +1,95 @@
+"""Unit tests for the exact dihedral placement transforms."""
+
+import itertools
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+from repro.geometry.transform import ROTATIONS, Transform
+
+
+def all_transforms(dx=0.0, dy=0.0):
+    for rotation, mirror in itertools.product(ROTATIONS, (False, True)):
+        yield Transform(rotation=rotation, mirror_x=mirror, dx=dx, dy=dy)
+
+
+class TestConstruction:
+    def test_identity(self):
+        t = Transform.identity()
+        assert t.is_identity
+        assert t.is_translation
+        assert t.apply(3.0, 4.0) == (3.0, 4.0)
+
+    def test_translation(self):
+        t = Transform.translation(10.0, -5.0)
+        assert not t.is_identity
+        assert t.is_translation
+        assert t.apply(1.0, 2.0) == (11.0, -3.0)
+
+    def test_invalid_rotation_rejected(self):
+        with pytest.raises(ValueError):
+            Transform(rotation=45)
+
+
+class TestApply:
+    def test_rot90(self):
+        assert Transform(rotation=90).apply(1.0, 0.0) == (0.0, 1.0)
+
+    def test_rot180(self):
+        assert Transform(rotation=180).apply(1.0, 2.0) == (-1.0, -2.0)
+
+    def test_rot270(self):
+        assert Transform(rotation=270).apply(1.0, 0.0) == (0.0, -1.0)
+
+    def test_mirror_before_rotation(self):
+        # GDSII STRANS order: y → -y first, then CCW rotation.
+        t = Transform(rotation=90, mirror_x=True)
+        assert t.apply(0.0, 1.0) == (1.0, 0.0)
+
+    def test_apply_point(self):
+        p = Transform(rotation=90, dx=5.0).apply_point(Point(1.0, 0.0))
+        assert (p.x, p.y) == (5.0, 1.0)
+
+    def test_apply_rect_stays_normalized(self):
+        rect = Rect(0, 0, 10, 4)
+        for t in all_transforms(dx=7.0, dy=-3.0):
+            image = t.apply_rect(rect)
+            assert image.xbl <= image.xtr and image.ybl <= image.ytr
+            # Dimensions swap under odd rotations but are preserved.
+            dims = sorted((image.xtr - image.xbl, image.ytr - image.ybl))
+            assert dims == [4.0, 10.0]
+
+    def test_apply_polygon_preserves_area(self):
+        poly = Polygon([(0, 0), (30, 0), (30, 10), (10, 10), (10, 20), (0, 20)])
+        for t in all_transforms(dx=100.0, dy=50.0):
+            assert t.apply_polygon(poly).area == poly.area
+
+
+class TestAlgebra:
+    def test_inverse_round_trips_exactly(self):
+        points = [(0.0, 0.0), (17.0, -3.0), (2.5, 1e6)]
+        for t in all_transforms(dx=13.0, dy=-7.0):
+            inv = t.inverse()
+            for x, y in points:
+                assert inv.apply(*t.apply(x, y)) == (x, y)
+                assert t.apply(*inv.apply(x, y)) == (x, y)
+
+    def test_compose_matches_sequential_application(self):
+        points = [(1.0, 2.0), (-3.0, 5.0)]
+        for outer in all_transforms(dx=10.0, dy=20.0):
+            for inner in all_transforms(dx=-4.0, dy=6.0):
+                combined = outer.compose(inner)
+                for x, y in points:
+                    assert combined.apply(x, y) == outer.apply(*inner.apply(x, y))
+
+    def test_compose_with_identity(self):
+        for t in all_transforms(dx=1.0, dy=2.0):
+            assert t.compose(Transform.identity()) == t
+            assert Transform.identity().compose(t) == t
+
+    def test_translated(self):
+        t = Transform(rotation=90, dx=1.0, dy=2.0).translated(10.0, 20.0)
+        assert (t.dx, t.dy) == (11.0, 22.0)
+        assert t.rotation == 90

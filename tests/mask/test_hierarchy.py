@@ -1,0 +1,109 @@
+"""Hierarchy-aware fracturing: bit-identity with the flattened path,
+template sharing, and cache accounting."""
+
+import pytest
+
+from repro.fracture.cache import FractureCache
+from repro.geometry.polygon import Polygon
+from repro.mask.constraints import FractureSpec
+from repro.mask.gds import GdsCell, GdsRef, Layout, TARGET_LAYER
+from repro.mask.hierarchy import fracture_layout, placed_polygons
+from repro.methods import make_fracturer
+
+SPEC = FractureSpec()
+
+
+@pytest.fixture()
+def layout() -> Layout:
+    unit = GdsCell("UNIT", polygons=[
+        (TARGET_LAYER, Polygon([(0, 0), (120, 0), (120, 40), (0, 40)])),
+        (TARGET_LAYER, Polygon([(0, 60), (40, 60), (40, 120), (0, 120)])),
+    ])
+    top = GdsCell("TOP", polygons=[
+        (TARGET_LAYER, Polygon([(0, 500), (80, 500), (80, 580), (0, 580)])),
+    ], refs=[
+        GdsRef.array("UNIT", origin=(0.0, 0.0), cols=4, rows=2,
+                     col_pitch=200.0, row_pitch=200.0),
+        GdsRef("UNIT", origin=(1000.0, 0.0), rotation=90),
+        GdsRef("UNIT", origin=(1000.0, 400.0), mirror_x=True),
+    ])
+    return Layout(cells={"UNIT": unit, "TOP": top}, top="TOP")
+
+
+class TestPlacedPolygons:
+    def test_matches_flatten_order(self, layout):
+        placed = placed_polygons(layout)
+        flat = layout.flatten().targets
+        assert [poly for _, poly in placed] == flat
+
+    def test_names_are_unique(self, layout):
+        names = [name for name, _ in placed_polygons(layout)]
+        assert len(names) == len(set(names))
+
+
+class TestBitIdentity:
+    def test_hierarchy_equals_flatten(self, layout):
+        frac = make_fracturer("partition")
+        hier = fracture_layout(layout, frac, SPEC, hierarchy=True)
+        flat = fracture_layout(layout, frac, SPEC, hierarchy=False)
+        assert hier.shots == flat.shots  # bit-identical, not approx
+        assert hier.shot_count == flat.shot_count
+        assert [r.feasible for r in hier.results] == \
+            [r.feasible for r in flat.results]
+        assert [r.report.total_failing for r in hier.results] == \
+            [r.report.total_failing for r in flat.results]
+
+    def test_results_in_placement_order(self, layout):
+        report = fracture_layout(layout, make_fracturer("partition"), SPEC)
+        names = [name for name, _ in placed_polygons(layout)]
+        assert [r.shape_name for r in report.results] == names
+
+
+class TestTemplateSharing:
+    def test_unique_fractures_bounded_by_distinct_geometry(self, layout):
+        report = fracture_layout(layout, make_fracturer("partition"), SPEC)
+        stats = report.stats
+        # 21 placed polygons; distinct canonical geometries: the two
+        # UNIT polygons, their 90°-rotated images, and the TOP square
+        # (the mirrored placement canonicalizes onto the plain one).
+        assert stats["polygon_instances"] == 21
+        assert stats["unique_geometries"] == 5
+        assert stats["template_fractures"] == stats["unique_geometries"]
+        assert stats["cache_hits"] == 16
+        assert stats["hit_rate"] == pytest.approx(16 / 21)
+        assert stats["mode"] == "hierarchy"
+
+    def test_flatten_mode_never_caches(self, layout):
+        report = fracture_layout(
+            layout, make_fracturer("partition"), SPEC, hierarchy=False
+        )
+        assert report.stats["cache_hits"] == 0
+        assert report.stats["template_fractures"] == 21
+        assert report.stats["mode"] == "flatten"
+        assert "cache" not in report.stats
+
+    def test_cache_hits_marked_in_extra(self, layout):
+        report = fracture_layout(layout, make_fracturer("partition"), SPEC)
+        hits = [r for r in report.results if r.extra.get("cache_hit")]
+        assert len(hits) == report.stats["cache_hits"]
+
+    def test_shared_cache_warm_across_runs(self, layout, tmp_path):
+        cache = FractureCache(persist_dir=tmp_path / "store")
+        frac = make_fracturer("partition")
+        cold = fracture_layout(layout, frac, SPEC, cache=cache)
+        assert cold.stats["template_fractures"] == 5
+
+        warm_cache = FractureCache(persist_dir=tmp_path / "store")
+        warm = fracture_layout(layout, frac, SPEC, cache=warm_cache)
+        assert warm.stats["template_fractures"] == 0
+        assert warm.stats["hit_rate"] == 1.0
+        assert warm.shots == cold.shots
+
+    def test_fracturer_hook_detached_and_restored(self, layout):
+        frac = make_fracturer("partition")
+        sentinel = FractureCache()
+        frac.cache = sentinel
+        fracture_layout(layout, frac, SPEC)
+        assert frac.cache is sentinel
+        # The hook was not consulted (the layout loop drives its own).
+        assert sentinel.stats()["hits"] == 0 and sentinel.stats()["misses"] == 0

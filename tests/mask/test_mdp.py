@@ -130,3 +130,116 @@ class TestParallelTelemetry:
         batch = payload["spans"]["children"][0]
         names = [c["name"] for c in batch.get("children", ())]
         assert names == ["mdp.shape", "mdp.shape"]
+
+
+class TestBatchJournal:
+    def test_append_load_round_trip(self, tmp_path):
+        from repro.mask.mdp import BatchJournal
+
+        journal = BatchJournal(tmp_path / "batch.index.jsonl")
+        journal.append("fp-1", "rect", {"shots": [], "shot_count": 0})
+        journal.append("fp-2", "L", {"shots": [], "shot_count": 2})
+
+        reloaded = BatchJournal(tmp_path / "batch.index.jsonl")
+        assert reloaded.load() == 2
+        assert reloaded.get("fp-2") == {"shots": [], "shot_count": 2}
+        assert reloaded.get("fp-3") is None
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        from repro.mask.mdp import BatchJournal
+
+        assert BatchJournal(tmp_path / "nope.jsonl").load() == 0
+
+    def test_torn_trailing_line_tolerated(self, tmp_path):
+        from repro.mask.mdp import BatchJournal
+
+        path = tmp_path / "batch.index.jsonl"
+        journal = BatchJournal(path)
+        journal.append("fp-1", "rect", {"shots": []})
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"v": 1, "fingerprint": "fp-2", "payl')  # crash mid-append
+        reloaded = BatchJournal(path)
+        assert reloaded.load() == 1
+        assert reloaded.get("fp-1") is not None
+
+    def test_foreign_records_ignored(self, tmp_path):
+        from repro.mask.mdp import BatchJournal
+
+        path = tmp_path / "batch.index.jsonl"
+        path.write_text('{"v": 2, "fingerprint": "x", "payload": {}}\n[1,2]\n')
+        assert BatchJournal(path).load() == 0
+
+
+class TestMdpResume:
+    def test_resume_replays_bit_identically(self, rect_shape, l_shape, spec, tmp_path):
+        journal = tmp_path / "batch.index.jsonl"
+        pipeline = MdpPipeline(PartitionFracturer(), spec)
+        first = pipeline.run([rect_shape, l_shape], journal=journal)
+
+        resumed = pipeline.run(
+            [rect_shape, l_shape], journal=journal, resume=True
+        )
+        assert [r.shots for r in resumed.results] == \
+            [r.shots for r in first.results]
+        assert all(r.extra.get("resumed") for r in resumed.results)
+        assert [r.report.total_failing for r in resumed.results] == \
+            [r.report.total_failing for r in first.results]
+
+    def test_changed_spec_invalidates_journal(self, rect_shape, spec, tmp_path):
+        from dataclasses import replace
+
+        journal = tmp_path / "batch.index.jsonl"
+        MdpPipeline(PartitionFracturer(), spec).run([rect_shape], journal=journal)
+
+        other_spec = replace(spec, lmin=spec.lmin + 1.0)
+        report = MdpPipeline(PartitionFracturer(), other_spec).run(
+            [rect_shape], journal=journal, resume=True
+        )
+        assert not report.results[0].extra.get("resumed")
+
+    def test_journal_without_resume_never_replays(self, rect_shape, spec, tmp_path):
+        journal = tmp_path / "batch.index.jsonl"
+        pipeline = MdpPipeline(PartitionFracturer(), spec)
+        pipeline.run([rect_shape], journal=journal)
+        report = pipeline.run([rect_shape], journal=journal)
+        assert not report.results[0].extra.get("resumed")
+
+    def test_duplicate_shapes_journal_once(self, rect_shape, spec, tmp_path):
+        journal = tmp_path / "batch.index.jsonl"
+        pipeline = MdpPipeline(PartitionFracturer(), spec)
+        pipeline.run([rect_shape, rect_shape], journal=journal)
+        lines = [
+            line for line in
+            (tmp_path / "batch.index.jsonl").read_text().splitlines()
+            if line.strip()
+        ]
+        assert len(lines) == 1
+
+
+class TestMdpFractureCache:
+    def test_within_batch_duplicates_hit(self, rect_shape, spec):
+        from repro.fracture.cache import FractureCache
+
+        fracturer = PartitionFracturer()
+        fracturer.cache = FractureCache()
+        pipeline = MdpPipeline(fracturer, spec)
+        report = pipeline.run([rect_shape, rect_shape])
+        hits = [r for r in report.results if r.extra.get("cache_hit")]
+        assert len(hits) == 1
+        assert report.results[0].shots == report.results[1].shots
+
+    def test_parallel_run_detaches_cache_and_hits_in_parent(
+        self, rect_shape, l_shape, spec
+    ):
+        from repro.fracture.cache import FractureCache
+
+        fracturer = PartitionFracturer()
+        cache = FractureCache()
+        fracturer.cache = cache
+        pipeline = MdpPipeline(fracturer, spec)
+        first = pipeline.run([rect_shape, l_shape], workers=2)
+        assert fracturer.cache is cache  # restored after the pool
+        second = pipeline.run([rect_shape, l_shape], workers=2)
+        assert all(r.extra.get("cache_hit") for r in second.results)
+        assert [r.shots for r in second.results] == \
+            [r.shots for r in first.results]

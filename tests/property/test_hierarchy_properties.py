@@ -1,0 +1,131 @@
+"""Hypothesis round-trips for transformed-instance correctness.
+
+The hierarchy layer's contract: instantiating a cached template under a
+placement transform produces exactly the shots that fracturing the
+placed polygon directly would.  Translation instances are served by
+translating the template's shots (bit-identical); rotated/mirrored
+placements get an orientation-specific template, so the same guarantee
+holds per orientation.  On rectangles — where every axis-parallel
+dihedral image is again a rectangle — transforming the template's shots
+matches a direct fracture of the transformed rectangle shot-set for
+shot-set.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fracture.cache import FractureCache, translate_shots
+from repro.geometry.polygon import Polygon
+from repro.geometry.transform import ROTATIONS, Transform
+from repro.mask.constraints import FractureSpec
+from repro.mask.gds import GdsCell, GdsRef, Layout, TARGET_LAYER
+from repro.mask.hierarchy import fracture_layout
+from repro.mask.shape import MaskShape
+from repro.methods import make_fracturer
+
+SPEC = FractureSpec()
+
+offsets = st.integers(min_value=-400, max_value=400)
+transforms = st.builds(
+    Transform,
+    rotation=st.sampled_from(ROTATIONS),
+    mirror_x=st.booleans(),
+    dx=offsets.map(float),
+    dy=offsets.map(float),
+)
+
+
+@st.composite
+def staircase_polygons(draw) -> Polygon:
+    """Rectilinear hole-free staircases on the integer nm grid."""
+    steps = draw(st.integers(min_value=1, max_value=4))
+    widths = draw(st.lists(st.integers(8, 60), min_size=steps, max_size=steps))
+    heights = draw(st.lists(st.integers(8, 60), min_size=steps, max_size=steps))
+    verts: list[tuple[float, float]] = [(0.0, 0.0)]
+    x = 0.0
+    for w, h in zip(widths, heights):
+        x += w
+        verts.append((x, verts[-1][1]))
+        verts.append((x, verts[-1][1] + h))
+    verts.append((0.0, verts[-1][1]))
+    return Polygon(verts)
+
+
+def fracture_direct(polygon, name="clip"):
+    shape = MaskShape.from_polygon(
+        polygon, pitch=SPEC.pitch, margin=SPEC.grid_margin, name=name
+    )
+    return make_fracturer("partition").fracture(shape, SPEC)
+
+
+def shot_set(shots):
+    return sorted((r.xbl, r.ybl, r.xtr, r.ytr) for r in shots)
+
+
+class TestTranslatedInstances:
+    @settings(max_examples=25, deadline=None)
+    @given(staircase_polygons(), offsets, offsets)
+    def test_cached_template_replay_is_bit_identical(self, poly, dx, dy):
+        """Cache hit for a translate == direct fracture, shot for shot."""
+        cache = FractureCache()
+        template = fracture_direct(poly)
+        cache.put_result(poly, SPEC, template, method="partition")
+
+        moved = Transform.translation(float(dx), float(dy)).apply_polygon(poly)
+        hit = cache.get_result(moved, SPEC, "partition")
+        assert hit is not None
+        assert hit.shots == translate_shots(template.shots, float(dx), float(dy))
+        assert hit.shots == fracture_direct(moved).shots
+
+
+class TestDihedralInstances:
+    @settings(max_examples=20, deadline=None)
+    @given(staircase_polygons(), transforms, offsets, offsets)
+    def test_hierarchy_matches_direct_for_any_placement(
+        self, poly, transform, dx, dy
+    ):
+        """Placing a cell twice under one orientation: the second
+        placement is instantiated from the first's template and must
+        equal fracturing both placements directly."""
+        unit = GdsCell("UNIT", polygons=[(TARGET_LAYER, poly)])
+        top = GdsCell("TOP", refs=[
+            GdsRef(
+                "UNIT", origin=(transform.dx, transform.dy),
+                rotation=transform.rotation, mirror_x=transform.mirror_x,
+            ),
+            GdsRef(
+                "UNIT",
+                origin=(transform.dx + 1000.0 + dx, transform.dy - 1000.0 + dy),
+                rotation=transform.rotation, mirror_x=transform.mirror_x,
+            ),
+        ])
+        layout = Layout(cells={"UNIT": unit, "TOP": top}, top="TOP")
+        frac = make_fracturer("partition")
+        hier = fracture_layout(layout, frac, SPEC, hierarchy=True)
+        flat = fracture_layout(layout, frac, SPEC, hierarchy=False)
+        assert hier.stats["template_fractures"] == 1
+        assert hier.stats["cache_hits"] == 1
+        assert hier.shots == flat.shots
+
+
+class TestRectangleTemplates:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(8, 120), st.integers(8, 120),
+        st.sampled_from(ROTATIONS), st.booleans(), offsets, offsets,
+    )
+    def test_transformed_template_matches_direct_fracture(
+        self, w, h, rotation, mirror, dx, dy
+    ):
+        """On rectangles, fracturing a rotated/mirrored placement
+        directly equals transforming the cached template's shots
+        (shot-set equality up to ordering)."""
+        rect = Polygon([(0, 0), (w, 0), (w, h), (0, h)])
+        template = fracture_direct(rect)
+        t = Transform(
+            rotation=rotation, mirror_x=mirror, dx=float(dx), dy=float(dy)
+        )
+        direct = fracture_direct(t.apply_polygon(rect))
+        assert shot_set(direct.shots) == shot_set(t.apply_rects(template.shots))

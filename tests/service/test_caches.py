@@ -92,3 +92,39 @@ class TestWarmCaches:
                 warm_b.add(shot)
         np.testing.assert_array_equal(cold.total, warm_a.total)
         np.testing.assert_array_equal(cold.total, warm_b.total)
+
+
+class TestLibraryPromotion:
+    """PR 8: the service cache is the library cache — same object, same key."""
+
+    def test_result_cache_is_the_library_fracture_cache(self):
+        from repro.fracture.cache import FractureCache
+
+        assert ResultCache is FractureCache
+
+    def test_fingerprint_request_is_canonical_fingerprint(self):
+        # Single fingerprint function in the tree: the service alias and
+        # the library function cannot drift apart.
+        from repro.fracture.cache import canonical_fingerprint
+
+        assert fingerprint_request is canonical_fingerprint
+
+    def test_service_and_library_keys_agree(self):
+        from repro.fracture.cache import fingerprint_polygon
+        from repro.geometry.polygon import Polygon
+
+        vertices = [[0.0, 0.0], [60.0, 0.0], [60.0, 40.0], [0.0, 40.0]]
+        spec = FractureSpec()
+        service_key = fingerprint_request(vertices, spec, "partition", None)
+        library_key, offset = fingerprint_polygon(
+            Polygon(vertices), spec, "partition", None
+        )
+        assert service_key == library_key
+        assert offset == (0.0, 0.0)
+
+    def test_warm_caches_persist_dir(self, tmp_path):
+        warm = WarmCaches(persist_dir=tmp_path / "store")
+        warm.results.put("fp", {"shots": [], "shot_count": 0})
+        assert (tmp_path / "store" / "fp.json").exists()
+        cold = WarmCaches(persist_dir=tmp_path / "store")
+        assert cold.results.get("fp") == {"shots": [], "shot_count": 0}

@@ -455,3 +455,127 @@ class TestTraceDiff:
         with pytest.raises(SystemExit, match="no such file"):
             main(["trace", "diff", str(tmp_path / "a.json"),
                   str(tmp_path / "b.json")])
+
+
+class TestHierarchyCli:
+    """GDSII layout input, --hierarchy/--flatten and --fracture-cache."""
+
+    @pytest.fixture()
+    def layout_gds(self, tmp_path):
+        from repro.geometry.polygon import Polygon
+        from repro.mask.gds import (
+            GdsCell, GdsRef, Layout, TARGET_LAYER, write_layout,
+        )
+
+        unit = GdsCell("UNIT", polygons=[
+            (TARGET_LAYER, Polygon([(0, 0), (60, 0), (60, 40), (0, 40)])),
+        ])
+        top = GdsCell("TOP", refs=[
+            GdsRef.array("UNIT", origin=(0.0, 0.0), cols=3, rows=2,
+                         col_pitch=150.0, row_pitch=150.0),
+        ])
+        path = tmp_path / "layout.gds"
+        write_layout(Layout(cells={"UNIT": unit, "TOP": top}, top="TOP"), path)
+        return path
+
+    def test_hierarchy_flatten_flags_parse(self):
+        args = build_parser().parse_args(["fracture", "--hierarchy"])
+        assert args.hierarchy is True
+        args = build_parser().parse_args(["fracture", "--flatten"])
+        assert args.hierarchy is False
+        args = build_parser().parse_args(["mdp", "clips.json"])
+        assert args.hierarchy is True
+
+    def test_hierarchy_and_flatten_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fracture", "--hierarchy", "--flatten"])
+
+    def test_fracture_layout_end_to_end(self, layout_gds, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir = tmp_path / "cache"
+        out_dir = tmp_path / "out"
+        code = main([
+            "fracture", "--method", "partition",
+            "--clip-file", str(layout_gds),
+            "--fracture-cache", str(cache_dir),
+            "--output", str(out_dir),
+        ])
+        output = capsys.readouterr().out
+        assert "6 placed polygons (1 unique)" in output
+        assert "cache_hits=5" in output
+        assert (out_dir / "TOP.solution.json").exists()
+        assert list(cache_dir.glob("*.json"))
+        assert code in (0, 1)  # exit reflects feasibility, not errors
+
+        # Warm re-run: everything instantiated from the disk store.
+        main([
+            "fracture", "--method", "partition",
+            "--clip-file", str(layout_gds),
+            "--fracture-cache", str(cache_dir),
+        ])
+        assert "hit_rate=100.0%" in capsys.readouterr().out
+
+    def test_flatten_matches_hierarchy_shots(self, layout_gds, tmp_path, capsys):
+        from repro.cli import main
+        from repro.mask.io import load_solution
+
+        hier_dir, flat_dir = tmp_path / "hier", tmp_path / "flat"
+        main(["fracture", "--method", "partition",
+              "--clip-file", str(layout_gds), "--output", str(hier_dir)])
+        main(["fracture", "--method", "partition", "--flatten",
+              "--clip-file", str(layout_gds), "--output", str(flat_dir)])
+        hier_shots, _, _ = load_solution(hier_dir / "TOP.solution.json")
+        flat_shots, _, _ = load_solution(flat_dir / "TOP.solution.json")
+        assert hier_shots == flat_shots
+
+    def test_layout_rejects_per_clip_outputs(self, layout_gds, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="svg"):
+            main(["fracture", "--clip-file", str(layout_gds),
+                  "--svg", str(tmp_path / "svg")])
+        with pytest.raises(SystemExit, match="clip"):
+            main(["fracture", "--clip-file", str(layout_gds),
+                  "--clip", "UNIT"])
+
+    def test_mdp_layout_rejects_baseline(self, layout_gds):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="baseline"):
+            main(["mdp", str(layout_gds), "--baseline", "partition"])
+
+    def test_mdp_accepts_checkpoint_without_window(self, tmp_path):
+        # PR 4 remainder: the batch journal no longer requires --window-nm.
+        args = build_parser().parse_args(
+            ["mdp", "clips.json", "--checkpoint", str(tmp_path)]
+        )
+        assert args.checkpoint == str(tmp_path)
+
+    def test_fracture_still_requires_window_for_checkpoint(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="window"):
+            main(["fracture", "--checkpoint", str(tmp_path)])
+
+    def test_mdp_batch_journal_resume(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.geometry.polygon import Polygon
+        from repro.mask.io import save_clips
+
+        clips = {
+            "a": Polygon([(0, 0), (60, 0), (60, 40), (0, 40)]),
+            "b": Polygon([(0, 0), (80, 0), (80, 30), (40, 30), (40, 70), (0, 70)]),
+        }
+        clip_file = tmp_path / "clips.json"
+        save_clips(clips, clip_file)
+        ckpt = tmp_path / "ckpt"
+        main(["mdp", str(clip_file), "--method", "partition",
+              "--checkpoint", str(ckpt)])
+        assert (ckpt / "batch.index.jsonl").exists()
+        first = capsys.readouterr().out
+
+        main(["mdp", str(clip_file), "--method", "partition",
+              "--checkpoint", str(ckpt), "--resume"])
+        second = capsys.readouterr().out
+        assert first.splitlines()[-1] == second.splitlines()[-1]
