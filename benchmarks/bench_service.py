@@ -36,10 +36,17 @@ import time
 from pathlib import Path
 
 from repro.service.client import ServiceClient, wait_for_daemon
+from repro.service.guard import ServiceLimits
 from repro.service.server import FractureService
 
 SMALL_PRIORITY = 0
 LARGE_PRIORITY = 5
+
+#: Maximum jobs/sec regression the guarded phase may show against the
+#: cold phase before the benchmark itself fails (the hardening PR's
+#: acceptance bar: admission + watchdog are per-submit microseconds and
+#: one timer tick, invisible next to seconds of fracturing).
+MAX_GUARD_OVERHEAD_PCT = 5.0
 
 
 # -- workload ----------------------------------------------------------------
@@ -72,6 +79,30 @@ def large_job(index: int) -> dict:
     }
 
 
+def warmup_workload() -> list[dict]:
+    """Clips disjoint from the measured workload (content-addressed
+    caching would otherwise hand the cold phase warm results)."""
+    return [
+        {
+            "clips": {"warmup-sq": [
+                [0.0, 0.0], [33.5, 0.0], [33.5, 33.5], [0.0, 33.5],
+            ]},
+            "method": "partition",
+            "priority": SMALL_PRIORITY,
+            "name": "warmup-sq",
+        },
+        {
+            "clips": {"warmup-bar": [
+                [0.0, 0.0], [777.0, 0.0], [777.0, 60.0], [0.0, 60.0],
+            ]},
+            "method": "partition",
+            "window_nm": 100.0,
+            "priority": LARGE_PRIORITY,
+            "name": "warmup-bar",
+        },
+    ]
+
+
 def build_workload(reduced: bool) -> list[dict]:
     n_small, n_large = (4, 1) if reduced else (12, 3)
     return (
@@ -83,7 +114,27 @@ def build_workload(reduced: bool) -> list[dict]:
 # -- daemon under test -------------------------------------------------------
 
 
-def start_daemon(state_dir: Path, workers: int) -> threading.Thread:
+def bench_limits() -> ServiceLimits:
+    """Every guard armed, none tight enough to shed the bench workload.
+
+    The point is to pay the full enforcement cost on each request —
+    admission validation, token-bucket accounting, fair-share lookup,
+    watchdog ticks against real heartbeats — without any guard firing.
+    """
+    return ServiceLimits(
+        rate_per_s=1000.0,
+        rate_burst=1000,
+        queue_share=1.0,
+        job_wall_budget_s=600.0,
+        watchdog_interval_s=0.25,
+        read_deadline_s=30.0,
+        idle_timeout_s=300.0,
+    )
+
+
+def start_daemon(
+    state_dir: Path, workers: int, limits: ServiceLimits | None = None
+) -> threading.Thread:
     """Run the daemon's event loop on a background thread until shutdown."""
     ready = threading.Event()
     failure: list[BaseException] = []
@@ -91,7 +142,8 @@ def start_daemon(state_dir: Path, workers: int) -> threading.Thread:
     def run() -> None:
         async def main() -> None:
             service = FractureService(
-                state_dir, workers=workers, max_queue_depth=256
+                state_dir, workers=workers, max_queue_depth=256,
+                limits=limits,
             )
             await service.start()
             ready.set()
@@ -205,6 +257,11 @@ def main() -> None:
     args = parser.parse_args()
 
     workload = build_workload(args.reduced)
+    # Pay the process-wide one-time costs (default LUT build) before any
+    # phase, so cold vs guarded measures guard overhead, not warmup luck.
+    from repro.ebeam.lut import default_lut
+
+    default_lut()
     with tempfile.TemporaryDirectory(prefix="bench-service-") as tmp:
         state_dir = Path(tmp) / "state"
         daemon = start_daemon(state_dir, args.workers)
@@ -212,6 +269,11 @@ def main() -> None:
             raise RuntimeError("daemon socket never came up")
         client = ServiceClient(state_dir, timeout_s=600)
         try:
+            # Throwaway phase: first-fracture costs (allocator, numpy
+            # internals) are paid here, not by whichever measured phase
+            # happens to run first.  Distinct daemon-level caches per
+            # phase name keep it from warming the cold phase's clips.
+            run_phase(client, state_dir, warmup_workload(), "warmup")
             cold = run_phase(client, state_dir, workload, "cold")
             warm = run_phase(client, state_dir, workload, "warm")
             daemon_stats = client.stats()
@@ -219,9 +281,44 @@ def main() -> None:
             client.shutdown("drain")
             daemon.join(timeout=60)
 
+        # Guarded phase: a fresh daemon (cold caches, like the cold
+        # phase) with the whole guard stack armed.  Same workload, same
+        # from-scratch fracturing — the jobs/sec delta against cold IS
+        # the enforcement overhead.
+        guarded_dir = Path(tmp) / "state-guarded"
+        daemon = start_daemon(guarded_dir, args.workers, bench_limits())
+        if not wait_for_daemon(guarded_dir, timeout_s=30):
+            raise RuntimeError("guarded daemon socket never came up")
+        client = ServiceClient(guarded_dir, timeout_s=600, client_id="bench")
+        try:
+            guarded = run_phase(client, guarded_dir, workload, "guarded")
+            guarded_stats = client.stats()
+        finally:
+            client.shutdown("drain")
+            daemon.join(timeout=60)
+
     speedup = (
         round(cold["wall_s"] / warm["wall_s"], 2) if warm["wall_s"] else None
     )
+    overhead_pct = round(
+        100.0 * (1.0 - guarded["jobs_per_sec"] / cold["jobs_per_sec"]), 2
+    )
+    guard_counters = guarded_stats["guard"]["counters"]
+    fired = {k: v for k, v in guard_counters.items() if v}
+    if fired:
+        raise RuntimeError(
+            f"guarded phase tripped guards on bench traffic: {fired} "
+            f"(limits must be generous enough to only *measure* the path)"
+        )
+    if not guarded_stats["guard"]["watchdog_enabled"]:
+        raise RuntimeError("guarded phase ran without the watchdog")
+    if overhead_pct > MAX_GUARD_OVERHEAD_PCT:
+        raise RuntimeError(
+            f"guard overhead {overhead_pct}% exceeds "
+            f"{MAX_GUARD_OVERHEAD_PCT}% "
+            f"(cold {cold['jobs_per_sec']} -> guarded "
+            f"{guarded['jobs_per_sec']} jobs/s)"
+        )
     report = {
         "schema": "repro.bench.service/v1",
         "host": platform.node(),
@@ -232,8 +329,10 @@ def main() -> None:
             "jobs_per_phase": len(workload),
             "priorities": {"small": SMALL_PRIORITY, "large": LARGE_PRIORITY},
         },
-        "phases": {"cold": cold, "warm": warm},
+        "phases": {"cold": cold, "warm": warm, "guarded": guarded},
         "warm_speedup_x": speedup,
+        "guard_overhead_pct": overhead_pct,
+        "guard_limits": guarded_stats["guard"]["limits"],
         "daemon_caches": daemon_stats["caches"],
     }
     args.out.parent.mkdir(parents=True, exist_ok=True)
@@ -246,6 +345,9 @@ def main() -> None:
           f"(p50 {warm['latency']['p50_s']} s, "
           f"p99 {warm['latency']['p99_s']} s, "
           f"{warm['telemetry_cache_hits']} cache hits)")
+    print(f"guarded: {guarded['jobs_per_sec']} jobs/s "
+          f"(overhead {overhead_pct}% vs cold, budget "
+          f"{MAX_GUARD_OVERHEAD_PCT}%)")
     print(f"warm speedup: {speedup}x -> {args.out}")
 
 

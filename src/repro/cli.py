@@ -123,6 +123,34 @@ def _positive_float(value: str) -> float:
     return parsed
 
 
+def _nonnegative_float(value: str) -> float:
+    try:
+        parsed = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number, got {value!r}"
+        ) from None
+    if parsed < 0.0:
+        raise argparse.ArgumentTypeError(
+            f"must be non-negative, got {parsed}"
+        )
+    return parsed
+
+
+def _fraction(value: str) -> float:
+    try:
+        parsed = float(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a number, got {value!r}"
+        ) from None
+    if not 0.0 < parsed <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"must be a fraction in (0, 1], got {parsed}"
+        )
+    return parsed
+
+
 def _runtime_policy(args: argparse.Namespace, batch_checkpoint: bool = False):
     """Build the tiled executor's fault-tolerance policy from CLI flags.
 
@@ -740,16 +768,50 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
     from repro.service.caches import WarmCaches
+    from repro.service.guard import ServiceLimits
     from repro.service.server import FractureService
 
+    limits = ServiceLimits()
+    overrides = {
+        "max_clips": args.max_clips,
+        "max_clip_vertices": args.max_clip_vertices,
+        "max_total_vertices": args.max_total_vertices,
+        "read_deadline_s": args.read_deadline,
+        "idle_timeout_s": args.idle_timeout,
+        "rate_per_s": args.rate_limit,
+        "rate_burst": args.rate_burst,
+        "queue_share": args.queue_share,
+        "job_wall_budget_s": args.job_wall_budget,
+        "job_rss_budget_bytes": (
+            None if args.job_rss_budget_mb is None
+            else int(args.job_rss_budget_mb * 1024 * 1024)
+        ),
+        "watchdog_interval_s": args.watchdog_interval,
+        "disk_floor_bytes": (
+            None if args.disk_floor_mb is None
+            else int(args.disk_floor_mb * 1024 * 1024)
+        ),
+    }
+    for name, value in overrides.items():
+        if value is not None:
+            setattr(limits, name, value)
+    limits.degrade_over_budget = bool(args.degrade_over_budget)
+    try:
+        limits.validated()
+    except ValueError as error:
+        raise SystemExit(f"invalid --limits: {error}") from None
     caches = None
     if getattr(args, "fracture_cache", None):
-        caches = WarmCaches(persist_dir=args.fracture_cache)
+        caches = WarmCaches(
+            persist_dir=args.fracture_cache,
+            min_free_bytes=limits.disk_floor_bytes,
+        )
     service = FractureService(
         args.state_dir,
         workers=args.workers,
         max_queue_depth=args.queue_depth,
         caches=caches,
+        limits=limits,
     )
 
     async def _serve() -> None:
@@ -1107,6 +1169,76 @@ def build_parser() -> argparse.ArgumentParser:
         "--queue-depth", type=_positive_int, default=64,
         help="bounded queue depth; submissions beyond it are rejected "
              "with a queue_full error (default 64)",
+    )
+    limits_group = p_serve.add_argument_group(
+        "limits",
+        "admission / budget knobs of the guard layer; nonsense values "
+        "(negative budgets, zero timeouts) are rejected here, not "
+        "surfaced as daemon misbehaviour",
+    )
+    limits_group.add_argument(
+        "--max-clips", type=_positive_int, default=None, metavar="N",
+        help="reject submissions with more clips than N",
+    )
+    limits_group.add_argument(
+        "--max-clip-vertices", type=_positive_int, default=None, metavar="N",
+        help="reject submissions where any clip has more than N vertices",
+    )
+    limits_group.add_argument(
+        "--max-total-vertices", type=_positive_int, default=None, metavar="N",
+        help="reject submissions totalling more than N vertices",
+    )
+    limits_group.add_argument(
+        "--read-deadline", type=_positive_float, default=None,
+        metavar="SECONDS",
+        help="close connections that stall mid-request for this long "
+             "(default 30)",
+    )
+    limits_group.add_argument(
+        "--idle-timeout", type=_positive_float, default=None,
+        metavar="SECONDS",
+        help="close connections idle between requests for this long "
+             "(default 300)",
+    )
+    limits_group.add_argument(
+        "--rate-limit", type=_positive_float, default=None, metavar="PER_S",
+        help="per-client submit rate (token bucket); off by default",
+    )
+    limits_group.add_argument(
+        "--rate-burst", type=_positive_int, default=None, metavar="N",
+        help="token-bucket burst capacity (default 20)",
+    )
+    limits_group.add_argument(
+        "--queue-share", type=_fraction, default=None, metavar="FRAC",
+        help="max fraction of the queue one client may hold (fair share)",
+    )
+    limits_group.add_argument(
+        "--job-wall-budget", type=_positive_float, default=None,
+        metavar="SECONDS",
+        help="cancel jobs running longer than this (typed over_budget "
+             "failure)",
+    )
+    limits_group.add_argument(
+        "--job-rss-budget-mb", type=_positive_float, default=None,
+        metavar="MB",
+        help="cancel jobs whose worker RSS exceeds this (heartbeat-based)",
+    )
+    limits_group.add_argument(
+        "--watchdog-interval", type=_positive_float, default=None,
+        metavar="SECONDS",
+        help="budget enforcement pass interval (default 1)",
+    )
+    limits_group.add_argument(
+        "--degrade-over-budget", action="store_true",
+        help="requeue over-budget jobs once on the partition baseline "
+             "instead of failing them",
+    )
+    limits_group.add_argument(
+        "--disk-floor-mb", type=_nonnegative_float, default=None,
+        metavar="MB",
+        help="refuse checkpoint/result/cache writes (typed disk_full "
+             "failure, LRU cache eviction) when free space drops below "
+             "this",
     )
     _add_cache_argument(p_serve)
     _add_kernels_argument(p_serve)

@@ -39,9 +39,14 @@ exact counts via its count overrides, without re-verification.
 
 **Persistence.**  With ``persist_dir`` set, every entry is also written
 as ``<fingerprint>.json`` (atomic rename), and memory misses fall
-through to disk; corrupt or torn files read as misses.  A warm daemon
+through to disk; a corrupt or torn file reads as a miss *once* and is
+quarantined (renamed ``<fingerprint>.json.bad``, counted by
+``corrupt_quarantined``) so the slot can be refilled.  A warm daemon
 restart — or a second CLI run pointed at the same ``--fracture-cache``
-directory — starts with the whole previous run's results.
+directory — starts with the whole previous run's results.  With
+``min_free_bytes`` set, writes that would breach the free-space floor
+first evict old entries LRU-by-mtime (:func:`evict_lru`) and are
+skipped when the floor still cannot be met.
 """
 
 from __future__ import annotations
@@ -60,10 +65,53 @@ from repro.geometry.polygon import Polygon, canonical_form
 from repro.geometry.rect import Rect
 from repro.mask.constraints import FailureReport, FractureSpec
 from repro.mask.io import rect_from_list, rect_to_list, spec_to_dict
+from repro.obs.resources import disk_free_bytes
+
+
+def evict_lru(
+    directory: str | Path,
+    floor_bytes: int,
+    pattern: str = "*.json",
+) -> int:
+    """Evict files LRU-by-mtime until free space clears ``floor_bytes``.
+
+    Returns the number of files removed.  Unlinked bytes are credited
+    against the deficit rather than re-queried, so eviction converges
+    deterministically even when free space is shimmed (chaos tests) or
+    statvfs lags the unlink.  When everything matching ``pattern`` is
+    gone and the floor still cannot be met, the caller decides whether
+    to fail loudly (journal/result writes) or skip quietly (best-effort
+    cache puts).
+    """
+    directory = Path(directory)
+    free = disk_free_bytes(directory)
+    if free is None or free >= floor_bytes:
+        return 0
+    deficit = floor_bytes - free
+    try:
+        entries = sorted(
+            directory.glob(pattern), key=lambda p: p.stat().st_mtime
+        )
+    except OSError:
+        return 0
+    removed = 0
+    reclaimed = 0
+    for path in entries:
+        try:
+            size = path.stat().st_size
+            path.unlink()
+        except OSError:
+            continue
+        removed += 1
+        reclaimed += size
+        if reclaimed >= deficit:
+            break
+    return removed
 
 __all__ = [
     "FractureCache",
     "canonical_fingerprint",
+    "evict_lru",
     "fingerprint_polygon",
     "result_to_payload",
     "result_from_payload",
@@ -255,18 +303,29 @@ class FractureCache:
         self,
         max_entries: int = 256,
         persist_dir: str | Path | None = None,
+        min_free_bytes: int | None = None,
     ):
         if max_entries < 1:
             raise ValueError("max_entries must be at least 1")
+        if min_free_bytes is not None and min_free_bytes < 0:
+            raise ValueError("min_free_bytes must be non-negative")
         self.max_entries = max_entries
         self.persist_dir = Path(persist_dir) if persist_dir is not None else None
         if self.persist_dir is not None:
             self.persist_dir.mkdir(parents=True, exist_ok=True)
+        #: Disk floor: before persisting an entry, free space below this
+        #: first triggers LRU-by-mtime eviction of old entries, and if
+        #: the floor still cannot be met the write is skipped (persistence
+        #: is best effort; the in-memory entry stands).
+        self.min_free_bytes = min_free_bytes
         self._lock = threading.Lock()
         self._entries: dict[str, dict[str, Any]] = {}
         self.hits = 0
         self.misses = 0
         self.disk_hits = 0
+        self.corrupt_quarantined = 0
+        self.disk_evictions = 0
+        self.disk_write_skips = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -317,6 +376,9 @@ class FractureCache:
                 stats["disk_entries"] = sum(
                     1 for _ in self.persist_dir.glob("*.json")
                 )
+                stats["corrupt_quarantined"] = self.corrupt_quarantined
+                stats["disk_evictions"] = self.disk_evictions
+                stats["disk_write_skips"] = self.disk_write_skips
             return stats
 
     # -- result-level interface ----------------------------------------------
@@ -385,12 +447,31 @@ class FractureCache:
             return None
         path = self._disk_path(fingerprint)
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
-            return None
-        if not isinstance(payload, dict) or "shots" not in payload:
+            raw = path.read_bytes()
+        except OSError:
+            return None  # genuinely absent (or unreadable): a plain miss
+        try:
+            # Decode inside the guard: flipped bytes are usually invalid
+            # UTF-8, and UnicodeDecodeError is a ValueError too.
+            payload = json.loads(raw.decode("utf-8"))
+            if not isinstance(payload, dict) or "shots" not in payload:
+                raise ValueError("not a cache entry payload")
+        except ValueError:
+            # The file exists but its bytes are wrong — torn write from a
+            # killed process, bit rot, or tampering.  Treating it as a
+            # miss forever would re-fracture (and fail to re-persist, the
+            # path being occupied) on every lookup; quarantine it instead
+            # so the slot frees up and the corpse stays inspectable.
+            self._quarantine(path)
             return None
         return payload
+
+    def _quarantine(self, path: Path) -> None:
+        try:
+            os.replace(path, path.with_suffix(path.suffix + ".bad"))
+            self.corrupt_quarantined += 1
+        except OSError:
+            pass
 
     def _write_disk(self, fingerprint: str, payload: dict[str, Any]) -> None:
         if self.persist_dir is None:
@@ -398,9 +479,24 @@ class FractureCache:
         path = self._disk_path(fingerprint)
         if path.exists():
             return
+        blob = json.dumps(payload)
+        if self.min_free_bytes is not None:
+            free = disk_free_bytes(self.persist_dir)
+            if free is not None and free - len(blob) < self.min_free_bytes:
+                self.disk_evictions += evict_lru(
+                    self.persist_dir, self.min_free_bytes + len(blob)
+                )
+                free = disk_free_bytes(self.persist_dir)
+                if free is not None and free - len(blob) < self.min_free_bytes:
+                    # The floor cannot be met even with an empty store;
+                    # skip the write rather than breach it.  (Journal and
+                    # result writes fail *loudly* in this state — cache
+                    # persistence alone is best effort.)
+                    self.disk_write_skips += 1
+                    return
         tmp = path.with_name(f".{fingerprint}.{os.getpid()}.tmp")
         try:
-            tmp.write_text(json.dumps(payload))
+            tmp.write_text(blob)
             os.replace(tmp, path)
         except OSError:
             # Persistence is best-effort; the in-memory entry stands.

@@ -59,7 +59,11 @@ from repro.geometry.rect import Rect
 from repro.mask.constraints import FractureSpec
 from repro.mask.shape import MaskShape
 from repro.obs import TelemetryRecorder, get_recorder, recording
-from repro.obs.resources import HeartbeatMonitor, HeartbeatWriter
+from repro.obs.resources import (
+    HeartbeatMonitor,
+    HeartbeatWriter,
+    ensure_disk_space,
+)
 
 __all__ = [
     "CheckpointJournal",
@@ -291,6 +295,11 @@ class RuntimePolicy:
     heartbeat_s: float | None = None
     stall_after_s: float | None = None
     stop_check: Callable[[], bool] | None = None
+    #: Free-disk floor (bytes) enforced before every checkpoint append;
+    #: ``None`` disables the guard.  Threaded from the service's
+    #: ``ServiceLimits.disk_floor_bytes`` so a daemon job on a full disk
+    #: fails with a typed error instead of journaling torn lines.
+    disk_floor_bytes: int | None = None
 
 
 # -- outcomes ----------------------------------------------------------------
@@ -368,14 +377,28 @@ class CheckpointJournal:
 
     SCHEMA = "repro.checkpoint/v1"
 
-    def __init__(self, path: Path, run_key: dict[str, Any]):
+    def __init__(
+        self,
+        path: Path,
+        run_key: dict[str, Any],
+        min_free_bytes: int | None = None,
+    ):
         self.path = Path(path)
         self.run_key = run_key
         self.completed: dict[str, dict[str, Any]] = {}
+        #: Disk floor: appends below it raise
+        #: :class:`repro.obs.DiskFullError` *before* touching the file,
+        #: so a full disk fails the run loudly instead of leaving a torn
+        #: journal that a later ``--resume`` would silently truncate.
+        self.min_free_bytes = min_free_bytes
 
     @classmethod
     def open(
-        cls, path: str | Path, run_key: dict[str, Any], resume: bool = False
+        cls,
+        path: str | Path,
+        run_key: dict[str, Any],
+        resume: bool = False,
+        min_free_bytes: int | None = None,
     ) -> "CheckpointJournal":
         """Open (resuming) or start (overwriting) a journal at ``path``.
 
@@ -384,7 +407,7 @@ class CheckpointJournal:
         missing file simply starts a fresh run.  Without ``resume`` any
         existing journal is truncated.
         """
-        journal = cls(Path(path), run_key)
+        journal = cls(Path(path), run_key, min_free_bytes=min_free_bytes)
         journal.path.parent.mkdir(parents=True, exist_ok=True)
         if resume and journal.path.exists():
             journal._load()
@@ -393,6 +416,7 @@ class CheckpointJournal:
         return journal
 
     def _write_header(self) -> None:
+        ensure_disk_space(self.path.parent, self.min_free_bytes)
         header = {"kind": "header", "schema": self.SCHEMA, "run_key": self.run_key}
         with open(self.path, "w", encoding="utf-8") as fh:
             fh.write(json.dumps(header) + "\n")
@@ -407,9 +431,20 @@ class CheckpointJournal:
         try:
             header = json.loads(lines[0])
         except json.JSONDecodeError:
-            raise CheckpointMismatch(
-                f"{self.path}: first line is not a journal header"
-            ) from None
+            header = None
+        if not isinstance(header, dict):
+            # The header line itself is torn (crash before the first
+            # fsync landed): a crash artifact, not a different run.
+            # Quarantine the corpse for inspection and start fresh —
+            # every tile recomputes, bit-identically.
+            try:
+                os.replace(
+                    self.path, self.path.with_suffix(self.path.suffix + ".bad")
+                )
+            except OSError:
+                pass
+            self._write_header()
+            return
         if header.get("kind") != "header" or header.get("schema") != self.SCHEMA:
             raise CheckpointMismatch(f"{self.path}: not a {self.SCHEMA} journal")
         if header.get("run_key") != self.run_key:
@@ -417,17 +452,41 @@ class CheckpointJournal:
                 f"{self.path}: journal belongs to a different run "
                 f"(shape/spec/window/tiling changed); delete it or drop --resume"
             )
+        torn = False
         for line in lines[1:]:
             try:
                 record = json.loads(line)
             except json.JSONDecodeError:
-                # Trailing partial line from an interrupted append.
+                # Partial line from an interrupted (or truncated) append.
+                torn = True
                 continue
             if record.get("kind") == "tile" and "tile" in record:
                 self.completed[record["tile"]] = record
+        if torn:
+            # Heal before any append: a new record written after a torn
+            # partial line would concatenate onto it, poisoning the
+            # *next* resume.  Rewrite header + settled tiles atomically.
+            self._rewrite()
+
+    def _rewrite(self) -> None:
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        header = {"kind": "header", "schema": self.SCHEMA, "run_key": self.run_key}
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(header) + "\n")
+            for record in self.completed.values():
+                fh.write(json.dumps(record) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
 
     def record(self, outcome: TileOutcome) -> None:
-        """Append one completed tile — atomically, then fsync."""
+        """Append one completed tile — atomically, then fsync.
+
+        Checked against the disk floor first: a full disk surfaces as a
+        typed :class:`repro.obs.DiskFullError` with zero bytes written,
+        never as a torn line.
+        """
+        ensure_disk_space(self.path.parent, self.min_free_bytes)
         record = {
             "kind": "tile",
             "tile": outcome.tile_name,

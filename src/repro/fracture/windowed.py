@@ -193,6 +193,7 @@ class WindowedFracturer(Fracturer):
                 Path(self.runtime.checkpoint_dir) / f"{shape.name}.tiles.jsonl",
                 run_key=self._run_key(shape, spec, plan, jobs),
                 resume=self.runtime.resume,
+                min_free_bytes=self.runtime.disk_floor_bytes,
             )
         outcomes, stats = run_tiles(
             jobs,

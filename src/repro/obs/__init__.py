@@ -50,12 +50,16 @@ from repro.obs.recorder import (
     thread_recording,
 )
 from repro.obs.resources import (
+    DiskFullError,
     HeartbeatMonitor,
     HeartbeatWriter,
+    disk_free_bytes,
+    ensure_disk_space,
     pid_alive,
     read_heartbeats,
     rss_bytes,
     sample_resources,
+    set_disk_free_override,
     summarize_heartbeats,
 )
 from repro.obs.stream import (
@@ -75,6 +79,7 @@ from repro.obs.summarize import (
 __all__ = [
     "DiffResult",
     "DiffThresholds",
+    "DiskFullError",
     "HeartbeatMonitor",
     "HeartbeatWriter",
     "NullRecorder",
@@ -84,7 +89,9 @@ __all__ = [
     "TelemetryRecorder",
     "TelemetryStream",
     "diff_payloads",
+    "disk_free_bytes",
     "enable_console_logging",
+    "ensure_disk_space",
     "follow_stream",
     "format_clip_breakdown",
     "format_diff",
@@ -104,6 +111,7 @@ __all__ = [
     "rss_bytes",
     "run_manifest",
     "sample_resources",
+    "set_disk_free_override",
     "summarize_heartbeats",
     "set_recorder",
     "thread_recording",

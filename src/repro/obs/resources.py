@@ -34,12 +34,16 @@ from pathlib import Path
 from typing import Any
 
 __all__ = [
+    "DiskFullError",
     "HeartbeatMonitor",
     "HeartbeatWriter",
+    "disk_free_bytes",
+    "ensure_disk_space",
     "pid_alive",
     "read_heartbeats",
     "rss_bytes",
     "sample_resources",
+    "set_disk_free_override",
     "summarize_heartbeats",
 ]
 
@@ -62,6 +66,84 @@ def pid_alive(pid: int) -> bool:
     except OSError:
         return False
     return True
+
+
+class DiskFullError(OSError):
+    """Free disk space under a configured floor — the write was refused.
+
+    Raised *before* any bytes hit the file, so callers never leave a
+    torn checkpoint/journal/result behind; the job carrying the write
+    fails loudly with a typed error instead.
+    """
+
+    def __init__(self, path: str | Path, free: int, floor: int):
+        super().__init__(
+            f"disk floor breached at {path}: {free} bytes free "
+            f"< floor {floor}"
+        )
+        self.path = str(path)
+        self.free = free
+        self.floor = floor
+
+
+#: Test/chaos shim: when set, :func:`disk_free_bytes` reports this value
+#: instead of asking the filesystem.  The env var lets chaos suites
+#: inject disk-full into daemon *subprocesses* too.
+_DISK_FREE_OVERRIDE: int | None = None
+DISK_FREE_ENV = "REPRO_CHAOS_DISK_FREE"
+
+
+def set_disk_free_override(free: int | None) -> None:
+    """Force :func:`disk_free_bytes` to report ``free`` (``None`` resets)."""
+    global _DISK_FREE_OVERRIDE
+    _DISK_FREE_OVERRIDE = free
+
+
+def disk_free_bytes(path: str | Path) -> int | None:
+    """Free bytes on the filesystem holding ``path`` (best effort).
+
+    Honors the chaos override (:func:`set_disk_free_override` or the
+    ``REPRO_CHAOS_DISK_FREE`` env var) so disk-full behaviour is
+    testable without actually filling a disk.  Returns ``None`` when
+    the filesystem cannot be queried.
+    """
+    if _DISK_FREE_OVERRIDE is not None:
+        return _DISK_FREE_OVERRIDE
+    env = os.environ.get(DISK_FREE_ENV)
+    if env is not None:
+        try:
+            return int(env)
+        except ValueError:
+            pass
+    probe = Path(path)
+    while not probe.exists():
+        parent = probe.parent
+        if parent == probe:
+            break
+        probe = parent
+    try:
+        stat = os.statvfs(probe)
+    except (OSError, AttributeError):
+        return None
+    return stat.f_bavail * stat.f_frsize
+
+
+def ensure_disk_space(
+    path: str | Path, floor_bytes: int | None, need_bytes: int = 0
+) -> None:
+    """Refuse (``DiskFullError``) a write that would breach the floor.
+
+    ``floor_bytes`` of ``None`` disables the guard; an unqueryable
+    filesystem passes (the guard must never fail a healthy job on an
+    exotic mount).
+    """
+    if floor_bytes is None:
+        return
+    free = disk_free_bytes(path)
+    if free is None:
+        return
+    if free - need_bytes < floor_bytes:
+        raise DiskFullError(path, free, floor_bytes)
 
 
 def rss_bytes() -> int | None:

@@ -23,14 +23,36 @@ Every job owns a directory under ``<state>/jobs/<id>/`` holding its
 manifest (``job.json``), live telemetry stream (``stream.jsonl``,
 viewable with ``trace tail <job-id> --follow``), checkpoint journals
 and the final ``result.json``.
+
+The daemon does not trust its clients: :mod:`repro.service.guard`
+bounds what a submission may ask for (:class:`ServiceLimits`,
+``job_rejected`` responses), rate-limits per client, enforces per-job
+wall/RSS budgets via a watchdog and guards every durable write behind
+a disk-space floor; :mod:`repro.service.chaos` is the seeded fault
+harness (daemon SIGKILL, disk-full shim, byte corruption, stalled
+clients, submit floods) that proves it.
 """
 
 from repro.service.caches import ResultCache, WarmCaches
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.chaos import ChaosPlan
+from repro.service.client import (
+    CircuitBreaker,
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+)
+from repro.service.guard import (
+    AdmissionError,
+    JobOverBudget,
+    JobWatchdog,
+    ServiceLimits,
+    validate_admission,
+)
 from repro.service.jobs import (
     JobPaths,
     JobRecord,
     JobState,
+    job_fingerprint,
     job_id_like,
     resolve_stream_path,
 )
@@ -38,16 +60,25 @@ from repro.service.queue import PriorityJobQueue, QueueFull
 from repro.service.server import FractureService
 
 __all__ = [
+    "AdmissionError",
+    "ChaosPlan",
+    "CircuitBreaker",
     "FractureService",
+    "JobOverBudget",
     "JobPaths",
     "JobRecord",
     "JobState",
+    "JobWatchdog",
     "PriorityJobQueue",
     "QueueFull",
     "ResultCache",
+    "RetryPolicy",
     "ServiceClient",
     "ServiceError",
+    "ServiceLimits",
     "WarmCaches",
+    "job_fingerprint",
     "job_id_like",
     "resolve_stream_path",
+    "validate_admission",
 ]

@@ -64,9 +64,11 @@ class WarmCaches:
         result_entries: int = 256,
         profile_layouts: int = 64,
         persist_dir: str | Path | None = None,
+        min_free_bytes: int | None = None,
     ):
         self.results = FractureCache(
-            max_entries=result_entries, persist_dir=persist_dir
+            max_entries=result_entries, persist_dir=persist_dir,
+            min_free_bytes=min_free_bytes,
         )
         self.profiles = ProfileBank(max_caches=profile_layouts)
         self._installed = False

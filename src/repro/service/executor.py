@@ -49,6 +49,7 @@ from repro.obs import (
     HeartbeatWriter,
     TelemetryRecorder,
     TelemetryStream,
+    ensure_disk_space,
     thread_recording,
 )
 from repro.service.caches import WarmCaches
@@ -82,11 +83,24 @@ class JobControl:
     daemon-wide shutdown flag (SIGTERM with interrupt semantics).  Both
     are polled by the tiled runtime between tile settlements and by the
     executor between clips, so reaction latency is one tile / one clip.
+
+    ``limits`` carries the daemon's :class:`ServiceLimits` (or ``None``
+    outside a guarded daemon) into the worker thread — the executor
+    reads the disk floor from it.  ``over_budget`` is set by the
+    server's watchdog *before* it flips ``cancel``, so the server can
+    tell a budget kill (typed ``over_budget`` failure, optionally
+    degraded and requeued) from a client cancellation.
     """
 
-    def __init__(self, stop: threading.Event | None = None):
+    def __init__(
+        self,
+        stop: threading.Event | None = None,
+        limits: "ServiceLimits | None" = None,  # noqa: F821 — lazy type
+    ):
         self.cancel = threading.Event()
         self.stop = stop if stop is not None else threading.Event()
+        self.limits = limits
+        self.over_budget: str | None = None
 
     def should_stop(self) -> bool:
         return self.cancel.is_set() or self.stop.is_set()
@@ -96,6 +110,10 @@ class JobControl:
             raise JobCancelled()
         if self.stop.is_set():
             raise JobInterrupted()
+
+    @property
+    def disk_floor_bytes(self) -> int | None:
+        return self.limits.disk_floor_bytes if self.limits is not None else None
 
 
 def _build_spec(fields: dict[str, float]) -> FractureSpec:
@@ -119,6 +137,7 @@ def _make_runner(
         checkpoint_dir=paths.checkpoint_dir if job.get("checkpoint") else None,
         resume=resume,
         stop_check=control.should_stop,
+        disk_floor_bytes=control.disk_floor_bytes,
     )
     return WindowedFracturer(
         inner,
@@ -323,5 +342,9 @@ def _run_clips(
             "cached_clips": sum(1 for c in clips_out.values() if c["cached"]),
         },
     }
+    # Refuse to start the result write when the disk floor is breached:
+    # DiskFullError propagates as a typed job failure and the atomic
+    # tmp+replace below never leaves a torn result.json behind.
+    ensure_disk_space(paths.root, control.disk_floor_bytes)
     _atomic_write_json(paths.result_json, payload)
     return payload

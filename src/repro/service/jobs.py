@@ -31,6 +31,7 @@ manifest artifact)::
 from __future__ import annotations
 
 import enum
+import hashlib
 import json
 import os
 import re
@@ -45,6 +46,7 @@ __all__ = [
     "JobPaths",
     "JobRecord",
     "JobState",
+    "job_fingerprint",
     "job_id_like",
     "new_job_id",
     "resolve_stream_path",
@@ -216,6 +218,26 @@ def validate_submission(job: dict[str, Any]) -> dict[str, Any]:
     return out
 
 
+def job_fingerprint(
+    spec: dict[str, Any], exclude: tuple[str, ...] = ()
+) -> str:
+    """Content address of one submission payload (stable sha256).
+
+    The job-level sibling of
+    :func:`repro.fracture.cache.canonical_fingerprint`, used to key
+    idempotent resubmission: a client that retries a submit after a
+    dropped response sends the same fingerprint, and the daemon answers
+    with the already-enqueued job instead of double-running it.  The
+    client hashes its *whole* payload (two submissions differing only
+    in name or priority are distinct jobs); the daemon's record-keeping
+    fallback passes ``exclude=("name", "priority")`` to address content
+    alone.
+    """
+    keyed = {k: spec[k] for k in sorted(spec) if k not in exclude}
+    blob = json.dumps(keyed, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
 @dataclass
 class JobRecord:
     """One job's full, persistable state."""
@@ -228,6 +250,16 @@ class JobRecord:
     attempts: int = 0  # execution attempts (restarts bump this)
     resume: bool = False  # next attempt should replay checkpoints
     error: str | None = None
+    #: machine-readable failure class (``over_budget``, ``disk_full``);
+    #: ``None`` for generic failures — clients branch without parsing.
+    error_code: str | None = None
+    #: content fingerprint for idempotent resubmission (may be empty
+    #: for pre-guard records; recovery indexes only non-empty values).
+    request_fp: str = ""
+    #: client-declared identity for rate limiting / fair share
+    #: (anonymous submissions share ``""``); persisted so fair-share
+    #: accounting of recovered queued jobs survives a restart.
+    client_id: str = ""
     submitted_unix: float = field(default_factory=time.time)
     started_unix: float | None = None
     finished_unix: float | None = None
@@ -267,6 +299,9 @@ class JobRecord:
             "attempts": self.attempts,
             "resume": self.resume,
             "error": self.error,
+            "error_code": self.error_code,
+            "request_fp": self.request_fp,
+            "client_id": self.client_id,
             "submitted_unix": self.submitted_unix,
             "started_unix": self.started_unix,
             "finished_unix": self.finished_unix,
@@ -284,6 +319,9 @@ class JobRecord:
             attempts=int(data.get("attempts", 0)),
             resume=bool(data.get("resume", False)),
             error=data.get("error"),
+            error_code=data.get("error_code"),
+            request_fp=str(data.get("request_fp", "") or ""),
+            client_id=str(data.get("client_id", "") or ""),
             submitted_unix=float(data.get("submitted_unix", 0.0)),
             started_unix=data.get("started_unix"),
             finished_unix=data.get("finished_unix"),

@@ -25,7 +25,13 @@ Operations (``OPS``):
 ==============  ========================================================
 
 Error codes: ``bad_request``, ``unknown_op``, ``unknown_job``,
-``queue_full``, ``not_done``, ``shutting_down``, ``internal``.
+``queue_full``, ``not_done``, ``shutting_down``, ``internal`` — plus
+the guard layer's typed rejections: ``job_rejected`` (admission
+bounds: oversized/degenerate geometry, out-of-range spec/priority/
+window/workers, with a machine ``reason`` slug), ``rate_limited``
+(per-client token bucket or fair-share queue cap) and, on job
+*records* rather than responses, ``over_budget`` / ``disk_full``
+failure codes set by the watchdog and the disk guard.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ __all__ = [
     "MAX_LINE_BYTES",
     "OPS",
     "PROTOCOL_SCHEMA",
+    "REJECTION_CODES",
     "ProtocolError",
     "decode_line",
     "encode_line",
@@ -61,7 +68,15 @@ OPS = (
 #: Hard per-line bound: a submission carries clip vertices inline, which
 #: is kilobytes for realistic clips; 32 MiB leaves headroom for very
 #: large clip batches while still bounding a runaway/hostile writer.
+#: ``ServiceLimits.max_line_bytes`` can lower (never raise) this per
+#: daemon.
 MAX_LINE_BYTES = 32 * 1024 * 1024
+
+#: Error codes a *well-formed* request can earn from the guard layer.
+#: Clients treat these as permanent for the request as sent (retrying
+#: the identical payload cannot succeed), unlike ``queue_full`` /
+#: ``rate_limited`` / ``no_daemon``, which are transient.
+REJECTION_CODES = ("job_rejected", "bad_request", "unknown_op")
 
 
 class ProtocolError(ValueError):
@@ -93,5 +108,9 @@ def ok_response(**fields: Any) -> dict[str, Any]:
     return {"ok": True, **fields}
 
 
-def error_response(message: str, code: str = "bad_request") -> dict[str, Any]:
-    return {"ok": False, "error": message, "code": code}
+def error_response(
+    message: str, code: str = "bad_request", **fields: Any
+) -> dict[str, Any]:
+    """Error payload; ``fields`` carries typed detail (e.g. the guard
+    layer's machine ``reason`` slug on ``job_rejected`` responses)."""
+    return {"ok": False, "error": message, "code": code, **fields}

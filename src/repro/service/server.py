@@ -42,7 +42,12 @@ from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import Any, Callable
 
-from repro.obs import pid_alive, sample_resources, summarize_heartbeats
+from repro.obs import (
+    DiskFullError,
+    pid_alive,
+    sample_resources,
+    summarize_heartbeats,
+)
 from repro.service.caches import WarmCaches
 from repro.service.executor import (
     JOB_HEARTBEAT_INTERVAL_S,
@@ -51,10 +56,19 @@ from repro.service.executor import (
     JobInterrupted,
     execute_job,
 )
+from repro.service.guard import (
+    AdmissionError,
+    ClientRateLimiter,
+    JobOverBudget,
+    JobWatchdog,
+    ServiceLimits,
+    validate_admission,
+)
 from repro.service.jobs import (
     JobPaths,
     JobRecord,
     JobState,
+    job_fingerprint,
     new_job_id,
     validate_submission,
 )
@@ -73,6 +87,14 @@ from repro.service.queue import PriorityJobQueue, QueueFull
 __all__ = ["DEFAULT_STATE_DIR", "FractureService", "daemon_info"]
 
 DEFAULT_STATE_DIR = ".repro-service"
+
+
+class _IdleTimeout(Exception):
+    """No request started within ``idle_timeout_s`` (quiet close)."""
+
+
+class _ReadTimeout(Exception):
+    """A started request stalled past ``read_deadline_s`` (torn frame)."""
 
 
 def daemon_info(state_dir: str | Path) -> dict[str, Any] | None:
@@ -109,10 +131,13 @@ class FractureService:
         caches: WarmCaches | None = None,
         job_runner: Callable[..., dict[str, Any]] | None = None,
         stall_clip_s: float = 120.0,
+        limits: ServiceLimits | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self.state_dir = Path(state_dir)
+        self.limits = (limits if limits is not None else ServiceLimits())
+        self.limits.validated()
         # A running job whose current clip exceeds this age is reported
         # as ``slow_task`` by the stats op: wedged, not merely slow.
         self.stall_clip_s = float(stall_clip_s)
@@ -137,6 +162,27 @@ class FractureService:
         self._shutdown_mode: str | None = None
         self._shutdown_requested: asyncio.Event | None = None
         self.recovered: dict[str, int] = {"queued": 0, "resumed": 0}
+        # -- guard state ------------------------------------------------------
+        self.guard_counters: dict[str, int] = {
+            "rejected": 0, "rate_limited": 0, "fair_share_deferred": 0,
+            "deduplicated": 0, "read_timeouts": 0, "idle_closed": 0,
+            "over_budget": 0, "disk_full": 0, "degraded": 0,
+        }
+        self.rate_limiter = (
+            ClientRateLimiter(self.limits.rate_per_s, self.limits.rate_burst)
+            if self.limits.rate_per_s is not None else None
+        )
+        self.watchdog = JobWatchdog(
+            self.limits,
+            self.state_dir / "heartbeats",
+            running=self._running_started,
+            over_budget=self._on_over_budget,
+        )
+        #: request fingerprint -> job_id for idempotent resubmission;
+        #: rebuilt from job records on recovery.
+        self._by_fingerprint: dict[str, str] = {}
+        #: client_id -> live queued-job count (fair-share accounting).
+        self._queued_by_client: dict[str, int] = {}
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -162,7 +208,7 @@ class FractureService:
         self._recover_jobs()
         self._server = await asyncio.start_unix_server(
             self._handle_connection, path=str(self.socket_path),
-            limit=MAX_LINE_BYTES,
+            limit=min(MAX_LINE_BYTES, self.limits.max_line_bytes),
         )
         self.started_unix = time.time()
         self.daemon_json.write_text(json.dumps({
@@ -172,6 +218,12 @@ class FractureService:
             "started_unix": self.started_unix,
         }, indent=1))
         self._install_signal_handlers()
+        if self.watchdog.enabled:
+            task = asyncio.get_running_loop().create_task(
+                self._watchdog_loop()
+            )
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
         self._pump()
 
     def _install_signal_handlers(self) -> None:
@@ -201,6 +253,12 @@ class FractureService:
                 continue  # torn write of a crashed daemon; job dir remains
             self.jobs[record.job_id] = record
             max_seq = max(max_seq, record.seq)
+            if record.request_fp and not (
+                record.state.settled and record.state is not JobState.DONE
+            ):
+                # Rebuild the idempotency index for live/done jobs; a
+                # failed or cancelled job should not absorb a resubmit.
+                self._by_fingerprint[record.request_fp] = record.job_id
             if record.state is JobState.QUEUED:
                 recovered.append(record)
                 self.recovered["queued"] += 1
@@ -218,6 +276,7 @@ class FractureService:
         # Original (priority, seq) order — pre-crash FIFO survives.
         for record in sorted(recovered, key=lambda r: (-r.priority, r.seq)):
             self.queue.push(record.job_id, record.priority, record.seq)
+            self._track_queued(record, +1)
 
     async def run_until_shutdown(self) -> None:
         """Serve until a signal or ``shutdown`` op, then stop cleanly."""
@@ -268,6 +327,14 @@ class FractureService:
 
     # -- scheduling ---------------------------------------------------------
 
+    def _track_queued(self, record: JobRecord, delta: int) -> None:
+        """Maintain the per-client queued-job count (fair share)."""
+        count = self._queued_by_client.get(record.client_id, 0) + delta
+        if count > 0:
+            self._queued_by_client[record.client_id] = count
+        else:
+            self._queued_by_client.pop(record.client_id, None)
+
     def _pump(self) -> None:
         """Start queued jobs while worker capacity remains."""
         if self._stopping:
@@ -277,11 +344,12 @@ class FractureService:
             if job_id is None:
                 return
             record = self.jobs[job_id]
+            self._track_queued(record, -1)
             record.state = JobState.RUNNING
             record.started_unix = time.time()
             record.attempts += 1
             record.save(self._paths(job_id))
-            control = JobControl(stop=self._stop_threads)
+            control = JobControl(stop=self._stop_threads, limits=self.limits)
             self.controls[job_id] = control
             self.running.add(job_id)
             task = asyncio.get_running_loop().create_task(
@@ -302,7 +370,10 @@ class FractureService:
             record.state = JobState.DONE
             record.summary = dict(payload.get("totals", {}))
         except JobCancelled:
-            record.state = JobState.CANCELLED
+            if control.over_budget is not None:
+                settled = self._settle_over_budget(record, control)
+            else:
+                record.state = JobState.CANCELLED
         except JobInterrupted:
             # Back to the queue with resume; the *next* daemon (or a
             # later pump, if this was a lone cancelled-stop) replays
@@ -311,6 +382,13 @@ class FractureService:
             record.resume = True
             record.started_unix = None
             settled = False
+        except DiskFullError as error:
+            # The disk guard refused a write (checkpoint / result /
+            # cache): typed failure, no torn files on disk.
+            record.state = JobState.FAILED
+            record.error = str(error)
+            record.error_code = "disk_full"
+            self.guard_counters["disk_full"] += 1
         except Exception as error:  # job bug or bad geometry — never fatal
             record.state = JobState.FAILED
             record.error = f"{type(error).__name__}: {error}"
@@ -319,9 +397,76 @@ class FractureService:
         record.save(paths)
         self.running.discard(record.job_id)
         self.controls.pop(record.job_id, None)
+        self.watchdog.forget(record.job_id)
         if settled:
+            if record.request_fp and record.state is not JobState.DONE:
+                # A failed/cancelled job must not absorb resubmissions.
+                self._by_fingerprint.pop(record.request_fp, None)
             self._settled_event(record.job_id).set()
         self._pump()
+
+    def _settle_over_budget(
+        self, record: JobRecord, control: JobControl
+    ) -> bool:
+        """Map a watchdog kill onto the record; returns ``settled``.
+
+        Default: typed ``over_budget`` failure.  With
+        ``degrade_over_budget`` set and the job on a non-baseline
+        method, the job is instead requeued *once* on the deterministic
+        ``partition`` baseline (fresh run: the old method's checkpoints
+        do not apply to the new one).
+        """
+        self.guard_counters["over_budget"] += 1
+        reason = control.over_budget
+        degradable = (
+            self.limits.degrade_over_budget
+            and record.spec.get("method") != "partition"
+            and "degraded_from" not in record.spec
+        )
+        if degradable:
+            try:
+                self.queue.push(record.job_id, record.priority, record.seq)
+            except QueueFull:
+                degradable = False  # no room to retry: fail typed
+        if degradable:
+            record.spec["degraded_from"] = record.spec["method"]
+            record.spec["method"] = "partition"
+            record.state = JobState.QUEUED
+            record.resume = False
+            record.started_unix = None
+            record.error = (
+                f"over budget ({reason}); degraded to partition baseline"
+            )
+            self.guard_counters["degraded"] += 1
+            self._track_queued(record, +1)
+            return False
+        record.state = JobState.FAILED
+        record.error = f"cancelled by watchdog: over budget ({reason})"
+        record.error_code = "over_budget"
+        return True
+
+    def _running_started(self) -> dict[str, float]:
+        """Watchdog view: running job ids with their start times."""
+        return {
+            job_id: self.jobs[job_id].started_unix or self.started_unix
+            for job_id in self.running
+        }
+
+    def _on_over_budget(self, violation: JobOverBudget) -> None:
+        """Watchdog callback: flag and cancel the offending job only."""
+        control = self.controls.get(violation.job_id)
+        if control is not None and control.over_budget is None:
+            control.over_budget = violation.reason
+            control.cancel.set()
+
+    async def _watchdog_loop(self) -> None:
+        """Budget enforcement pass every ``watchdog_interval_s``."""
+        while not self._stopping:
+            try:
+                self.watchdog.tick()
+            except Exception:  # never let enforcement kill the daemon
+                pass
+            await asyncio.sleep(self.limits.watchdog_interval_s)
 
     def _paths(self, job_id: str) -> JobPaths:
         return JobPaths.for_job(self.state_dir, job_id)
@@ -348,7 +493,21 @@ class FractureService:
         try:
             while True:
                 try:
-                    line = await reader.readline()
+                    line = await self._read_request_line(reader)
+                except _IdleTimeout:
+                    # Parked connection with no request in flight:
+                    # reclaim the handler without a protocol error.
+                    self.guard_counters["idle_closed"] += 1
+                    break
+                except _ReadTimeout:
+                    # Torn frame: bytes arrived, then the client
+                    # stalled mid-line past the read deadline.
+                    self.guard_counters["read_timeouts"] += 1
+                    writer.write(encode_line(error_response(
+                        "read deadline exceeded mid-request",
+                        "bad_request", reason="read_timeout")))
+                    await writer.drain()
+                    break
                 except (asyncio.LimitOverrunError, ValueError):
                     writer.write(encode_line(error_response(
                         "request line too long", "bad_request")))
@@ -373,6 +532,39 @@ class FractureService:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
+
+    async def _read_request_line(self, reader: asyncio.StreamReader) -> bytes:
+        """One request line under the connection-hygiene timeouts.
+
+        Two-stage read: the *first byte* may take up to
+        ``idle_timeout_s`` (a parked-but-healthy client), but once a
+        request has started arriving the *rest of the line* must land
+        within ``read_deadline_s`` — a client that stalls mid-frame
+        cannot pin a handler coroutine indefinitely.  Either timeout
+        disabled (``None``) waits forever, preserving pre-guard
+        behaviour.
+        """
+        if self.limits.idle_timeout_s is not None:
+            try:
+                first = await asyncio.wait_for(
+                    reader.read(1), self.limits.idle_timeout_s
+                )
+            except asyncio.TimeoutError:
+                raise _IdleTimeout() from None
+        else:
+            first = await reader.read(1)
+        if not first or first == b"\n":
+            return first  # EOF, or a bare keepalive newline
+        if self.limits.read_deadline_s is not None:
+            try:
+                rest = await asyncio.wait_for(
+                    reader.readline(), self.limits.read_deadline_s
+                )
+            except asyncio.TimeoutError:
+                raise _ReadTimeout() from None
+        else:
+            rest = await reader.readline()
+        return first + rest
 
     async def _dispatch(self, request: dict[str, Any]) -> dict[str, Any]:
         op = request.get("op")
@@ -406,15 +598,66 @@ class FractureService:
             return error_response(
                 "daemon is shutting down", "shutting_down"
             )
+        client_id = str(request.get("client_id", "") or "")
+        # Cheapest guard first: a flood is shed before any validation,
+        # queue slot, or job directory is spent on it.
+        if self.rate_limiter is not None and not self.rate_limiter.allow(
+            client_id
+        ):
+            self.guard_counters["rate_limited"] += 1
+            return error_response(
+                f"client {client_id or '<anonymous>'} exceeded "
+                f"{self.limits.rate_per_s}/s submit rate",
+                "rate_limited", reason="token_bucket",
+            )
         try:
             spec = validate_submission(request.get("job"))
         except ValueError as error:
             return error_response(str(error), "bad_request")
+        try:
+            validate_admission(spec, self.limits)
+        except AdmissionError as rejected:
+            self.guard_counters["rejected"] += 1
+            return error_response(
+                str(rejected), "job_rejected", reason=rejected.reason
+            )
+        # Idempotent resubmission: a client that lost the ack retries
+        # with the same content fingerprint and gets the original job
+        # back instead of double-running it.  Only an *explicit*
+        # ``request_fp`` dedupes — identical payloads without one are
+        # distinct jobs by design.
+        fingerprint = str(request.get("request_fp", "") or "")
+        if fingerprint:
+            existing = self.jobs.get(self._by_fingerprint.get(fingerprint, ""))
+            if existing is not None:
+                self.guard_counters["deduplicated"] += 1
+                return ok_response(
+                    job_id=existing.job_id,
+                    state=existing.state.value,
+                    queued=len(self.queue),
+                    stream=str(self._paths(existing.job_id).stream),
+                    deduplicated=True,
+                )
+        if self.limits.queue_share is not None:
+            cap = max(
+                1, int(self.limits.queue_share * self.queue.max_depth)
+            )
+            if self._queued_by_client.get(client_id, 0) >= cap:
+                self.guard_counters["fair_share_deferred"] += 1
+                return error_response(
+                    f"client {client_id or '<anonymous>'} already holds "
+                    f"{cap} queued jobs (fair share of depth "
+                    f"{self.queue.max_depth})",
+                    "rate_limited", reason="fair_share",
+                )
         record = JobRecord(
             job_id=new_job_id(),
             spec=spec,
             priority=spec["priority"],
             seq=self.queue.next_seq(),
+            request_fp=fingerprint
+            or job_fingerprint(spec, exclude=("name", "priority")),
+            client_id=client_id,
         )
         try:
             self.queue.push(record.job_id, record.priority, record.seq)
@@ -423,6 +666,9 @@ class FractureService:
         # Persist before acknowledging: an acked job survives a crash.
         record.save(self._paths(record.job_id))
         self.jobs[record.job_id] = record
+        self._track_queued(record, +1)
+        if fingerprint:
+            self._by_fingerprint[fingerprint] = record.job_id
         self._pump()
         return ok_response(
             job_id=record.job_id,
@@ -464,6 +710,9 @@ class FractureService:
         except KeyError:
             return error_response("no such job", "unknown_job")
         if record.state is JobState.QUEUED and self.queue.remove(record.job_id):
+            self._track_queued(record, -1)
+            if record.request_fp:
+                self._by_fingerprint.pop(record.request_fp, None)
             record.state = JobState.CANCELLED
             record.finished_unix = time.time()
             record.save(self._paths(record.job_id))
@@ -513,6 +762,14 @@ class FractureService:
                 stall_after_s=5.0 * JOB_HEARTBEAT_INTERVAL_S,
                 slow_task_after_s=self.stall_clip_s,
             ),
+            guard={
+                "limits": self.limits.to_dict(),
+                "counters": dict(self.guard_counters),
+                "watchdog_enabled": self.watchdog.enabled,
+                "rate_limited_clients": (
+                    0 if self.rate_limiter is None else len(self.rate_limiter)
+                ),
+            },
         )
 
     async def _op_shutdown(self, request: dict[str, Any]) -> dict[str, Any]:

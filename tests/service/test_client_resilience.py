@@ -1,0 +1,265 @@
+"""Client-side resilience: typed transport errors, no fd leaks,
+backoff, circuit breaker, idempotent resubmission.
+
+The daemon here is either absent, a misbehaving fake (drops
+connections mid-frame), or a real in-process :class:`FractureService`
+— whichever matches the failure being pinned.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import threading
+
+import pytest
+
+from repro.service.client import (
+    CircuitBreaker,
+    RetryPolicy,
+    ServiceClient,
+    ServiceError,
+)
+from repro.service.protocol import encode_line
+from repro.service.server import FractureService
+
+CLIPS = {"sq": [[0, 0], [40, 0], [40, 40], [0, 40]]}
+
+
+class DroppingServer:
+    """A unix-socket server that hangs up mid-response on every request.
+
+    ``partial`` bytes of a valid response are sent before the hangup,
+    so the client sees a torn frame, not a clean refusal.
+    """
+
+    def __init__(self, socket_path, partial: int = 10):
+        self.socket_path = str(socket_path)
+        self.partial = partial
+        self.accepted = 0
+        self._server = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._server.bind(self.socket_path)
+        self._server.listen(8)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        self._server.settimeout(0.1)
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            with conn:
+                self.accepted += 1
+                try:
+                    conn.settimeout(2.0)
+                    conn.recv(65536)  # read the request line (mostly)
+                    response = encode_line({"ok": True, "job_id": "job-x"})
+                    conn.sendall(response[: self.partial])  # torn frame
+                except OSError:
+                    pass
+                # closing here = dropped mid-frame
+
+    def close(self):
+        self._stop.set()
+        self._thread.join(timeout=5)
+        self._server.close()
+
+
+class CountingSocket(socket.socket):
+    """socket.socket that records every instance and its close state."""
+
+    instances: list["CountingSocket"] = []
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        CountingSocket.instances.append(self)
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+        super().close()
+
+
+@pytest.fixture
+def counting_sockets(monkeypatch):
+    CountingSocket.instances = []
+    monkeypatch.setattr(socket, "socket", CountingSocket)
+    yield CountingSocket.instances
+
+
+def fast_client(state_dir, **kwargs) -> ServiceClient:
+    kwargs.setdefault("timeout_s", 5.0)
+    kwargs.setdefault(
+        "retry", RetryPolicy(attempts=3, base_delay_s=0.01, jitter=0.0)
+    )
+    kwargs.setdefault(
+        "breaker", CircuitBreaker(failure_threshold=100, reset_after_s=0.05)
+    )
+    return ServiceClient(state_dir, **kwargs)
+
+
+class TestTransportTyping:
+    def test_no_daemon_is_typed(self, tmp_path):
+        client = fast_client(tmp_path)
+        with pytest.raises(ServiceError) as caught:
+            client.ping()
+        assert caught.value.code == "no_daemon"
+
+    def test_mid_frame_drop_is_typed_not_protocol_error(self, tmp_path):
+        server = DroppingServer(tmp_path / "daemon.sock")
+        try:
+            client = fast_client(tmp_path)
+            with pytest.raises(ServiceError) as caught:
+                client.ping()
+            assert caught.value.code == "connection_dropped"
+            assert "mid-response" in str(caught.value)
+            assert server.accepted == 3  # all retry attempts burned
+        finally:
+            server.close()
+
+    def test_no_socket_leak_across_error_paths(
+        self, tmp_path, counting_sockets
+    ):
+        server = DroppingServer(tmp_path / "daemon.sock")
+        try:
+            client = fast_client(tmp_path)
+            for _ in range(5):
+                with pytest.raises(ServiceError):
+                    client.ping()
+        finally:
+            server.close()
+        client_sockets = [
+            s for s in counting_sockets if s not in (server._server,)
+        ]
+        assert client_sockets  # the patch saw the client's sockets
+        assert all(s.closed for s in client_sockets)
+
+    def test_no_socket_leak_when_daemon_absent(
+        self, tmp_path, counting_sockets
+    ):
+        client = fast_client(tmp_path)
+        with pytest.raises(ServiceError):
+            client.ping()
+        assert counting_sockets and all(s.closed for s in counting_sockets)
+
+
+class TestRetryAndBreaker:
+    def test_backoff_delays_grow_and_cap(self):
+        import random
+
+        policy = RetryPolicy(
+            attempts=5, base_delay_s=0.1, max_delay_s=0.5, jitter=0.0
+        )
+        rng = random.Random(0)
+        delays = [policy.delay_s(a, rng) for a in range(5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_stays_within_band(self):
+        import random
+
+        policy = RetryPolicy(base_delay_s=0.1, jitter=0.5)
+        rng = random.Random(7)
+        for _ in range(100):
+            delay = policy.delay_s(0, rng)
+            assert 0.05 <= delay <= 0.1
+
+    def test_breaker_opens_half_opens_closes(self):
+        breaker = CircuitBreaker(failure_threshold=2, reset_after_s=10.0)
+        assert breaker.state == "closed"
+        breaker.record_failure(now=0.0)
+        assert breaker.allow(now=1.0)  # one failure: still closed
+        breaker.record_failure(now=1.0)
+        assert breaker.state == "open"
+        assert not breaker.allow(now=5.0)  # open: fail fast
+        assert breaker.allow(now=12.0)  # half-open probe admitted
+        assert not breaker.allow(now=12.0)  # ...but only one
+        breaker.record_failure(now=12.0)  # probe failed: re-open
+        assert not breaker.allow(now=13.0)
+        assert breaker.allow(now=23.0)  # next probe
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow(now=23.0)
+
+    def test_client_fails_fast_when_circuit_open(self, tmp_path):
+        client = ServiceClient(
+            tmp_path,
+            retry=RetryPolicy(attempts=1),
+            breaker=CircuitBreaker(failure_threshold=1, reset_after_s=60.0),
+        )
+        with pytest.raises(ServiceError) as first:
+            client.ping()
+        assert first.value.code == "no_daemon"  # opened the circuit
+        with pytest.raises(ServiceError) as second:
+            client.ping()
+        assert second.value.code == "circuit_open"  # no socket touched
+
+    def test_error_responses_do_not_trip_breaker(self, tmp_path):
+        async def main():
+            service = FractureService(
+                tmp_path, workers=1,
+                job_runner=lambda *a: {"totals": {}},
+            )
+            await service.start()
+            try:
+                client = ServiceClient(
+                    tmp_path,
+                    breaker=CircuitBreaker(
+                        failure_threshold=1, reset_after_s=60.0
+                    ),
+                )
+                for _ in range(3):
+                    with pytest.raises(ServiceError) as caught:
+                        await asyncio.get_running_loop().run_in_executor(
+                            None, client.status, "job-ffffffff"
+                        )
+                    # unknown_job is an *answer*: the breaker stays shut.
+                    assert caught.value.code == "unknown_job"
+            finally:
+                await service.stop("drain")
+
+        asyncio.run(main())
+
+
+class TestIdempotentSubmit:
+    def test_resubmission_after_lost_ack_returns_same_job(self, tmp_path):
+        async def main():
+            service = FractureService(
+                tmp_path, workers=1,
+                job_runner=lambda *a: {"totals": {}},
+            )
+            await service.start()
+            loop = asyncio.get_running_loop()
+            try:
+                client = fast_client(tmp_path)
+                # The "lost ack" retry is the same call made twice.
+                first = await loop.run_in_executor(
+                    None, lambda: client.submit(CLIPS, method="partition")
+                )
+                second = await loop.run_in_executor(
+                    None, lambda: client.submit(CLIPS, method="partition")
+                )
+                assert first == second
+                third = await loop.run_in_executor(
+                    None,
+                    lambda: client.submit(
+                        CLIPS, method="partition", idempotent=False
+                    ),
+                )
+                assert third != first  # opt-out forces a distinct job
+                # Different name = different job even when idempotent.
+                named = await loop.run_in_executor(
+                    None,
+                    lambda: client.submit(
+                        CLIPS, method="partition", name="other"
+                    ),
+                )
+                assert named not in (first, third)
+            finally:
+                await service.stop("drain")
+
+        asyncio.run(main())
