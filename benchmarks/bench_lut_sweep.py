@@ -10,7 +10,7 @@ per ``(bound, samples)`` config:
 * refinement wall time, final shot count and cost;
 * whether the shot list is bit-identical to the reference table's
   (20001 samples — the production default);
-* the ``intensity.profile_cache_hits`` / ``_misses`` / ``lut_hits``
+* the ``cache.profile.hits`` / ``_misses`` / ``lut_hits``
   counters, which show how the profile cache shields the LUT: the
   number of *table interpolations* per run is set by cache misses, not
   by candidates priced, so table resolution is a memory/accuracy trade
@@ -82,12 +82,12 @@ def _run_config(
         "final_cost": trace.cost_history[-1] if trace.cost_history else None,
         "iterations": trace.iterations,
         "profile_cache_hits": int(
-            counters.get("intensity.profile_cache_hits", 0)
+            counters.get("cache.profile.hits", 0)
         ),
         "profile_cache_misses": int(
-            counters.get("intensity.profile_cache_misses", 0)
+            counters.get("cache.profile.misses", 0)
         ),
-        "lut_evaluations": int(counters.get("intensity.lut_hits", 0)),
+        "lut_evaluations": int(counters.get("cache.lut.hits", 0)),
         "_shots": shots,  # stripped before serialization
     }
 

@@ -63,10 +63,10 @@ def _run_engine(shape, spec, initial, nmax: int, engine: str) -> dict:
         "final_cost": trace.cost_history[-1] if trace.cost_history else None,
         "iterations": trace.iterations,
         "profile_cache_hits": int(
-            recorder.counters.get("intensity.profile_cache_hits", 0)
+            recorder.counters.get("cache.profile.hits", 0)
         ),
         "profile_cache_misses": int(
-            recorder.counters.get("intensity.profile_cache_misses", 0)
+            recorder.counters.get("cache.profile.misses", 0)
         ),
     }
 

@@ -12,7 +12,7 @@ twice:
 * **cold** — empty caches: every clip fractures from scratch;
 * **warm** — identical resubmission: every clip should hit the
   content-addressed result cache, and the per-job telemetry counters
-  (``service.result_cache_hits``) prove where the speedup came from.
+  (``cache.result.hits``) prove where the speedup came from.
 
 Reported per phase: jobs/sec over the batch, p50/p99 submit-to-settled
 latency (overall and per priority class), plus daemon cache statistics
@@ -210,15 +210,15 @@ def run_phase(
             (state_dir / "jobs" / job_id / "telemetry.json").read_text()
         )
         counters = telemetry.get("counters", {})
-        cache_hits += counters.get("service.result_cache_hits", 0)
-        cache_misses += counters.get("service.result_cache_misses", 0)
+        cache_hits += counters.get("cache.result.hits", 0)
+        cache_misses += counters.get("cache.result.misses", 0)
         jobs.append({
             "job_id": job_id,
             "priority": job["priority"],
             "latency_s": record["latency_s"],
             "queue_wait_s": record["queue_wait_s"],
             "run_wall_s": record["run_wall_s"],
-            "result_cache_hits": counters.get("service.result_cache_hits", 0),
+            "result_cache_hits": counters.get("cache.result.hits", 0),
         })
     wall_s = time.perf_counter() - started
 

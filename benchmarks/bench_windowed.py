@@ -263,6 +263,64 @@ def _streaming_overhead(
     }
 
 
+def _tracing_overhead(
+    shape: MaskShape, spec: FractureSpec, nmax: int, repeats: int = 3
+) -> dict:
+    """Marginal cost of trace correlation itself.
+
+    Both sides run the full observability stack — live stream, worker
+    heartbeats, per-tile checkpoint journal, pooled workers — so the
+    comparison isolates exactly what trace propagation adds: minting a
+    :class:`TraceContext`, threading it through the runtime into the
+    pool initializers, and stamping every stream record, heartbeat and
+    journal line with the trace_id.  (The stack's own cost is measured
+    separately by the fault-layer and streaming phases.)  Best of
+    ``repeats`` wall time each; the acceptance bar is < 5% overhead,
+    and the merged shot list must be bit-identical with tracing on and
+    off.
+    """
+    import tempfile
+
+    from repro.obs import TelemetryStream, mint_trace
+
+    def best(work_dir: str, tag: str, traced: bool) -> tuple[float, list]:
+        walls = []
+        shots: list = []
+        for i in range(repeats):
+            trace = mint_trace() if traced else None
+            fracturer = WindowedFracturer(
+                _inner(nmax), window_nm=TILE_NM, workers=2,
+                runtime=RuntimePolicy(
+                    heartbeat_s=0.25,
+                    checkpoint_dir=str(Path(work_dir) / f"ckpt-{tag}{i}"),
+                    trace=trace.to_dict() if trace else None,
+                ),
+            )
+            stream = TelemetryStream(
+                Path(work_dir) / f"run-{tag}{i}.jsonl",
+                trace_id=trace.trace_id if trace else None,
+            )
+            recorder = TelemetryRecorder(
+                stream=stream, trace=trace.to_dict() if trace else None
+            )
+            start = time.perf_counter()
+            with recording(recorder):
+                shots = fracturer.fracture_shots(shape, spec)
+            walls.append(time.perf_counter() - start)
+            stream.close()
+        return min(walls), shots
+
+    with tempfile.TemporaryDirectory() as work_dir:
+        plain_wall, plain_shots = best(work_dir, "plain", traced=False)
+        traced_wall, traced_shots = best(work_dir, "traced", traced=True)
+    return {
+        "plain_wall_s": plain_wall,
+        "traced_wall_s": traced_wall,
+        "overhead_fraction": traced_wall / plain_wall - 1.0,
+        "bit_identical_shots": traced_shots == plain_shots,
+    }
+
+
 def run(grids: list[tuple[int, int]], workers: list[int], nmax: int) -> dict:
     spec = FractureSpec()
     layouts = []
@@ -325,9 +383,24 @@ def run(grids: list[tuple[int, int]], workers: list[int], nmax: int) -> dict:
         f"{streaming['overhead_fraction']:+.1%} vs plain, "
         f"bit-identical shots {streaming['bit_identical_shots']}"
     )
+    tracing = _tracing_overhead(chip_shape(*grids[0]), spec, nmax)
+    print(
+        f"tracing (full obs stack, trace on vs off, workers=2): "
+        f"{tracing['overhead_fraction']:+.1%}, "
+        f"bit-identical shots {tracing['bit_identical_shots']}"
+    )
+    # Hard acceptance bars for the correlation layer: stamping ids must
+    # never change shots and must stay in the noise (< 5%).
+    assert tracing["bit_identical_shots"], \
+        "trace propagation changed the merged shot list"
+    assert tracing["overhead_fraction"] < 0.05, (
+        f"trace propagation overhead {tracing['overhead_fraction']:+.1%} "
+        f"exceeds the 5% bar"
+    )
     aggregate = {
         "fault_layer": overhead,
         "streaming": streaming,
+        "tracing": tracing,
         "all_tiled_feasible": all(
             r["feasible"] for lay in layouts for r in lay["tiled"]
         ),

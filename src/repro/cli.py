@@ -11,12 +11,28 @@ Sub-commands:
 * ``trace`` — inspect telemetry: ``summarize`` a recorded file,
   ``tail`` a live stream or a service job id (``--follow``), ``diff``
   two runs with a threshold-based regression verdict (nonzero exit on
-  regression).
+  regression), ``export`` a correlated trace as chrome://tracing or
+  speedscope JSON (:mod:`repro.obs.flame`).
+* ``metrics`` — Prometheus exposition text: scrape a running daemon's
+  ``metrics`` op, or render an offline telemetry file
+  (:mod:`repro.obs.metrics`).
+* ``top`` — live terminal dashboard over a running daemon: queue /
+  worker / cache gauges folded with per-job tile progress from the
+  job streams (:mod:`repro.obs.top`).
 * ``serve`` — run the fracture-as-a-service daemon: a priority job
   queue over a Unix socket with warm shared caches and per-job live
   telemetry (:mod:`repro.service`).
 * ``job`` — client of a running daemon: ``submit`` / ``status`` /
   ``result`` / ``cancel`` / ``list`` / ``stats`` / ``shutdown``.
+
+Every run and job carries a trace context: ``--telemetry``/``--stream``
+runs mint a trace id locally, and ``job submit`` mints one client-side
+that the daemon persists on the job record — the same trace id stamps
+every span, stream record, heartbeat and checkpoint line across worker
+processes and daemon restarts, and ``trace export`` carries it into
+the exported profile.  ``--profile [SECONDS]`` (with ``--telemetry``)
+attaches a sampling profiler whose collapsed stacks land in the
+telemetry manifest keyed by span path.
 
 ``fracture``, ``bench`` and ``mdp`` accept ``--telemetry PATH``: a
 :class:`repro.obs.TelemetryRecorder` is installed for the run and the
@@ -407,6 +423,14 @@ def _add_telemetry_argument(parser: argparse.ArgumentParser) -> None:
         help="additionally stream telemetry records live to this "
              "append-only JSONL file (watch with 'trace tail --follow')",
     )
+    parser.add_argument(
+        "--profile", type=_positive_float, nargs="?", const=0.01,
+        metavar="SECONDS",
+        help="with --telemetry/--stream: sample the main thread's stack "
+             "every SECONDS (default 0.01) and attach the aggregated "
+             "samples to spans ('trace export' ships them alongside "
+             "the flame graph)",
+    )
 
 
 @contextlib.contextmanager
@@ -419,19 +443,36 @@ def _telemetry(args: argparse.Namespace, spec: FractureSpec):
     path = getattr(args, "telemetry", None)
     stream_path = getattr(args, "stream", None)
     if not path and not stream_path:
+        if getattr(args, "profile", None):
+            raise SystemExit("--profile requires --telemetry or --stream")
         yield None
         return
     manifest = obs.run_manifest(
         spec=spec, argv=sys.argv[1:],
         extra={"kernels": kernels_manifest()},
     )
-    stream = obs.TelemetryStream(stream_path) if stream_path else None
-    recorder = obs.TelemetryRecorder(manifest=manifest, stream=stream)
+    # One trace context per invocation: minted here, stamped on the
+    # manifest, every stream record, checkpoint line and worker-side
+    # span — the offline twin of the service's submit-time trace.
+    trace = obs.mint_trace()
+    stream = (
+        obs.TelemetryStream(stream_path, trace_id=trace.trace_id)
+        if stream_path else None
+    )
+    recorder = obs.TelemetryRecorder(
+        manifest=manifest, stream=stream, trace=trace
+    )
     if stream is not None:
         stream.emit({"type": "manifest", **manifest})
+    profiler = (
+        obs.SamplingProfiler(recorder, interval_s=args.profile)
+        if getattr(args, "profile", None) else None
+    )
     status = "ok"
     try:
         with obs.recording(recorder):
+            if profiler is not None:
+                profiler.start()
             yield recorder
     except (KeyboardInterrupt, SystemExit):
         # Graceful shutdown (Ctrl-C or SIGTERM via _graceful_signals):
@@ -443,13 +484,15 @@ def _telemetry(args: argparse.Namespace, spec: FractureSpec):
         status = "error"
         raise
     finally:
+        if profiler is not None:
+            profiler.stop()
         if stream is not None:
             recorder.emit_metrics()
             stream.close(status)
             print(f"wrote telemetry stream to {stream_path}")
     if path:
         obs.write_telemetry(recorder.export(), path)
-        print(f"wrote telemetry to {path}")
+        print(f"wrote telemetry to {path} (trace {trace.trace_id})")
 
 
 def _cmd_fracture(args: argparse.Namespace) -> int:
@@ -726,6 +769,125 @@ def _cmd_trace_tail(args: argparse.Namespace) -> int:
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
     return 0
+
+
+def _cmd_trace_export(args: argparse.Namespace) -> int:
+    """Render a correlated trace as a chrome-trace / speedscope file.
+
+    ``path`` accepts the same inputs as ``trace tail``: a ``--telemetry``
+    payload (.json), a ``--stream`` file (.jsonl) or a service job id
+    (resolved against ``--state-dir``).  Chrome output loads in
+    ``chrome://tracing`` / Perfetto; speedscope in speedscope.app.
+    """
+    from repro.service.jobs import resolve_stream_path
+
+    path = resolve_stream_path(args.path, args.state_dir)
+    if not path.exists():
+        raise SystemExit(f"no telemetry file at {str(path)!r}")
+    if path.suffix.lower() == ".jsonl":
+        records = obs.read_stream(path)
+        if args.format == "chrome":
+            # Stream records carry real wall-clock timestamps: export
+            # them directly, keeping restart boundaries and heartbeats.
+            doc = obs.chrome_from_records(records)
+        else:
+            if records and records[0].get("type") == "stream_header":
+                payload = obs.stream_to_payload(records)
+            else:
+                payload = obs.records_to_payload(records)
+            doc = obs.speedscope_from_payload(payload)
+    else:
+        try:
+            payload = obs.load_telemetry(path)
+        except ValueError as error:
+            raise SystemExit(str(error)) from None
+        doc = (
+            obs.chrome_from_payload(payload)
+            if args.format == "chrome"
+            else obs.speedscope_from_payload(payload)
+        )
+    suffix = ".chrome.json" if args.format == "chrome" else ".speedscope.json"
+    out = Path(args.out) if args.out else path.with_suffix(suffix)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(doc, indent=1))
+    if args.format == "chrome":
+        summary = obs.validate_chrome_trace(doc)
+        print(
+            f"wrote {out} ({summary['spans']} spans, "
+            f"{summary['instants']} instants, {summary['lanes']} lanes"
+            + (f", trace {summary['trace_id']}" if summary['trace_id']
+               else "")
+            + ")"
+        )
+    else:
+        print(f"wrote {out}")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Prometheus exposition text: scrape a daemon or render a file."""
+    if args.path:
+        p = Path(args.path)
+        if not p.exists():
+            raise SystemExit(f"no telemetry file at {args.path!r}")
+        if p.suffix.lower() == ".jsonl":
+            records = obs.read_stream(p)
+            if records and records[0].get("type") == "stream_header":
+                payload = obs.stream_to_payload(records)
+            else:
+                payload = obs.records_to_payload(records)
+        else:
+            try:
+                payload = obs.load_telemetry(p)
+            except ValueError as error:
+                raise SystemExit(str(error)) from None
+        print(obs.render_prometheus(obs.payload_samples(payload)), end="")
+        return 0
+
+    def run(client) -> int:
+        print(client.metrics(), end="")
+        return 0
+
+    return _run_client_op(args, run)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live dashboard over the daemon: stats + job streams, refreshing."""
+    import time as _time
+
+    from repro.service.client import ServiceError
+    from repro.service.jobs import JobPaths
+
+    client = _service_client(args)
+
+    def frame() -> str:
+        stats = client.stats()
+        jobs = client.list_jobs()
+        progress = {}
+        for job in jobs:
+            if job.get("state") not in ("running", "queued"):
+                continue
+            stream = JobPaths.for_job(args.state_dir, job["job_id"]).stream
+            records = obs.tail_records(stream)
+            if records:
+                progress[job["job_id"]] = obs.gather_job_progress(records)
+        return obs.render_top(stats, jobs, progress)
+
+    try:
+        if args.once:
+            print(frame())
+            return 0
+        while True:
+            text = frame()
+            # Clear + home, then one frame; plain ANSI keeps this
+            # dependency-free and scrollback-friendly under watch(1).
+            sys.stdout.write("\x1b[H\x1b[2J" + text + "\n")
+            sys.stdout.flush()
+            _time.sleep(args.interval)
+    except ServiceError as error:
+        raise SystemExit(f"service error [{error.code}]: {error}") from None
+    except KeyboardInterrupt:
+        return 130
 
 
 def _load_diffable(path: str) -> dict:
@@ -1156,6 +1318,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="list every shared metric, not just the changed ones",
     )
     p_diff.set_defaults(func=_cmd_trace_diff)
+    p_export = trace_sub.add_parser(
+        "export",
+        help="export a trace as chrome://tracing or speedscope JSON",
+    )
+    p_export.add_argument(
+        "path",
+        help="telemetry file (.json/.jsonl) or a service job id "
+             "(job-xxxxxxxx)",
+    )
+    _add_state_dir_argument(p_export)
+    p_export.add_argument(
+        "--format", choices=("chrome", "speedscope"), default="chrome",
+        help="output flavour (default chrome)",
+    )
+    p_export.add_argument(
+        "--out", metavar="PATH",
+        help="output file (default: input with .chrome.json / "
+             ".speedscope.json suffix)",
+    )
+    p_export.set_defaults(func=_cmd_trace_export)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="Prometheus exposition text from a daemon or telemetry file",
+    )
+    p_metrics.add_argument(
+        "path", nargs="?",
+        help="telemetry file (.json/.jsonl); omit to scrape a running "
+             "daemon's metrics op",
+    )
+    _add_state_dir_argument(p_metrics)
+    p_metrics.set_defaults(func=_cmd_metrics)
+
+    p_top = sub.add_parser(
+        "top", help="live dashboard for a running fracture daemon"
+    )
+    _add_state_dir_argument(p_top)
+    p_top.add_argument(
+        "--interval", type=_positive_float, default=2.0, metavar="SECONDS",
+        help="refresh period (default 2.0)",
+    )
+    p_top.add_argument(
+        "--once", action="store_true",
+        help="print a single frame and exit (no screen clearing)",
+    )
+    p_top.set_defaults(func=_cmd_top)
 
     p_serve = sub.add_parser(
         "serve", help="run the fracture job daemon (fracture-as-a-service)"

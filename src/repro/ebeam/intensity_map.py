@@ -259,11 +259,11 @@ class IntensityMap:
         profile = self._profile_cache.get(key)
         obs = get_recorder()
         if profile is not None:
-            obs.incr("intensity.profile_cache_hits")
+            obs.incr("cache.profile.hits")
             return profile
-        obs.incr("intensity.profile_cache_misses")
+        obs.incr("cache.profile.misses")
         args = self._profile_args(key)
-        obs.incr("intensity.lut_hits", len(args))
+        obs.incr("cache.lut.hits", len(args))
         profile = self._finish_profile(self._lut(args))
         self._store_profile(key, profile)
         return profile
@@ -288,12 +288,12 @@ class IntensityMap:
                 missing.append(key)
         obs = get_recorder()
         if hits:
-            obs.incr("intensity.profile_cache_hits", hits)
+            obs.incr("cache.profile.hits", hits)
         if not missing:
             return
-        obs.incr("intensity.profile_cache_misses", len(missing))
+        obs.incr("cache.profile.misses", len(missing))
         segments = [self._profile_args(key) for key in missing]
-        obs.incr("intensity.lut_hits", sum(len(s) for s in segments))
+        obs.incr("cache.lut.hits", sum(len(s) for s in segments))
         for key, values in zip(missing, self._lut.eval_concat(segments)):
             self._store_profile(key, self._finish_profile(values))
 
@@ -367,7 +367,7 @@ class IntensityMap:
         cache = self._profile_cache
         if len(cache) >= self._profile_cache_limit:
             cache.clear()
-            get_recorder().incr("intensity.profile_cache_evictions")
+            get_recorder().incr("cache.profile.evictions")
         cache[key] = profile
 
     # -- mutation --------------------------------------------------------------
@@ -506,7 +506,7 @@ class IntensityMap:
         args[4 * n_c + n_f :] = fixed - f_hi
         args /= self.sigma
         obs = get_recorder()
-        obs.incr("intensity.lut_hits", len(args))
+        obs.incr("cache.lut.hits", len(args))
         e = self._lut(args)
         profile_old = 0.5 * (e[0:n_c] - e[n_c : 2 * n_c])
         profile_new = 0.5 * (e[2 * n_c : 3 * n_c] - e[3 * n_c : 4 * n_c])

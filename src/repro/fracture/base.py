@@ -83,9 +83,9 @@ class Fracturer(abc.ABC):
             shape_name=shape.name,
         )
         if hit is None:
-            obs.incr("fracture.cache_misses")
+            obs.incr("cache.fracture.misses")
             return None
-        obs.incr("fracture.cache_hits")
+        obs.incr("cache.fracture.hits")
         obs.incr("fracture.shapes")
         obs.observe("fracture.shots", hit.shot_count)
         return hit

@@ -158,7 +158,7 @@ def refine(
             # geometry so it never needs invalidating, but its fill level
             # per iteration is the signal for tuning the size bound.
             obs.gauge(
-                "intensity.profile_cache_size", state.imap.profile_cache_size
+                "cache.profile.size", state.imap.profile_cache_size
             )
 
         if not trace.converged and params.nmax > 0:

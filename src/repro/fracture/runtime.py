@@ -300,6 +300,11 @@ class RuntimePolicy:
     #: ``ServiceLimits.disk_floor_bytes`` so a daemon job on a full disk
     #: fails with a typed error instead of journaling torn lines.
     disk_floor_bytes: int | None = None
+    #: Trace context dict (``{"trace_id", ...}``) correlating this run
+    #: with its submitter; stamped on the checkpoint journal, every
+    #: worker heartbeat and every worker-side span.  ``None`` falls back
+    #: to the installed recorder's manifest trace (the executor path).
+    trace: dict[str, Any] | None = None
 
 
 # -- outcomes ----------------------------------------------------------------
@@ -382,6 +387,7 @@ class CheckpointJournal:
         path: Path,
         run_key: dict[str, Any],
         min_free_bytes: int | None = None,
+        trace_id: str | None = None,
     ):
         self.path = Path(path)
         self.run_key = run_key
@@ -391,6 +397,11 @@ class CheckpointJournal:
         #: so a full disk fails the run loudly instead of leaving a torn
         #: journal that a later ``--resume`` would silently truncate.
         self.min_free_bytes = min_free_bytes
+        #: Trace id stamped on the header and every tile line so the
+        #: journal joins the run's correlated trace.  Deliberately *not*
+        #: part of the run key: a resumed attempt carries the same
+        #: trace_id, but even a divergent one must never block replay.
+        self.trace_id = trace_id
 
     @classmethod
     def open(
@@ -399,6 +410,7 @@ class CheckpointJournal:
         run_key: dict[str, Any],
         resume: bool = False,
         min_free_bytes: int | None = None,
+        trace_id: str | None = None,
     ) -> "CheckpointJournal":
         """Open (resuming) or start (overwriting) a journal at ``path``.
 
@@ -407,7 +419,10 @@ class CheckpointJournal:
         missing file simply starts a fresh run.  Without ``resume`` any
         existing journal is truncated.
         """
-        journal = cls(Path(path), run_key, min_free_bytes=min_free_bytes)
+        journal = cls(
+            Path(path), run_key, min_free_bytes=min_free_bytes,
+            trace_id=trace_id,
+        )
         journal.path.parent.mkdir(parents=True, exist_ok=True)
         if resume and journal.path.exists():
             journal._load()
@@ -415,9 +430,15 @@ class CheckpointJournal:
             journal._write_header()
         return journal
 
+    def _header_line(self) -> dict[str, Any]:
+        header = {"kind": "header", "schema": self.SCHEMA, "run_key": self.run_key}
+        if self.trace_id:
+            header["trace_id"] = self.trace_id
+        return header
+
     def _write_header(self) -> None:
         ensure_disk_space(self.path.parent, self.min_free_bytes)
-        header = {"kind": "header", "schema": self.SCHEMA, "run_key": self.run_key}
+        header = self._header_line()
         with open(self.path, "w", encoding="utf-8") as fh:
             fh.write(json.dumps(header) + "\n")
             fh.flush()
@@ -470,7 +491,7 @@ class CheckpointJournal:
 
     def _rewrite(self) -> None:
         tmp = self.path.with_suffix(self.path.suffix + ".tmp")
-        header = {"kind": "header", "schema": self.SCHEMA, "run_key": self.run_key}
+        header = self._header_line()
         with open(tmp, "w", encoding="utf-8") as fh:
             fh.write(json.dumps(header) + "\n")
             for record in self.completed.values():
@@ -494,6 +515,8 @@ class CheckpointJournal:
             "attempts": outcome.attempts,
             "shots": [list(shot.as_tuple()) for shot in outcome.shots],
         }
+        if self.trace_id:
+            record["trace_id"] = self.trace_id
         if outcome.error:
             record["error"] = outcome.error
         with open(self.path, "a", encoding="utf-8") as fh:
@@ -567,6 +590,7 @@ def _worker_init(
     fault_plan: FaultPlan | None,
     heartbeat_dir: str | None = None,
     heartbeat_s: float = 1.0,
+    trace: dict[str, Any] | None = None,
 ) -> None:
     """Pool initializer: ship the inner fracturer once per worker process.
 
@@ -575,16 +599,25 @@ def _worker_init(
     into every tile job.  With ``heartbeat_dir`` the worker also starts
     a :class:`HeartbeatWriter` daemon thread that publishes liveness,
     the current tile/attempt and an RSS/CPU sample every
-    ``heartbeat_s`` seconds for the parent's stall monitor.
+    ``heartbeat_s`` seconds for the parent's stall monitor.  ``trace``
+    is the run's trace context: it stamps the worker's heartbeats and
+    the manifest of every worker-side recorder, so cross-process span
+    merges keep the one trace_id.
     """
     global _WORKER_CTX
     heartbeat = None
     if heartbeat_dir is not None:
+        meta = (
+            {"trace_id": trace["trace_id"]}
+            if trace and trace.get("trace_id") else None
+        )
         try:
-            heartbeat = HeartbeatWriter(heartbeat_dir, heartbeat_s).start()
+            heartbeat = HeartbeatWriter(
+                heartbeat_dir, heartbeat_s, meta=meta
+            ).start()
         except OSError:
             heartbeat = None  # liveness publishing is best effort
-    _WORKER_CTX = (inner, spec, telemetry_enabled, fault_plan, heartbeat)
+    _WORKER_CTX = (inner, spec, telemetry_enabled, fault_plan, heartbeat, trace)
 
 
 def _kind_of(error: BaseException) -> str:
@@ -606,7 +639,7 @@ def _tile_task(tile: Any, subs: list[MaskShape], attempt: int) -> tuple:
     A hard crash (injected or real) never returns — the parent sees
     ``BrokenProcessPool``.
     """
-    inner, spec, telemetry_enabled, fault_plan, heartbeat = _WORKER_CTX
+    inner, spec, telemetry_enabled, fault_plan, heartbeat, trace = _WORKER_CTX
     meta = {"pid": os.getpid()}
     if heartbeat is not None:
         # Mark the tile *before* any injected fault fires, so a crash or
@@ -618,7 +651,7 @@ def _tile_task(tile: Any, subs: list[MaskShape], attempt: int) -> tuple:
         if not telemetry_enabled:
             owned = fracture_tile(inner, tile, subs, spec)
             return ("ok", tile.name, owned, None, meta)
-        recorder = TelemetryRecorder()
+        recorder = TelemetryRecorder(trace=trace)
         with recording(recorder):
             with recorder.span("tile", tile=tile.name, sub_shapes=len(subs)):
                 owned = fracture_tile(inner, tile, subs, spec)
@@ -668,6 +701,7 @@ class _TileRunner:
         heartbeat_s: float | None = None,
         stall_after_s: float | None = None,
         stop_check: Callable[[], bool] | None = None,
+        trace: dict[str, Any] | None = None,
     ):
         self.jobs = jobs
         self.inner = inner
@@ -682,6 +716,9 @@ class _TileRunner:
         self.stall_after_s = stall_after_s
         self.stop_check = stop_check
         self.obs = get_recorder()
+        # Fall back to the installed recorder's manifest trace so CLI
+        # runs that never touch RuntimePolicy.trace still correlate.
+        self.trace = trace or getattr(self.obs, "trace", None)
         self.stats = RunStats()
         self.outcomes: list[TileOutcome | None] = [None] * len(jobs)
         self.pending: list[_Pending] = []
@@ -903,6 +940,7 @@ class _TileRunner:
                     self.telemetry_enabled, self.fault_plan,
                     str(hb_dir) if hb_dir is not None else None,
                     self.heartbeat_s if self.heartbeat_s else 1.0,
+                    self.trace,
                 ),
             )
 
@@ -1104,6 +1142,7 @@ def run_tiles(
     heartbeat_s: float | None = None,
     stall_after_s: float | None = None,
     stop_check: Callable[[], bool] | None = None,
+    trace: dict[str, Any] | None = None,
 ) -> tuple[list[TileOutcome], RunStats]:
     """Execute tile ``jobs`` fault-tolerantly; outcomes in job order.
 
@@ -1127,6 +1166,7 @@ def run_tiles(
         heartbeat_s=heartbeat_s,
         stall_after_s=stall_after_s,
         stop_check=stop_check,
+        trace=trace,
     )
     if workers == 1 or len(runner.pending) <= 1:
         runner.run_serial()

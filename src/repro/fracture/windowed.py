@@ -187,6 +187,10 @@ class WindowedFracturer(Fracturer):
         only on its own sub-shapes.
         """
         obs = get_recorder()
+        # The run's trace context: explicit policy wins, else whatever
+        # the installed recorder's manifest carries (the CLI/daemon
+        # paths both stamp it there).
+        trace = self.runtime.trace or getattr(obs, "trace", None)
         journal = None
         if self.runtime.checkpoint_dir is not None:
             journal = CheckpointJournal.open(
@@ -194,6 +198,7 @@ class WindowedFracturer(Fracturer):
                 run_key=self._run_key(shape, spec, plan, jobs),
                 resume=self.runtime.resume,
                 min_free_bytes=self.runtime.disk_floor_bytes,
+                trace_id=(trace or {}).get("trace_id"),
             )
         outcomes, stats = run_tiles(
             jobs,
@@ -207,6 +212,7 @@ class WindowedFracturer(Fracturer):
             heartbeat_s=self.runtime.heartbeat_s,
             stall_after_s=self.runtime.stall_after_s,
             stop_check=self.runtime.stop_check,
+            trace=trace,
         )
         collected: list[Rect] = []
         for outcome in outcomes:

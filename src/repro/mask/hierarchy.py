@@ -187,7 +187,7 @@ def fracture_layout(
                         lookup_s=time.perf_counter() - start,
                     )
                     cache_hits += 1
-                    obs.incr("hierarchy.cache_hits")
+                    obs.incr("cache.hierarchy.hits")
                 else:
                     shape = MaskShape.from_polygon(
                         polygon,

@@ -5,13 +5,19 @@ The measurement substrate for the fracturing pipeline:
 * hierarchical **spans** (wall + CPU time, nestable, thread- and
   process-safe) — :class:`TelemetryRecorder`, :func:`get_recorder`;
 * **counters / gauges / histograms** (``refine.moves_accepted``,
-  ``intensity.lut_hits``, ``coloring.colors_used``, and the tiled
+  ``cache.lut.hits``, ``coloring.colors_used``, the namespaced cache
+  counters ``cache.<name>.hits/misses/evictions``, and the tiled
   fault-layer counters ``windowed.tile_retries``,
   ``windowed.tile_timeouts``, ``windowed.pool_respawns``,
   ``windowed.tile_fallbacks``, ``windowed.tiles_replayed``, …);
 * a per-iteration **convergence recorder** for Algorithm 1;
 * a **run manifest** (γ/σ/Δp/ρ/L_min, seed, git SHA, host) with
-  JSON / JSONL / CSV exporters and a ``trace summarize`` renderer.
+  JSON / JSONL / CSV exporters and a ``trace summarize`` renderer;
+* a **trace context** (:class:`TraceContext`) correlating every span,
+  stream line, heartbeat and checkpoint record of one logical run
+  across processes and daemon restarts, with chrome-trace / speedscope
+  exporters (:mod:`repro.obs.flame`) and Prometheus text exposition
+  (:mod:`repro.obs.metrics`).
 
 The default recorder is a no-op (:class:`NullRecorder`), so the
 instrumentation scattered through the library costs ~nothing until a
@@ -38,8 +44,21 @@ from repro.obs.export import (
     records_to_payload,
     write_telemetry,
 )
+from repro.obs.flame import (
+    chrome_from_payload,
+    chrome_from_records,
+    speedscope_from_payload,
+    validate_chrome_trace,
+)
 from repro.obs.logs import enable_console_logging, get_logger
 from repro.obs.manifest import git_sha, run_manifest
+from repro.obs.metrics import (
+    MetricSample,
+    parse_prometheus,
+    payload_samples,
+    render_prometheus,
+)
+from repro.obs.profile import SamplingProfiler
 from repro.obs.recorder import (
     NullRecorder,
     SpanNode,
@@ -75,6 +94,8 @@ from repro.obs.summarize import (
     format_summary,
     phase_breakdown,
 )
+from repro.obs.top import gather_job_progress, render_top, tail_records
+from repro.obs.trace import TraceContext, mint_trace, valid_trace_id
 
 __all__ = [
     "DiffResult",
@@ -82,12 +103,17 @@ __all__ = [
     "DiskFullError",
     "HeartbeatMonitor",
     "HeartbeatWriter",
+    "MetricSample",
     "NullRecorder",
     "STREAM_SCHEMA",
+    "SamplingProfiler",
     "SpanNode",
     "StreamFormatter",
     "TelemetryRecorder",
     "TelemetryStream",
+    "TraceContext",
+    "chrome_from_payload",
+    "chrome_from_records",
     "diff_payloads",
     "disk_free_bytes",
     "enable_console_logging",
@@ -96,11 +122,15 @@ __all__ = [
     "format_clip_breakdown",
     "format_diff",
     "format_summary",
+    "gather_job_progress",
     "get_logger",
     "get_recorder",
     "git_sha",
     "load_telemetry",
+    "mint_trace",
+    "parse_prometheus",
     "payload_metrics",
+    "payload_samples",
     "payload_to_records",
     "phase_breakdown",
     "pid_alive",
@@ -108,13 +138,19 @@ __all__ = [
     "read_stream",
     "records_to_payload",
     "recording",
+    "render_prometheus",
+    "render_top",
     "rss_bytes",
     "run_manifest",
     "sample_resources",
     "set_disk_free_override",
+    "speedscope_from_payload",
     "summarize_heartbeats",
     "set_recorder",
+    "tail_records",
     "thread_recording",
     "stream_to_payload",
+    "valid_trace_id",
+    "validate_chrome_trace",
     "write_telemetry",
 ]

@@ -1,0 +1,400 @@
+"""Flame-graph exporters: chrome://tracing and speedscope formats.
+
+``trace export --format chrome|speedscope`` turns a recorded run into a
+file that standard trace viewers open directly:
+
+* **chrome** — the Trace Event Format (``chrome://tracing`` /
+  Perfetto): one ``X`` (complete) event per span, worker subtrees on
+  their own thread lanes, recorder events as instant markers.  Every
+  event carries ``args.trace_id`` so a flame graph can be joined back
+  to the service job / CLI run that produced it.
+* **speedscope** — the speedscope.app "evented" profile: open/close
+  frame events per lane, for flame-chart reading of long runs.
+
+Two input shapes are accepted, matching what runs actually leave
+behind:
+
+* a ``repro.obs/v1`` payload (``--telemetry`` file or a service job's
+  ``telemetry.json``): the span tree has durations but no absolute
+  timestamps, so children are laid out sequentially from their parent's
+  start — structurally exact, chronologically approximate;
+* a ``repro.obs.stream/v1`` JSONL stream: ``span_open``/``span_close``
+  records carry real wall-clock times, so the chrome timeline is exact,
+  and spans left open by a crash/restart render closed with
+  ``status=aborted`` instead of disappearing.
+
+:func:`validate_chrome_trace` is the structural gate used by CI: every
+event must carry the run's trace id and nest cleanly inside its parent
+on the same lane.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "chrome_from_payload",
+    "chrome_from_records",
+    "speedscope_from_payload",
+    "validate_chrome_trace",
+]
+
+_US = 1e6  # seconds → trace-event microseconds
+
+
+def _trace_args(trace: Mapping[str, Any] | None) -> dict[str, Any]:
+    args: dict[str, Any] = {}
+    if trace:
+        for key in ("trace_id", "span_id", "parent_span_id"):
+            if trace.get(key):
+                args[key] = trace[key]
+    return args
+
+
+def _thread_meta(pid: int, tid: int, name: str) -> dict[str, Any]:
+    return {
+        "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+        "args": {"name": name},
+    }
+
+
+# -- payload input -----------------------------------------------------------
+
+
+def _span_events(
+    node: Mapping[str, Any],
+    start_us: float,
+    pid: int,
+    tid: int,
+    base_args: dict[str, Any],
+    events: list[dict[str, Any]],
+    lanes: list[dict[str, Any]],
+    next_tid: list[int],
+) -> float:
+    """Emit one span subtree; returns the span's duration in µs.
+
+    ``worker:<label>`` wrappers (cross-process merges) switch to a fresh
+    lane so each worker's tiles render as their own flame row.
+    """
+    name = str(node.get("name", "?"))
+    if name.startswith("worker:") or name == "worker":
+        tid = next_tid[0]
+        next_tid[0] += 1
+        lanes.append(_thread_meta(pid, tid, name))
+    dur_us = max(float(node.get("wall_s", 0.0)), 0.0) * _US
+    args = dict(base_args)
+    attrs = node.get("attrs") or {}
+    for key, value in attrs.items():
+        if isinstance(value, (str, int, float, bool)):
+            args[key] = value
+    if node.get("open") and "status" not in args:
+        args["status"] = "aborted"
+    child_cursor = start_us
+    for child in node.get("children", ()):  # sequential layout
+        child_cursor += _span_events(
+            child, child_cursor, pid, tid, base_args,
+            events, lanes, next_tid,
+        )
+    # A parent whose recorded wall is shorter than its children (merged
+    # worker wrappers sum child walls; clock skew does the rest) still
+    # has to contain them for the nesting check to hold.
+    dur_us = max(dur_us, child_cursor - start_us)
+    events.append({
+        "name": name, "ph": "X", "ts": round(start_us, 3),
+        "dur": round(dur_us, 3), "pid": pid, "tid": tid,
+        "cat": "span", "args": args,
+    })
+    return dur_us
+
+
+def chrome_from_payload(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """A ``repro.obs/v1`` payload as a Trace Event Format document."""
+    manifest = payload.get("manifest") or {}
+    trace = manifest.get("trace") or {}
+    base_args = _trace_args(trace)
+    pid = 1
+    events: list[dict[str, Any]] = []
+    lanes: list[dict[str, Any]] = [_thread_meta(pid, 1, "main")]
+    next_tid = [2]
+    root = payload.get("spans") or {"name": "run"}
+    total_us = _span_events(
+        root, 0.0, pid, 1, base_args, events, lanes, next_tid
+    )
+    cursor = total_us
+    for record in payload.get("events", ()):
+        args = dict(base_args)
+        for key, value in record.items():
+            if key != "name" and isinstance(value, (str, int, float, bool)):
+                args[key] = value
+        events.append({
+            "name": str(record.get("name", "event")), "ph": "i",
+            "ts": round(cursor, 3), "pid": pid, "tid": 1,
+            "s": "t", "cat": "event", "args": args,
+        })
+        cursor += 1.0  # synthetic 1µs spacing: order preserved, no overlap
+    return {
+        "traceEvents": lanes + events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": "repro.obs.chrome/v1",
+            "trace": dict(trace),
+            "counters": dict(payload.get("counters") or {}),
+            "profile": manifest.get("profile") or {},
+        },
+    }
+
+
+# -- stream input ------------------------------------------------------------
+
+
+def chrome_from_records(
+    records: Iterable[Mapping[str, Any]],
+) -> dict[str, Any]:
+    """A telemetry stream as a Trace Event Format document.
+
+    Timestamps are the stream's real wall-clock times (µs since the
+    first record).  A stream that spans a daemon restart contributes
+    both attempts: spans the first attempt never closed are emitted
+    with ``status=aborted`` ending at the moment of the next
+    ``stream_header`` (the restart) or at end of stream.
+    """
+    records = list(records)
+    t0: float | None = None
+    trace: dict[str, Any] = {}
+    for record in records:
+        if t0 is None and isinstance(record.get("t"), (int, float)):
+            t0 = float(record["t"])
+        if not trace and record.get("trace_id"):
+            trace = {"trace_id": record["trace_id"]}
+        if record.get("type") == "manifest" and record.get("trace"):
+            trace = dict(record["trace"])
+    if t0 is None:
+        t0 = 0.0
+
+    def ts(record: Mapping[str, Any], default: float = 0.0) -> float:
+        t = record.get("t")
+        return (float(t) - t0) * _US if isinstance(t, (int, float)) else default
+
+    pid = 1
+    events: list[dict[str, Any]] = []
+    lanes: dict[int, dict[str, Any]] = {
+        1: _thread_meta(pid, 1, "main"),
+    }
+    base_args = _trace_args(trace)
+    open_spans: list[dict[str, Any]] = []  # {"name", "ts", "args"}
+    last_us = 0.0
+
+    def close_open(end_us: float, status: str) -> None:
+        while open_spans:
+            span = open_spans.pop()
+            args = dict(span["args"])
+            args["status"] = status
+            events.append({
+                "name": span["name"], "ph": "X", "ts": round(span["ts"], 3),
+                "dur": round(max(end_us - span["ts"], 0.0), 3),
+                "pid": pid, "tid": 1, "cat": "span", "args": args,
+            })
+
+    for record in records:
+        kind = record.get("type")
+        now_us = ts(record, last_us)
+        last_us = max(last_us, now_us)
+        args = dict(base_args)
+        if record.get("trace_id"):
+            args["trace_id"] = record["trace_id"]
+        if kind == "stream_header":
+            # A restart: whatever the previous attempt left open was
+            # torn by the crash — close it visibly, don't drop it.
+            if open_spans:
+                close_open(now_us, "aborted")
+        elif kind == "span_open":
+            attrs = record.get("attrs") or {}
+            for key, value in attrs.items():
+                if isinstance(value, (str, int, float, bool)):
+                    args[key] = value
+            open_spans.append(
+                {"name": record.get("name", "?"), "ts": now_us, "args": args}
+            )
+        elif kind == "span_close":
+            name = record.get("name", "?")
+            wall_us = float(record.get("wall_s", 0.0)) * _US
+            matched = None
+            for index in range(len(open_spans) - 1, -1, -1):
+                if open_spans[index]["name"] == name:
+                    matched = open_spans.pop(index)
+                    break
+            start = matched["ts"] if matched else now_us - wall_us
+            span_args = dict(matched["args"]) if matched else dict(args)
+            events.append({
+                "name": name, "ph": "X", "ts": round(start, 3),
+                "dur": round(max(now_us - start, 0.0), 3),
+                "pid": pid, "tid": 1, "cat": "span", "args": span_args,
+            })
+        elif kind == "event":
+            name = str(record.get("name", "event"))
+            tid = 1
+            worker_pid = record.get("pid")
+            if name in ("worker_heartbeat", "worker_stalled") and isinstance(
+                worker_pid, int
+            ):
+                tid = worker_pid
+                if tid not in lanes:
+                    lanes[tid] = _thread_meta(pid, tid, f"worker pid={tid}")
+            for key, value in record.items():
+                if key not in ("type", "name") and isinstance(
+                    value, (str, int, float, bool)
+                ):
+                    args[key] = value
+            events.append({
+                "name": name, "ph": "i", "ts": round(now_us, 3),
+                "pid": pid, "tid": tid, "s": "t", "cat": "event",
+                "args": args,
+            })
+    close_open(last_us, "aborted")
+    # Viewers tolerate any order, but the nesting validator walks each
+    # lane chronologically.
+    events.sort(key=lambda e: (e["tid"], e["ts"], -e.get("dur", 0.0)))
+    return {
+        "traceEvents": list(lanes.values()) + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": "repro.obs.chrome/v1", "trace": dict(trace)},
+    }
+
+
+# -- speedscope --------------------------------------------------------------
+
+
+def speedscope_from_payload(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """A ``repro.obs/v1`` payload as a speedscope "evented" profile."""
+    frames: list[dict[str, str]] = []
+    frame_index: dict[str, int] = {}
+
+    def frame(name: str) -> int:
+        if name not in frame_index:
+            frame_index[name] = len(frames)
+            frames.append({"name": name})
+        return frame_index[name]
+
+    events: list[dict[str, Any]] = []
+
+    def emit(
+        node: Mapping[str, Any], start_s: float, out: list[dict[str, Any]]
+    ) -> float:
+        name = str(node.get("name", "?"))
+        dur_s = max(float(node.get("wall_s", 0.0)), 0.0)
+        index = frame(name)
+        child_events: list[dict[str, Any]] = []
+        cursor = start_s
+        for child in node.get("children", ()):
+            cursor += emit(child, cursor, child_events)
+        dur_s = max(dur_s, cursor - start_s)
+        out.append({"type": "O", "frame": index, "at": start_s})
+        out.extend(child_events)
+        out.append({"type": "C", "frame": index, "at": start_s + dur_s})
+        return dur_s
+
+    root = payload.get("spans") or {"name": "run"}
+    total_s = emit(root, 0.0, events)
+    trace = (payload.get("manifest") or {}).get("trace") or {}
+    name = "repro run"
+    if trace.get("trace_id"):
+        name = f"repro trace {trace['trace_id']}"
+    return {
+        "$schema": "https://www.speedscope.app/file-format-schema.json",
+        "shared": {"frames": frames},
+        "profiles": [{
+            "type": "evented",
+            "name": name,
+            "unit": "seconds",
+            "startValue": 0.0,
+            "endValue": total_s,
+            "events": events,
+        }],
+        "exporter": "repro.obs.flame",
+    }
+
+
+# -- validation (CI gate) ----------------------------------------------------
+
+_VALID_PH = {"X", "i", "I", "M", "B", "E"}
+_EPS_US = 0.51  # timestamps are rounded to 3 decimals; allow that slack
+
+
+def validate_chrome_trace(
+    doc: Mapping[str, Any], *, expect_trace_id: str | None = None
+) -> dict[str, Any]:
+    """Structural gate for an exported chrome trace.
+
+    Checks, raising :class:`ValueError` on the first violation:
+
+    * ``traceEvents`` is a list of well-formed events (name/ph/pid/tid,
+      ``ts`` + nonnegative ``dur`` where applicable);
+    * every non-metadata event carries ``args.trace_id``, all equal
+      (and equal to ``expect_trace_id`` when given) — the end-to-end
+      correlation invariant;
+    * complete events nest: on each (pid, tid) lane, every span lies
+      within its enclosing span's interval, so parent links resolve by
+      containment.
+
+    Returns summary stats (event/span/lane counts, the trace id).
+    """
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents missing or empty")
+    trace_ids: set[str] = set()
+    spans_by_lane: dict[tuple[Any, Any], list[dict[str, Any]]] = {}
+    n_spans = n_instant = 0
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {index}: not an object")
+        ph = event.get("ph")
+        if ph not in _VALID_PH:
+            raise ValueError(f"event {index}: bad ph {ph!r}")
+        if not isinstance(event.get("name"), str) or not event["name"]:
+            raise ValueError(f"event {index}: missing name")
+        if "pid" not in event or "tid" not in event:
+            raise ValueError(f"event {index}: missing pid/tid")
+        if ph == "M":
+            continue
+        if not isinstance(event.get("ts"), (int, float)):
+            raise ValueError(f"event {index}: missing ts")
+        args = event.get("args")
+        if not isinstance(args, dict) or not args.get("trace_id"):
+            raise ValueError(f"event {index}: missing args.trace_id")
+        trace_ids.add(args["trace_id"])
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"event {index}: X event needs dur >= 0")
+            lane = (event["pid"], event["tid"])
+            spans_by_lane.setdefault(lane, []).append(event)
+            n_spans += 1
+        else:
+            n_instant += 1
+    if len(trace_ids) != 1:
+        raise ValueError(f"expected one trace_id, found {sorted(trace_ids)}")
+    trace_id = next(iter(trace_ids))
+    if expect_trace_id is not None and trace_id != expect_trace_id:
+        raise ValueError(
+            f"trace_id {trace_id} != expected {expect_trace_id}"
+        )
+    for lane, spans in spans_by_lane.items():
+        spans.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack: list[float] = []  # enclosing span end timestamps
+        for event in spans:
+            start, end = event["ts"], event["ts"] + event["dur"]
+            while stack and stack[-1] <= start + _EPS_US:
+                stack.pop()
+            if stack and end > stack[-1] + _EPS_US:
+                raise ValueError(
+                    f"lane {lane}: span {event['name']!r} "
+                    f"[{start}, {end}] escapes its parent (ends "
+                    f"{stack[-1]})"
+                )
+            stack.append(end)
+    return {
+        "trace_id": trace_id,
+        "spans": n_spans,
+        "instants": n_instant,
+        "lanes": len(spans_by_lane),
+    }

@@ -1,0 +1,230 @@
+"""Prometheus text exposition over the recorder's metric model.
+
+The recorder (:mod:`repro.obs.recorder`) accumulates dotted counters
+(``cache.lut.hits``), gauges (``windowed.workers_alive``) and min/max
+histograms (``refine.batch_wall_s``).  This module renders those — plus
+the service daemon's live state — in the Prometheus text exposition
+format (version 0.0.4), so a scrape of the daemon's ``metrics`` op or a
+``repro metrics`` dump of an offline telemetry file drops straight into
+an existing Prometheus/Grafana stack.
+
+Design notes:
+
+* Dotted telemetry names map to ``repro_``-prefixed underscore names
+  (``cache.lut.hits`` → ``repro_cache_lut_hits``); the mapping is
+  mechanical so dashboards can be derived from telemetry keys.
+* The recorder's histograms carry count/sum/min/max, not buckets, so
+  they render as Prometheus *summaries* (``_count``/``_sum``) with the
+  extremes as companion gauges (``_min``/``_max``).
+* :func:`parse_prometheus` is the read side used by tests and the CI
+  smoke: a strict-enough parser that malformed exposition output fails
+  the gate instead of scraping as garbage.
+
+Everything is pure functions over plain dicts — no global registry, no
+background collector — because every metric source in the tree already
+*is* a dict snapshot (``TelemetryRecorder.snapshot_metrics``, the
+service ``stats`` op, ``FractureCache.stats``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "MetricSample",
+    "parse_prometheus",
+    "payload_samples",
+    "render_prometheus",
+    "sanitize_metric_name",
+]
+
+_NAME_OK_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_OK_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: One exposition sample: (name, labels, value, type, help).
+class MetricSample:
+    __slots__ = ("name", "labels", "value", "type", "help")
+
+    def __init__(
+        self,
+        name: str,
+        value: float,
+        *,
+        labels: Mapping[str, Any] | None = None,
+        type: str = "gauge",
+        help: str = "",
+    ):
+        self.name = sanitize_metric_name(name)
+        self.labels = dict(labels) if labels else {}
+        self.value = value
+        self.type = type
+        self.help = help
+
+
+def sanitize_metric_name(name: str, prefix: str = "repro_") -> str:
+    """Map a dotted telemetry key to a legal Prometheus metric name."""
+    cleaned = _SANITIZE_RE.sub("_", str(name))
+    if not cleaned.startswith(prefix):
+        cleaned = prefix + cleaned
+    if not _NAME_OK_RE.match(cleaned):
+        cleaned = prefix + "invalid"
+    return cleaned
+
+
+def _escape_label(value: Any) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _render_one(sample: MetricSample) -> str:
+    if sample.labels:
+        inner = ",".join(
+            f'{key}="{_escape_label(value)}"'
+            for key, value in sorted(sample.labels.items())
+            if _LABEL_OK_RE.match(str(key))
+        )
+        return f"{sample.name}{{{inner}}} {_format_value(sample.value)}"
+    return f"{sample.name} {_format_value(sample.value)}"
+
+
+def render_prometheus(samples: Iterable[MetricSample]) -> str:
+    """Render samples as Prometheus text exposition (format 0.0.4).
+
+    Samples sharing a metric name are grouped under one ``# TYPE``
+    header (Prometheus rejects repeated headers); the first sample of a
+    name wins the type/help declaration.
+    """
+    by_name: dict[str, list[MetricSample]] = {}
+    order: list[str] = []
+    for sample in samples:
+        if sample.name not in by_name:
+            by_name[sample.name] = []
+            order.append(sample.name)
+        by_name[sample.name].append(sample)
+    lines: list[str] = []
+    for name in order:
+        group = by_name[name]
+        head = group[0]
+        if head.help:
+            lines.append(f"# HELP {name} {head.help}")
+        lines.append(f"# TYPE {name} {head.type}")
+        lines.extend(_render_one(sample) for sample in group)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _histogram_samples(
+    name: str, hist: Mapping[str, Any], labels: Mapping[str, Any] | None = None
+) -> list[MetricSample]:
+    """A count/sum/min/max histogram as summary + extreme gauges."""
+    base = sanitize_metric_name(name)
+    out = [
+        MetricSample(
+            f"{base}_count", float(hist.get("count", 0)),
+            labels=labels, type="counter",
+        ),
+        MetricSample(
+            f"{base}_sum", float(hist.get("sum", 0.0)),
+            labels=labels, type="counter",
+        ),
+    ]
+    for extreme in ("min", "max"):
+        value = hist.get(extreme)
+        if isinstance(value, (int, float)) and math.isfinite(value):
+            out.append(
+                MetricSample(f"{base}_{extreme}", float(value), labels=labels)
+            )
+    return out
+
+
+def payload_samples(payload: Mapping[str, Any]) -> list[MetricSample]:
+    """Samples for a ``repro.obs/v1`` payload (or any snapshot dict).
+
+    Accepts the exported recorder payload, a ``snapshot_metrics()``
+    dict, or anything else carrying ``counters`` / ``gauges`` /
+    ``histograms`` mappings.  The run's trace id (payload manifest)
+    rides along as an info-style gauge so a scrape can be joined back
+    to its trace.
+    """
+    samples: list[MetricSample] = []
+    trace = (payload.get("manifest") or {}).get("trace") or {}
+    if trace.get("trace_id"):
+        samples.append(MetricSample(
+            "repro_run_info", 1.0,
+            labels={"trace_id": trace["trace_id"]},
+            help="Constant 1; labels identify the run.",
+        ))
+    for name, value in sorted((payload.get("counters") or {}).items()):
+        samples.append(MetricSample(
+            f"{name}_total", float(value), type="counter",
+        ))
+    for name, value in sorted((payload.get("gauges") or {}).items()):
+        if isinstance(value, (int, float)):
+            samples.append(MetricSample(name, float(value)))
+    for name, hist in sorted((payload.get("histograms") or {}).items()):
+        samples.extend(_histogram_samples(name, hist))
+    return samples
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+\d+)?$"
+)
+_LABEL_RE = re.compile(
+    r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+
+
+def parse_prometheus(
+    text: str,
+) -> dict[tuple[str, tuple[tuple[str, str], ...]], float]:
+    """Parse exposition text into ``{(name, labels): value}``.
+
+    Raises :class:`ValueError` on any line that is neither a comment,
+    blank, nor a well-formed sample — the CI smoke-scrape uses this to
+    gate that the ``metrics`` op emits valid exposition output.
+    """
+    out: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: not a metric sample: {line!r}")
+        raw = match.group("value")
+        try:
+            value = float(raw.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError:
+            raise ValueError(
+                f"line {lineno}: bad sample value {raw!r}"
+            ) from None
+        labels: list[tuple[str, str]] = []
+        if match.group("labels"):
+            body = match.group("labels")
+            matched = list(_LABEL_RE.finditer(body))
+            joined = ",".join(m.group(0) for m in matched)
+            if body.rstrip(",") != joined:
+                raise ValueError(f"line {lineno}: malformed labels {body!r}")
+            labels = [(m.group("key"), m.group("value")) for m in matched]
+        out[(match.group("name"), tuple(sorted(labels)))] = value
+    return out

@@ -90,9 +90,17 @@ class NullRecorder:
 
 
 class SpanNode:
-    """One node of the span tree: timings, attributes, children."""
+    """One node of the span tree: timings, attributes, children.
 
-    __slots__ = ("name", "attrs", "wall_s", "cpu_s", "children")
+    ``closed`` tracks whether the owning span context actually exited.
+    A payload exported while spans are still open (a worker killed
+    mid-tile, a daemon SIGKILLed mid-job) serializes those nodes with
+    ``"open": true`` so the merging parent can close them *visibly*
+    (``status=aborted``) instead of dropping them or leaving them
+    dangling.
+    """
+
+    __slots__ = ("name", "attrs", "wall_s", "cpu_s", "children", "closed")
 
     def __init__(self, name: str, attrs: dict[str, Any] | None = None):
         self.name = name
@@ -100,6 +108,7 @@ class SpanNode:
         self.wall_s = 0.0
         self.cpu_s = 0.0
         self.children: list[SpanNode] = []
+        self.closed = True
 
     def to_dict(self) -> dict[str, Any]:
         out: dict[str, Any] = {
@@ -107,6 +116,8 @@ class SpanNode:
             "wall_s": self.wall_s,
             "cpu_s": self.cpu_s,
         }
+        if not self.closed:
+            out["open"] = True
         if self.attrs:
             out["attrs"] = dict(self.attrs)
         if self.children:
@@ -118,6 +129,7 @@ class SpanNode:
         node = cls(payload.get("name", "?"), payload.get("attrs"))
         node.wall_s = float(payload.get("wall_s", 0.0))
         node.cpu_s = float(payload.get("cpu_s", 0.0))
+        node.closed = not payload.get("open", False)
         node.children = [
             cls.from_dict(child) for child in payload.get("children", ())
         ]
@@ -140,11 +152,13 @@ class _SpanContext:
         self.node = SpanNode(name, attrs)
 
     def __enter__(self) -> "_SpanContext":
+        self.node.closed = False
         stack = self._rec._stack()
         parent = stack[-1].node if stack else self._rec.root
         with self._rec._lock:
             parent.children.append(self.node)
         stack.append(self)
+        self._rec._publish_path(stack)
         if self._rec.stream is not None:
             record = {
                 "type": "span_open",
@@ -161,9 +175,11 @@ class _SpanContext:
     def __exit__(self, *exc: object) -> bool:
         self.node.wall_s += time.perf_counter() - self._t0
         self.node.cpu_s += time.process_time() - self._c0
+        self.node.closed = True
         stack = self._rec._stack()
         if stack and stack[-1] is self:
             stack.pop()
+        self._rec._publish_path(stack)
         if self._rec.stream is not None:
             self._rec._stream_emit({
                 "type": "span_close",
@@ -187,9 +203,23 @@ class TelemetryRecorder:
         self,
         manifest: dict[str, Any] | None = None,
         stream: Any | None = None,
+        trace: Any | None = None,
     ):
         self.manifest: dict[str, Any] = dict(manifest) if manifest else {}
         self.stream = stream  # live TelemetryStream sink, or None
+        # Trace context (repro.obs.trace.TraceContext or its dict form):
+        # recorded in the manifest and pushed down to the stream so every
+        # emitted line carries the run's trace_id.
+        if trace is not None:
+            trace_dict = trace.to_dict() if hasattr(trace, "to_dict") else dict(trace)
+            self.manifest.setdefault("trace", trace_dict)
+        self.trace: dict[str, Any] | None = self.manifest.get("trace")
+        if (
+            self.trace
+            and stream is not None
+            and hasattr(stream, "set_trace")
+        ):
+            stream.set_trace(self.trace.get("trace_id"))
         self.root = SpanNode("run")
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
@@ -198,6 +228,11 @@ class TelemetryRecorder:
         self.convergence_records: list[dict[str, Any]] = []
         self._lock = threading.Lock()
         self._local = threading.local()
+        # Mirror of each thread's open-span path, readable from *other*
+        # threads: the sampling profiler attributes main-thread stack
+        # samples from its own sampler thread, where the thread-local
+        # stack above is invisible.
+        self._path_by_thread: dict[int, str] = {}
 
     def _stream_emit(self, record: dict[str, Any]) -> None:
         """Forward one record to the live stream (no-op without one)."""
@@ -221,8 +256,23 @@ class TelemetryRecorder:
             attrs.setdefault("thread", thread.name)
         return _SpanContext(self, name, attrs)
 
-    def current_path(self) -> str:
-        """Slash-joined names of the spans open on the calling thread."""
+    def _publish_path(self, stack: list[_SpanContext]) -> None:
+        path = "/".join(ctx.node.name for ctx in stack)
+        thread_id = threading.get_ident()
+        if path:
+            self._path_by_thread[thread_id] = path
+        else:
+            self._path_by_thread.pop(thread_id, None)
+
+    def current_path(self, thread_id: int | None = None) -> str:
+        """Slash-joined names of the spans open on a thread.
+
+        Without ``thread_id``, the calling thread's own path.  With one,
+        the last published path of *that* thread — how the sampling
+        profiler labels main-thread samples from its sampler thread.
+        """
+        if thread_id is not None:
+            return self._path_by_thread.get(thread_id, "")
         return "/".join(ctx.node.name for ctx in self._stack())
 
     # -- metrics -------------------------------------------------------------
@@ -306,12 +356,32 @@ class TelemetryRecorder:
         the *current* span context; counters sum, histograms merge,
         gauges adopt the child's value, and events / convergence records
         are appended tagged with the worker label.
+
+        Spans the child never closed (it crashed, or exported mid-span
+        before being killed) are closed here with an explicit
+        ``status=aborted`` attribute — a crash must leave a visible
+        mark in the merged tree, not a dangling or missing span.  The
+        child's trace context, if it carried one, is stamped on the
+        wrapper so the graft stays joinable to the job's trace_id.
         """
         child_root = SpanNode.from_dict(payload.get("spans", {"name": "run"}))
         wrapper = SpanNode(f"worker:{label}" if label else "worker")
         wrapper.children = child_root.children
         wrapper.wall_s = sum(c.wall_s for c in wrapper.children)
         wrapper.cpu_s = sum(c.cpu_s for c in wrapper.children)
+        child_trace = (payload.get("manifest") or {}).get("trace") or self.trace
+        if child_trace and child_trace.get("trace_id"):
+            wrapper.attrs["trace_id"] = child_trace["trace_id"]
+        aborted = 0
+        for node in wrapper.walk():
+            if not node.closed:
+                node.closed = True
+                node.attrs["status"] = "aborted"
+                if child_trace and child_trace.get("trace_id"):
+                    node.attrs.setdefault(
+                        "trace_id", child_trace["trace_id"]
+                    )
+                aborted += 1
         stack = self._stack()
         parent = stack[-1].node if stack else self.root
         with self._lock:
@@ -336,12 +406,15 @@ class TelemetryRecorder:
                 merged["seq"] = len(self.convergence_records)
                 self.convergence_records.append(merged)
         if self.stream is not None:
-            self._stream_emit({
+            record = {
                 "type": "worker_merged",
                 "label": label,
                 "wall_s": wrapper.wall_s,
                 "events": len(payload.get("events", ())),
-            })
+            }
+            if aborted:
+                record["aborted_spans"] = aborted
+            self._stream_emit(record)
 
 
 _RECORDER: NullRecorder | TelemetryRecorder = NullRecorder()

@@ -340,8 +340,9 @@ def summarize_heartbeats(
         }
         if task_age is not None:
             entry["task_age_s"] = round(task_age, 3)
-        if "job_id" in hb:
-            entry["job_id"] = hb["job_id"]
+        for passthrough in ("job_id", "trace_id"):
+            if passthrough in hb:
+                entry[passthrough] = hb[passthrough]
         workers.append(entry)
     return {"workers": workers, "alive": alive, "stalled": stalled}
 

@@ -68,7 +68,12 @@ class TelemetryStream:
     """
 
     def __init__(
-        self, path: str | Path, *, fsync: bool = False, append: bool = False
+        self,
+        path: str | Path,
+        *,
+        fsync: bool = False,
+        append: bool = False,
+        trace_id: str | None = None,
     ):
         """Open a stream at ``path``; ``append`` continues an earlier one.
 
@@ -78,6 +83,10 @@ class TelemetryStream:
         whole job history.  Each attempt contributes its own
         ``stream_header`` (readers tolerate repeats), and an interrupted
         attempt's torn tail is skipped by the torn-line-tolerant readers.
+
+        ``trace_id`` (also settable later via :meth:`set_trace`) stamps
+        every emitted record, the header included — the correlation
+        contract of :mod:`repro.obs.trace`.
         """
         self.path = Path(path)
         if self.path.parent != Path():
@@ -86,6 +95,7 @@ class TelemetryStream:
         self._lock = threading.Lock()
         self._seq = 0
         self._closed = False
+        self._trace_id = trace_id
         mode = "a" if append else "w"
         self._fh = open(self.path, mode, encoding="utf-8")
         if append and self._fh.tell() > 0:
@@ -100,12 +110,29 @@ class TelemetryStream:
             "resumed": bool(append),
         })
 
+    def set_trace(self, trace_id: str | None) -> None:
+        """Stamp all *subsequent* records with ``trace_id``.
+
+        Installing the id after the header has gone out is fine for
+        correlation — readers join on any stamped record — but callers
+        that know the id up front should pass it to the constructor so
+        the header carries it too.
+        """
+        with self._lock:
+            self._trace_id = trace_id
+
+    @property
+    def trace_id(self) -> str | None:
+        return self._trace_id
+
     def emit(self, record: dict[str, Any]) -> None:
         """Append one record as a single atomic line (no-op when closed)."""
         with self._lock:
             if self._closed:
                 return
             record = {**record, "seq": self._seq, "t": round(time.time(), 6)}
+            if self._trace_id and "trace_id" not in record:
+                record["trace_id"] = self._trace_id
             self._seq += 1
             try:
                 line = json.dumps(record, default=str)
@@ -170,9 +197,18 @@ def follow_stream(
     keeps polling for appended records until it sees ``stream_end``,
     ``stop()`` returns true, or ``timeout_s`` elapses — the behaviour
     behind ``trace tail --follow``.
+
+    Torn or corrupt mid-file lines are not silently papered over: the
+    writer numbers every record (``seq``), so a discontinuity yields a
+    synthetic ``{"type": "stream_gap", ...}`` record naming how many
+    records went missing before the next good one.  A ``stream_header``
+    legitimately restarts the numbering (each attempt of a resumed job
+    writes its own), so headers reset the expectation instead of
+    flagging a gap.
     """
     path = Path(path)
     deadline = time.monotonic() + timeout_s if timeout_s is not None else None
+    expected_seq: int | None = None
 
     def expired() -> bool:
         if stop is not None and stop():
@@ -204,6 +240,24 @@ def follow_stream(
                     continue
                 if not isinstance(record, dict):
                     continue
+                seq = record.get("seq")
+                if isinstance(seq, int):
+                    is_header = record.get("type") == "stream_header"
+                    if (
+                        expected_seq is not None
+                        and seq != expected_seq
+                        and not is_header
+                    ):
+                        gap: dict[str, Any] = {
+                            "type": "stream_gap",
+                            "expected_seq": expected_seq,
+                            "got_seq": seq,
+                            "missing": max(seq - expected_seq, 1),
+                        }
+                        if record.get("trace_id"):
+                            gap["trace_id"] = record["trace_id"]
+                        yield gap
+                    expected_seq = seq + 1
                 yield record
                 if follow and record.get("type") == "stream_end":
                     return
@@ -225,6 +279,12 @@ def stream_to_payload(records: list[dict[str, Any]]) -> dict[str, Any]:
     ``span_close``), counters/gauges come from the *last* metrics
     snapshot, and events / convergence records carry over verbatim — a
     lossy but diffable reconstruction for ``trace diff`` on streams.
+
+    A ``span_open`` with no matching ``span_close`` (the writer died
+    mid-span, or a daemon restart started a fresh attempt) still
+    produces a span — closed with ``attrs.status = "aborted"`` — so a
+    crash is visible in the folded payload rather than silently
+    shortening the tree.
     """
     payload: dict[str, Any] = {
         "schema": "repro.obs/v1",
@@ -236,17 +296,50 @@ def stream_to_payload(records: list[dict[str, Any]]) -> dict[str, Any]:
         "events": [],
         "convergence": [],
     }
+    open_spans: list[dict[str, Any]] = []
+    gaps = 0
+
+    def abort_open_spans() -> None:
+        while open_spans:
+            body = open_spans.pop()
+            attrs = dict(body.get("attrs") or {})
+            attrs["status"] = "aborted"
+            if body.get("trace_id"):
+                attrs.setdefault("trace_id", body["trace_id"])
+            payload["spans"]["children"].append({
+                "name": body.get("name", "?"),
+                "wall_s": 0.0,
+                "cpu_s": 0.0,
+                "attrs": attrs,
+            })
+
     for record in records:
         kind = record.get("type")
         body = {
             k: v for k, v in record.items()
             if k not in ("type", "seq", "t")
         }
-        if kind == "manifest":
-            payload["manifest"] = body
+        if kind == "stream_header":
+            # A repeated header is a resumed attempt: whatever the
+            # previous attempt left open was torn by the interrupt.
+            abort_open_spans()
+            if body.get("trace_id"):
+                payload["manifest"].setdefault("trace", {})
+                payload["manifest"]["trace"].setdefault(
+                    "trace_id", body["trace_id"]
+                )
+        elif kind == "manifest":
+            payload["manifest"] = {**body, **payload["manifest"]}
+        elif kind == "span_open":
+            open_spans.append(body)
         elif kind == "span_close":
+            name = body.get("name", "?")
+            for index in range(len(open_spans) - 1, -1, -1):
+                if open_spans[index].get("name") == name:
+                    del open_spans[index]
+                    break
             payload["spans"]["children"].append({
-                "name": body.get("name", "?"),
+                "name": name,
                 "wall_s": body.get("wall_s", 0.0),
                 "cpu_s": body.get("cpu_s", 0.0),
             })
@@ -257,6 +350,13 @@ def stream_to_payload(records: list[dict[str, Any]]) -> dict[str, Any]:
             payload["events"].append(body)
         elif kind == "convergence":
             payload["convergence"].append(body)
+        elif kind == "stream_gap":
+            gaps += 1
+    abort_open_spans()
+    if gaps:
+        payload["counters"]["stream.gaps"] = (
+            payload["counters"].get("stream.gaps", 0) + gaps
+        )
     return payload
 
 
@@ -304,11 +404,19 @@ class StreamFormatter:
         return f"{rel}  {self._body(kind, record)}"
 
     def _body(self, kind: str, record: dict[str, Any]) -> str:
-        skip = ("type", "seq", "t")
+        skip = ("type", "seq", "t", "trace_id")
         if kind == "stream_header":
+            trace = record.get("trace_id")
+            trace_txt = f" trace={trace}" if trace else ""
             return (
                 f"stream {record.get('schema', '?')} "
-                f"pid={record.get('pid', '?')}"
+                f"pid={record.get('pid', '?')}{trace_txt}"
+            )
+        if kind == "stream_gap":
+            return (
+                f"GAP   {record.get('missing', '?')} record(s) missing "
+                f"(expected seq {record.get('expected_seq', '?')}, "
+                f"got {record.get('got_seq', '?')})"
             )
         if kind == "stream_end":
             return f"stream end status={record.get('status', '?')}"
@@ -343,7 +451,7 @@ class StreamFormatter:
 
     def _event_body(self, record: dict[str, Any]) -> str:
         name = str(record.get("name", "?"))
-        skip = ("type", "seq", "t", "name", "span", "worker")
+        skip = ("type", "seq", "t", "name", "span", "worker", "trace_id")
         if name == "progress":
             done = record.get("tiles_done", "?")
             total = record.get("tiles_total", "?")

@@ -91,13 +91,29 @@ class WarmCaches:
         return False
 
     def stats(self) -> dict[str, Any]:
-        """Gauges for the ``stats`` op and per-job telemetry."""
+        """Gauges for the ``stats`` op and per-job telemetry.
+
+        Keys follow the unified cache telemetry namespace — the same
+        ``cache.<name>.*`` families the recorder counters use
+        (``cache.result.hits``, ``cache.profile.hits``, …) — so the
+        ``stats`` op, the ``metrics`` exposition and per-run manifests
+        all agree on naming.
+        """
         return {
-            "result_cache": self.results.stats(),
-            "profile_bank": {
+            "result": self.results.stats(),
+            "profile": {
                 "layouts": self.profiles.layouts,
                 "profiles": self.profiles.profiles,
                 "attaches": self.profiles.attach_count,
                 "warm_attaches": self.profiles.warm_attach_count,
             },
         }
+
+    def counters(self) -> dict[str, float]:
+        """The same stats flattened to dotted ``cache.<name>.<key>`` keys."""
+        flat: dict[str, float] = {}
+        for cache_name, stats in self.stats().items():
+            for key, value in stats.items():
+                if isinstance(value, (int, float)):
+                    flat[f"cache.{cache_name}.{key}"] = value
+        return flat

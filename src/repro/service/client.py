@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
+from repro.obs.trace import TraceContext, mint_trace
 from repro.service.jobs import JobPaths, job_fingerprint
 from repro.service.protocol import (
     MAX_LINE_BYTES,
@@ -147,6 +148,8 @@ class ServiceClient:
         self.retry = retry if retry is not None else RetryPolicy()
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.client_id = client_id
+        #: trace id accepted by the daemon for the most recent submit.
+        self.last_trace_id: str | None = None
         self._rng = random.Random()
 
     # -- transport ----------------------------------------------------------
@@ -261,6 +264,7 @@ class ServiceClient:
         use_result_cache: bool = True,
         checkpoint: bool = True,
         idempotent: bool = True,
+        trace: TraceContext | dict[str, Any] | None = None,
     ) -> str:
         """Enqueue a job; returns its id (``ServiceError`` on backpressure).
 
@@ -270,6 +274,12 @@ class ServiceClient:
         already-enqueued job's id instead of double-running it.  Pass
         ``idempotent=False`` to force a distinct job for an identical
         payload.
+
+        ``trace`` carries the submitter's :class:`TraceContext` (or its
+        dict form); when omitted a fresh one is minted, so every
+        submission is traceable.  The accepted trace id comes back in
+        :attr:`last_trace_id` and stamps the job record, every stream
+        line, heartbeat and checkpoint of every attempt.
         """
         job = {
             "name": name,
@@ -283,11 +293,19 @@ class ServiceClient:
             "checkpoint": checkpoint,
         }
         payload: dict[str, Any] = {"op": "submit", "job": job}
+        if trace is None:
+            trace = mint_trace()
+        payload["trace"] = (
+            trace.to_dict() if isinstance(trace, TraceContext) else dict(trace)
+        )
         if self.client_id:
             payload["client_id"] = self.client_id
         if idempotent:
             payload["request_fp"] = job_fingerprint(job)
         response = self.request(payload, retryable=idempotent)
+        self.last_trace_id = response.get(
+            "trace_id", payload["trace"].get("trace_id")
+        )
         return response["job_id"]
 
     def status(self, job_id: str) -> dict[str, Any]:
@@ -328,6 +346,10 @@ class ServiceClient:
 
     def stats(self) -> dict[str, Any]:
         return self.request({"op": "stats"})
+
+    def metrics(self) -> str:
+        """The daemon's Prometheus exposition text (``metrics`` op)."""
+        return self.request({"op": "metrics"})["text"]
 
     def shutdown(self, mode: str = "interrupt") -> dict[str, Any]:
         return self.request({"op": "shutdown", "mode": mode})

@@ -127,6 +127,7 @@ def _make_runner(
     paths: JobPaths,
     resume: bool,
     control: JobControl,
+    trace: dict[str, Any] | None = None,
 ):
     """Instantiate the fracturer a job asked for (windowed when sized)."""
     inner = make_fracturer(job["method"])
@@ -138,6 +139,7 @@ def _make_runner(
         resume=resume,
         stop_check=control.should_stop,
         disk_floor_bytes=control.disk_floor_bytes,
+        trace=trace,
     )
     return WindowedFracturer(
         inner,
@@ -184,6 +186,7 @@ def execute_job(
             "kernels": kernels_manifest(),
         },
         stream=stream,
+        trace=record.trace,
     )
     # Per-job heartbeat: the writer's daemon thread keeps publishing
     # even when the work loop wedges inside one clip, so the daemon's
@@ -194,7 +197,15 @@ def execute_job(
         paths.heartbeats_dir,
         interval_s=JOB_HEARTBEAT_INTERVAL_S,
         name=record.job_id,
-        meta={"job_id": record.job_id, "attempt": record.attempts},
+        meta={
+            "job_id": record.job_id,
+            "attempt": record.attempts,
+            **(
+                {"trace_id": record.trace["trace_id"]}
+                if record.trace and record.trace.get("trace_id")
+                else {}
+            ),
+        },
     ).start()
     status = "error"
     try:
@@ -234,7 +245,10 @@ def _run_clips(
     job = record.spec
     spec = _build_spec(job.get("spec", {}))
     use_cache = caches is not None and job.get("use_result_cache", True)
-    runner = _make_runner(job, paths, bool(record.resume), control)
+    runner = _make_runner(
+        job, paths, bool(record.resume), control,
+        trace=recorder.manifest.get("trace"),
+    )
     recorder.event(
         "job_start",
         job_id=record.job_id,
@@ -265,7 +279,7 @@ def _run_clips(
                 offset[0] - float(stored[0]),
                 offset[1] - float(stored[1]),
             )
-            recorder.incr("service.result_cache_hits")
+            recorder.incr("cache.result.hits")
             recorder.event("clip_done", clip=name, cached=True,
                            shots=cached["shot_count"])
             clips_out[name] = {
@@ -279,7 +293,7 @@ def _run_clips(
             }
             continue
         if use_cache:
-            recorder.incr("service.result_cache_misses")
+            recorder.incr("cache.result.misses")
         recorder.event("clip_start", clip=name, cached=False)
         if heartbeat is not None:
             heartbeat.set_task(name, record.attempts)
@@ -315,15 +329,13 @@ def _run_clips(
     wall_s = time.perf_counter() - started
     if caches is not None:
         stats = caches.stats()
-        recorder.gauge(
-            "service.profile_bank.layouts", stats["profile_bank"]["layouts"]
-        )
-        recorder.gauge(
-            "service.profile_bank.profiles", stats["profile_bank"]["profiles"]
-        )
-        recorder.gauge(
-            "service.result_cache.entries", stats["result_cache"]["entries"]
-        )
+        recorder.gauge("cache.profile.layouts", stats["profile"]["layouts"])
+        recorder.gauge("cache.profile.profiles", stats["profile"]["profiles"])
+        recorder.gauge("cache.result.entries", stats["result"]["entries"])
+        # Surface the full unified cache stats in the run manifest too,
+        # so offline trace/metrics tooling sees the same numbers the
+        # daemon's ``stats`` op reports.
+        recorder.manifest["caches"] = stats
     payload = {
         "schema": "repro.service.result/v1",
         "job_id": record.job_id,

@@ -260,6 +260,10 @@ class JobRecord:
     #: (anonymous submissions share ``""``); persisted so fair-share
     #: accounting of recovered queued jobs survives a restart.
     client_id: str = ""
+    #: trace context (``{"trace_id", "span_id", ...}``) correlating this
+    #: job with the submitting client's trace; persisted so the same
+    #: trace_id stamps every attempt, including post-restart resumes.
+    trace: dict[str, Any] | None = None
     submitted_unix: float = field(default_factory=time.time)
     started_unix: float | None = None
     finished_unix: float | None = None
@@ -302,6 +306,7 @@ class JobRecord:
             "error_code": self.error_code,
             "request_fp": self.request_fp,
             "client_id": self.client_id,
+            "trace": self.trace,
             "submitted_unix": self.submitted_unix,
             "started_unix": self.started_unix,
             "finished_unix": self.finished_unix,
@@ -322,6 +327,7 @@ class JobRecord:
             error_code=data.get("error_code"),
             request_fp=str(data.get("request_fp", "") or ""),
             client_id=str(data.get("client_id", "") or ""),
+            trace=dict(data["trace"]) if data.get("trace") else None,
             submitted_unix=float(data.get("submitted_unix", 0.0)),
             started_unix=data.get("started_unix"),
             finished_unix=data.get("finished_unix"),

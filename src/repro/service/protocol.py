@@ -20,6 +20,9 @@ Operations (``OPS``):
 ``wait``        block (server side, with timeout) until a job settles
 ``stats``       daemon-level gauges: queue depth, running, warm-cache
                 hit rates, RSS/CPU of the daemon process
+``metrics``     the same gauges plus latency histograms rendered as
+                Prometheus exposition text (``{"text": ...}``) for
+                scrapers — see :mod:`repro.obs.metrics`
 ``shutdown``    stop the daemon (``"drain"`` finishes running jobs,
                 ``"interrupt"`` checkpoints and requeues them)
 ==============  ========================================================
@@ -62,6 +65,7 @@ OPS = (
     "cancel",
     "wait",
     "stats",
+    "metrics",
     "shutdown",
 )
 

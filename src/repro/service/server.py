@@ -48,6 +48,8 @@ from repro.obs import (
     sample_resources,
     summarize_heartbeats,
 )
+from repro.obs.metrics import MetricSample, render_prometheus
+from repro.obs.trace import TraceContext, mint_trace
 from repro.service.caches import WarmCaches
 from repro.service.executor import (
     JOB_HEARTBEAT_INTERVAL_S,
@@ -183,6 +185,10 @@ class FractureService:
         self._by_fingerprint: dict[str, str] = {}
         #: client_id -> live queued-job count (fair-share accounting).
         self._queued_by_client: dict[str, int] = {}
+        #: priority -> submit-to-settled latency summary
+        #: (count/sum/min/max), fed by ``_run_one`` and exposed by the
+        #: ``metrics`` op as ``repro_service_latency_seconds``.
+        self._latency_by_priority: dict[int, dict[str, float]] = {}
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -394,6 +400,7 @@ class FractureService:
             record.error = f"{type(error).__name__}: {error}"
         if settled:
             record.finished_unix = time.time()
+            self._observe_latency(record)
         record.save(paths)
         self.running.discard(record.job_id)
         self.controls.pop(record.job_id, None)
@@ -444,6 +451,20 @@ class FractureService:
         record.error = f"cancelled by watchdog: over budget ({reason})"
         record.error_code = "over_budget"
         return True
+
+    def _observe_latency(self, record: JobRecord) -> None:
+        """Fold one settled job into the per-priority latency summary."""
+        latency = record.latency_s
+        if latency is None:
+            return
+        summary = self._latency_by_priority.setdefault(
+            record.priority,
+            {"count": 0.0, "sum": 0.0, "min": latency, "max": latency},
+        )
+        summary["count"] += 1.0
+        summary["sum"] += latency
+        summary["min"] = min(summary["min"], latency)
+        summary["max"] = max(summary["max"], latency)
 
     def _running_started(self) -> dict[str, float]:
         """Watchdog view: running job ids with their start times."""
@@ -599,6 +620,13 @@ class FractureService:
                 "daemon is shutting down", "shutting_down"
             )
         client_id = str(request.get("client_id", "") or "")
+        # Trace context rides at the request top level (the job payload
+        # is whitelisted).  Untrusted input: a malformed context is
+        # dropped and a fresh trace minted — observability never
+        # rejects work.
+        trace = TraceContext.from_dict(request.get("trace"))
+        if trace is None:
+            trace = mint_trace()
         # Cheapest guard first: a flood is shed before any validation,
         # queue slot, or job directory is spent on it.
         if self.rate_limiter is not None and not self.rate_limiter.allow(
@@ -637,6 +665,7 @@ class FractureService:
                     queued=len(self.queue),
                     stream=str(self._paths(existing.job_id).stream),
                     deduplicated=True,
+                    trace_id=(existing.trace or {}).get("trace_id"),
                 )
         if self.limits.queue_share is not None:
             cap = max(
@@ -658,6 +687,7 @@ class FractureService:
             request_fp=fingerprint
             or job_fingerprint(spec, exclude=("name", "priority")),
             client_id=client_id,
+            trace=trace.to_dict(),
         )
         try:
             self.queue.push(record.job_id, record.priority, record.seq)
@@ -675,6 +705,7 @@ class FractureService:
             state=record.state.value,
             queued=len(self.queue),
             stream=str(self._paths(record.job_id).stream),
+            trace_id=trace.trace_id,
         )
 
     async def _op_status(self, request: dict[str, Any]) -> dict[str, Any]:
@@ -771,6 +802,77 @@ class FractureService:
                 ),
             },
         )
+
+    async def _op_metrics(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Daemon gauges as Prometheus exposition text.
+
+        The same numbers ``stats`` returns as JSON, flattened into the
+        ``repro_*`` metric families of :mod:`repro.obs.metrics` — plus
+        the per-priority submit-to-settled latency summaries only this
+        op exposes.  ``{"text": ...}`` parses with
+        :func:`repro.obs.metrics.parse_prometheus` (CI asserts this).
+        """
+        samples: list[MetricSample] = [
+            MetricSample("service.uptime_seconds",
+                         time.time() - self.started_unix, type="gauge"),
+            MetricSample("service.queue_depth", len(self.queue),
+                         type="gauge"),
+            MetricSample("service.running_jobs", len(self.running),
+                         type="gauge"),
+            MetricSample("service.workers", self.workers, type="gauge"),
+        ]
+        by_state: dict[str, int] = {}
+        for record in self.jobs.values():
+            by_state[record.state.value] = by_state.get(record.state.value, 0) + 1
+        for state, count in sorted(by_state.items()):
+            samples.append(MetricSample(
+                "service.jobs", count, labels={"state": state}, type="gauge"
+            ))
+        for name, count in sorted(self.guard_counters.items()):
+            samples.append(MetricSample(
+                f"service.guard.{name}_total", count, type="counter"
+            ))
+        for name, value in sorted(self.caches.counters().items()):
+            samples.append(MetricSample(f"{name}_total", value,
+                                        type="counter"))
+        for priority, summary in sorted(self._latency_by_priority.items()):
+            labels = {"priority": str(priority)}
+            samples.append(MetricSample(
+                "service.latency_seconds_count", summary["count"],
+                labels=labels, type="counter",
+            ))
+            samples.append(MetricSample(
+                "service.latency_seconds_sum", summary["sum"],
+                labels=labels, type="counter",
+            ))
+            samples.append(MetricSample(
+                "service.latency_seconds_min", summary["min"],
+                labels=labels, type="gauge",
+            ))
+            samples.append(MetricSample(
+                "service.latency_seconds_max", summary["max"],
+                labels=labels, type="gauge",
+            ))
+        beats = summarize_heartbeats(
+            self.state_dir / "heartbeats",
+            stall_after_s=5.0 * JOB_HEARTBEAT_INTERVAL_S,
+            slow_task_after_s=self.stall_clip_s,
+        )
+        samples.append(MetricSample(
+            "service.heartbeats_alive", beats.get("alive", 0), type="gauge"
+        ))
+        samples.append(MetricSample(
+            "service.heartbeats_stalled", beats.get("stalled", 0),
+            type="gauge",
+        ))
+        resources = sample_resources()
+        for key in ("rss_bytes", "cpu_s"):
+            value = resources.get(key)
+            if isinstance(value, (int, float)):
+                samples.append(MetricSample(
+                    f"service.{key}", value, type="gauge"
+                ))
+        return ok_response(text=render_prometheus(samples))
 
     async def _op_shutdown(self, request: dict[str, Any]) -> dict[str, Any]:
         mode = request.get("mode", "interrupt")

@@ -140,10 +140,10 @@ class TestProfileCacheTransparency:
             active_integral = state.active_integral().copy()
             candidates = state.gather_edge_moves(cost_integral)
             state.price_edge_moves(candidates, cost_integral, active_integral)
-            misses_first = recorder.counters.get("intensity.profile_cache_misses", 0)
+            misses_first = recorder.counters.get("cache.profile.misses", 0)
             state.price_edge_moves(candidates, cost_integral, active_integral)
-            misses_second = recorder.counters.get("intensity.profile_cache_misses", 0)
-            hits = recorder.counters.get("intensity.profile_cache_hits", 0)
+            misses_second = recorder.counters.get("cache.profile.misses", 0)
+            hits = recorder.counters.get("cache.profile.hits", 0)
         assert misses_first > 0
         assert misses_second == misses_first  # second sweep is all hits
         assert hits >= 3 * len(candidates)
@@ -160,7 +160,7 @@ class TestProfileCacheTransparency:
             candidates = state.gather_edge_moves(cost_integral)
             state.price_edge_moves(candidates, cost_integral, active_integral)
         assert state.imap.profile_cache_size <= 8
-        assert recorder.counters.get("intensity.profile_cache_evictions", 0) > 0
+        assert recorder.counters.get("cache.profile.evictions", 0) > 0
 
 
 class TestBlockedZoneIndex:

@@ -1,0 +1,132 @@
+"""Unit tests for Prometheus text exposition (render + strict parse)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.obs import (
+    MetricSample,
+    TelemetryRecorder,
+    parse_prometheus,
+    payload_samples,
+    render_prometheus,
+)
+from repro.obs.metrics import sanitize_metric_name
+
+
+class TestSanitize:
+    def test_dotted_keys_map_mechanically(self):
+        assert sanitize_metric_name("cache.lut.hits") == "repro_cache_lut_hits"
+
+    def test_existing_prefix_not_doubled(self):
+        assert sanitize_metric_name("repro_run_info") == "repro_run_info"
+
+    def test_hostile_name_still_legal(self):
+        name = sanitize_metric_name('x{evil="1"} 9\n# HELP')
+        assert "\n" not in name and "{" not in name and " " not in name
+
+
+class TestRender:
+    def test_one_type_header_per_name(self):
+        text = render_prometheus([
+            MetricSample("service.latency_count", 3, type="counter",
+                         labels={"priority": "0"}),
+            MetricSample("service.latency_count", 5, type="counter",
+                         labels={"priority": "1"}),
+        ])
+        assert text.count("# TYPE repro_service_latency_count counter") == 1
+        assert 'priority="0"' in text and 'priority="1"' in text
+
+    def test_label_values_escaped(self):
+        text = render_prometheus([
+            MetricSample("x", 1, labels={"name": 'a"b\\c\nd'}),
+        ])
+        parsed = parse_prometheus(text)
+        assert len(parsed) == 1
+
+    def test_special_values(self):
+        text = render_prometheus([
+            MetricSample("a", math.inf),
+            MetricSample("b", -math.inf),
+            MetricSample("c", 2.5),
+            MetricSample("d", 3.0),
+        ])
+        parsed = parse_prometheus(text)
+        assert parsed[("repro_a", ())] == math.inf
+        assert parsed[("repro_b", ())] == -math.inf
+        assert parsed[("repro_c", ())] == 2.5
+        assert parsed[("repro_d", ())] == 3
+        assert "repro_d 3\n" in text  # integral values render as ints
+
+    def test_empty(self):
+        assert render_prometheus([]) == ""
+
+
+class TestParse:
+    def test_round_trip_values(self):
+        text = render_prometheus([
+            MetricSample("queue.depth", 7),
+            MetricSample("jobs", 2, labels={"state": "done"}),
+        ])
+        parsed = parse_prometheus(text)
+        assert parsed[("repro_queue_depth", ())] == 7
+        assert parsed[("repro_jobs", (("state", "done"),))] == 2
+
+    def test_rejects_garbage_lines(self):
+        with pytest.raises(ValueError, match="not a metric sample"):
+            parse_prometheus("repro_ok 1\nthis is not exposition format\n")
+
+    def test_rejects_bad_value(self):
+        with pytest.raises(ValueError, match="bad sample value"):
+            parse_prometheus("repro_x yes\n")
+
+    def test_rejects_malformed_labels(self):
+        with pytest.raises(ValueError, match="malformed labels"):
+            parse_prometheus('repro_x{state=done} 1\n')
+
+    def test_comments_and_blanks_skipped(self):
+        parsed = parse_prometheus("# HELP x y\n\n# TYPE x gauge\nx 1\n")
+        assert parsed == {("x", ()): 1.0}
+
+
+class TestPayloadSamples:
+    def _payload(self) -> dict:
+        rec = TelemetryRecorder(trace={"trace_id": "ab" * 16})
+        with rec.span("fracture"):
+            rec.incr("cache.lut.hits", 3)
+            rec.gauge("windowed.workers_alive", 2)
+            rec.observe("tile_wall_s", 0.25)
+            rec.observe("tile_wall_s", 0.75)
+        return rec.export()
+
+    def test_counters_get_total_suffix(self):
+        text = render_prometheus(payload_samples(self._payload()))
+        parsed = parse_prometheus(text)
+        assert parsed[("repro_cache_lut_hits_total", ())] == 3
+        assert parsed[("repro_windowed_workers_alive", ())] == 2
+
+    def test_histograms_render_as_summary(self):
+        parsed = parse_prometheus(
+            render_prometheus(payload_samples(self._payload()))
+        )
+        assert parsed[("repro_tile_wall_s_count", ())] == 2
+        assert parsed[("repro_tile_wall_s_sum", ())] == 1.0
+        assert parsed[("repro_tile_wall_s_min", ())] == 0.25
+        assert parsed[("repro_tile_wall_s_max", ())] == 0.75
+
+    def test_trace_id_rides_as_run_info(self):
+        parsed = parse_prometheus(
+            render_prometheus(payload_samples(self._payload()))
+        )
+        key = ("repro_run_info", (("trace_id", "ab" * 16),))
+        assert parsed[key] == 1
+
+    def test_hostile_metric_names_cannot_corrupt_exposition(self):
+        payload = {
+            "counters": {'evil{inject="1"} 9\n# TYPE': 1},
+            "gauges": {"also\nbad": 2.0},
+        }
+        # Whatever the names were, the output must still parse.
+        parse_prometheus(render_prometheus(payload_samples(payload)))

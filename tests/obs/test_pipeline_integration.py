@@ -86,7 +86,7 @@ class TestRecordedRun:
         assert counters.get("fracture.shapes") == 1
         assert "refine.moves_accepted" in counters
         assert "refine.moves_blocked_2sigma" in counters
-        assert "intensity.lut_hits" in counters
+        assert "cache.lut.hits" in counters
         assert "coloring.colors_used" in payload["gauges"]
 
     def test_recording_does_not_change_results(self, l_shape, spec):

@@ -1,0 +1,54 @@
+"""Unit tests for the optional sampling profiler."""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs import SamplingProfiler, TelemetryRecorder
+
+
+def _spin(seconds: float) -> None:
+    deadline = time.monotonic() + seconds
+    while time.monotonic() < deadline:
+        sum(i * i for i in range(500))
+
+
+class TestSamplingProfiler:
+    def test_samples_land_in_manifest_by_span(self):
+        rec = TelemetryRecorder(trace={"trace_id": "ab" * 16})
+        with SamplingProfiler(rec, interval_s=0.002):
+            with rec.span("hot"):
+                _spin(0.15)
+        profile = rec.manifest["profile"]
+        assert profile["samples"] > 0
+        assert profile["interval_s"] == 0.002
+        span_keys = list(profile["by_span"])
+        assert any("hot" in key for key in span_keys)
+        # Collapsed stacks are semicolon-joined module.function paths.
+        stacks = next(iter(profile["by_span"].values()))
+        assert all(";" in s or "." in s for s in stacks)
+
+    def test_idle_recorder_uses_no_span_bucket(self):
+        rec = TelemetryRecorder()
+        profiler = SamplingProfiler(rec, interval_s=0.002).start()
+        _spin(0.05)
+        table = profiler.stop()
+        if table["by_span"]:  # timing-dependent, but bucket name is not
+            assert set(table["by_span"]) == {"(no span)"}
+
+    def test_stop_is_idempotent_and_publishes_once(self):
+        rec = TelemetryRecorder()
+        profiler = SamplingProfiler(rec, interval_s=0.002).start()
+        _spin(0.03)
+        first = profiler.stop()
+        second = profiler.stop()
+        assert second["samples"] == first["samples"]
+
+    def test_profiler_never_touches_metrics(self):
+        # Purely observational: no counters/gauges/events appear.
+        rec = TelemetryRecorder()
+        with SamplingProfiler(rec, interval_s=0.002):
+            _spin(0.03)
+        payload = rec.export()
+        assert payload["counters"] == {}
+        assert payload["events"] == []

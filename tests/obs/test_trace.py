@@ -1,0 +1,101 @@
+"""Unit tests for the trace-context primitive."""
+
+from __future__ import annotations
+
+from repro.obs import TraceContext, mint_trace, valid_trace_id
+
+
+class TestMint:
+    def test_fresh_root(self):
+        trace = mint_trace()
+        assert valid_trace_id(trace.trace_id)
+        assert valid_trace_id(trace.span_id)
+        assert trace.parent_span_id is None
+        assert len(trace.trace_id) == 32
+        assert len(trace.span_id) == 16
+
+    def test_ids_are_random(self):
+        a, b = mint_trace(), mint_trace()
+        assert a.trace_id != b.trace_id
+        assert a.span_id != b.span_id
+
+    def test_frozen(self):
+        trace = mint_trace()
+        try:
+            trace.trace_id = "x"  # type: ignore[misc]
+        except AttributeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("TraceContext must be immutable")
+
+
+class TestChild:
+    def test_same_trace_new_span(self):
+        parent = mint_trace()
+        child = parent.child()
+        assert child.trace_id == parent.trace_id
+        assert child.span_id != parent.span_id
+        assert child.parent_span_id == parent.span_id
+
+    def test_grandchild_chains(self):
+        root = mint_trace()
+        hop2 = root.child().child()
+        assert hop2.trace_id == root.trace_id
+        assert hop2.parent_span_id != root.span_id
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        trace = mint_trace().child()
+        back = TraceContext.from_dict(trace.to_dict())
+        assert back == trace
+
+    def test_root_omits_parent_key(self):
+        assert "parent_span_id" not in mint_trace().to_dict()
+
+    def test_unknown_keys_ignored(self):
+        trace = mint_trace()
+        payload = {**trace.to_dict(), "evil": "x" * 10000, "op": "shutdown"}
+        back = TraceContext.from_dict(payload)
+        assert back is not None
+        assert back.trace_id == trace.trace_id
+
+    def test_garbage_degrades_to_none(self):
+        # Malformed contexts from untrusted clients must degrade to
+        # "no context" (server mints a fresh one), never raise.
+        for payload in (
+            None,
+            "not-a-mapping",
+            42,
+            [],
+            {},
+            {"trace_id": None},
+            {"trace_id": 123},
+            {"trace_id": "UPPERCASE-NOT-HEX"},
+            {"trace_id": "abc"},  # too short
+            {"trace_id": "a" * 100},  # too long
+        ):
+            assert TraceContext.from_dict(payload) is None
+
+    def test_bad_span_ids_replaced_not_rejected(self):
+        trace = mint_trace()
+        back = TraceContext.from_dict({
+            "trace_id": trace.trace_id,
+            "span_id": "<script>",
+            "parent_span_id": ["not", "a", "string"],
+        })
+        assert back is not None
+        assert back.trace_id == trace.trace_id
+        assert valid_trace_id(back.span_id)
+        assert back.parent_span_id is None
+
+
+class TestValidTraceId:
+    def test_accepts_hex(self):
+        assert valid_trace_id("deadbeef" * 4)
+
+    def test_rejects_non_strings_and_non_hex(self):
+        assert not valid_trace_id(None)
+        assert not valid_trace_id(12345678)
+        assert not valid_trace_id("ghijklmn")
+        assert not valid_trace_id("DEADBEEFDEADBEEF")  # uppercase

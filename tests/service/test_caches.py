@@ -68,11 +68,11 @@ class TestWarmCaches:
         warm = WarmCaches()
         with warm:
             PartitionFracturer().fracture(rect_shape, spec)
-            first = warm.stats()["profile_bank"]
+            first = warm.stats()["profile"]
             assert first["attaches"] >= 1
             assert first["profiles"] > 0
             PartitionFracturer().fracture(rect_shape, spec)
-            second = warm.stats()["profile_bank"]
+            second = warm.stats()["profile"]
             assert second["warm_attaches"] >= 1
             assert second["layouts"] == first["layouts"]
 

@@ -501,7 +501,7 @@ class TestCorruptCacheUnderDaemon:
                 job2 = await wait_settled(service, second["job_id"], 60)
                 assert job2["state"] == "done", chaos_plan
                 stats = await request(service, {"op": "stats"})
-                cache_stats = stats["caches"]["result_cache"]
+                cache_stats = stats["caches"]["result"]
                 assert cache_stats["corrupt_quarantined"] == 1
                 assert list(store.glob("*.json.bad")), chaos_plan
             finally:

@@ -108,7 +108,7 @@ class TestLifecycle:
                 assert listing["jobs"] == []
                 stats = await request(service, {"op": "stats"})
                 assert stats["queued"] == 0
-                assert "result_cache" in stats["caches"]
+                assert "result" in stats["caches"]
             finally:
                 await service.stop("drain")
             assert daemon_info(tmp_path) is None  # daemon.json cleaned up

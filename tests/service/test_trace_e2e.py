@@ -1,0 +1,207 @@
+"""End-to-end trace correlation across a SIGKILLed daemon.
+
+The acceptance invariant for the observability layer: ONE trace_id,
+minted client-side at submit, is present on
+
+* the durable job record (and survives a daemon restart),
+* every stream record of every attempt — spans, tiles, events —
+  across both daemon processes,
+* the checkpoint journal's header and tile lines,
+* worker heartbeat files,
+* the exported chrome trace (structurally valid, single trace_id),
+
+and enabling all of it never changes the shot output: the resumed
+traced job must match a cold untraced run bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.obs import (
+    chrome_from_records,
+    mint_trace,
+    parse_prometheus,
+    read_stream,
+    validate_chrome_trace,
+)
+from repro.service.client import ServiceClient, wait_for_daemon
+from repro.service.executor import execute_job
+from repro.service.jobs import JobPaths, JobRecord, validate_submission
+
+LONG_BAR = [[0.0, 0.0], [6600.0, 0.0], [6600.0, 60.0], [0.0, 60.0]]
+
+
+def spawn_daemon(state_dir: Path, cwd: Path) -> subprocess.Popen:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--state-dir", str(state_dir), "--workers", "1"],
+        cwd=cwd, env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+    )
+
+
+def wait_for_first_tile(checkpoint_dir: Path, timeout_s: float = 60.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        for journal in checkpoint_dir.glob("*.tiles.jsonl"):
+            for line in journal.read_text().splitlines():
+                try:
+                    if json.loads(line).get("kind") == "tile":
+                        return
+                except json.JSONDecodeError:
+                    continue
+        time.sleep(0.02)
+    raise AssertionError(f"no tile journaled under {checkpoint_dir}")
+
+
+def cold_reference(tmp_path: Path) -> dict:
+    """The same job outside any daemon, with tracing entirely off."""
+    submission = validate_submission({
+        "clips": {"bar": LONG_BAR}, "method": "partition",
+        "window_nm": 100.0, "checkpoint": True,
+    })
+    record = JobRecord(job_id="job-c0ffee00", spec=submission)
+    record.attempts = 1
+    return execute_job(
+        record, JobPaths.for_job(tmp_path / "cold", record.job_id)
+    )
+
+
+@pytest.mark.timeout(300)
+class TestTraceSurvivesSigkill:
+    def test_one_trace_id_joins_both_daemon_processes(self, tmp_path):
+        reference = cold_reference(tmp_path)
+        state_dir = tmp_path / "state"
+        trace = mint_trace()
+
+        daemon = spawn_daemon(state_dir, tmp_path)
+        try:
+            wait_for_daemon(state_dir, timeout_s=30)
+            client = ServiceClient(state_dir)
+            job_id = client.submit(
+                {"bar": LONG_BAR}, method="partition", window_nm=100.0,
+                trace=trace,
+            )
+            assert client.last_trace_id == trace.trace_id
+            paths = JobPaths.for_job(state_dir, job_id)
+            wait_for_first_tile(paths.checkpoint_dir)
+            daemon.kill()  # SIGKILL: no atexit, no graceful anything
+            daemon.wait(timeout=30)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait(timeout=30)
+
+        daemon2 = spawn_daemon(state_dir, tmp_path)
+        try:
+            wait_for_daemon(state_dir, timeout_s=30)
+            client = ServiceClient(state_dir)
+            finished = client.wait(job_id, timeout_s=120)
+            assert finished["state"] == "done"
+
+            # -- job record: minted id survived the restart ---------------
+            assert finished["trace"]["trace_id"] == trace.trace_id
+            assert finished["attempts"] >= 2
+
+            # -- metrics op: valid exposition from the second daemon ------
+            parsed = parse_prometheus(client.metrics())
+            assert any(
+                name.startswith("repro_service_") for name, _ in parsed
+            )
+
+            result = client.result(job_id)
+            client.shutdown("drain")
+            daemon2.wait(timeout=60)
+        finally:
+            if daemon2.poll() is None:
+                daemon2.kill()
+                daemon2.wait(timeout=30)
+
+        # -- determinism: traced + killed + resumed == cold untraced ------
+        assert result["resumed"] is True
+        assert result["clips"]["bar"]["shots"] == \
+            reference["clips"]["bar"]["shots"]
+        assert result["totals"]["shots"] == reference["totals"]["shots"]
+
+        # -- stream: both attempts, one trace_id --------------------------
+        records = read_stream(paths.stream)
+        headers = [r for r in records if r["type"] == "stream_header"]
+        assert len(headers) >= 2, "expected an attempt per daemon process"
+        assert {h.get("pid") for h in headers} and len(
+            {h.get("pid") for h in headers}
+        ) >= 2, "attempts must come from two daemon processes"
+        stamped = [r for r in records if "trace_id" in r]
+        assert stamped, "no stream record carries a trace_id"
+        assert {r["trace_id"] for r in stamped} == {trace.trace_id}
+        # Spans — the tile work itself — are among the stamped records.
+        assert any(r["type"] == "span_open" for r in stamped)
+        assert any(r["type"] == "span_close" for r in stamped)
+
+        # -- checkpoint journal: tile lines carry the id ------------------
+        journal = next(iter(paths.checkpoint_dir.glob("*.tiles.jsonl")))
+        entries = []
+        for line in journal.read_text().splitlines():
+            try:
+                entries.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue  # torn tail from the kill
+        assert entries
+        journal_ids = {
+            e["trace_id"] for e in entries if "trace_id" in e
+        }
+        assert journal_ids == {trace.trace_id}
+        tiles = [e for e in entries if e.get("kind") == "tile"]
+        assert tiles and all(
+            e.get("trace_id") == trace.trace_id for e in tiles
+        )
+
+        # -- heartbeats: whatever survived is stamped ---------------------
+        heartbeats_dir = state_dir / "heartbeats"
+        for beat_file in heartbeats_dir.glob("*.json"):
+            beat = json.loads(beat_file.read_text())
+            meta = beat.get("meta") or {}
+            if meta.get("job_id") == job_id:
+                assert meta.get("trace_id") == trace.trace_id
+
+        # -- chrome export: valid, joined to the same id ------------------
+        doc = chrome_from_records(records)
+        summary = validate_chrome_trace(
+            doc, expect_trace_id=trace.trace_id
+        )
+        assert summary["spans"] > 0
+
+    def test_server_mints_when_client_sends_garbage(self, tmp_path):
+        """A hostile/legacy trace field degrades to a fresh server-side
+        trace — the job still runs and is still correlated."""
+        state_dir = tmp_path / "state"
+        daemon = spawn_daemon(state_dir, tmp_path)
+        try:
+            wait_for_daemon(state_dir, timeout_s=30)
+            client = ServiceClient(state_dir)
+            job_id = client.submit(
+                {"bar": [[0, 0], [220, 0], [220, 60], [0, 60]]},
+                method="partition",
+                trace={"trace_id": "NOT-HEX", "evil": "x" * 4096},
+            )
+            finished = client.wait(job_id, timeout_s=120)
+            assert finished["state"] == "done"
+            minted = (finished.get("trace") or {}).get("trace_id")
+            assert minted and minted != "NOT-HEX"
+            assert client.last_trace_id == minted
+            client.shutdown("drain")
+            daemon.wait(timeout=60)
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.wait(timeout=30)
